@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: JigSaw-M reconstruction ordering (paper Section 4.4.2).
+ *
+ * The paper argues for top-down ordering — update with the largest
+ * (most correlated) subsets first so the global correlation is
+ * maximally preserved, then refine with the highest-fidelity small
+ * subsets. This ablation reruns the same evidence bottom-up.
+ */
+#include <cstdint>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "sim/simulators.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace jigsaw;
+    constexpr std::uint64_t trials = 32768;
+
+    std::cout << "=== Ablation: JigSaw-M layer order (top-down vs "
+                 "bottom-up) ===\n"
+              << "trials per scheme: " << trials << "\n\n";
+
+    const device::DeviceModel dev = device::toronto();
+    ConsoleTable table({"benchmark", "baseline PST", "top-down rel",
+                        "bottom-up rel"});
+
+    for (const char *name :
+         {"GHZ-14", "Graycode-18", "QAOA-10 p2", "BV-6"}) {
+        const auto workload = workloads::makeWorkload(name);
+        sim::NoisySimulator executor(dev, {.seed = 2121});
+
+        const Pmf baseline = core::runBaseline(workload->circuit(), dev,
+                                               executor, trials);
+        const double base =
+            std::max(metrics::pst(baseline, *workload), 1e-6);
+
+        // One JigSaw-M run supplies the evidence; both orderings
+        // post-process the same global PMF and marginals.
+        const core::JigsawResult run = core::runJigsaw(
+            workload->circuit(), dev, executor, trials,
+            core::jigsawMOptions());
+
+        core::ReconstructionOptions bottom_up;
+        bottom_up.layerOrder = core::LayerOrder::BottomUp;
+        const Pmf reversed = core::multiLayerReconstruct(
+            run.globalPmf, run.marginals(), bottom_up);
+
+        table.addRow(
+            {workload->name(), ConsoleTable::num(base, 3),
+             ConsoleTable::num(metrics::pst(run.output, *workload) /
+                                   base, 2),
+             ConsoleTable::num(metrics::pst(reversed, *workload) / base,
+                               2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected shape: top-down >= bottom-up (small "
+                 "subsets applied first erase correlation the large "
+                 "subsets can no longer restore).\n";
+    return 0;
+}

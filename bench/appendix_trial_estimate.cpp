@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Appendix A.2: how many trials does a CPM need?
+ *
+ * Reproduces the paper's estimate — Eq. 9 gives the trials required
+ * to observe every outcome of a 2^s-outcome CPM at least once with
+ * confidence P; for the default subset size 2 at 99.99% confidence
+ * this is ~150 trials — and verifies it empirically with a uniform
+ * sampler.
+ */
+#include <cstdint>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/trial_estimate.h"
+
+int
+main()
+{
+    using namespace jigsaw;
+
+    std::cout << "=== Appendix A.2: trial budget per CPM ===\n\n";
+
+    constexpr double confidence = 0.9999;
+    ConsoleTable table({"subset size", "outcomes", "trials (Eq. 9)",
+                        "empirical coverage"});
+
+    Rng rng(2424);
+    for (int s = 2; s <= 10; ++s) {
+        const std::uint64_t budget =
+            core::trialsForFullCoverage(s, confidence);
+
+        // Empirical check: with that budget, how often does a uniform
+        // 2^s-outcome source show every outcome at least once?
+        const int repetitions = 200;
+        int covered = 0;
+        const std::uint64_t n_outcomes = 1ULL << s;
+        for (int rep = 0; rep < repetitions; ++rep) {
+            std::vector<bool> seen(n_outcomes, false);
+            std::uint64_t distinct = 0;
+            for (std::uint64_t t = 0; t < budget && distinct < n_outcomes;
+                 ++t) {
+                const auto outcome = static_cast<std::uint64_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(n_outcomes) -
+                                       1));
+                if (!seen[outcome]) {
+                    seen[outcome] = true;
+                    ++distinct;
+                }
+            }
+            if (distinct == n_outcomes)
+                ++covered;
+        }
+
+        table.addRow({std::to_string(s), std::to_string(n_outcomes),
+                      std::to_string(budget),
+                      ConsoleTable::num(
+                          static_cast<double>(covered) / repetitions,
+                          3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: ~150 trials suffice for the default subset "
+                 "size 2 at 99.99% confidence, and a few thousand for "
+                 "JigSaw-M's larger sizes -- far below the half-budget "
+                 "each CPM receives in practice.\n"
+              << "expected shape: empirical coverage ~1.0 everywhere "
+                 "(Eq. 9 is conservative: it unions per-outcome "
+                 "bounds).\n";
+    return 0;
+}

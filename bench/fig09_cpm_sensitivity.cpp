@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Figure 9: sensitivity of JigSaw to (a) the number of CPMs and
+ * (b) the CPM selection method, on a 12-qubit QAOA program
+ * (IBMQ-Paris model).
+ *
+ * Methodology (paper Section 6.5): all 66 = C(12,2) size-2 CPMs are
+ * executed once with the default per-CPM trial budget; then
+ * (a) for each N, random N-subsets of the 66 local PMFs update the
+ *     global PMF, averaged over repetitions;
+ * (b) random covering selections of 12 CPMs are drawn many times and
+ *     the distribution of the PST gain is reported.
+ *
+ * Paper reference: gains rise with N and saturate after a handful of
+ * CPMs; the selection method barely matters.
+ */
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/table.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "sim/simulators.h"
+#include "workloads/qaoa.h"
+
+int
+main()
+{
+    using namespace jigsaw;
+
+    const device::DeviceModel dev = device::paris();
+    const workloads::QaoaMaxCut qaoa(12, 2);
+    constexpr std::uint64_t trials = 32768;
+    constexpr int n_qubits = 12;
+
+    std::cout << "=== Figure 9: CPM count and selection-method "
+                 "sensitivity (QAOA-12, "
+              << dev.name() << ") ===\n\n";
+
+    sim::NoisySimulator executor(dev, {.seed = 909});
+
+    // Baseline and global mode.
+    const Pmf baseline =
+        core::runBaseline(qaoa.circuit(), dev, executor, trials);
+    const double base_pst = metrics::pst(baseline, qaoa);
+
+    // Execute every possible size-2 CPM once via a single JigSaw run
+    // with custom subsets = all 66 pairs.
+    std::vector<core::Subset> all_pairs;
+    for (int a = 0; a < n_qubits; ++a) {
+        for (int b = a + 1; b < n_qubits; ++b)
+            all_pairs.push_back({a, b});
+    }
+    core::JigsawOptions options;
+    options.customSubsets = all_pairs;
+    const core::JigsawResult bank =
+        core::runJigsaw(qaoa.circuit(), dev, executor, trials, options);
+    const std::vector<core::Marginal> marginals = bank.marginals();
+
+    // ---- (a) PST gain vs number of CPMs --------------------------
+    std::cout << "(a) mean relative PST vs number of CPMs (25 random "
+                 "draws per N)\n";
+    ConsoleTable count_table({"num CPMs", "mean rel PST", "min", "max"});
+    Rng rng(99);
+    for (int n_cpm : {1, 2, 4, 8, 12, 16, 24, 33, 44, 55, 66}) {
+        std::vector<double> gains;
+        for (int rep = 0; rep < 25; ++rep) {
+            const std::vector<int> chosen = rng.sampleWithoutReplacement(
+                static_cast<int>(marginals.size()), n_cpm);
+            std::vector<core::Marginal> selected;
+            for (int idx : chosen)
+                selected.push_back(
+                    marginals[static_cast<std::size_t>(idx)]);
+            const Pmf out = core::bayesianReconstruct(bank.globalPmf,
+                                                      selected);
+            gains.push_back(metrics::pst(out, qaoa) / base_pst);
+        }
+        count_table.addRow({std::to_string(n_cpm),
+                            ConsoleTable::num(stats::mean(gains), 3),
+                            ConsoleTable::num(stats::min(gains), 3),
+                            ConsoleTable::num(stats::max(gains), 3)});
+    }
+    count_table.print(std::cout);
+    std::cout << "expected shape (paper Fig 9a): the mean gain rises "
+                 "then saturates -- extra CPMs stop adding unique "
+                 "information.\n\n";
+
+    // ---- (b) selection-method distribution -----------------------
+    std::cout << "(b) PST gain over 1000 random covering selections of "
+              << n_qubits << " CPMs\n";
+    std::vector<double> gains;
+    for (int rep = 0; rep < 1000; ++rep) {
+        const std::vector<core::Subset> subsets =
+            core::coveringRandomSubsets(n_qubits, 2, rng);
+        std::vector<core::Marginal> selected;
+        for (const core::Subset &s : subsets) {
+            for (std::size_t i = 0; i < all_pairs.size(); ++i) {
+                if (all_pairs[i] == s) {
+                    selected.push_back(marginals[i]);
+                    break;
+                }
+            }
+        }
+        const Pmf out =
+            core::bayesianReconstruct(bank.globalPmf, selected);
+        gains.push_back(metrics::pst(out, qaoa) / base_pst);
+    }
+
+    // Sliding-window reference (the default method).
+    std::vector<core::Marginal> sliding;
+    for (const core::Subset &s :
+         core::slidingWindowSubsets(n_qubits, 2)) {
+        for (std::size_t i = 0; i < all_pairs.size(); ++i) {
+            if (all_pairs[i] == s) {
+                sliding.push_back(marginals[i]);
+                break;
+            }
+        }
+    }
+    const double sliding_gain =
+        metrics::pst(core::bayesianReconstruct(bank.globalPmf, sliding),
+                     qaoa) /
+        base_pst;
+
+    ConsoleTable dist_table({"statistic", "rel PST"});
+    dist_table.addRow({"mean",
+                       ConsoleTable::num(stats::mean(gains), 3)});
+    dist_table.addRow({"stddev",
+                       ConsoleTable::num(stats::stddev(gains), 3)});
+    dist_table.addRow({"p10",
+                       ConsoleTable::num(stats::percentile(gains, 10),
+                                         3)});
+    dist_table.addRow({"p90",
+                       ConsoleTable::num(stats::percentile(gains, 90),
+                                         3)});
+    dist_table.addRow({"sliding-window (default)",
+                       ConsoleTable::num(sliding_gain, 3)});
+    dist_table.print(std::cout);
+    std::cout << "expected shape (paper Fig 9b): the distribution is "
+                 "tight and the default sliding-window method sits "
+                 "inside it -- selection method barely matters.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 10: probability of correctly measuring each program qubit of
+ * BV-6 on the IBMQ-Toronto model, baseline vs recompiled size-2 CPMs.
+ *
+ * The per-qubit success probability counts outcomes where that qubit
+ * reads its ideal value even if the overall outcome is wrong (paper
+ * Section 6.6). Paper reference: recompilation improves the
+ * per-qubit read success by up to 3.25x.
+ */
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "sim/simulators.h"
+#include "workloads/bv.h"
+
+int
+main()
+{
+    using namespace jigsaw;
+
+    const device::DeviceModel dev = device::toronto();
+    const workloads::BernsteinVazirani bv(6);
+    constexpr std::uint64_t trials = 65536;
+
+    std::cout << "=== Figure 10: per-qubit measurement success, BV-6 on "
+              << dev.name() << " ===\n\n";
+
+    sim::NoisySimulator executor(dev, {.seed = 1010});
+
+    // Baseline: all qubits measured under the global compilation.
+    const Pmf baseline =
+        core::runBaseline(bv.circuit(), dev, executor, trials);
+
+    // JigSaw with recompiled CPMs (sliding window, size 2).
+    const core::JigsawResult js =
+        core::runJigsaw(bv.circuit(), dev, executor, trials);
+
+    const BasisState ideal = bv.hiddenString();
+
+    auto qubit_success_global = [&](int q) {
+        double p = 0.0;
+        for (const auto &[outcome, prob] : baseline.probabilities()) {
+            if (getBit(outcome, q) == getBit(ideal, q))
+                p += prob;
+        }
+        return p;
+    };
+
+    auto qubit_success_cpm = [&](int q) {
+        // Average over the CPMs that measure qubit q.
+        double total = 0.0;
+        int count = 0;
+        for (const core::CpmRecord &cpm : js.cpms) {
+            for (std::size_t j = 0; j < cpm.subset.size(); ++j) {
+                if (cpm.subset[j] != q)
+                    continue;
+                double p = 0.0;
+                for (const auto &[outcome, prob] :
+                     cpm.localPmf.probabilities()) {
+                    if (getBit(outcome, static_cast<int>(j)) ==
+                        getBit(ideal, q)) {
+                        p += prob;
+                    }
+                }
+                total += p;
+                ++count;
+            }
+        }
+        return count ? total / count : 0.0;
+    };
+
+    ConsoleTable table({"program qubit", "baseline", "CPM (recompiled)",
+                        "gain"});
+    double max_gain = 0.0;
+    for (int q = 0; q < 6; ++q) {
+        const double base = qubit_success_global(q);
+        const double cpm = qubit_success_cpm(q);
+        max_gain = std::max(max_gain, cpm / base);
+        table.addRow({std::to_string(q), ConsoleTable::num(base, 3),
+                      ConsoleTable::num(cpm, 3),
+                      ConsoleTable::num(cpm / base, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nmax per-qubit gain: " << ConsoleTable::num(max_gain, 2)
+              << "x (paper: up to 3.25x)\n"
+              << "expected shape: every qubit reads at least as well "
+                 "in a recompiled CPM; the worst baseline qubits gain "
+                 "the most.\n"
+              << "note: the magnitude is smaller than the paper's "
+                 "because the simulated baseline compiler sees exact "
+                 "calibration data and avoids the worst readout qubits "
+                 "better than real-hardware baselines did (see "
+                 "EXPERIMENTS.md).\n";
+    return 0;
+}

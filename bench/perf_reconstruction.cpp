@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks backing the paper's Section 7.3
+ * claim: reconstruction time is linear in the number of stored
+ * outcomes (i.e. in trials) and in the number of CPMs/qubits.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/bayesian.h"
+#include "core/subsets.h"
+
+namespace {
+
+using namespace jigsaw;
+
+/** Synthetic sparse global PMF with the given support size (capped
+ *  at half the basis space so the fill loop always terminates). */
+Pmf
+syntheticGlobal(int n_qubits, int support, Rng &rng)
+{
+    const BasisState mask =
+        (n_qubits >= 64) ? ~0ULL : ((1ULL << n_qubits) - 1);
+    const auto space = static_cast<std::size_t>(mask) + 1;
+    const std::size_t target =
+        std::min<std::size_t>(static_cast<std::size_t>(support),
+                              space / 2);
+    Pmf pmf(n_qubits);
+    while (pmf.support() < target) {
+        const auto outcome = static_cast<BasisState>(rng.word() & mask);
+        pmf.set(outcome, rng.uniform(0.01, 1.0));
+    }
+    pmf.normalize();
+    return pmf;
+}
+
+std::vector<core::Marginal>
+syntheticMarginals(int n_qubits, int subset_size, Rng &rng)
+{
+    std::vector<core::Marginal> marginals;
+    for (const core::Subset &s :
+         core::slidingWindowSubsets(n_qubits, subset_size)) {
+        Pmf local(subset_size);
+        for (BasisState v = 0; v < (1ULL << subset_size); ++v)
+            local.set(v, rng.uniform(0.05, 1.0));
+        local.normalize();
+        marginals.push_back({local, s});
+    }
+    return marginals;
+}
+
+/** Time one reconstruction round vs global-PMF support size. */
+void
+BM_ReconstructVsSupport(benchmark::State &state)
+{
+    const int support = static_cast<int>(state.range(0));
+    Rng rng(42);
+    const Pmf global = syntheticGlobal(24, support, rng);
+    const std::vector<core::Marginal> marginals =
+        syntheticMarginals(24, 2, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::bayesianReconstruct(global, marginals, options));
+    }
+    state.SetComplexityN(support);
+}
+BENCHMARK(BM_ReconstructVsSupport)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->MinTime(0.05)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+/** Time one reconstruction round vs number of CPMs (qubits). */
+void
+BM_ReconstructVsQubits(benchmark::State &state)
+{
+    const int n_qubits = static_cast<int>(state.range(0));
+    Rng rng(43);
+    const Pmf global = syntheticGlobal(n_qubits, 4096, rng);
+    const std::vector<core::Marginal> marginals =
+        syntheticMarginals(n_qubits, 2, rng); // n marginals
+    core::ReconstructionOptions options;
+    options.maxRounds = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::bayesianReconstruct(global, marginals, options));
+    }
+    state.SetComplexityN(n_qubits);
+}
+BENCHMARK(BM_ReconstructVsQubits)
+    // Start at 16 qubits so the 4096-entry support is constant across
+    // the sweep and the fit isolates the CPM-count dependence.
+    ->DenseRange(16, 40, 8)
+    ->MinTime(0.05)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+/** A single Bayesian update (one marginal) vs support. */
+void
+BM_SingleUpdate(benchmark::State &state)
+{
+    const int support = static_cast<int>(state.range(0));
+    Rng rng(44);
+    const Pmf global = syntheticGlobal(20, support, rng);
+    Pmf local(2);
+    local.set(0, 0.1);
+    local.set(1, 0.2);
+    local.set(2, 0.3);
+    local.set(3, 0.4);
+    const core::Marginal marginal{local, {0, 1}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::bayesianUpdate(global, marginal));
+    }
+    state.SetComplexityN(support);
+}
+BENCHMARK(BM_SingleUpdate)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->MinTime(0.05)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

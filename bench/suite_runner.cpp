@@ -1,0 +1,89 @@
+#include "suite_runner.h"
+
+#include <cmath>
+#include <iostream>
+
+#include "common/error.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "mitigation/edm.h"
+#include "sim/simulators.h"
+#include "workloads/registry.h"
+
+namespace jigsaw {
+namespace bench {
+
+const SuiteCell &
+SuiteRun::cell(int d, int w) const
+{
+    for (const SuiteCell &c : cells) {
+        if (c.deviceIndex == d && c.workloadIndex == w)
+            return c;
+    }
+    fatalIf(true, "SuiteRun: no such cell");
+    return cells.front(); // unreachable
+}
+
+SuiteRun
+runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
+                   bool qaoa_only, bool quiet)
+{
+    SuiteRun run;
+    run.devices = device::evaluationDevices();
+    run.workloads = qaoa_only ? workloads::qaoaBenchmarks()
+                              : workloads::paperBenchmarks();
+
+    for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
+        const device::DeviceModel &dev =
+            run.devices[static_cast<std::size_t>(d)];
+        for (int w = 0; w < static_cast<int>(run.workloads.size()); ++w) {
+            const workloads::Workload &workload =
+                *run.workloads[static_cast<std::size_t>(w)];
+            if (!quiet) {
+                std::cerr << "  [suite] " << dev.name() << " / "
+                          << workload.name() << "\n";
+            }
+            const std::uint64_t cell_seed =
+                seed + 1000003ULL * static_cast<std::uint64_t>(d) +
+                10007ULL * static_cast<std::uint64_t>(w);
+            sim::NoisySimulator executor(dev, {.seed = cell_seed});
+
+            const Pmf baseline = core::runBaseline(workload.circuit(),
+                                                   dev, executor, trials);
+            const Pmf edm = mitigation::runEdm(workload.circuit(), dev,
+                                               executor, trials, 4)
+                                .output;
+
+            core::JigsawOptions no_recomp;
+            no_recomp.recompileCpms = false;
+            const Pmf jigsaw_no_recomp =
+                core::runJigsaw(workload.circuit(), dev, executor,
+                                trials, no_recomp)
+                    .output;
+            const Pmf jigsaw = core::runJigsaw(workload.circuit(), dev,
+                                               executor, trials)
+                                   .output;
+            const Pmf jigsaw_m =
+                core::runJigsaw(workload.circuit(), dev, executor,
+                                trials, core::jigsawMOptions())
+                    .output;
+
+            run.cells.push_back({d, w, baseline, edm, jigsaw_no_recomp,
+                                 jigsaw, jigsaw_m});
+        }
+    }
+    return run;
+}
+
+double
+geomeanFloored(const std::vector<double> &xs, double floor)
+{
+    fatalIf(xs.empty(), "geomeanFloored: empty vector");
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(std::max(x, floor));
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace bench
+} // namespace jigsaw

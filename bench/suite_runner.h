@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared evaluation-sweep driver for the bench harness.
+ *
+ * Several paper artifacts (Figure 8, Tables 3-5, Figure 11) report
+ * different metrics over the same sweep: every benchmark in Table 2,
+ * on every evaluation device, under baseline / EDM / JigSaw (with and
+ * without recompilation) / JigSaw-M, all with equal trial budgets.
+ * This helper runs that sweep once per bench binary.
+ */
+#ifndef JIGSAW_BENCH_SUITE_RUNNER_H
+#define JIGSAW_BENCH_SUITE_RUNNER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "device/device_model.h"
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace bench {
+
+/** All scheme outputs for one (device, workload) pair. */
+struct SuiteCell
+{
+    int deviceIndex;
+    int workloadIndex;
+    Pmf baseline;        ///< Noise-aware SABRE, all trials global.
+    Pmf edm;             ///< Ensemble of 4 diverse mappings.
+    Pmf jigsawNoRecomp;  ///< JigSaw, CPMs reuse the global mapping.
+    Pmf jigsaw;          ///< JigSaw with CPM recompilation.
+    Pmf jigsawM;         ///< JigSaw-M (sizes 2..5, top-down).
+};
+
+/** The whole sweep: devices x workloads with owned workload objects. */
+struct SuiteRun
+{
+    std::vector<device::DeviceModel> devices;
+    std::vector<std::unique_ptr<workloads::Workload>> workloads;
+    std::vector<SuiteCell> cells;
+
+    /** The cell for (device d, workload w). */
+    const SuiteCell &cell(int d, int w) const;
+};
+
+/**
+ * Run the full evaluation sweep.
+ *
+ * @param trials        Trial budget per scheme (shared by all).
+ * @param seed          Base RNG seed (per-cell seeds derive from it).
+ * @param qaoa_only     Restrict to the QAOA suite (Table 5 / Fig 14).
+ * @param quiet         Suppress progress lines on stderr.
+ */
+SuiteRun runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
+                            bool qaoa_only = false, bool quiet = false);
+
+/** Geometric mean helper that tolerates zero entries by flooring. */
+double geomeanFloored(const std::vector<double> &xs, double floor = 1e-6);
+
+} // namespace bench
+} // namespace jigsaw
+
+#endif // JIGSAW_BENCH_SUITE_RUNNER_H

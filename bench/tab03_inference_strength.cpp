@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 3: Inference Strength (IST) of EDM, JigSaw, and JigSaw-M
+ * relative to the baseline — min / max / average (geomean) per
+ * device.
+ *
+ * Paper reference:
+ *   Toronto:   EDM 0.92/2.25/1.36  JigSaw 1.22/21.7/2.87  JigSaw-M 1.23/27.9/3.84
+ *   Paris:     EDM 0.78/6.54/1.36  JigSaw 1.07/9.07/2.33  JigSaw-M 1.09/28.1/3.13
+ *   Manhattan: EDM 0.75/2.74/1.27  JigSaw 0.81/3.12/1.35  JigSaw-M 0.83/3.40/1.46
+ */
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+#include "suite_runner.h"
+
+int
+main()
+{
+    using namespace jigsaw;
+    constexpr std::uint64_t trials = 32768;
+
+    std::cout << "=== Table 3: relative Inference Strength (IST) ===\n"
+              << "trials per scheme: " << trials << "\n\n";
+
+    const bench::SuiteRun run = bench::runEvaluationSuite(trials, 303);
+
+    ConsoleTable table({"device", "scheme", "min", "max", "avg"});
+    const char *paper[3][3] = {
+        {"0.92/2.25/1.36", "1.22/21.7/2.87", "1.23/27.9/3.84"},
+        {"0.78/6.54/1.36", "1.07/9.07/2.33", "1.09/28.1/3.13"},
+        {"0.75/2.74/1.27", "0.81/3.12/1.35", "0.83/3.40/1.46"},
+    };
+
+    for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
+        std::vector<double> edm, js, jsm;
+        for (int w = 0; w < static_cast<int>(run.workloads.size());
+             ++w) {
+            const workloads::Workload &workload =
+                *run.workloads[static_cast<std::size_t>(w)];
+            const bench::SuiteCell &cell = run.cell(d, w);
+            // Cap pathological ISTs (no incorrect outcome observed).
+            auto rel = [&](const Pmf &pmf) {
+                const double base = std::clamp(
+                    metrics::ist(cell.baseline, workload), 1e-3, 1e3);
+                return std::clamp(metrics::ist(pmf, workload), 1e-3,
+                                  1e3) /
+                       base;
+            };
+            edm.push_back(rel(cell.edm));
+            js.push_back(rel(cell.jigsaw));
+            jsm.push_back(rel(cell.jigsawM));
+        }
+        const std::string dev_name =
+            run.devices[static_cast<std::size_t>(d)].name();
+        auto add = [&](const char *scheme,
+                       const std::vector<double> &xs, const char *ref) {
+            table.addRow({dev_name, scheme,
+                          ConsoleTable::num(stats::min(xs), 2),
+                          ConsoleTable::num(stats::max(xs), 2),
+                          ConsoleTable::num(bench::geomeanFloored(xs),
+                                            2)});
+            table.addRow({"", std::string("  (paper: ") + ref + ")", "",
+                          "", ""});
+        };
+        add("EDM", edm, paper[d][0]);
+        add("JigSaw", js, paper[d][1]);
+        add("JigSaw-M", jsm, paper[d][2]);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nexpected shape: JigSaw-M avg > JigSaw avg > EDM "
+                 "avg, with JigSaw min >= ~1 (it does not hurt "
+                 "inference).\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bringing your own backend: JigSaw is written against the
+ * sim::Executor interface, so any trial source — a hardware client, a
+ * different simulator — plugs in. This example wraps the bundled
+ * noisy simulator with a drifting readout channel (errors grow over
+ * the session, as real calibrations decay between daily calibrations)
+ * and shows JigSaw still helps.
+ */
+#include <cstdint>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "sim/simulators.h"
+#include "workloads/ghz.h"
+
+namespace {
+
+using namespace jigsaw;
+
+/**
+ * An Executor whose readout errors drift upward with every run,
+ * modeling intra-day calibration decay. The compiler still sees the
+ * morning calibration — exactly the staleness real deployments face.
+ */
+class DriftingBackend : public sim::Executor
+{
+  public:
+    DriftingBackend(const device::DeviceModel &dev, double drift_per_run)
+        : base_(dev), driftPerRun_(drift_per_run)
+    {
+    }
+
+    Histogram
+    run(const circuit::QuantumCircuit &physical,
+        std::uint64_t shots) override
+    {
+        // Rebuild a drifted device model for this run.
+        device::Calibration drifted = base_.calibration();
+        const double factor = 1.0 + driftPerRun_ * runs_;
+        for (int q = 0; q < base_.nQubits(); ++q) {
+            drifted.qubit(q).readoutError01 =
+                std::min(0.5, drifted.qubit(q).readoutError01 * factor);
+            drifted.qubit(q).readoutError10 =
+                std::min(0.5, drifted.qubit(q).readoutError10 * factor);
+        }
+        device::DeviceModel dev(base_.name(), base_.topology(),
+                                std::move(drifted));
+        sim::NoisySimulator backend(std::move(dev),
+                                    {.seed = 500 + runs_});
+        ++runs_;
+        return backend.run(physical, shots);
+    }
+
+  private:
+    device::DeviceModel base_;
+    double driftPerRun_;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const workloads::Ghz ghz(10);
+    const device::DeviceModel dev = device::toronto();
+    constexpr std::uint64_t trials = 32768;
+
+    // 2% multiplicative readout drift per submitted circuit.
+    DriftingBackend backend(dev, 0.02);
+
+    const Pmf baseline =
+        core::runBaseline(ghz.circuit(), dev, backend, trials);
+    const core::JigsawResult js =
+        core::runJigsaw(ghz.circuit(), dev, backend, trials);
+
+    ConsoleTable table({"scheme", "PST", "Fidelity"});
+    table.addRow({"baseline (drifting backend)",
+                  ConsoleTable::num(metrics::pst(baseline, ghz), 4),
+                  ConsoleTable::num(metrics::fidelity(baseline, ghz),
+                                    4)});
+    table.addRow({"jigsaw (drifting backend)",
+                  ConsoleTable::num(metrics::pst(js.output, ghz), 4),
+                  ConsoleTable::num(metrics::fidelity(js.output, ghz),
+                                    4)});
+
+    std::cout << "GHZ-10 via a custom Executor with intra-session "
+                 "readout drift\n\n";
+    table.print(std::cout);
+    std::cout << "\nany trial source implementing sim::Executor plugs "
+                 "into runJigsaw/runEdm unchanged.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Device explorer: dump the topology and calibration of every bundled
+ * device model, plus the derived statistics the compiler cares about.
+ *
+ * Run with a device name to restrict the output:
+ *     ./device_explorer ibmq-toronto
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/table.h"
+#include "device/library.h"
+
+namespace {
+
+void
+describe(const jigsaw::device::DeviceModel &dev)
+{
+    using namespace jigsaw;
+
+    const device::Topology &topo = dev.topology();
+    const device::Calibration &cal = dev.calibration();
+
+    std::cout << "== " << dev.name() << " ==\n"
+              << "qubits: " << topo.nQubits()
+              << ", coupling edges: " << topo.edges().size() << "\n";
+
+    const std::vector<double> readout = cal.readoutErrors();
+    std::cout << "readout error: mean "
+              << ConsoleTable::num(100 * stats::mean(readout), 2)
+              << "%, median "
+              << ConsoleTable::num(100 * stats::median(readout), 2)
+              << "%, min "
+              << ConsoleTable::num(100 * stats::min(readout), 2)
+              << "%, max "
+              << ConsoleTable::num(100 * stats::max(readout), 2)
+              << "%\n";
+
+    std::vector<double> edge_errors;
+    for (std::size_t e = 0; e < topo.edges().size(); ++e)
+        edge_errors.push_back(cal.edgeError(static_cast<int>(e)));
+    std::cout << "2q gate error: median "
+              << ConsoleTable::num(100 * stats::median(edge_errors), 2)
+              << "%, max "
+              << ConsoleTable::num(100 * stats::max(edge_errors), 2)
+              << "%\n";
+
+    std::cout << "best readout qubits:";
+    for (int q : cal.bestReadoutQubits(5)) {
+        std::cout << " " << q << " ("
+                  << ConsoleTable::num(
+                         100 * cal.qubit(q).meanReadoutError(), 2)
+                  << "%)";
+    }
+    std::cout << "\n";
+
+    ConsoleTable table({"qubit", "readout e01 (%)", "readout e10 (%)",
+                        "crosstalk gamma", "1q err (%)", "degree"});
+    for (int q = 0; q < topo.nQubits(); ++q) {
+        const device::QubitCalibration &qc = cal.qubit(q);
+        table.addRow(
+            {std::to_string(q),
+             ConsoleTable::num(100 * qc.readoutError01, 2),
+             ConsoleTable::num(100 * qc.readoutError10, 2),
+             ConsoleTable::num(qc.crosstalkGamma, 4),
+             ConsoleTable::num(100 * qc.error1q, 3),
+             std::to_string(topo.neighbors(q).size())});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace jigsaw;
+
+    if (argc > 1) {
+        describe(device::byName(argv[1]));
+        return 0;
+    }
+    for (const device::DeviceModel &dev : device::evaluationDevices())
+        describe(dev);
+    describe(device::sycamore());
+    return 0;
+}

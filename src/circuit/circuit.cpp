@@ -1,0 +1,306 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace circuit {
+
+QuantumCircuit::QuantumCircuit(int n_qubits, int n_clbits)
+    : nQubits_(n_qubits),
+      nClbits_(n_clbits < 0 ? n_qubits : n_clbits)
+{
+    fatalIf(n_qubits < 1 || n_qubits > 4096,
+            "QuantumCircuit: qubit count must be in [1, 4096]");
+    // Outcomes are packed into 64-bit basis states, so the classical
+    // register (not the qubit register) is what caps at 64.
+    fatalIf(nClbits_ > 64,
+            "QuantumCircuit: classical register capped at 64 bits");
+}
+
+void
+QuantumCircuit::checkQubit(int q) const
+{
+    fatalIf(q < 0 || q >= nQubits_,
+            "QuantumCircuit: qubit index out of range");
+}
+
+QuantumCircuit &
+QuantumCircuit::h(int q)
+{
+    return append({GateType::H, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::x(int q)
+{
+    return append({GateType::X, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::y(int q)
+{
+    return append({GateType::Y, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::z(int q)
+{
+    return append({GateType::Z, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::s(int q)
+{
+    return append({GateType::S, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::sdg(int q)
+{
+    return append({GateType::SDG, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::t(int q)
+{
+    return append({GateType::T, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::tdg(int q)
+{
+    return append({GateType::TDG, {q}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::rx(double theta, int q)
+{
+    return append({GateType::RX, {q}, {theta}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::ry(double theta, int q)
+{
+    return append({GateType::RY, {q}, {theta}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::rz(double phi, int q)
+{
+    return append({GateType::RZ, {q}, {phi}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::u3(double theta, double phi, double lambda, int q)
+{
+    return append({GateType::U3, {q}, {theta, phi, lambda}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::cx(int control, int target)
+{
+    return append({GateType::CX, {control, target}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::cz(int a, int b)
+{
+    return append({GateType::CZ, {a, b}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::cp(double theta, int a, int b)
+{
+    return append({GateType::CP, {a, b}, {theta}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::rzz(double theta, int a, int b)
+{
+    return append({GateType::RZZ, {a, b}, {theta}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::swap(int a, int b)
+{
+    return append({GateType::SWAP, {a, b}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::measure(int q, int c)
+{
+    if (c < 0)
+        c = q;
+    fatalIf(c >= nClbits_, "QuantumCircuit: classical bit out of range");
+    return append({GateType::MEASURE, {q}, {}, c});
+}
+
+QuantumCircuit &
+QuantumCircuit::measureAll()
+{
+    fatalIf(nClbits_ < nQubits_,
+            "QuantumCircuit::measureAll: classical register too small");
+    for (int q = 0; q < nQubits_; ++q)
+        measure(q, q);
+    return *this;
+}
+
+QuantumCircuit &
+QuantumCircuit::barrier()
+{
+    return append({GateType::BARRIER, {}, {}, -1});
+}
+
+QuantumCircuit &
+QuantumCircuit::append(Gate gate)
+{
+    for (int q : gate.qubits)
+        checkQubit(q);
+    if (gate.isTwoQubit()) {
+        fatalIf(gate.qubits.size() != 2 ||
+                gate.qubits[0] == gate.qubits[1],
+                "QuantumCircuit: two-qubit gate needs distinct qubits");
+    }
+    gates_.push_back(std::move(gate));
+    return *this;
+}
+
+QuantumCircuit &
+QuantumCircuit::compose(const QuantumCircuit &other)
+{
+    fatalIf(other.nQubits_ > nQubits_,
+            "QuantumCircuit::compose: other circuit has more qubits");
+    for (const Gate &g : other.gates_)
+        append(g);
+    return *this;
+}
+
+int
+QuantumCircuit::countSingleQubitGates() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return g.isSingleQubit(); }));
+}
+
+int
+QuantumCircuit::countTwoQubitGates() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return g.isTwoQubit(); }));
+}
+
+int
+QuantumCircuit::countMeasurements() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return g.isMeasure(); }));
+}
+
+int
+QuantumCircuit::depth() const
+{
+    std::vector<int> level(static_cast<std::size_t>(nQubits_), 0);
+    int depth = 0;
+    for (const Gate &g : gates_) {
+        if (g.type == GateType::BARRIER)
+            continue;
+        int start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, level[static_cast<std::size_t>(q)]);
+        for (int q : g.qubits)
+            level[static_cast<std::size_t>(q)] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+std::vector<int>
+QuantumCircuit::measuredQubits() const
+{
+    std::vector<int> qubit_of_clbit(static_cast<std::size_t>(nClbits_), -1);
+    for (const Gate &g : gates_) {
+        if (g.isMeasure())
+            qubit_of_clbit[static_cast<std::size_t>(g.clbit)] = g.qubits[0];
+    }
+    return qubit_of_clbit;
+}
+
+QuantumCircuit
+QuantumCircuit::withoutMeasurements() const
+{
+    QuantumCircuit out(nQubits_, nClbits_);
+    for (const Gate &g : gates_) {
+        if (!g.isMeasure())
+            out.append(g);
+    }
+    return out;
+}
+
+QuantumCircuit
+QuantumCircuit::withMeasurementSubset(const std::vector<int> &qubits) const
+{
+    fatalIf(qubits.empty(),
+            "withMeasurementSubset: empty measurement subset");
+    QuantumCircuit out(nQubits_, static_cast<int>(qubits.size()));
+    for (const Gate &g : gates_) {
+        if (!g.isMeasure())
+            out.append(g);
+    }
+    out.barrier();
+    for (std::size_t c = 0; c < qubits.size(); ++c)
+        out.measure(qubits[c], static_cast<int>(c));
+    return out;
+}
+
+QuantumCircuit
+QuantumCircuit::remapped(const std::vector<int> &mapping,
+                         int n_physical) const
+{
+    fatalIf(static_cast<int>(mapping.size()) < nQubits_,
+            "remapped: mapping smaller than circuit");
+    QuantumCircuit out(n_physical, nClbits_);
+    for (const Gate &g : gates_) {
+        Gate h = g;
+        for (int &q : h.qubits) {
+            q = mapping[static_cast<std::size_t>(q)];
+            fatalIf(q < 0 || q >= n_physical,
+                    "remapped: mapping produced invalid physical qubit");
+        }
+        out.append(std::move(h));
+    }
+    return out;
+}
+
+std::string
+QuantumCircuit::toString() const
+{
+    std::ostringstream oss;
+    oss << "qubits " << nQubits_ << "; clbits " << nClbits_ << ";\n";
+    for (const Gate &g : gates_) {
+        oss << g.name();
+        if (!g.params.empty()) {
+            oss << '(';
+            for (std::size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    oss << ", ";
+                oss << g.params[i];
+            }
+            oss << ')';
+        }
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            oss << (i ? ", q" : " q") << g.qubits[i];
+        if (g.isMeasure())
+            oss << " -> c" << g.clbit;
+        oss << ";\n";
+    }
+    return oss.str();
+}
+
+} // namespace circuit
+} // namespace jigsaw

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * QuantumCircuit: the program representation shared by workloads, the
+ * compiler, and the simulator.
+ */
+#ifndef JIGSAW_CIRCUIT_CIRCUIT_H
+#define JIGSAW_CIRCUIT_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace jigsaw {
+namespace circuit {
+
+/**
+ * An ordered list of gates over n qubits and a classical register.
+ *
+ * The builder methods append gates fluently:
+ * @code
+ *     QuantumCircuit qc(4, 4);
+ *     qc.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measureAll();
+ * @endcode
+ */
+class QuantumCircuit
+{
+  public:
+    /**
+     * Construct a circuit over @p n_qubits qubits and @p n_clbits
+     * classical bits (defaults to one per qubit).
+     */
+    explicit QuantumCircuit(int n_qubits, int n_clbits = -1);
+
+    /** @name Single-qubit builder methods
+     *  @{ */
+    QuantumCircuit &h(int q);
+    QuantumCircuit &x(int q);
+    QuantumCircuit &y(int q);
+    QuantumCircuit &z(int q);
+    QuantumCircuit &s(int q);
+    QuantumCircuit &sdg(int q);
+    QuantumCircuit &t(int q);
+    QuantumCircuit &tdg(int q);
+    QuantumCircuit &rx(double theta, int q);
+    QuantumCircuit &ry(double theta, int q);
+    QuantumCircuit &rz(double phi, int q);
+    QuantumCircuit &u3(double theta, double phi, double lambda, int q);
+    /** @} */
+
+    /** @name Two-qubit builder methods
+     *  @{ */
+    QuantumCircuit &cx(int control, int target);
+    QuantumCircuit &cz(int a, int b);
+    QuantumCircuit &cp(double theta, int a, int b);
+    QuantumCircuit &rzz(double theta, int a, int b);
+    QuantumCircuit &swap(int a, int b);
+    /** @} */
+
+    /** Measure qubit @p q into classical bit @p c (defaults to c = q). */
+    QuantumCircuit &measure(int q, int c = -1);
+
+    /** Measure every qubit i into classical bit i. */
+    QuantumCircuit &measureAll();
+
+    /** Append a barrier (scheduling hint; no semantic effect here). */
+    QuantumCircuit &barrier();
+
+    /** Append an arbitrary gate after validating its qubit indices. */
+    QuantumCircuit &append(Gate gate);
+
+    /** Append all gates of @p other (qubit counts must match). */
+    QuantumCircuit &compose(const QuantumCircuit &other);
+
+    /** Number of qubits. */
+    int nQubits() const { return nQubits_; }
+
+    /** Number of classical bits. */
+    int nClbits() const { return nClbits_; }
+
+    /** All gates in program order. */
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Count of non-measure single-qubit gates. */
+    int countSingleQubitGates() const;
+
+    /** Count of two-qubit gates. */
+    int countTwoQubitGates() const;
+
+    /** Count of measurement operations. */
+    int countMeasurements() const;
+
+    /** Circuit depth (longest qubit-dependency chain, barriers skipped). */
+    int depth() const;
+
+    /**
+     * Measured qubits in classical-bit order: element c is the qubit
+     * measured into classical bit c (-1 if bit c is unused).
+     */
+    std::vector<int> measuredQubits() const;
+
+    /** Copy of this circuit with all measurements removed. */
+    QuantumCircuit withoutMeasurements() const;
+
+    /**
+     * Build a Circuit with Partial Measurements (CPM): identical gates,
+     * but only @p qubits are measured, into classical bits 0..k-1 in
+     * the order given (paper Section 4.2.1).
+     */
+    QuantumCircuit withMeasurementSubset(const std::vector<int> &qubits) const;
+
+    /**
+     * Copy with qubit indices rewritten: gate qubit q becomes
+     * @p mapping[q]. Used by the compiler to apply a layout. The new
+     * circuit has @p n_physical qubits.
+     */
+    QuantumCircuit remapped(const std::vector<int> &mapping,
+                            int n_physical) const;
+
+    /** Human-readable listing (one gate per line, OpenQASM-flavored). */
+    std::string toString() const;
+
+  private:
+    void checkQubit(int q) const;
+
+    int nQubits_;
+    int nClbits_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace circuit
+} // namespace jigsaw
+
+#endif // JIGSAW_CIRCUIT_CIRCUIT_H

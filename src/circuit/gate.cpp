@@ -1,0 +1,67 @@
+#include "circuit/gate.h"
+
+namespace jigsaw {
+namespace circuit {
+
+bool
+Gate::isTwoQubit() const
+{
+    switch (type) {
+      case GateType::CX:
+      case GateType::CZ:
+      case GateType::CP:
+      case GateType::RZZ:
+      case GateType::SWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Gate::isSingleQubit() const
+{
+    switch (type) {
+      case GateType::MEASURE:
+      case GateType::BARRIER:
+        return false;
+      default:
+        return !isTwoQubit();
+    }
+}
+
+std::string
+Gate::name() const
+{
+    return gateTypeName(type);
+}
+
+std::string
+gateTypeName(GateType type)
+{
+    switch (type) {
+      case GateType::H: return "h";
+      case GateType::X: return "x";
+      case GateType::Y: return "y";
+      case GateType::Z: return "z";
+      case GateType::S: return "s";
+      case GateType::SDG: return "sdg";
+      case GateType::T: return "t";
+      case GateType::TDG: return "tdg";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::RZ: return "rz";
+      case GateType::U3: return "u3";
+      case GateType::CX: return "cx";
+      case GateType::CZ: return "cz";
+      case GateType::CP: return "cp";
+      case GateType::RZZ: return "rzz";
+      case GateType::SWAP: return "swap";
+      case GateType::MEASURE: return "measure";
+      case GateType::BARRIER: return "barrier";
+    }
+    return "?";
+}
+
+} // namespace circuit
+} // namespace jigsaw

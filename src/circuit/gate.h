@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Gate-level intermediate representation.
+ *
+ * The gate set covers what the paper's benchmarks and compiler need:
+ * the IBM basis-adjacent single-qubit rotations (with U3 as the general
+ * case), CX/CZ/RZZ/SWAP two-qubit operations, measurement, and barriers.
+ */
+#ifndef JIGSAW_CIRCUIT_GATE_H
+#define JIGSAW_CIRCUIT_GATE_H
+
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+namespace circuit {
+
+/** Operation kinds understood by the simulator and compiler. */
+enum class GateType
+{
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    SDG,
+    T,
+    TDG,
+    RX,
+    RY,
+    RZ,
+    U3,
+    CX,
+    CZ,
+    CP,
+    RZZ,
+    SWAP,
+    MEASURE,
+    BARRIER,
+};
+
+/**
+ * One operation in a circuit: a type, the qubits it acts on, optional
+ * rotation parameters, and for measurements the classical bit that
+ * receives the result.
+ */
+struct Gate
+{
+    GateType type;
+    std::vector<int> qubits;
+    std::vector<double> params;
+    int clbit = -1; ///< Destination classical bit (MEASURE only).
+
+    /** True for CX/CZ/RZZ/SWAP. */
+    bool isTwoQubit() const;
+
+    /** True for the single-qubit unitaries (not MEASURE/BARRIER). */
+    bool isSingleQubit() const;
+
+    /** True for MEASURE. */
+    bool isMeasure() const { return type == GateType::MEASURE; }
+
+    /** Lower-case mnemonic, e.g. "cx". */
+    std::string name() const;
+};
+
+/** Mnemonic for a gate type. */
+std::string gateTypeName(GateType type);
+
+} // namespace circuit
+} // namespace jigsaw
+
+#endif // JIGSAW_CIRCUIT_GATE_H

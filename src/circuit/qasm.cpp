@@ -1,0 +1,235 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace circuit {
+
+namespace {
+
+/** qelib1 mnemonic for a gate type (CP is called cu1 there). */
+std::string
+qasmName(GateType type)
+{
+    if (type == GateType::CP)
+        return "cu1";
+    return gateTypeName(type);
+}
+
+std::optional<GateType>
+typeFromQasmName(const std::string &name)
+{
+    static const std::vector<std::pair<const char *, GateType>> table{
+        {"h", GateType::H},     {"x", GateType::X},
+        {"y", GateType::Y},     {"z", GateType::Z},
+        {"s", GateType::S},     {"sdg", GateType::SDG},
+        {"t", GateType::T},     {"tdg", GateType::TDG},
+        {"rx", GateType::RX},   {"ry", GateType::RY},
+        {"rz", GateType::RZ},   {"u3", GateType::U3},
+        {"cx", GateType::CX},   {"cz", GateType::CZ},
+        {"cu1", GateType::CP},  {"cp", GateType::CP},
+        {"rzz", GateType::RZZ}, {"swap", GateType::SWAP},
+    };
+    for (const auto &[mnemonic, type] : table) {
+        if (name == mnemonic)
+            return type;
+    }
+    return std::nullopt;
+}
+
+/** Number of rotation parameters each gate type carries. */
+std::size_t
+paramCount(GateType type)
+{
+    switch (type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::CP:
+      case GateType::RZZ:
+        return 1;
+      case GateType::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+/** Parse "q[3]" -> 3 (whitespace-tolerant), checking the register. */
+int
+parseIndex(const std::string &raw, const std::string &reg)
+{
+    const auto first = raw.find_first_not_of(" \t");
+    const auto last = raw.find_last_not_of(" \t");
+    fatalIf(first == std::string::npos,
+            "fromQasm: expected " + reg + "[i], got ''");
+    const std::string token = raw.substr(first, last - first + 1);
+    const auto open = token.find('[');
+    const auto close = token.find(']');
+    fatalIf(open == std::string::npos || close == std::string::npos ||
+            token.substr(0, open) != reg,
+            "fromQasm: expected " + reg + "[i], got '" + token + "'");
+    return std::stoi(token.substr(open + 1, close - open - 1));
+}
+
+/** Split on a delimiter, trimming surrounding whitespace. */
+std::vector<std::string>
+splitTrim(const std::string &text, char delimiter)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    std::istringstream stream(text);
+    while (std::getline(stream, current, delimiter)) {
+        const auto first = current.find_first_not_of(" \t");
+        const auto last = current.find_last_not_of(" \t");
+        parts.push_back(first == std::string::npos
+                            ? ""
+                            : current.substr(first, last - first + 1));
+    }
+    return parts;
+}
+
+} // namespace
+
+std::string
+toQasm(const QuantumCircuit &qc)
+{
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\n"
+        << "include \"qelib1.inc\";\n"
+        << "qreg q[" << qc.nQubits() << "];\n"
+        << "creg c[" << qc.nClbits() << "];\n";
+    out << std::setprecision(17);
+
+    for (const Gate &g : qc.gates()) {
+        if (g.type == GateType::BARRIER) {
+            out << "barrier q;\n";
+            continue;
+        }
+        if (g.isMeasure()) {
+            out << "measure q[" << g.qubits[0] << "] -> c[" << g.clbit
+                << "];\n";
+            continue;
+        }
+        out << qasmName(g.type);
+        if (!g.params.empty()) {
+            out << '(';
+            for (std::size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    out << ',';
+                out << g.params[i];
+            }
+            out << ')';
+        }
+        out << ' ';
+        for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+            if (i)
+                out << ',';
+            out << "q[" << g.qubits[i] << ']';
+        }
+        out << ";\n";
+    }
+    return out.str();
+}
+
+QuantumCircuit
+fromQasm(const std::string &text)
+{
+    std::istringstream stream(text);
+    std::string line;
+    std::optional<QuantumCircuit> qc;
+    int n_qubits = -1;
+    int n_clbits = -1;
+
+    auto ensure_circuit = [&]() -> QuantumCircuit & {
+        if (!qc) {
+            fatalIf(n_qubits < 0, "fromQasm: qreg must precede gates");
+            qc.emplace(n_qubits, n_clbits < 0 ? n_qubits : n_clbits);
+        }
+        return *qc;
+    };
+
+    while (std::getline(stream, line)) {
+        // Strip comments and whitespace; skip empties and headers.
+        const auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+        if (line.rfind("OPENQASM", 0) == 0 ||
+            line.rfind("include", 0) == 0) {
+            continue;
+        }
+        fatalIf(line.back() != ';',
+                "fromQasm: statement missing ';': " + line);
+        line.pop_back();
+
+        if (line.rfind("qreg", 0) == 0) {
+            n_qubits = parseIndex(line.substr(5), "q");
+            continue;
+        }
+        if (line.rfind("creg", 0) == 0) {
+            n_clbits = parseIndex(line.substr(5), "c");
+            continue;
+        }
+        if (line.rfind("barrier", 0) == 0) {
+            ensure_circuit().barrier();
+            continue;
+        }
+        if (line.rfind("measure", 0) == 0) {
+            const auto arrow = line.find("->");
+            fatalIf(arrow == std::string::npos,
+                    "fromQasm: measure missing '->': " + line);
+            const int q = parseIndex(line.substr(8, arrow - 8), "q");
+            const int c = parseIndex(line.substr(arrow + 2), "c");
+            ensure_circuit().measure(q, c);
+            continue;
+        }
+
+        // Gate statement: name[(params)] q[i](, q[j]).
+        const auto space = line.find_first_of(" (");
+        fatalIf(space == std::string::npos,
+                "fromQasm: malformed statement: " + line);
+        const std::string name = line.substr(0, space);
+        const auto type = typeFromQasmName(name);
+        fatalIf(!type, "fromQasm: unsupported gate '" + name + "'");
+
+        std::vector<double> params;
+        std::string operands;
+        if (line[space] == '(') {
+            const auto close = line.find(')', space);
+            fatalIf(close == std::string::npos,
+                    "fromQasm: unterminated parameter list: " + line);
+            for (const std::string &p : splitTrim(
+                     line.substr(space + 1, close - space - 1), ',')) {
+                params.push_back(std::stod(p));
+            }
+            operands = line.substr(close + 1);
+        } else {
+            operands = line.substr(space + 1);
+        }
+        fatalIf(params.size() != paramCount(*type),
+                "fromQasm: wrong parameter count for " + name);
+
+        std::vector<int> qubits;
+        for (const std::string &operand : splitTrim(operands, ','))
+            qubits.push_back(parseIndex(operand, "q"));
+
+        ensure_circuit().append({*type, qubits, params, -1});
+    }
+
+    fatalIf(!qc && n_qubits < 0, "fromQasm: no qreg found");
+    return ensure_circuit();
+}
+
+} // namespace circuit
+} // namespace jigsaw

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * OpenQASM 2.0 interchange.
+ *
+ * Lets circuits built with this library be inspected with, or fed to,
+ * the wider toolchain (Qiskit et al.), and lets externally authored
+ * programs enter the JigSaw pipeline. The emitter covers the full gate
+ * set of this IR; the parser accepts the same dialect back (one
+ * statement per line, qelib1 gate names), so toQasm/fromQasm round-trip.
+ */
+#ifndef JIGSAW_CIRCUIT_QASM_H
+#define JIGSAW_CIRCUIT_QASM_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace jigsaw {
+namespace circuit {
+
+/**
+ * Serialize @p qc as an OpenQASM 2.0 program. CP is emitted as cu1
+ * (its qelib1 name); everything else maps one-to-one.
+ */
+std::string toQasm(const QuantumCircuit &qc);
+
+/**
+ * Parse an OpenQASM 2.0 program using the subset of the language this
+ * library emits: OPENQASM/include headers, one qreg and one creg,
+ * the qelib1 gates h, x, y, z, s, sdg, t, tdg, rx, ry, rz, u3, cx,
+ * cz, cu1, rzz, swap, plus measure and barrier. Comments (//) and
+ * blank lines are ignored. Throws std::invalid_argument on anything
+ * else.
+ */
+QuantumCircuit fromQasm(const std::string &text);
+
+} // namespace circuit
+} // namespace jigsaw
+
+#endif // JIGSAW_CIRCUIT_QASM_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bit-manipulation helpers for basis-state bookkeeping.
+ *
+ * Convention used throughout the library: an n-qubit basis state is a
+ * uint64_t with qubit i stored at bit i (little-endian). Bitstrings are
+ * printed most-significant qubit first, i.e. Q_{n-1} ... Q_0, matching
+ * the figures in the JigSaw paper and Qiskit's string order.
+ */
+#ifndef JIGSAW_COMMON_BITOPS_H
+#define JIGSAW_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace jigsaw {
+
+/** Basis-state index; supports programs of up to 64 qubits. */
+using BasisState = std::uint64_t;
+
+/** Return bit @p position of @p state (0 or 1). */
+inline int
+getBit(BasisState state, int position)
+{
+    return static_cast<int>((state >> position) & 1ULL);
+}
+
+/** Return @p state with bit @p position set to @p value. */
+inline BasisState
+setBit(BasisState state, int position, int value)
+{
+    const BasisState mask = 1ULL << position;
+    return value ? (state | mask) : (state & ~mask);
+}
+
+/** Return @p state with bit @p position flipped. */
+inline BasisState
+flipBit(BasisState state, int position)
+{
+    return state ^ (1ULL << position);
+}
+
+/**
+ * Extract the bits of @p state at the given qubit positions into a
+ * compact key: bit j of the result is bit positions[j] of @p state.
+ *
+ * This is the marginalization primitive: a full outcome maps to the
+ * outcome observed over a measured subset of qubits.
+ */
+inline BasisState
+extractBits(BasisState state, const std::vector<int> &positions)
+{
+    BasisState key = 0;
+    for (std::size_t j = 0; j < positions.size(); ++j)
+        key |= static_cast<BasisState>(getBit(state, positions[j])) << j;
+    return key;
+}
+
+/**
+ * Inverse of extractBits(): scatter the low bits of @p key into a
+ * 64-bit state at the given qubit positions (all other bits zero).
+ */
+inline BasisState
+depositBits(BasisState key, const std::vector<int> &positions)
+{
+    BasisState state = 0;
+    for (std::size_t j = 0; j < positions.size(); ++j)
+        state = setBit(state, positions[j], getBit(key, static_cast<int>(j)));
+    return state;
+}
+
+/** Number of set bits in @p state. */
+inline int
+popcount(BasisState state)
+{
+    return std::popcount(state);
+}
+
+/** Hamming distance between two basis states. */
+inline int
+hammingDistance(BasisState a, BasisState b)
+{
+    return std::popcount(a ^ b);
+}
+
+/**
+ * Format a basis state as a bitstring, most-significant qubit first
+ * (Q_{n-1} ... Q_0).
+ */
+inline std::string
+toBitstring(BasisState state, int n_qubits)
+{
+    std::string s(static_cast<std::size_t>(n_qubits), '0');
+    for (int q = 0; q < n_qubits; ++q) {
+        if (getBit(state, q))
+            s[static_cast<std::size_t>(n_qubits - 1 - q)] = '1';
+    }
+    return s;
+}
+
+/** Parse a bitstring written Q_{n-1} ... Q_0 back into a basis state. */
+inline BasisState
+fromBitstring(const std::string &bits)
+{
+    fatalIf(bits.size() > 64, "bitstring longer than 64 qubits");
+    BasisState state = 0;
+    const int n = static_cast<int>(bits.size());
+    for (int i = 0; i < n; ++i) {
+        const char c = bits[static_cast<std::size_t>(i)];
+        fatalIf(c != '0' && c != '1', "bitstring must contain only 0/1");
+        if (c == '1')
+            state = setBit(state, n - 1 - i, 1);
+    }
+    return state;
+}
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_BITOPS_H

@@ -1,0 +1,42 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <vector>
+
+namespace jigsaw {
+
+void
+writeCsv(std::ostream &os, const Pmf &pmf, int max_rows)
+{
+    os << "bitstring,probability\n" << std::setprecision(12);
+    int written = 0;
+    for (const auto &[outcome, p] : pmf.sorted()) {
+        if (max_rows >= 0 && written++ >= max_rows)
+            break;
+        os << toBitstring(outcome, pmf.nQubits()) << ',' << p << '\n';
+    }
+}
+
+void
+writeCsv(std::ostream &os, const Histogram &histogram, int max_rows)
+{
+    std::vector<std::pair<BasisState, std::uint64_t>> entries(
+        histogram.counts().begin(), histogram.counts().end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    os << "bitstring,count\n";
+    int written = 0;
+    for (const auto &[outcome, count] : entries) {
+        if (max_rows >= 0 && written++ >= max_rows)
+            break;
+        os << toBitstring(outcome, histogram.nQubits()) << ',' << count
+           << '\n';
+    }
+}
+
+} // namespace jigsaw

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CSV export of histograms and PMFs for downstream plotting.
+ */
+#ifndef JIGSAW_COMMON_CSV_H
+#define JIGSAW_COMMON_CSV_H
+
+#include <ostream>
+
+#include "common/histogram.h"
+
+namespace jigsaw {
+
+/**
+ * Write @p pmf as "bitstring,probability" rows sorted by descending
+ * probability. @p max_rows < 0 writes everything.
+ */
+void writeCsv(std::ostream &os, const Pmf &pmf, int max_rows = -1);
+
+/**
+ * Write @p histogram as "bitstring,count" rows sorted by descending
+ * count. @p max_rows < 0 writes everything.
+ */
+void writeCsv(std::ostream &os, const Histogram &histogram,
+              int max_rows = -1);
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_CSV_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error-reporting helpers shared across the JigSaw libraries.
+ *
+ * Following the gem5 fatal()/panic() distinction: user-caused
+ * configuration errors throw std::invalid_argument via fatalIf();
+ * internal invariant violations abort via panicIf().
+ */
+#ifndef JIGSAW_COMMON_ERROR_H
+#define JIGSAW_COMMON_ERROR_H
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace jigsaw {
+
+/** Throw std::invalid_argument when a user-facing precondition fails. */
+inline void
+fatalIf(bool condition, const std::string &message)
+{
+    if (condition)
+        throw std::invalid_argument(message);
+}
+
+/** Abort when an internal invariant is violated (a library bug). */
+inline void
+panicIf(bool condition, const std::string &message)
+{
+    if (condition)
+        throw std::logic_error("internal error: " + message);
+}
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_ERROR_H

@@ -1,0 +1,106 @@
+#include "common/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace jigsaw {
+
+OptimizeResult
+nelderMead(const std::function<double(const std::vector<double> &)> &objective,
+           const std::vector<double> &start,
+           const NelderMeadOptions &options)
+{
+    fatalIf(start.empty(), "nelderMead: empty start vector");
+    const std::size_t dim = start.size();
+
+    struct Vertex
+    {
+        std::vector<double> x;
+        double f;
+    };
+
+    std::vector<Vertex> simplex;
+    simplex.reserve(dim + 1);
+    simplex.push_back({start, objective(start)});
+    for (std::size_t i = 0; i < dim; ++i) {
+        std::vector<double> x = start;
+        x[i] += options.initialStep;
+        simplex.push_back({x, objective(x)});
+    }
+
+    auto by_value = [](const Vertex &a, const Vertex &b) {
+        return a.f < b.f;
+    };
+
+    OptimizeResult result;
+    int iter = 0;
+    for (; iter < options.maxIterations; ++iter) {
+        std::sort(simplex.begin(), simplex.end(), by_value);
+        if (std::abs(simplex.back().f - simplex.front().f) <
+            options.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(dim, 0.0);
+        for (std::size_t v = 0; v < dim; ++v) {
+            for (std::size_t i = 0; i < dim; ++i)
+                centroid[i] += simplex[v].x[i];
+        }
+        for (std::size_t i = 0; i < dim; ++i)
+            centroid[i] /= static_cast<double>(dim);
+
+        auto blend = [&](double coeff) {
+            std::vector<double> x(dim);
+            for (std::size_t i = 0; i < dim; ++i) {
+                x[i] = centroid[i] +
+                       coeff * (centroid[i] - simplex.back().x[i]);
+            }
+            return x;
+        };
+
+        const std::vector<double> reflected = blend(1.0);
+        const double f_reflected = objective(reflected);
+
+        if (f_reflected < simplex.front().f) {
+            const std::vector<double> expanded = blend(2.0);
+            const double f_expanded = objective(expanded);
+            if (f_expanded < f_reflected)
+                simplex.back() = {expanded, f_expanded};
+            else
+                simplex.back() = {reflected, f_reflected};
+            continue;
+        }
+        if (f_reflected < simplex[dim - 1].f) {
+            simplex.back() = {reflected, f_reflected};
+            continue;
+        }
+
+        const std::vector<double> contracted = blend(-0.5);
+        const double f_contracted = objective(contracted);
+        if (f_contracted < simplex.back().f) {
+            simplex.back() = {contracted, f_contracted};
+            continue;
+        }
+
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= dim; ++v) {
+            for (std::size_t i = 0; i < dim; ++i) {
+                simplex[v].x[i] = simplex[0].x[i] +
+                                  0.5 * (simplex[v].x[i] - simplex[0].x[i]);
+            }
+            simplex[v].f = objective(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    result.x = simplex.front().x;
+    result.value = simplex.front().f;
+    result.iterations = iter;
+    return result;
+}
+
+} // namespace jigsaw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Nelder-Mead derivative-free minimizer.
+ *
+ * Used to optimize QAOA angles against the noiseless simulator so the
+ * QAOA workloads run at (locally) optimal parameters, mirroring the
+ * classical outer loop a QAOA deployment would use.
+ */
+#ifndef JIGSAW_COMMON_NELDER_MEAD_H
+#define JIGSAW_COMMON_NELDER_MEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace jigsaw {
+
+/** Result of a Nelder-Mead run. */
+struct OptimizeResult
+{
+    std::vector<double> x;   ///< Best parameter vector found.
+    double value = 0.0;      ///< Objective at x.
+    int iterations = 0;      ///< Iterations performed.
+    bool converged = false;  ///< Simplex spread fell below tolerance.
+};
+
+/** Tuning knobs for nelderMead(). */
+struct NelderMeadOptions
+{
+    int maxIterations = 400;
+    double tolerance = 1e-7;   ///< Stop when f-spread across simplex < tol.
+    double initialStep = 0.25; ///< Simplex edge length around the start.
+};
+
+/**
+ * Minimize @p objective starting from @p start.
+ *
+ * Standard reflect/expand/contract/shrink simplex method with
+ * coefficients (1, 2, 0.5, 0.5).
+ */
+OptimizeResult nelderMead(
+    const std::function<double(const std::vector<double> &)> &objective,
+    const std::vector<double> &start,
+    const NelderMeadOptions &options = {});
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_NELDER_MEAD_H

@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace jigsaw {
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    fatalIf(weights.empty(), "discrete(): empty weight vector");
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    fatalIf(total <= 0.0, "discrete(): non-positive total weight");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<int>
+Rng::sampleWithoutReplacement(int n, int k)
+{
+    fatalIf(k > n || k < 0, "sampleWithoutReplacement(): k out of range");
+    std::vector<int> pool(static_cast<std::size_t>(n));
+    std::iota(pool.begin(), pool.end(), 0);
+    for (int i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(uniformInt(i, n - 1));
+        std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    }
+    pool.resize(static_cast<std::size_t>(k));
+    return pool;
+}
+
+} // namespace jigsaw

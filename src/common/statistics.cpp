@@ -1,0 +1,79 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "geomean(): empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geomean(): requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    fatalIf(xs.empty(), "percentile(): empty vector");
+    fatalIf(p < 0.0 || p > 100.0, "percentile(): p out of [0,100]");
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+min(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "min(): empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+max(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "max(): empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+} // namespace stats
+} // namespace jigsaw

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Descriptive statistics used by calibration synthesis and benches.
+ */
+#ifndef JIGSAW_COMMON_STATISTICS_H
+#define JIGSAW_COMMON_STATISTICS_H
+
+#include <vector>
+
+namespace jigsaw {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive entries. */
+double geomean(const std::vector<double> &xs);
+
+/** Median (average of middle two for even sizes). */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile, @p p in [0, 100].
+ * percentile(xs, 50) == median(xs).
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Smallest element. */
+double min(const std::vector<double> &xs);
+
+/** Largest element. */
+double max(const std::vector<double> &xs);
+
+} // namespace stats
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_STATISTICS_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal aligned console-table printer used by the bench harness to
+ * emit paper-style result tables.
+ */
+#ifndef JIGSAW_COMMON_TABLE_H
+#define JIGSAW_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+/**
+ * Collects rows of string cells and prints them with column-aligned
+ * padding and a header separator.
+ */
+class ConsoleTable
+{
+  public:
+    /** Construct with the header row. */
+    explicit ConsoleTable(std::vector<std::string> header);
+
+    /** Append a data row; shorter rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_TABLE_H

@@ -1,0 +1,53 @@
+#include "compiler/layout.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace compiler {
+
+Layout::Layout(std::vector<int> logical_to_physical, int n_physical)
+    : toPhysical_(std::move(logical_to_physical)),
+      toLogical_(static_cast<std::size_t>(n_physical), -1)
+{
+    fatalIf(static_cast<int>(toPhysical_.size()) > n_physical,
+            "Layout: more logical than physical qubits");
+    for (std::size_t l = 0; l < toPhysical_.size(); ++l) {
+        const int p = toPhysical_[l];
+        fatalIf(p < 0 || p >= n_physical, "Layout: physical index range");
+        fatalIf(toLogical_[static_cast<std::size_t>(p)] != -1,
+                "Layout: duplicate physical qubit in layout");
+        toLogical_[static_cast<std::size_t>(p)] = static_cast<int>(l);
+    }
+}
+
+int
+Layout::physicalOf(int l) const
+{
+    fatalIf(l < 0 || l >= nLogical(), "Layout: logical qubit range");
+    return toPhysical_[static_cast<std::size_t>(l)];
+}
+
+int
+Layout::logicalOf(int p) const
+{
+    fatalIf(p < 0 || p >= nPhysical(), "Layout: physical qubit range");
+    return toLogical_[static_cast<std::size_t>(p)];
+}
+
+void
+Layout::swapPhysical(int pa, int pb)
+{
+    fatalIf(pa < 0 || pa >= nPhysical() || pb < 0 || pb >= nPhysical(),
+            "Layout: physical qubit range");
+    const int la = toLogical_[static_cast<std::size_t>(pa)];
+    const int lb = toLogical_[static_cast<std::size_t>(pb)];
+    toLogical_[static_cast<std::size_t>(pa)] = lb;
+    toLogical_[static_cast<std::size_t>(pb)] = la;
+    if (la >= 0)
+        toPhysical_[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0)
+        toPhysical_[static_cast<std::size_t>(lb)] = pa;
+}
+
+} // namespace compiler
+} // namespace jigsaw

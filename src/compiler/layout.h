@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Logical-to-physical qubit layout.
+ */
+#ifndef JIGSAW_COMPILER_LAYOUT_H
+#define JIGSAW_COMPILER_LAYOUT_H
+
+#include <vector>
+
+namespace jigsaw {
+namespace compiler {
+
+/**
+ * A bijection from program (logical) qubits onto a subset of device
+ * (physical) qubits, with both directions maintained.
+ */
+class Layout
+{
+  public:
+    /**
+     * Build from @p logical_to_physical (entry l = physical qubit of
+     * logical qubit l) over a device with @p n_physical qubits.
+     */
+    Layout(std::vector<int> logical_to_physical, int n_physical);
+
+    /** Physical qubit hosting logical qubit @p l. */
+    int physicalOf(int l) const;
+
+    /** Logical qubit on physical qubit @p p, or -1 when unused. */
+    int logicalOf(int p) const;
+
+    /** Number of logical (program) qubits. */
+    int nLogical() const { return static_cast<int>(toPhysical_.size()); }
+
+    /** Number of physical (device) qubits. */
+    int nPhysical() const { return static_cast<int>(toLogical_.size()); }
+
+    /**
+     * Exchange whatever occupies physical qubits @p pa and @p pb
+     * (either side may be unoccupied). This is how a routed SWAP
+     * updates the mapping.
+     */
+    void swapPhysical(int pa, int pb);
+
+    /** The logical -> physical vector. */
+    const std::vector<int> &logicalToPhysical() const { return toPhysical_; }
+
+  private:
+    std::vector<int> toPhysical_; ///< logical -> physical
+    std::vector<int> toLogical_;  ///< physical -> logical or -1
+};
+
+} // namespace compiler
+} // namespace jigsaw
+
+#endif // JIGSAW_COMPILER_LAYOUT_H

@@ -1,0 +1,177 @@
+#include "compiler/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace compiler {
+
+namespace {
+
+/** Average two-qubit error over the edges incident to @p p. */
+double
+incidentEdgeError(const device::DeviceModel &dev, int p)
+{
+    const device::Topology &topo = dev.topology();
+    const auto &neighbors = topo.neighbors(p);
+    if (neighbors.empty())
+        return 1.0;
+    double total = 0.0;
+    for (int nb : neighbors)
+        total += dev.calibration().edgeError(topo.edgeIndex(p, nb));
+    return total / static_cast<double>(neighbors.size());
+}
+
+/** Converts an error rate into coupling-distance units for blending
+ *  with the hop-count term of the placement cost. */
+constexpr double errorToHops = 10.0;
+
+} // namespace
+
+std::vector<int>
+rankedStartQubits(const device::DeviceModel &dev, bool noise_aware)
+{
+    const device::Topology &topo = dev.topology();
+    std::vector<int> order(static_cast<std::size_t>(topo.nQubits()));
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<double> cost(order.size());
+    for (int p = 0; p < topo.nQubits(); ++p) {
+        const double degree =
+            static_cast<double>(topo.neighbors(p).size());
+        double c = -0.1 * degree;
+        if (noise_aware) {
+            c += 5.0 * incidentEdgeError(dev, p) +
+                 2.0 * dev.calibration().qubit(p).meanReadoutError();
+        }
+        cost[static_cast<std::size_t>(p)] = c;
+    }
+
+    std::sort(order.begin(), order.end(), [&cost](int a, int b) {
+        const double ca = cost[static_cast<std::size_t>(a)];
+        const double cb = cost[static_cast<std::size_t>(b)];
+        if (ca != cb)
+            return ca < cb;
+        return a < b;
+    });
+    return order;
+}
+
+Layout
+greedyPlacement(const circuit::QuantumCircuit &logical,
+                const device::DeviceModel &dev, int start_physical,
+                bool noise_aware)
+{
+    const device::Topology &topo = dev.topology();
+    const int n_logical = logical.nQubits();
+    fatalIf(n_logical > topo.nQubits(),
+            "greedyPlacement: program larger than device");
+
+    // Interaction weights and the set of measured logical qubits.
+    std::vector<std::vector<double>> weight(
+        static_cast<std::size_t>(n_logical),
+        std::vector<double>(static_cast<std::size_t>(n_logical), 0.0));
+    std::vector<bool> is_measured(static_cast<std::size_t>(n_logical),
+                                  false);
+    for (const circuit::Gate &g : logical.gates()) {
+        if (g.isTwoQubit()) {
+            weight[static_cast<std::size_t>(g.qubits[0])]
+                  [static_cast<std::size_t>(g.qubits[1])] += 1.0;
+            weight[static_cast<std::size_t>(g.qubits[1])]
+                  [static_cast<std::size_t>(g.qubits[0])] += 1.0;
+        } else if (g.isMeasure()) {
+            is_measured[static_cast<std::size_t>(g.qubits[0])] = true;
+        }
+    }
+
+    // Place logical qubits in order of total interaction weight.
+    std::vector<int> logical_order(static_cast<std::size_t>(n_logical));
+    std::iota(logical_order.begin(), logical_order.end(), 0);
+    std::vector<double> total_weight(static_cast<std::size_t>(n_logical),
+                                     0.0);
+    for (int l = 0; l < n_logical; ++l) {
+        total_weight[static_cast<std::size_t>(l)] = std::accumulate(
+            weight[static_cast<std::size_t>(l)].begin(),
+            weight[static_cast<std::size_t>(l)].end(), 0.0);
+    }
+    std::sort(logical_order.begin(), logical_order.end(),
+              [&total_weight](int a, int b) {
+                  const double wa = total_weight[static_cast<std::size_t>(a)];
+                  const double wb = total_weight[static_cast<std::size_t>(b)];
+                  if (wa != wb)
+                      return wa > wb;
+                  return a < b;
+              });
+
+    std::vector<int> physical_of(static_cast<std::size_t>(n_logical), -1);
+    std::vector<bool> used(static_cast<std::size_t>(topo.nQubits()), false);
+
+    auto qubit_cost = [&](int l, int p) {
+        double c = 0.0;
+        if (noise_aware) {
+            c += errorToHops * incidentEdgeError(dev, p);
+            if (is_measured[static_cast<std::size_t>(l)]) {
+                c += errorToHops *
+                     dev.calibration().qubit(p).meanReadoutError();
+            }
+        }
+        return c;
+    };
+
+    bool first = true;
+    for (int l : logical_order) {
+        if (first) {
+            fatalIf(start_physical < 0 ||
+                    start_physical >= topo.nQubits(),
+                    "greedyPlacement: invalid start qubit");
+            physical_of[static_cast<std::size_t>(l)] = start_physical;
+            used[static_cast<std::size_t>(start_physical)] = true;
+            first = false;
+            continue;
+        }
+        double best_cost = std::numeric_limits<double>::infinity();
+        int best_p = -1;
+        for (int p = 0; p < topo.nQubits(); ++p) {
+            if (used[static_cast<std::size_t>(p)])
+                continue;
+            double c = qubit_cost(l, p);
+            bool reachable = true;
+            for (int m = 0; m < n_logical; ++m) {
+                const double w = weight[static_cast<std::size_t>(l)]
+                                       [static_cast<std::size_t>(m)];
+                const int pm = physical_of[static_cast<std::size_t>(m)];
+                if (w <= 0.0 || pm < 0)
+                    continue;
+                const int d = topo.distance(p, pm);
+                if (d < 0) {
+                    reachable = false;
+                    break;
+                }
+                c += w * static_cast<double>(d - 1);
+            }
+            if (!reachable)
+                continue;
+            // Anchor isolated qubits near the start to keep the
+            // program in one region of the device.
+            if (c == qubit_cost(l, p)) {
+                c += 0.01 * static_cast<double>(
+                                topo.distance(p, start_physical));
+            }
+            if (c < best_cost) {
+                best_cost = c;
+                best_p = p;
+            }
+        }
+        fatalIf(best_p < 0, "greedyPlacement: no physical qubit available");
+        physical_of[static_cast<std::size_t>(l)] = best_p;
+        used[static_cast<std::size_t>(best_p)] = true;
+    }
+
+    return Layout(std::move(physical_of), topo.nQubits());
+}
+
+} // namespace compiler
+} // namespace jigsaw

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Noise-aware initial placement.
+ *
+ * Logical qubits are placed greedily in order of interaction weight;
+ * each placement minimizes a blend of (a) coupling distance to already
+ * placed interaction partners and (b) calibrated error rates of the
+ * physical qubit — readout error counting only for logical qubits the
+ * circuit actually measures. The latter is what lets a recompiled CPM
+ * pull its few measured qubits onto the device's best readout qubits
+ * (paper Section 4.2.2) while leaving unmeasured qubits free.
+ */
+#ifndef JIGSAW_COMPILER_PLACEMENT_H
+#define JIGSAW_COMPILER_PLACEMENT_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/layout.h"
+#include "device/device_model.h"
+
+namespace jigsaw {
+namespace compiler {
+
+/**
+ * Physical start qubits ordered by desirability (low local error and
+ * high connectivity first when @p noise_aware, otherwise connectivity
+ * only). Used to seed diverse placement candidates.
+ */
+std::vector<int> rankedStartQubits(const device::DeviceModel &dev,
+                                   bool noise_aware);
+
+/**
+ * Greedy placement of @p logical onto @p dev anchored at
+ * @p start_physical.
+ */
+Layout greedyPlacement(const circuit::QuantumCircuit &logical,
+                       const device::DeviceModel &dev, int start_physical,
+                       bool noise_aware);
+
+} // namespace compiler
+} // namespace jigsaw
+
+#endif // JIGSAW_COMPILER_PLACEMENT_H

@@ -1,0 +1,248 @@
+#include "compiler/sabre.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace compiler {
+
+using circuit::Gate;
+using circuit::GateType;
+using circuit::QuantumCircuit;
+
+namespace {
+
+/** Dependency tracker: a gate is ready when it heads the queue of
+ *  every qubit it touches. */
+class GateQueues
+{
+  public:
+    GateQueues(const std::vector<Gate> &gates, int n_qubits)
+        : queues_(static_cast<std::size_t>(n_qubits)),
+          heads_(static_cast<std::size_t>(n_qubits), 0)
+    {
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            for (int q : gates[i].qubits)
+                queues_[static_cast<std::size_t>(q)].push_back(
+                    static_cast<int>(i));
+        }
+    }
+
+    bool
+    isReady(const Gate &gate, int index) const
+    {
+        for (int q : gate.qubits) {
+            const auto &queue = queues_[static_cast<std::size_t>(q)];
+            const auto head = heads_[static_cast<std::size_t>(q)];
+            if (head >= queue.size() || queue[head] != index)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    retire(const Gate &gate)
+    {
+        for (int q : gate.qubits)
+            ++heads_[static_cast<std::size_t>(q)];
+    }
+
+  private:
+    std::vector<std::vector<int>> queues_;
+    std::vector<std::size_t> heads_;
+};
+
+} // namespace
+
+RoutedCircuit
+sabreRoute(const QuantumCircuit &logical, const device::Topology &topology,
+           const Layout &initial_layout, const SabreOptions &options)
+{
+    fatalIf(initial_layout.nLogical() != logical.nQubits(),
+            "sabreRoute: layout does not cover the program qubits");
+    fatalIf(initial_layout.nPhysical() != topology.nQubits(),
+            "sabreRoute: layout does not match the device");
+
+    // Gate list with barriers dropped. Measurements are routed
+    // separately: they must be terminal, and emitting them against the
+    // final layout guarantees a later routing SWAP can never displace
+    // an already-measured logical qubit.
+    std::vector<Gate> gates;
+    std::vector<Gate> measures;
+    std::vector<bool> qubit_measured(
+        static_cast<std::size_t>(logical.nQubits()), false);
+    gates.reserve(logical.gates().size());
+    for (const Gate &g : logical.gates()) {
+        if (g.type == GateType::BARRIER)
+            continue;
+        if (g.isMeasure()) {
+            measures.push_back(g);
+            qubit_measured[static_cast<std::size_t>(g.qubits[0])] = true;
+            continue;
+        }
+        for (int q : g.qubits) {
+            fatalIf(qubit_measured[static_cast<std::size_t>(q)],
+                    "sabreRoute: gate after measurement; measurements "
+                    "must be terminal");
+        }
+        gates.push_back(g);
+    }
+
+    GateQueues queues(gates, logical.nQubits());
+    std::vector<bool> done(gates.size(), false);
+    std::size_t n_done = 0;
+
+    // Program-order list of two-qubit gate indices for the lookahead
+    // window; `twoq_cursor` skips retired prefix entries.
+    std::vector<int> twoq_order;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].isTwoQubit())
+            twoq_order.push_back(static_cast<int>(i));
+    }
+    std::size_t twoq_cursor = 0;
+
+    Layout layout = initial_layout;
+    QuantumCircuit physical(topology.nQubits(), logical.nClbits());
+    std::vector<double> decay(static_cast<std::size_t>(topology.nQubits()),
+                              1.0);
+    int swap_count = 0;
+    int swaps_since_progress = 0;
+
+    auto emit = [&](int index) {
+        const Gate &g = gates[static_cast<std::size_t>(index)];
+        Gate out = g;
+        for (int &q : out.qubits)
+            q = layout.physicalOf(q);
+        physical.append(std::move(out));
+        queues.retire(g);
+        done[static_cast<std::size_t>(index)] = true;
+        ++n_done;
+        swaps_since_progress = 0;
+        std::fill(decay.begin(), decay.end(), 1.0);
+    };
+
+    while (n_done < gates.size()) {
+        // Execute everything executable under the current layout.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t i = 0; i < gates.size(); ++i) {
+                if (done[i] ||
+                    !queues.isReady(gates[i], static_cast<int>(i))) {
+                    continue;
+                }
+                const Gate &g = gates[i];
+                if (!g.isTwoQubit()) {
+                    emit(static_cast<int>(i));
+                    progress = true;
+                    continue;
+                }
+                const int pa = layout.physicalOf(g.qubits[0]);
+                const int pb = layout.physicalOf(g.qubits[1]);
+                if (topology.areCoupled(pa, pb)) {
+                    emit(static_cast<int>(i));
+                    progress = true;
+                }
+            }
+        }
+        if (n_done == gates.size())
+            break;
+
+        // Blocked: collect the front layer of non-adjacent 2q gates.
+        std::vector<int> front;
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (!done[i] && gates[i].isTwoQubit() &&
+                queues.isReady(gates[i], static_cast<int>(i))) {
+                front.push_back(static_cast<int>(i));
+            }
+        }
+        panicIf(front.empty(), "sabreRoute: blocked without a front layer");
+
+        // Extended (lookahead) set: the next 2q gates in program
+        // order beyond the front layer.
+        while (twoq_cursor < twoq_order.size() &&
+               done[static_cast<std::size_t>(twoq_order[twoq_cursor])]) {
+            ++twoq_cursor;
+        }
+        std::vector<int> extended;
+        for (std::size_t k = twoq_cursor;
+             k < twoq_order.size() &&
+             extended.size() <
+                 static_cast<std::size_t>(options.lookaheadDepth);
+             ++k) {
+            const int gi = twoq_order[k];
+            if (done[static_cast<std::size_t>(gi)])
+                continue;
+            if (std::find(front.begin(), front.end(), gi) == front.end())
+                extended.push_back(gi);
+        }
+
+        // Candidate SWAPs: coupling edges touching a front-layer qubit.
+        std::vector<device::Edge> candidates;
+        for (int gi : front) {
+            const Gate &g = gates[static_cast<std::size_t>(gi)];
+            for (int lq : g.qubits) {
+                const int p = layout.physicalOf(lq);
+                for (int nb : topology.neighbors(p)) {
+                    device::Edge e{std::min(p, nb), std::max(p, nb)};
+                    if (std::find(candidates.begin(), candidates.end(),
+                                  e) == candidates.end()) {
+                        candidates.push_back(e);
+                    }
+                }
+            }
+        }
+        std::sort(candidates.begin(), candidates.end());
+
+        auto layout_distance = [&](const Layout &lay,
+                                   const std::vector<int> &set) {
+            double total = 0.0;
+            for (int gi : set) {
+                const Gate &g = gates[static_cast<std::size_t>(gi)];
+                total += topology.distance(lay.physicalOf(g.qubits[0]),
+                                           lay.physicalOf(g.qubits[1]));
+            }
+            return set.empty() ? 0.0
+                               : total / static_cast<double>(set.size());
+        };
+
+        double best_score = std::numeric_limits<double>::infinity();
+        device::Edge best_edge{-1, -1};
+        for (const device::Edge &e : candidates) {
+            Layout trial = layout;
+            trial.swapPhysical(e.first, e.second);
+            double score = layout_distance(trial, front) +
+                           options.lookaheadWeight *
+                               layout_distance(trial, extended);
+            score *= std::max(decay[static_cast<std::size_t>(e.first)],
+                              decay[static_cast<std::size_t>(e.second)]);
+            if (score < best_score) {
+                best_score = score;
+                best_edge = e;
+            }
+        }
+        panicIf(best_edge.first < 0, "sabreRoute: no candidate SWAP");
+
+        physical.swap(best_edge.first, best_edge.second);
+        layout.swapPhysical(best_edge.first, best_edge.second);
+        decay[static_cast<std::size_t>(best_edge.first)] +=
+            options.decayStep;
+        decay[static_cast<std::size_t>(best_edge.second)] +=
+            options.decayStep;
+        ++swap_count;
+        ++swaps_since_progress;
+        panicIf(swaps_since_progress > options.maxSwapsPerGate,
+                "sabreRoute: routing failed to make progress");
+    }
+
+    for (const Gate &m : measures)
+        physical.measure(layout.physicalOf(m.qubits[0]), m.clbit);
+
+    return {std::move(physical), initial_layout, layout, swap_count};
+}
+
+} // namespace compiler
+} // namespace jigsaw

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SABRE SWAP routing (Li, Ding, Xie; ASPLOS 2019).
+ *
+ * Given a logical circuit and an initial layout, inserts SWAPs so
+ * every two-qubit gate acts on coupled physical qubits. The heuristic
+ * scores candidate SWAPs by the summed coupling distance of the front
+ * layer plus a discounted lookahead window, with a decay term that
+ * discourages ping-ponging the same qubits.
+ */
+#ifndef JIGSAW_COMPILER_SABRE_H
+#define JIGSAW_COMPILER_SABRE_H
+
+#include "circuit/circuit.h"
+#include "compiler/layout.h"
+#include "device/topology.h"
+
+namespace jigsaw {
+namespace compiler {
+
+/** Routed program: physical circuit plus layout bookkeeping. */
+struct RoutedCircuit
+{
+    circuit::QuantumCircuit physical; ///< Over device qubits, routed.
+    Layout initialLayout;             ///< Layout before the first gate.
+    Layout finalLayout;               ///< Layout after the last gate.
+    int swapCount = 0;                ///< SWAPs inserted by routing.
+};
+
+/** SABRE tuning knobs (defaults follow the published heuristic). */
+struct SabreOptions
+{
+    double lookaheadWeight = 0.5; ///< Weight of the extended set term.
+    int lookaheadDepth = 20;      ///< Size of the extended set.
+    double decayStep = 0.001;     ///< Decay increment per SWAP.
+    int maxSwapsPerGate = 1000;   ///< Loop guard.
+};
+
+/**
+ * Route @p logical onto @p topology starting from @p initial_layout.
+ * Measurements are emitted against the final layout (they must be
+ * terminal). Barriers are dropped.
+ */
+RoutedCircuit sabreRoute(const circuit::QuantumCircuit &logical,
+                         const device::Topology &topology,
+                         const Layout &initial_layout,
+                         const SabreOptions &options = {});
+
+} // namespace compiler
+} // namespace jigsaw
+
+#endif // JIGSAW_COMPILER_SABRE_H

@@ -1,0 +1,179 @@
+#include "compiler/transpiler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "compiler/placement.h"
+#include "sim/eps.h"
+
+namespace jigsaw {
+namespace compiler {
+
+namespace {
+
+CompiledCircuit
+finishCandidate(RoutedCircuit routed, const device::DeviceModel &dev)
+{
+    CompiledCircuit out{std::move(routed.physical), routed.initialLayout,
+                        routed.finalLayout, routed.swapCount, 0.0, 0.0,
+                        0.0};
+    out.gateSuccess = sim::gateSuccessProbability(out.physical, dev);
+    out.measurementSuccess =
+        sim::measurementSuccessProbability(out.physical, dev);
+    out.eps = out.gateSuccess * out.measurementSuccess;
+    return out;
+}
+
+std::vector<CompiledCircuit>
+compileCandidates(const circuit::QuantumCircuit &logical,
+                  const device::DeviceModel &dev,
+                  const TranspileOptions &options)
+{
+    const std::vector<int> starts =
+        rankedStartQubits(dev, options.noiseAware);
+    const int n_candidates =
+        std::min<int>(options.numCandidates,
+                      static_cast<int>(starts.size()));
+    fatalIf(n_candidates < 1, "transpile: need at least one candidate");
+
+    std::vector<CompiledCircuit> candidates;
+    candidates.reserve(static_cast<std::size_t>(2 * n_candidates));
+    for (int i = 0; i < n_candidates; ++i) {
+        const int start = starts[static_cast<std::size_t>(i)];
+        // Both greedy families per start: the noise-aware placement
+        // chases low-error qubits, the distance-only placement keeps
+        // the routing tight; with spatially scattered good qubits
+        // either one can win, so the selector sees both.
+        const Layout aware =
+            greedyPlacement(logical, dev, start, options.noiseAware);
+        candidates.push_back(finishCandidate(
+            sabreRoute(logical, dev.topology(), aware, options.sabre),
+            dev));
+        if (options.noiseAware) {
+            const Layout tight =
+                greedyPlacement(logical, dev, start, false);
+            if (tight.logicalToPhysical() !=
+                aware.logicalToPhysical()) {
+                candidates.push_back(finishCandidate(
+                    sabreRoute(logical, dev.topology(), tight,
+                               options.sabre),
+                    dev));
+            }
+        }
+    }
+    return candidates;
+}
+
+} // namespace
+
+CompiledCircuit
+transpile(const circuit::QuantumCircuit &logical,
+          const device::DeviceModel &dev, const TranspileOptions &options)
+{
+    std::vector<CompiledCircuit> candidates =
+        compileCandidates(logical, dev, options);
+
+    auto better = [&options](const CompiledCircuit &a,
+                             const CompiledCircuit &b) {
+        if (options.noiseAware)
+            return a.eps > b.eps;
+        if (a.swapCount != b.swapCount)
+            return a.swapCount < b.swapCount;
+        return a.eps > b.eps;
+    };
+
+    // CPM recompilation rule (paper Section 4.2.2): prefer candidates
+    // within the SWAP budget of the base compilation — among them the
+    // best EPS wins, which for a CPM is dominated by where its few
+    // measurements land; fall back to best-overall EPS when no
+    // candidate fits the budget.
+    const CompiledCircuit *best = nullptr;
+    if (options.maxSwaps) {
+        for (const CompiledCircuit &c : candidates) {
+            if (c.swapCount <= *options.maxSwaps &&
+                (!best || better(c, *best))) {
+                best = &c;
+            }
+        }
+    }
+    if (!best) {
+        for (const CompiledCircuit &c : candidates) {
+            if (!best || better(c, *best))
+                best = &c;
+        }
+    }
+    return *best;
+}
+
+std::vector<CompiledCircuit>
+transpileEnsemble(const circuit::QuantumCircuit &logical,
+                  const device::DeviceModel &dev, int k,
+                  const TranspileOptions &options)
+{
+    fatalIf(k < 1, "transpileEnsemble: k must be positive");
+    TranspileOptions opts = options;
+    opts.numCandidates = std::max(options.numCandidates, 4 * k);
+    std::vector<CompiledCircuit> candidates =
+        compileCandidates(logical, dev, opts);
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CompiledCircuit &a, const CompiledCircuit &b) {
+                  return a.eps > b.eps;
+              });
+
+    // Greedy diverse selection: accept a candidate when its physical
+    // footprint differs enough from every accepted mapping, so the
+    // ensemble "orchestrates dissimilar mistakes".
+    auto footprint = [](const CompiledCircuit &c) {
+        std::vector<int> qubits = c.initialLayout.logicalToPhysical();
+        std::sort(qubits.begin(), qubits.end());
+        return qubits;
+    };
+    auto overlap = [](const std::vector<int> &a, const std::vector<int> &b) {
+        std::size_t common = 0;
+        for (int q : a) {
+            if (std::binary_search(b.begin(), b.end(), q))
+                ++common;
+        }
+        return static_cast<double>(common) /
+               static_cast<double>(std::max(a.size(), b.size()));
+    };
+
+    std::vector<CompiledCircuit> selected;
+    std::vector<std::vector<int>> footprints;
+    for (const CompiledCircuit &c : candidates) {
+        if (static_cast<int>(selected.size()) == k)
+            break;
+        const std::vector<int> fp = footprint(c);
+        bool diverse = true;
+        for (const auto &other : footprints) {
+            if (overlap(fp, other) > 0.75) {
+                diverse = false;
+                break;
+            }
+        }
+        if (diverse) {
+            selected.push_back(c);
+            footprints.push_back(fp);
+        }
+    }
+    // Fill with the best remaining candidates when diversity ran out.
+    for (const CompiledCircuit &c : candidates) {
+        if (static_cast<int>(selected.size()) == k)
+            break;
+        const std::vector<int> fp = footprint(c);
+        const bool already =
+            std::any_of(footprints.begin(), footprints.end(),
+                        [&fp](const std::vector<int> &other) {
+                            return other == fp;
+                        });
+        if (!already) {
+            selected.push_back(c);
+            footprints.push_back(fp);
+        }
+    }
+    return selected;
+}
+
+} // namespace compiler
+} // namespace jigsaw

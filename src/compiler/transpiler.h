@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Transpiler facade: placement + SABRE routing + EPS selection.
+ *
+ * This plays the role of Noise-Aware SABRE in the paper (Section 4.1):
+ * several placement candidates are generated, each is routed, and the
+ * candidate with the highest Expected Probability of Success wins.
+ * The maxSwaps option implements the CPM recompilation rule of
+ * Section 4.2.2: prefer mappings that do not add SWAPs over the base
+ * compilation, falling back to the best EPS when impossible.
+ */
+#ifndef JIGSAW_COMPILER_TRANSPILER_H
+#define JIGSAW_COMPILER_TRANSPILER_H
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/layout.h"
+#include "compiler/sabre.h"
+#include "device/device_model.h"
+
+namespace jigsaw {
+namespace compiler {
+
+/** A fully compiled program with its quality metrics. */
+struct CompiledCircuit
+{
+    circuit::QuantumCircuit physical; ///< Routed, physical-qubit space.
+    Layout initialLayout;             ///< Logical -> physical at start.
+    Layout finalLayout;               ///< Logical -> physical at end.
+    int swapCount = 0;                ///< SWAPs inserted by routing.
+    double eps = 0.0;                 ///< Full EPS (gates x readout).
+    double gateSuccess = 0.0;         ///< Gate-only success probability.
+    double measurementSuccess = 0.0;  ///< Readout-only success prob.
+};
+
+/** Transpilation knobs. */
+struct TranspileOptions
+{
+    int numCandidates = 12;     ///< Placement seeds to try.
+    bool noiseAware = true;     ///< Use calibration in placement/selection.
+    /** When set, candidates whose routing needs more than this many
+     *  SWAPs are rejected unless none qualify (CPM recompilation). */
+    std::optional<int> maxSwaps;
+    SabreOptions sabre;         ///< Routing parameters.
+};
+
+/** Compile @p logical for @p dev, returning the best candidate. */
+CompiledCircuit transpile(const circuit::QuantumCircuit &logical,
+                          const device::DeviceModel &dev,
+                          const TranspileOptions &options = {});
+
+/**
+ * Compile an Ensemble of Diverse Mappings (Tannu & Qureshi, MICRO'19):
+ * up to @p k compiled copies with distinct placements, best EPS first.
+ */
+std::vector<CompiledCircuit> transpileEnsemble(
+    const circuit::QuantumCircuit &logical, const device::DeviceModel &dev,
+    int k, const TranspileOptions &options = {});
+
+} // namespace compiler
+} // namespace jigsaw
+
+#endif // JIGSAW_COMPILER_TRANSPILER_H

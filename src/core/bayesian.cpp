@@ -1,0 +1,105 @@
+#include "core/bayesian.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+Pmf
+bayesianUpdate(const Pmf &prior, const Marginal &m)
+{
+    fatalIf(m.qubits.empty(), "bayesianUpdate: empty marginal subset");
+    fatalIf(static_cast<int>(m.qubits.size()) != m.local.nQubits(),
+            "bayesianUpdate: subset/local-PMF size mismatch");
+    for (int q : m.qubits) {
+        fatalIf(q < 0 || q >= prior.nQubits(),
+                "bayesianUpdate: subset bit outside the global PMF");
+    }
+
+    // Step 1: bucket the prior outcomes by their value on the subset
+    // bits, tracking each bucket's total prior mass (the normalizer
+    // for the update coefficients of Step 2).
+    std::unordered_map<BasisState, double> bucket_mass;
+    bucket_mass.reserve(prior.support());
+    for (const auto &[outcome, p] : prior.probabilities())
+        bucket_mass[extractBits(outcome, m.qubits)] += p;
+
+    // Steps 2-3: posterior[outcome] = coefficient * pry / (1 - pry),
+    // where coefficient is the outcome's share of its bucket. Global
+    // outcomes whose subset value never appears in the local PMF keep
+    // their prior probability (Algorithm 1 initializes Po = P).
+    Pmf posterior = prior;
+    for (const auto &[outcome, p] : prior.probabilities()) {
+        const BasisState key = extractBits(outcome, m.qubits);
+        const double pry = m.local.prob(key);
+        if (pry <= 0.0)
+            continue;
+        const double mass = bucket_mass[key];
+        if (mass <= 0.0)
+            continue;
+        const double coefficient = p / mass;
+        const double clamped = std::min(pry, 1.0 - 1e-12);
+        posterior.set(outcome, coefficient * clamped / (1.0 - clamped));
+    }
+    posterior.normalize();
+    return posterior;
+}
+
+Pmf
+bayesianReconstruct(const Pmf &global,
+                    const std::vector<Marginal> &marginals,
+                    const ReconstructionOptions &options)
+{
+    if (marginals.empty())
+        return global;
+
+    Pmf output = global;
+    for (int round = 0; round < options.maxRounds; ++round) {
+        // One Bayesian_Reconstruction call: all marginals update the
+        // same prior (the previous round's output), and the posteriors
+        // are summed into it. Updates are independent, so order does
+        // not matter (paper Section 4.3).
+        const Pmf prior = output;
+        Pmf accumulated = prior;
+        for (const Marginal &m : marginals) {
+            const Pmf posterior = bayesianUpdate(prior, m);
+            for (const auto &[outcome, p] : posterior.probabilities())
+                accumulated.accumulate(outcome, p);
+        }
+        accumulated.normalize();
+
+        const double moved = hellingerDistance(output, accumulated);
+        output = std::move(accumulated);
+        if (moved < options.tolerance)
+            break;
+    }
+    return output;
+}
+
+Pmf
+multiLayerReconstruct(const Pmf &global,
+                      const std::vector<Marginal> &marginals,
+                      const ReconstructionOptions &options)
+{
+    // Group by subset size, then apply the layers in the configured
+    // order (paper default: largest first).
+    std::map<int, std::vector<Marginal>> by_size;
+    for (const Marginal &m : marginals)
+        by_size[static_cast<int>(m.qubits.size())].push_back(m);
+
+    Pmf output = global;
+    if (options.layerOrder == LayerOrder::TopDown) {
+        for (auto it = by_size.rbegin(); it != by_size.rend(); ++it)
+            output = bayesianReconstruct(output, it->second, options);
+    } else {
+        for (auto it = by_size.begin(); it != by_size.end(); ++it)
+            output = bayesianReconstruct(output, it->second, options);
+    }
+    return output;
+}
+
+} // namespace core
+} // namespace jigsaw

@@ -1,0 +1,179 @@
+#include "core/jigsaw.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sim/eps.h"
+
+namespace jigsaw {
+namespace core {
+
+std::vector<Marginal>
+JigsawResult::marginals() const
+{
+    std::vector<Marginal> ms;
+    ms.reserve(cpms.size());
+    for (const CpmRecord &cpm : cpms)
+        ms.push_back({cpm.localPmf, cpm.subset});
+    return ms;
+}
+
+namespace {
+
+/** Generate the run's subsets over @p n measured bit positions. */
+std::vector<Subset>
+generateSubsets(int n, const JigsawOptions &options)
+{
+    if (options.customSubsets)
+        return *options.customSubsets;
+
+    std::vector<Subset> subsets;
+    Rng rng(options.seed);
+    for (int size : options.subsetSizes) {
+        fatalIf(size < 1 || size > n,
+                "runJigsaw: subset size out of range");
+        std::vector<Subset> layer;
+        switch (options.subsetMethod) {
+          case SubsetMethod::SlidingWindow:
+            layer = slidingWindowSubsets(n, size);
+            break;
+          case SubsetMethod::RandomCovering:
+            layer = coveringRandomSubsets(n, size, rng);
+            break;
+        }
+        subsets.insert(subsets.end(), layer.begin(), layer.end());
+    }
+    return subsets;
+}
+
+/**
+ * Build the CPM for @p subset without recompilation: the global
+ * compilation's physical circuit, measuring only the subset's
+ * physical qubits (via the final layout).
+ */
+compiler::CompiledCircuit
+cpmFromGlobal(const compiler::CompiledCircuit &global,
+              const std::vector<int> &logical_qubits,
+              const device::DeviceModel &dev)
+{
+    std::vector<int> physical_qubits;
+    physical_qubits.reserve(logical_qubits.size());
+    for (int lq : logical_qubits)
+        physical_qubits.push_back(global.finalLayout.physicalOf(lq));
+
+    compiler::CompiledCircuit cpm{
+        global.physical.withMeasurementSubset(physical_qubits),
+        global.initialLayout,
+        global.finalLayout,
+        global.swapCount,
+        0.0,
+        0.0,
+        0.0,
+    };
+    cpm.gateSuccess = sim::gateSuccessProbability(cpm.physical, dev);
+    cpm.measurementSuccess =
+        sim::measurementSuccessProbability(cpm.physical, dev);
+    cpm.eps = cpm.gateSuccess * cpm.measurementSuccess;
+    return cpm;
+}
+
+} // namespace
+
+JigsawResult
+runJigsaw(const circuit::QuantumCircuit &logical,
+          const device::DeviceModel &dev, sim::Executor &executor,
+          std::uint64_t total_trials, const JigsawOptions &options)
+{
+    fatalIf(total_trials < 2, "runJigsaw: need at least two trials");
+    fatalIf(options.globalFraction <= 0.0 || options.globalFraction >= 1.0,
+            "runJigsaw: globalFraction must be in (0, 1)");
+
+    const int n_measured = logical.countMeasurements();
+    fatalIf(n_measured < 2, "runJigsaw: program must measure >= 2 qubits");
+
+    // Map classical bit -> logical qubit for CPM construction.
+    const std::vector<int> qubit_of_clbit = logical.measuredQubits();
+
+    // --- Global mode -----------------------------------------------
+    compiler::CompiledCircuit global_compiled =
+        compiler::transpile(logical, dev, options.transpile);
+    const auto global_trials = static_cast<std::uint64_t>(
+        static_cast<double>(total_trials) * options.globalFraction);
+    const Pmf global_pmf =
+        executor.run(global_compiled.physical, global_trials).toPmf();
+
+    // --- Subset mode -----------------------------------------------
+    const std::vector<Subset> subsets =
+        generateSubsets(n_measured, options);
+    fatalIf(subsets.empty(), "runJigsaw: no subsets generated");
+    const std::uint64_t subset_budget = total_trials - global_trials;
+    const std::uint64_t per_cpm =
+        std::max<std::uint64_t>(1, subset_budget / subsets.size());
+
+    // CPM recompilation must not add SWAPs over the global schedule
+    // (Section 4.2.2's "avoid extra SWAPs" rule).
+    compiler::TranspileOptions cpm_options = options.transpile;
+    cpm_options.maxSwaps = global_compiled.swapCount;
+
+    JigsawResult result{global_pmf, global_pmf, global_compiled, {},
+                        global_trials, 0};
+    for (const Subset &subset : subsets) {
+        std::vector<int> logical_qubits;
+        logical_qubits.reserve(subset.size());
+        for (int c : subset) {
+            fatalIf(c < 0 || c >= n_measured,
+                    "runJigsaw: subset bit out of range");
+            logical_qubits.push_back(
+                qubit_of_clbit[static_cast<std::size_t>(c)]);
+        }
+
+        // Recompilation considers the global allocation as a candidate
+        // too (the paper notes most CPMs can reuse existing
+        // allocations), so a recompiled CPM never has a lower expected
+        // probability of success than the global mapping would give.
+        compiler::CompiledCircuit compiled =
+            cpmFromGlobal(global_compiled, logical_qubits, dev);
+        if (options.recompileCpms) {
+            compiler::CompiledCircuit recompiled = compiler::transpile(
+                logical.withMeasurementSubset(logical_qubits), dev,
+                cpm_options);
+            if (recompiled.eps > compiled.eps)
+                compiled = std::move(recompiled);
+        }
+
+        const Pmf local =
+            executor.run(compiled.physical, per_cpm).toPmf();
+        result.cpms.push_back({subset, std::move(compiled), local,
+                               per_cpm});
+        result.subsetTrials += per_cpm;
+    }
+
+    // --- Reconstruction --------------------------------------------
+    // multiLayerReconstruct applies marginals grouped by size, top
+    // down; with a single size it reduces to plain reconstruction.
+    result.output = multiLayerReconstruct(global_pmf, result.marginals(),
+                                          options.reconstruction);
+    return result;
+}
+
+Pmf
+runBaseline(const circuit::QuantumCircuit &logical,
+            const device::DeviceModel &dev, sim::Executor &executor,
+            std::uint64_t total_trials,
+            const compiler::TranspileOptions &options)
+{
+    const compiler::CompiledCircuit compiled =
+        compiler::transpile(logical, dev, options);
+    return executor.run(compiled.physical, total_trials).toPmf();
+}
+
+JigsawOptions
+jigsawMOptions()
+{
+    JigsawOptions options;
+    options.subsetSizes = {2, 3, 4, 5};
+    return options;
+}
+
+} // namespace core
+} // namespace jigsaw

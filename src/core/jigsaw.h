@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The JigSaw driver (paper Sections 4 and 4.4).
+ *
+ * Executes a program in two modes against an Executor:
+ *  - global mode: the noise-aware-compiled full program, all qubits
+ *    measured, for a configurable fraction (default half) of the
+ *    trials;
+ *  - subset mode: one Circuit with Partial Measurements per subset,
+ *    sharing the remaining trials equally, each optionally recompiled
+ *    so its few measurements land on the best readout qubits without
+ *    extra SWAPs;
+ * and reconstructs the output PMF with Bayesian updates. Subset sizes
+ * {2} give the default JigSaw; {2,3,4,5} give the default JigSaw-M
+ * with top-down (largest-size-first) reconstruction.
+ */
+#ifndef JIGSAW_CORE_JIGSAW_H
+#define JIGSAW_CORE_JIGSAW_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/histogram.h"
+#include "compiler/transpiler.h"
+#include "core/bayesian.h"
+#include "core/subsets.h"
+#include "device/device_model.h"
+#include "sim/simulators.h"
+
+namespace jigsaw {
+namespace core {
+
+/** How CPM subsets are generated. */
+enum class SubsetMethod
+{
+    SlidingWindow,  ///< Paper default: n windows per subset size.
+    RandomCovering, ///< Random subsets covering every qubit (Fig 9b).
+};
+
+/** Configuration of a JigSaw run. */
+struct JigsawOptions
+{
+    /** CPM subset sizes; {2} = JigSaw, {2,3,4,5} = JigSaw-M. */
+    std::vector<int> subsetSizes = {2};
+    /** Fraction of trials spent in global mode (paper: one half). */
+    double globalFraction = 0.5;
+    /** Recompile each CPM for its measured qubits (Section 4.2.2). */
+    bool recompileCpms = true;
+    /** Subset generation method. */
+    SubsetMethod subsetMethod = SubsetMethod::SlidingWindow;
+    /** Explicit subsets (bit positions); overrides sizes/method. */
+    std::optional<std::vector<Subset>> customSubsets;
+    /** Compilation settings for global mode and CPM recompilation. */
+    compiler::TranspileOptions transpile;
+    /** Bayesian reconstruction controls. */
+    ReconstructionOptions reconstruction;
+    /** Seed for random subset generation. */
+    std::uint64_t seed = 99;
+};
+
+/** One executed CPM with its evidence. */
+struct CpmRecord
+{
+    Subset subset;                      ///< Measured bit positions.
+    compiler::CompiledCircuit compiled; ///< The CPM's compilation.
+    Pmf localPmf;                       ///< Observed local PMF.
+    std::uint64_t trials = 0;           ///< Trials spent on this CPM.
+};
+
+/** Everything a JigSaw run produced. */
+struct JigsawResult
+{
+    Pmf output;                          ///< Reconstructed output PMF.
+    Pmf globalPmf;                       ///< Global-mode observed PMF.
+    compiler::CompiledCircuit globalCompiled; ///< Global compilation.
+    std::vector<CpmRecord> cpms;         ///< Subset-mode executions.
+    std::uint64_t globalTrials = 0;      ///< Trials in global mode.
+    std::uint64_t subsetTrials = 0;      ///< Trials in subset mode.
+
+    /** The marginals (local PMFs + subsets) of all CPMs. */
+    std::vector<Marginal> marginals() const;
+};
+
+/**
+ * Run JigSaw on @p logical (a measured logical circuit) against
+ * @p executor, spending @p total_trials in total — the same trial
+ * budget the baseline gets.
+ */
+JigsawResult runJigsaw(const circuit::QuantumCircuit &logical,
+                       const device::DeviceModel &dev,
+                       sim::Executor &executor, std::uint64_t total_trials,
+                       const JigsawOptions &options = {});
+
+/**
+ * Baseline: Noise-Aware-SABRE compile and spend all trials on the
+ * full program (paper Section 5.2). Returns the observed PMF.
+ */
+Pmf runBaseline(const circuit::QuantumCircuit &logical,
+                const device::DeviceModel &dev, sim::Executor &executor,
+                std::uint64_t total_trials,
+                const compiler::TranspileOptions &options = {});
+
+/** Options for JigSaw-M with the paper's default sizes 2..5. */
+JigsawOptions jigsawMOptions();
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_JIGSAW_H

@@ -1,0 +1,51 @@
+#include "core/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+double
+reconstructionMemoryBytes(const ScalabilityConfig &config)
+{
+    fatalIf(config.nQubits < 1 || config.numCpms < 1 ||
+            config.subsetSizes.empty() || config.trials == 0,
+            "reconstructionMemoryBytes: incomplete config");
+
+    const double t = static_cast<double>(config.trials);
+    const double n = config.nQubits;
+    const double big_n = config.numCpms;
+
+    // One global PMF of (n + 8)-byte entries plus N intermediate and
+    // one output PMF of 8-byte entries, each with eps*T entries.
+    const double global_term = (n + 8.0 * (2.0 + big_n)) *
+                               config.epsilon * t;
+
+    // N local PMFs per subset size s, each with L_s entries of
+    // (s + 8) bytes.
+    double local_term = 0.0;
+    for (int s : config.subsetSizes) {
+        const double full = s < 60 ? std::ldexp(1.0, s) : 1e18;
+        const double entries = std::min(full, config.delta * t);
+        local_term += entries * (static_cast<double>(s) + 8.0) * big_n;
+    }
+    return global_term + local_term;
+}
+
+double
+reconstructionOperations(const ScalabilityConfig &config)
+{
+    fatalIf(config.nQubits < 1 || config.numCpms < 1 ||
+            config.subsetSizes.empty() || config.trials == 0,
+            "reconstructionOperations: incomplete config");
+    const double s_count = static_cast<double>(config.subsetSizes.size());
+    return 4.0 * config.epsilon * s_count *
+           static_cast<double>(config.numCpms) *
+           static_cast<double>(config.trials);
+}
+
+} // namespace core
+} // namespace jigsaw

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Analytical scalability model of the reconstruction step (paper
+ * Section 7, Equation 5 and the operation-count analysis).
+ *
+ * JigSaw stores only the non-zero PMF entries actually observed, so
+ * memory and time are bounded by the trial count rather than by 2^n:
+ *  - Memory = {n + 8(2 + N)} * eps * T  +  sum_s L_s (s + 8) N bytes,
+ *    with L_s = min(2^s, delta * T);
+ *  - Operations = 4 * eps * S * N * T.
+ */
+#ifndef JIGSAW_CORE_SCALABILITY_H
+#define JIGSAW_CORE_SCALABILITY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace jigsaw {
+namespace core {
+
+/** Inputs of the analytical model (paper Table 7 notation). */
+struct ScalabilityConfig
+{
+    int nQubits = 0;              ///< n: program qubits.
+    int numCpms = 0;              ///< N: CPMs per subset size.
+    std::vector<int> subsetSizes; ///< sizes used; S = sizes.size().
+    double epsilon = 0.05;        ///< Global-PMF entries / trials.
+    double delta = 0.05;          ///< Large local-PMF entries / trials.
+    std::uint64_t trials = 0;     ///< T: trials per mode.
+};
+
+/** Reconstruction memory requirement in bytes (Eq. 5). */
+double reconstructionMemoryBytes(const ScalabilityConfig &config);
+
+/** Reconstruction operation count (4 * eps * S * N * T). */
+double reconstructionOperations(const ScalabilityConfig &config);
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_SCALABILITY_H

@@ -1,0 +1,92 @@
+#include "core/subsets.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+std::vector<Subset>
+slidingWindowSubsets(int n_qubits, int subset_size)
+{
+    fatalIf(subset_size < 1 || subset_size > n_qubits,
+            "slidingWindowSubsets: invalid subset size");
+    std::vector<Subset> subsets;
+    if (subset_size == n_qubits) {
+        Subset all(static_cast<std::size_t>(n_qubits));
+        for (int q = 0; q < n_qubits; ++q)
+            all[static_cast<std::size_t>(q)] = q;
+        subsets.push_back(std::move(all));
+        return subsets;
+    }
+    std::set<Subset> seen;
+    for (int start = 0; start < n_qubits; ++start) {
+        Subset s;
+        s.reserve(static_cast<std::size_t>(subset_size));
+        for (int k = 0; k < subset_size; ++k)
+            s.push_back((start + k) % n_qubits);
+        std::sort(s.begin(), s.end());
+        if (seen.insert(s).second)
+            subsets.push_back(std::move(s));
+    }
+    return subsets;
+}
+
+std::vector<Subset>
+randomSubsets(int n_qubits, int subset_size, int count, Rng &rng)
+{
+    fatalIf(subset_size < 1 || subset_size > n_qubits,
+            "randomSubsets: invalid subset size");
+    // Cap the request at C(n, size), computed with overflow care.
+    double combinations = 1.0;
+    for (int k = 0; k < subset_size; ++k) {
+        combinations *= static_cast<double>(n_qubits - k) /
+                        static_cast<double>(k + 1);
+    }
+    const int max_count = combinations > 1e6
+                              ? count
+                              : std::min<int>(count,
+                                              static_cast<int>(
+                                                  combinations + 0.5));
+
+    std::set<Subset> seen;
+    std::vector<Subset> subsets;
+    int guard = 0;
+    while (static_cast<int>(subsets.size()) < max_count) {
+        Subset s = rng.sampleWithoutReplacement(n_qubits, subset_size);
+        std::sort(s.begin(), s.end());
+        if (seen.insert(s).second)
+            subsets.push_back(std::move(s));
+        panicIf(++guard > 1000 * max_count + 1000,
+                "randomSubsets: failed to draw distinct subsets");
+    }
+    return subsets;
+}
+
+std::vector<Subset>
+coveringRandomSubsets(int n_qubits, int subset_size, Rng &rng)
+{
+    fatalIf(subset_size < 1 || subset_size > n_qubits,
+            "coveringRandomSubsets: invalid subset size");
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+        std::vector<Subset> subsets =
+            randomSubsets(n_qubits, subset_size, n_qubits, rng);
+        std::vector<bool> covered(static_cast<std::size_t>(n_qubits),
+                                  false);
+        for (const Subset &s : subsets) {
+            for (int q : s)
+                covered[static_cast<std::size_t>(q)] = true;
+        }
+        if (std::all_of(covered.begin(), covered.end(),
+                        [](bool c) { return c; })) {
+            return subsets;
+        }
+    }
+    panicIf(true, "coveringRandomSubsets: could not cover all qubits");
+    return {};
+}
+
+} // namespace core
+} // namespace jigsaw

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Qubit-subset generators for Circuits with Partial Measurements.
+ *
+ * Subsets are expressed over the *measured bit positions* of the
+ * program (classical bits 0..n-1), ascending. The paper's default is
+ * the sliding-window method, which yields exactly n unique subsets
+ * for an n-qubit program (Section 4.2.1); random generators support
+ * the sensitivity studies of Section 6.5.
+ */
+#ifndef JIGSAW_CORE_SUBSETS_H
+#define JIGSAW_CORE_SUBSETS_H
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace jigsaw {
+namespace core {
+
+/** A subset of measured bit positions, sorted ascending. */
+using Subset = std::vector<int>;
+
+/**
+ * Sliding-window subsets: for n = 4, size = 2 this yields (0,1),
+ * (1,2), (2,3), (0,3) — one window per qubit, wrapping around.
+ */
+std::vector<Subset> slidingWindowSubsets(int n_qubits, int subset_size);
+
+/**
+ * @p count distinct random subsets of the given size, uniformly from
+ * the C(n, size) possibilities (count is capped at that number).
+ */
+std::vector<Subset> randomSubsets(int n_qubits, int subset_size, int count,
+                                  Rng &rng);
+
+/**
+ * Random subsets of the given size such that every qubit appears in
+ * at least one subset, using n subsets total (the selection-method
+ * study of Figure 9b).
+ */
+std::vector<Subset> coveringRandomSubsets(int n_qubits, int subset_size,
+                                          Rng &rng);
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_SUBSETS_H

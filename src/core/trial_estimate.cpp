@@ -1,0 +1,55 @@
+#include "core/trial_estimate.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+namespace {
+
+double
+outcomeCount(int subset_size)
+{
+    fatalIf(subset_size < 1 || subset_size > 60,
+            "trial estimate: subset size out of range");
+    return std::ldexp(1.0, subset_size);
+}
+
+void
+checkConfidence(double confidence)
+{
+    fatalIf(confidence <= 0.0 || confidence >= 1.0,
+            "trial estimate: confidence must be in (0, 1)");
+}
+
+} // namespace
+
+double
+coverageProbability(int subset_size, std::uint64_t trials)
+{
+    const double p = 1.0 / outcomeCount(subset_size);
+    return 1.0 - std::pow(1.0 - p, static_cast<double>(trials));
+}
+
+std::uint64_t
+trialsForOutcome(int subset_size, double confidence)
+{
+    checkConfidence(confidence);
+    const double n = outcomeCount(subset_size);
+    return static_cast<std::uint64_t>(
+        std::ceil(-std::log(1.0 - confidence) * n));
+}
+
+std::uint64_t
+trialsForFullCoverage(int subset_size, double confidence)
+{
+    checkConfidence(confidence);
+    const double n = outcomeCount(subset_size);
+    return static_cast<std::uint64_t>(
+        std::ceil(-std::log(1.0 - confidence) * n * n));
+}
+
+} // namespace core
+} // namespace jigsaw

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trial-budget estimation for CPMs (paper Appendix A.2).
+ *
+ * A CPM over s qubits has at most 2^s distinct outcomes. Under the
+ * worst case of a uniform output distribution, the probability that a
+ * given outcome has been seen at least once after t trials is
+ * P = 1 - (1 - 2^-s)^t ~ 1 - e^(-t / 2^s) (Eqs. 6-7), so observing
+ * every outcome at least once with confidence P needs
+ * t = -ln(1 - P) * (2^s)^2 trials in total (Eq. 9). For the default
+ * subset size 2 this is about 150 trials at 99.99% confidence, which
+ * is why splitting half the budget over n CPMs is comfortable.
+ */
+#ifndef JIGSAW_CORE_TRIAL_ESTIMATE_H
+#define JIGSAW_CORE_TRIAL_ESTIMATE_H
+
+#include <cstdint>
+
+namespace jigsaw {
+namespace core {
+
+/**
+ * Probability that one specific outcome of a uniform 2^s-outcome CPM
+ * appears at least once within @p trials trials (Eq. 6).
+ */
+double coverageProbability(int subset_size, std::uint64_t trials);
+
+/**
+ * Trials needed so one specific outcome appears at least once with
+ * probability @p confidence (Eq. 8).
+ */
+std::uint64_t trialsForOutcome(int subset_size, double confidence);
+
+/**
+ * Total trials needed so *every* outcome of the CPM appears at least
+ * once with probability @p confidence each (Eq. 9: the per-outcome
+ * requirement times the 2^s outcomes).
+ */
+std::uint64_t trialsForFullCoverage(int subset_size, double confidence);
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_TRIAL_ESTIMATE_H

@@ -1,0 +1,191 @@
+#include "device/calibration.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace jigsaw {
+namespace device {
+
+Calibration::Calibration(int n_qubits, int n_edges)
+    : qubits_(static_cast<std::size_t>(n_qubits)),
+      edgeErrors_(static_cast<std::size_t>(n_edges), 0.0)
+{
+    fatalIf(n_qubits < 1, "Calibration: need at least one qubit");
+}
+
+const QubitCalibration &
+Calibration::qubit(int q) const
+{
+    fatalIf(q < 0 || q >= nQubits(), "Calibration: qubit out of range");
+    return qubits_[static_cast<std::size_t>(q)];
+}
+
+QubitCalibration &
+Calibration::qubit(int q)
+{
+    fatalIf(q < 0 || q >= nQubits(), "Calibration: qubit out of range");
+    return qubits_[static_cast<std::size_t>(q)];
+}
+
+double
+Calibration::edgeError(int e) const
+{
+    fatalIf(e < 0 || e >= static_cast<int>(edgeErrors_.size()),
+            "Calibration: edge out of range");
+    return edgeErrors_[static_cast<std::size_t>(e)];
+}
+
+void
+Calibration::setEdgeError(int e, double error)
+{
+    fatalIf(e < 0 || e >= static_cast<int>(edgeErrors_.size()),
+            "Calibration: edge out of range");
+    edgeErrors_[static_cast<std::size_t>(e)] = error;
+}
+
+double
+Calibration::effectiveReadoutError(int q, int simultaneous, int bit) const
+{
+    const QubitCalibration &cal = qubit(q);
+    const double base = bit ? cal.readoutError10 : cal.readoutError01;
+    const double extra =
+        cal.crosstalkGamma * static_cast<double>(std::max(0,
+                                                          simultaneous - 1));
+    return std::clamp(base + extra, 0.0, 0.5);
+}
+
+std::vector<double>
+Calibration::readoutErrors() const
+{
+    std::vector<double> errors;
+    errors.reserve(qubits_.size());
+    for (const auto &q : qubits_)
+        errors.push_back(q.meanReadoutError());
+    return errors;
+}
+
+std::vector<int>
+Calibration::bestReadoutQubits(int k) const
+{
+    std::vector<int> order(qubits_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+        const double ea = qubits_[static_cast<std::size_t>(a)]
+                              .meanReadoutError();
+        const double eb = qubits_[static_cast<std::size_t>(b)]
+                              .meanReadoutError();
+        if (ea != eb)
+            return ea < eb;
+        return a < b;
+    });
+    order.resize(static_cast<std::size_t>(
+        std::min<int>(k, static_cast<int>(order.size()))));
+    return order;
+}
+
+namespace {
+
+/**
+ * Farthest-point traversal of the coupling graph: each step picks the
+ * qubit whose minimum distance to all previously chosen qubits is
+ * largest. Assigning sorted (best-first) readout errors along this
+ * order scatters the good qubits across the device, so every
+ * connected region of more than a few qubits contains above-median
+ * readout error — the paper's Section 3.2 observation.
+ */
+std::vector<int>
+farthestPointOrder(const Topology &topology)
+{
+    const int n = topology.nQubits();
+    std::vector<int> order;
+    std::vector<bool> chosen(static_cast<std::size_t>(n), false);
+    order.reserve(static_cast<std::size_t>(n));
+    order.push_back(0);
+    chosen[0] = true;
+    while (static_cast<int>(order.size()) < n) {
+        int best = -1;
+        int best_dist = -1;
+        for (int q = 0; q < n; ++q) {
+            if (chosen[static_cast<std::size_t>(q)])
+                continue;
+            int min_dist = std::numeric_limits<int>::max();
+            for (int c : order)
+                min_dist = std::min(min_dist, topology.distance(q, c));
+            if (min_dist > best_dist) {
+                best_dist = min_dist;
+                best = q;
+            }
+        }
+        order.push_back(best);
+        chosen[static_cast<std::size_t>(best)] = true;
+    }
+    return order;
+}
+
+} // namespace
+
+Calibration
+synthesizeCalibration(const Topology &topology,
+                      const CalibrationProfile &profile,
+                      std::uint64_t seed)
+{
+    Rng rng(seed);
+    Calibration cal(topology.nQubits(),
+                    static_cast<int>(topology.edges().size()));
+
+    const double readout_mu = std::log(profile.readoutMedian);
+    const double gamma_mu = std::log(profile.gammaMedian);
+    const double e1_mu = std::log(profile.error1qMedian);
+    const double e2_mu = std::log(profile.error2qMedian);
+
+    // Sample the per-qubit mean readout errors, then decide which
+    // physical qubit receives which value.
+    std::vector<double> readout_errors;
+    readout_errors.reserve(static_cast<std::size_t>(topology.nQubits()));
+    for (int q = 0; q < topology.nQubits(); ++q) {
+        readout_errors.push_back(std::clamp(
+            rng.logNormal(readout_mu, profile.readoutSigma),
+            profile.readoutFloor, profile.readoutCeil));
+    }
+    std::vector<int> assignment(static_cast<std::size_t>(
+        topology.nQubits()));
+    if (profile.scatterReadout) {
+        std::sort(readout_errors.begin(), readout_errors.end());
+        assignment = farthestPointOrder(topology);
+    } else {
+        std::iota(assignment.begin(), assignment.end(), 0);
+    }
+
+    for (int i = 0; i < topology.nQubits(); ++i) {
+        const int q = assignment[static_cast<std::size_t>(i)];
+        QubitCalibration &qc = cal.qubit(q);
+        const double mean_err =
+            readout_errors[static_cast<std::size_t>(i)];
+        // Split the state-averaged error asymmetrically: reading a
+        // prepared |1> fails more often because the qubit can relax
+        // to |0> during the readout pulse.
+        const double ratio = profile.asymmetry;
+        qc.readoutError01 = 2.0 * mean_err / (1.0 + ratio);
+        qc.readoutError10 = ratio * qc.readoutError01;
+        qc.crosstalkGamma = std::min(
+            rng.logNormal(gamma_mu, profile.gammaSigma), profile.gammaCeil);
+        qc.error1q = rng.logNormal(e1_mu, profile.error1qSigma);
+    }
+
+    for (std::size_t e = 0; e < topology.edges().size(); ++e) {
+        cal.setEdgeError(static_cast<int>(e),
+                         std::min(rng.logNormal(e2_mu, profile.error2qSigma),
+                                  0.15));
+    }
+
+    cal.setCorrelatedPairError(profile.correlatedPairError);
+    return cal;
+}
+
+} // namespace device
+} // namespace jigsaw

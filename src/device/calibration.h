@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-device error calibration: readout, gate, and crosstalk rates.
+ *
+ * Real IBMQ devices publish a daily calibration report; noise-aware
+ * compilation and JigSaw's CPM recompilation both consume it. We
+ * synthesize calibrations from seeded log-normal distributions tuned
+ * to the statistics the paper publishes for each machine (Fig 3 for
+ * IBMQ-Toronto, Table 1 for Google Sycamore).
+ */
+#ifndef JIGSAW_DEVICE_CALIBRATION_H
+#define JIGSAW_DEVICE_CALIBRATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "device/topology.h"
+
+namespace jigsaw {
+namespace device {
+
+/** Calibration data for a single qubit. */
+struct QubitCalibration
+{
+    double readoutError01 = 0.0; ///< P(read 1 | prepared 0).
+    double readoutError10 = 0.0; ///< P(read 0 | prepared 1).
+    double error1q = 0.0;        ///< Single-qubit gate error rate.
+    /**
+     * Measurement-crosstalk coefficient: measuring this qubit together
+     * with M-1 others raises its readout error by gamma * (M - 1)
+     * (paper Section 3.1: up to +2% at M=5 and +4% at M=10 on IBMQ).
+     */
+    double crosstalkGamma = 0.0;
+
+    /** State-averaged readout error, (e01 + e10) / 2. */
+    double
+    meanReadoutError() const
+    {
+        return 0.5 * (readoutError01 + readoutError10);
+    }
+};
+
+/** Distribution parameters for synthesizeCalibration(). */
+struct CalibrationProfile
+{
+    double readoutMedian = 0.0276;  ///< Median of mean readout error.
+    double readoutSigma = 1.03;     ///< Log-space sigma.
+    double readoutFloor = 0.0085;   ///< Clamp: best qubit.
+    double readoutCeil = 0.222;     ///< Clamp: worst qubit.
+    double asymmetry = 1.5;         ///< e10 / e01 ratio (1-decay bias).
+    double gammaMedian = 0.0035;    ///< Crosstalk coefficient median.
+    double gammaSigma = 0.75;
+    double gammaCeil = 0.0100;
+    double error1qMedian = 0.0004;
+    double error1qSigma = 0.55;
+    double error2qMedian = 0.011;
+    double error2qSigma = 0.50;
+    /** Probability that a pair of adjacent simultaneous measurements
+     *  flips together (correlated-error floor; see DESIGN.md). */
+    double correlatedPairError = 0.0015;
+    /**
+     * Assign the best readout errors to spatially spread-out qubits
+     * (farthest-point order). This reproduces the paper's Figure 3
+     * observation that low-error qubits are not co-located, so any
+     * program beyond a handful of qubits is forced onto above-median
+     * readout qubits (Section 3.2).
+     */
+    bool scatterReadout = true;
+};
+
+/**
+ * Full device calibration: per-qubit readout/1q data plus per-edge
+ * two-qubit gate error rates.
+ */
+class Calibration
+{
+  public:
+    /** Construct all-zeros calibration for @p n_qubits and @p n_edges. */
+    Calibration(int n_qubits, int n_edges);
+
+    /** Per-qubit calibration record. */
+    const QubitCalibration &qubit(int q) const;
+
+    /** Mutable access (used by synthesis and tests). */
+    QubitCalibration &qubit(int q);
+
+    /** Two-qubit gate error for edge index @p e (see Topology). */
+    double edgeError(int e) const;
+
+    /** Set the two-qubit gate error for edge index @p e. */
+    void setEdgeError(int e, double error);
+
+    /** Number of qubits covered. */
+    int nQubits() const { return static_cast<int>(qubits_.size()); }
+
+    /**
+     * Effective readout error of @p q when measured together with
+     * @p simultaneous total qubits: base + gamma * (simultaneous - 1),
+     * clamped to [0, 0.5] per bit value.
+     */
+    double effectiveReadoutError(int q, int simultaneous, int bit) const;
+
+    /** Mean of per-qubit state-averaged readout errors. */
+    std::vector<double> readoutErrors() const;
+
+    /** Correlated adjacent-measurement flip probability. */
+    double correlatedPairError() const { return correlatedPairError_; }
+
+    /** Set the correlated-pair flip probability. */
+    void setCorrelatedPairError(double p) { correlatedPairError_ = p; }
+
+    /**
+     * Indices of the @p k qubits with the lowest state-averaged
+     * readout error, best first.
+     */
+    std::vector<int> bestReadoutQubits(int k) const;
+
+  private:
+    std::vector<QubitCalibration> qubits_;
+    std::vector<double> edgeErrors_;
+    double correlatedPairError_ = 0.0;
+};
+
+/**
+ * Sample a calibration for @p topology from @p profile using the
+ * deterministic @p seed. Readout errors are log-normal (heavy upper
+ * tail, matching the paper's observation that worst-case qubits are
+ * ~10x the median) and clamped to the profile's floor/ceiling.
+ */
+Calibration synthesizeCalibration(const Topology &topology,
+                                  const CalibrationProfile &profile,
+                                  std::uint64_t seed);
+
+} // namespace device
+} // namespace jigsaw
+
+#endif // JIGSAW_DEVICE_CALIBRATION_H

@@ -1,0 +1,19 @@
+#include "device/device_model.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace device {
+
+DeviceModel::DeviceModel(std::string name, Topology topology,
+                         Calibration calibration)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      calibration_(std::move(calibration))
+{
+    fatalIf(topology_.nQubits() != calibration_.nQubits(),
+            "DeviceModel: topology/calibration qubit count mismatch");
+}
+
+} // namespace device
+} // namespace jigsaw

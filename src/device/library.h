@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Prebuilt device models matching the machines the paper evaluates on.
+ *
+ * Calibration values are synthetic but seeded and tuned so that the
+ * published per-device statistics are reproduced (see DESIGN.md,
+ * "Substitutions"): IBMQ-Toronto's readout-error spread comes from the
+ * paper's Fig 3, the Sycamore model from Table 1.
+ */
+#ifndef JIGSAW_DEVICE_LIBRARY_H
+#define JIGSAW_DEVICE_LIBRARY_H
+
+#include <string>
+#include <vector>
+
+#include "device/device_model.h"
+
+namespace jigsaw {
+namespace device {
+
+/** 27-qubit heavy-hex model of IBMQ-Toronto. */
+DeviceModel toronto();
+
+/** 27-qubit heavy-hex model of IBMQ-Paris. */
+DeviceModel paris();
+
+/** 65-qubit heavy-hex model of IBMQ-Manhattan. */
+DeviceModel manhattan();
+
+/** 53-qubit grid model of Google Sycamore (Table 1 statistics). */
+DeviceModel sycamore();
+
+/** The three IBMQ evaluation devices, in the paper's order. */
+std::vector<DeviceModel> evaluationDevices();
+
+/** Look up one of the named devices above ("ibmq-toronto", ...). */
+DeviceModel byName(const std::string &name);
+
+} // namespace device
+} // namespace jigsaw
+
+#endif // JIGSAW_DEVICE_LIBRARY_H

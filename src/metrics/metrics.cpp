@@ -1,0 +1,108 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace metrics {
+
+double
+pst(const Pmf &observed, const std::vector<BasisState> &correct)
+{
+    double total = 0.0;
+    for (BasisState outcome : correct)
+        total += observed.prob(outcome);
+    return total;
+}
+
+double
+ist(const Pmf &observed, const std::vector<BasisState> &correct)
+{
+    double best_correct = 0.0;
+    for (BasisState outcome : correct)
+        best_correct = std::max(best_correct, observed.prob(outcome));
+
+    double best_incorrect = 0.0;
+    for (const auto &[outcome, p] : observed.probabilities()) {
+        if (std::find(correct.begin(), correct.end(), outcome) ==
+            correct.end()) {
+            best_incorrect = std::max(best_incorrect, p);
+        }
+    }
+    if (best_incorrect <= 0.0)
+        return 1e12;
+    return best_correct / best_incorrect;
+}
+
+double
+fidelity(const Pmf &observed, const Pmf &ideal)
+{
+    return 1.0 - totalVariationDistance(observed, ideal);
+}
+
+double
+approximationRatio(const Pmf &observed,
+                   const workloads::Workload &workload)
+{
+    fatalIf(!workload.hasCost(),
+            "approximationRatio: workload has no cost function");
+    double expected = 0.0;
+    for (const auto &[outcome, p] : observed.probabilities())
+        expected += p * workload.cost(outcome);
+    return expected / workload.maxCost();
+}
+
+double
+approximationRatioGap(const Pmf &observed,
+                      const workloads::Workload &workload)
+{
+    const double ar_ideal =
+        approximationRatio(workload.idealPmf(), workload);
+    const double ar_observed = approximationRatio(observed, workload);
+    fatalIf(ar_ideal <= 0.0, "approximationRatioGap: ideal AR is zero");
+    return 100.0 * (ar_ideal - ar_observed) / ar_ideal;
+}
+
+Interval
+pstWilsonInterval(const Histogram &observed,
+                  const std::vector<BasisState> &correct, double z)
+{
+    fatalIf(observed.totalCount() == 0,
+            "pstWilsonInterval: empty histogram");
+    fatalIf(z <= 0.0, "pstWilsonInterval: z must be positive");
+    const double n = static_cast<double>(observed.totalCount());
+    double successes = 0.0;
+    for (BasisState outcome : correct)
+        successes += static_cast<double>(observed.count(outcome));
+
+    const double p = successes / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double
+pst(const Pmf &observed, const workloads::Workload &workload)
+{
+    return pst(observed, workload.correctOutcomes());
+}
+
+double
+ist(const Pmf &observed, const workloads::Workload &workload)
+{
+    return ist(observed, workload.correctOutcomes());
+}
+
+double
+fidelity(const Pmf &observed, const workloads::Workload &workload)
+{
+    return fidelity(observed, workload.idealPmf());
+}
+
+} // namespace metrics
+} // namespace jigsaw

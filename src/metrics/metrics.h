@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figures of merit from paper Section 5.5.
+ *
+ * - PST (Probability of a Successful Trial): probability mass of the
+ *   correct outcomes, Eq. (1).
+ * - IST (Inference Strength): probability of the strongest correct
+ *   outcome over that of the most frequent incorrect outcome, Eq. (2).
+ * - Fidelity: 1 - TVD between observed and noise-free distributions,
+ *   Eq. (3).
+ * - AR / ARG (Approximation Ratio Gap): QAOA-specific, Eq. (4).
+ */
+#ifndef JIGSAW_METRICS_METRICS_H
+#define JIGSAW_METRICS_METRICS_H
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace metrics {
+
+/** Probability of a Successful Trial: summed mass of @p correct. */
+double pst(const Pmf &observed, const std::vector<BasisState> &correct);
+
+/**
+ * Inference Strength: P(best correct) / P(most frequent incorrect).
+ * Returns a large finite value (1e12) when no incorrect outcome was
+ * observed at all.
+ */
+double ist(const Pmf &observed, const std::vector<BasisState> &correct);
+
+/** Fidelity = 1 - TVD(observed, ideal), in [0, 1]. */
+double fidelity(const Pmf &observed, const Pmf &ideal);
+
+/** Expected-cost ratio against the optimum for a cost workload. */
+double approximationRatio(const Pmf &observed,
+                          const workloads::Workload &workload);
+
+/**
+ * Approximation Ratio Gap in percent:
+ * 100 * (AR_ideal - AR_observed) / AR_ideal, where AR_ideal is
+ * evaluated on the workload's noise-free distribution.
+ */
+double approximationRatioGap(const Pmf &observed,
+                             const workloads::Workload &workload);
+
+/** A two-sided confidence interval. */
+struct Interval
+{
+    double low = 0.0;
+    double high = 0.0;
+};
+
+/**
+ * Wilson score interval for the PST estimated from trial counts:
+ * successes = trials landing on a correct outcome, out of the
+ * histogram's total. @p z is the normal quantile (1.96 = 95%).
+ * Use this to report sampling uncertainty next to any empirical PST.
+ */
+Interval pstWilsonInterval(const Histogram &observed,
+                           const std::vector<BasisState> &correct,
+                           double z = 1.96);
+
+/** PST convenience overload evaluating a workload's correct set. */
+double pst(const Pmf &observed, const workloads::Workload &workload);
+
+/** IST convenience overload evaluating a workload's correct set. */
+double ist(const Pmf &observed, const workloads::Workload &workload);
+
+/** Fidelity convenience overload against a workload's ideal PMF. */
+double fidelity(const Pmf &observed, const workloads::Workload &workload);
+
+} // namespace metrics
+} // namespace jigsaw
+
+#endif // JIGSAW_METRICS_METRICS_H

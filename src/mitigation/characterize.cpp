@@ -1,0 +1,71 @@
+#include "mitigation/characterize.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+EmpiricalConfusion
+characterizeReadout(const circuit::QuantumCircuit &physical_circuit,
+                    sim::Executor &executor,
+                    std::uint64_t shots_per_state)
+{
+    fatalIf(shots_per_state == 0,
+            "characterizeReadout: need at least one shot");
+    const std::vector<int> measured = physical_circuit.measuredQubits();
+    const int n_clbits = physical_circuit.countMeasurements();
+    fatalIf(n_clbits == 0,
+            "characterizeReadout: circuit has no measurements");
+
+    // Preparation circuits share the target's measurement pattern.
+    circuit::QuantumCircuit prep0(physical_circuit.nQubits(), n_clbits);
+    circuit::QuantumCircuit prep1(physical_circuit.nQubits(), n_clbits);
+    for (int c = 0; c < n_clbits; ++c) {
+        const int q = measured[static_cast<std::size_t>(c)];
+        fatalIf(q < 0, "characterizeReadout: unused classical bit");
+        prep1.x(q);
+    }
+    for (int c = 0; c < n_clbits; ++c) {
+        const int q = measured[static_cast<std::size_t>(c)];
+        prep0.measure(q, c);
+        prep1.measure(q, c);
+    }
+
+    const Histogram h0 = executor.run(prep0, shots_per_state);
+    const Histogram h1 = executor.run(prep1, shots_per_state);
+
+    EmpiricalConfusion confusion;
+    confusion.shotsPerState = shots_per_state;
+    confusion.flip0.resize(static_cast<std::size_t>(n_clbits), 0.0);
+    confusion.flip1.resize(static_cast<std::size_t>(n_clbits), 0.0);
+
+    for (const auto &[outcome, count] : h0.counts()) {
+        for (int c = 0; c < n_clbits; ++c) {
+            if (getBit(outcome, c))
+                confusion.flip0[static_cast<std::size_t>(c)] +=
+                    static_cast<double>(count);
+        }
+    }
+    for (const auto &[outcome, count] : h1.counts()) {
+        for (int c = 0; c < n_clbits; ++c) {
+            if (!getBit(outcome, c))
+                confusion.flip1[static_cast<std::size_t>(c)] +=
+                    static_cast<double>(count);
+        }
+    }
+
+    const double total = static_cast<double>(shots_per_state);
+    for (int c = 0; c < n_clbits; ++c) {
+        auto &f0 = confusion.flip0[static_cast<std::size_t>(c)];
+        auto &f1 = confusion.flip1[static_cast<std::size_t>(c)];
+        // Clamp for invertibility of [[1-e0, e1], [e0, 1-e1]].
+        f0 = std::clamp(f0 / total, 1e-6, 0.49);
+        f1 = std::clamp(f1 / total, 1e-6, 0.49);
+    }
+    return confusion;
+}
+
+} // namespace mitigation
+} // namespace jigsaw

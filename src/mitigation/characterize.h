@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Empirical readout characterization.
+ *
+ * Real matrix-based mitigation cannot read the device's true error
+ * rates; it estimates them by running preparation circuits (this is
+ * what IBM's calibration step does before inverting). This module
+ * measures per-qubit confusion rates through the same Executor
+ * interface the workloads use — including whatever crosstalk the
+ * simultaneous-measurement pattern of the target circuit induces —
+ * so MbmMitigator can be built without privileged model access.
+ */
+#ifndef JIGSAW_MITIGATION_CHARACTERIZE_H
+#define JIGSAW_MITIGATION_CHARACTERIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "sim/simulators.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+/** Empirically estimated per-clbit confusion rates. */
+struct EmpiricalConfusion
+{
+    std::vector<double> flip0; ///< P(read 1 | prepared 0) per clbit.
+    std::vector<double> flip1; ///< P(read 0 | prepared 1) per clbit.
+    std::uint64_t shotsPerState = 0; ///< Shots behind each estimate.
+};
+
+/**
+ * Estimate the confusion of @p physical_circuit's measurement set by
+ * running two preparation circuits on @p executor: all measured
+ * qubits in |0>, and all in |1> (via X gates), each measured exactly
+ * like the target circuit so the crosstalk conditions match.
+ *
+ * Rates are clamped away from 0 and 0.5 so the resulting confusion
+ * matrices stay invertible.
+ */
+EmpiricalConfusion characterizeReadout(
+    const circuit::QuantumCircuit &physical_circuit,
+    sim::Executor &executor, std::uint64_t shots_per_state = 8192);
+
+} // namespace mitigation
+} // namespace jigsaw
+
+#endif // JIGSAW_MITIGATION_CHARACTERIZE_H

@@ -1,0 +1,29 @@
+#include "mitigation/edm.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+EdmResult
+runEdm(const circuit::QuantumCircuit &logical,
+       const device::DeviceModel &dev, sim::Executor &executor,
+       std::uint64_t total_trials, int ensemble_size,
+       const compiler::TranspileOptions &options)
+{
+    fatalIf(ensemble_size < 1, "runEdm: ensemble size must be positive");
+    std::vector<compiler::CompiledCircuit> mappings =
+        compiler::transpileEnsemble(logical, dev, ensemble_size, options);
+    fatalIf(mappings.empty(), "runEdm: no mappings produced");
+
+    const std::uint64_t per_mapping =
+        std::max<std::uint64_t>(1, total_trials / mappings.size());
+    Histogram merged(logical.nClbits());
+    for (const compiler::CompiledCircuit &mapping : mappings)
+        merged.merge(executor.run(mapping.physical, per_mapping));
+
+    return {merged.toPmf(), std::move(mappings)};
+}
+
+} // namespace mitigation
+} // namespace jigsaw

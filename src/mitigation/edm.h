@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ensemble of Diverse Mappings (Tannu & Qureshi, MICRO 2019), the
+ * prior-work baseline the paper compares against (Section 5.2).
+ *
+ * The trial budget is split equally across k independently compiled
+ * mappings; because different mappings make dissimilar mistakes, the
+ * merged histogram strengthens the (mapping-independent) correct
+ * answer relative to mapping-specific error modes.
+ */
+#ifndef JIGSAW_MITIGATION_EDM_H
+#define JIGSAW_MITIGATION_EDM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/histogram.h"
+#include "compiler/transpiler.h"
+#include "device/device_model.h"
+#include "sim/simulators.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+/** Outcome of an EDM run. */
+struct EdmResult
+{
+    Pmf output;                                    ///< Merged PMF.
+    std::vector<compiler::CompiledCircuit> mappings; ///< The ensemble.
+};
+
+/**
+ * Run EDM with @p ensemble_size diverse mappings (paper default 4),
+ * splitting @p total_trials equally among them.
+ */
+EdmResult runEdm(const circuit::QuantumCircuit &logical,
+                 const device::DeviceModel &dev, sim::Executor &executor,
+                 std::uint64_t total_trials, int ensemble_size = 4,
+                 const compiler::TranspileOptions &options = {});
+
+} // namespace mitigation
+} // namespace jigsaw
+
+#endif // JIGSAW_MITIGATION_EDM_H

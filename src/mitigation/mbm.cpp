@@ -1,0 +1,107 @@
+#include "mitigation/mbm.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+MbmMitigator::MbmMitigator(const circuit::QuantumCircuit &physical_circuit,
+                           const device::DeviceModel &dev)
+{
+    const std::vector<int> measured = physical_circuit.measuredQubits();
+    const int simultaneous = physical_circuit.countMeasurements();
+    fatalIf(measured.empty(), "MbmMitigator: circuit has no measurements");
+    fatalIf(static_cast<int>(measured.size()) > 24,
+            "MbmMitigator: too many measured qubits for the dense "
+            "inverse (the exponential-cost limitation of MBM)");
+
+    flip0_.reserve(measured.size());
+    flip1_.reserve(measured.size());
+    for (int q : measured) {
+        fatalIf(q < 0, "MbmMitigator: unused classical bit");
+        flip0_.push_back(dev.calibration().effectiveReadoutError(
+            q, simultaneous, 0));
+        flip1_.push_back(dev.calibration().effectiveReadoutError(
+            q, simultaneous, 1));
+    }
+}
+
+MbmMitigator::MbmMitigator(const EmpiricalConfusion &confusion)
+    : flip0_(confusion.flip0), flip1_(confusion.flip1)
+{
+    fatalIf(flip0_.empty() || flip0_.size() != flip1_.size(),
+            "MbmMitigator: malformed empirical confusion");
+    fatalIf(flip0_.size() > 24,
+            "MbmMitigator: too many measured qubits for the dense "
+            "inverse (the exponential-cost limitation of MBM)");
+}
+
+Pmf
+MbmMitigator::mitigate(const Pmf &observed) const
+{
+    const int n = nClbits();
+    fatalIf(observed.nQubits() != n,
+            "MbmMitigator: PMF size does not match the calibration");
+
+    // Densify, apply each qubit's 2x2 inverse along its axis, then
+    // clamp and renormalize (the standard least-norm fixup for the
+    // quasi-probabilities the inverse produces).
+    std::vector<double> dense(1ULL << n, 0.0);
+    for (const auto &[outcome, p] : observed.probabilities())
+        dense[outcome] = p;
+
+    for (int c = 0; c < n; ++c) {
+        const double e0 = flip0_[static_cast<std::size_t>(c)];
+        const double e1 = flip1_[static_cast<std::size_t>(c)];
+        const double det = 1.0 - e0 - e1;
+        fatalIf(det <= 0.0, "MbmMitigator: confusion matrix singular");
+        // inverse of [[1-e0, e1], [e0, 1-e1]] (columns = true state).
+        const double inv00 = (1.0 - e1) / det;
+        const double inv01 = -e1 / det;
+        const double inv10 = -e0 / det;
+        const double inv11 = (1.0 - e0) / det;
+
+        const BasisState mask = 1ULL << c;
+        for (BasisState base = 0; base < dense.size(); ++base) {
+            if (base & mask)
+                continue;
+            const double v0 = dense[base];
+            const double v1 = dense[base | mask];
+            dense[base] = inv00 * v0 + inv01 * v1;
+            dense[base | mask] = inv10 * v0 + inv11 * v1;
+        }
+    }
+
+    Pmf mitigated(n);
+    for (BasisState outcome = 0; outcome < dense.size(); ++outcome) {
+        const double p = std::max(0.0, dense[outcome]);
+        if (p > 1e-12)
+            mitigated.set(outcome, p);
+    }
+    mitigated.normalize();
+    return mitigated;
+}
+
+Pmf
+applyMbmToJigsaw(const core::JigsawResult &result,
+                 const device::DeviceModel &dev,
+                 const core::ReconstructionOptions &options)
+{
+    const MbmMitigator global_mitigator(result.globalCompiled.physical,
+                                        dev);
+    const Pmf global = global_mitigator.mitigate(result.globalPmf);
+
+    std::vector<core::Marginal> marginals;
+    marginals.reserve(result.cpms.size());
+    for (const core::CpmRecord &cpm : result.cpms) {
+        const MbmMitigator local_mitigator(cpm.compiled.physical, dev);
+        marginals.push_back(
+            {local_mitigator.mitigate(cpm.localPmf), cpm.subset});
+    }
+    return core::multiLayerReconstruct(global, marginals, options);
+}
+
+} // namespace mitigation
+} // namespace jigsaw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Matrix-Based measurement error Mitigation (IBM's MBM; paper
+ * Section 8, Figure 14).
+ *
+ * The readout process is modeled as a confusion matrix acting on the
+ * true distribution; mitigation applies its inverse. We use the
+ * tensored (per-qubit) variant: each measured qubit contributes a 2x2
+ * confusion matrix derived from the same calibration the simulator's
+ * readout channel uses, so MBM here is as strong as it can possibly
+ * be — except that it cannot model the correlated-pair flips or gate
+ * noise, which is exactly the gap JigSaw+MBM closes in Figure 14.
+ */
+#ifndef JIGSAW_MITIGATION_MBM_H
+#define JIGSAW_MITIGATION_MBM_H
+
+#include "circuit/circuit.h"
+#include "common/histogram.h"
+#include "core/jigsaw.h"
+#include "device/device_model.h"
+#include "mitigation/characterize.h"
+
+namespace jigsaw {
+namespace mitigation {
+
+/**
+ * Tensored confusion-matrix inverter for one compiled circuit's
+ * measurement set.
+ */
+class MbmMitigator
+{
+  public:
+    /**
+     * Derive per-clbit confusion matrices from the calibration of
+     * @p dev for the measurements of @p physical_circuit (including
+     * the crosstalk uplift for its simultaneous-measurement count).
+     */
+    MbmMitigator(const circuit::QuantumCircuit &physical_circuit,
+                 const device::DeviceModel &dev);
+
+    /**
+     * Build from empirically measured confusion rates (see
+     * characterizeReadout()) — the calibration path a real deployment
+     * uses, with no privileged access to the noise model.
+     */
+    explicit MbmMitigator(const EmpiricalConfusion &confusion);
+
+    /**
+     * Apply the inverse confusion transform to @p observed, clamping
+     * negative quasi-probabilities to zero and renormalizing.
+     * Complexity is O(n 2^n): exponential in the number of measured
+     * bits, the scalability weakness the paper contrasts JigSaw with.
+     */
+    Pmf mitigate(const Pmf &observed) const;
+
+    /** Number of measured bits. */
+    int nClbits() const { return static_cast<int>(flip0_.size()); }
+
+  private:
+    std::vector<double> flip0_; ///< P(read 1 | true 0) per clbit.
+    std::vector<double> flip1_; ///< P(read 0 | true 1) per clbit.
+};
+
+/**
+ * JigSaw + MBM composition (Figure 14): mitigate the global PMF and
+ * every CPM's local PMF, then rerun the Bayesian reconstruction on
+ * the mitigated evidence.
+ */
+Pmf applyMbmToJigsaw(const core::JigsawResult &result,
+                     const device::DeviceModel &dev,
+                     const core::ReconstructionOptions &options = {});
+
+} // namespace mitigation
+} // namespace jigsaw
+
+#endif // JIGSAW_MITIGATION_MBM_H

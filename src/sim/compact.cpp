@@ -1,0 +1,36 @@
+#include "sim/compact.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace sim {
+
+CompactCircuit
+compactCircuit(const circuit::QuantumCircuit &qc)
+{
+    std::vector<int> dense_of(static_cast<std::size_t>(qc.nQubits()), -1);
+    std::vector<int> active;
+    for (const circuit::Gate &g : qc.gates()) {
+        for (int q : g.qubits) {
+            if (dense_of[static_cast<std::size_t>(q)] < 0) {
+                dense_of[static_cast<std::size_t>(q)] =
+                    static_cast<int>(active.size());
+                active.push_back(q);
+            }
+        }
+    }
+    fatalIf(active.empty(), "compactCircuit: circuit has no gates");
+
+    circuit::QuantumCircuit compacted(static_cast<int>(active.size()),
+                                      qc.nClbits());
+    for (const circuit::Gate &g : qc.gates()) {
+        circuit::Gate h = g;
+        for (int &q : h.qubits)
+            q = dense_of[static_cast<std::size_t>(q)];
+        compacted.append(std::move(h));
+    }
+    return {std::move(compacted), std::move(active), std::move(dense_of)};
+}
+
+} // namespace sim
+} // namespace jigsaw

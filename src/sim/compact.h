@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Active-qubit compaction.
+ *
+ * A routed circuit lives in physical-qubit space (up to 65 qubits on
+ * the Manhattan model) but only touches a handful of qubits. Compaction
+ * renumbers the touched qubits densely so the state-vector simulator
+ * works over ~n_program qubits instead of 2^65 amplitudes.
+ */
+#ifndef JIGSAW_SIM_COMPACT_H
+#define JIGSAW_SIM_COMPACT_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace jigsaw {
+namespace sim {
+
+/** Result of compacting a circuit onto its active qubits. */
+struct CompactCircuit
+{
+    /** The same gates, renumbered to dense qubit indices. */
+    circuit::QuantumCircuit circuit;
+    /** activeQubits[dense] = original (physical) qubit index. */
+    std::vector<int> activeQubits;
+    /** denseOf[physical] = dense index, or -1 when untouched. */
+    std::vector<int> denseOf;
+};
+
+/**
+ * Renumber the qubits touched by @p qc (by any gate or measurement)
+ * to 0..k-1, preserving gate order and classical bits.
+ */
+CompactCircuit compactCircuit(const circuit::QuantumCircuit &qc);
+
+} // namespace sim
+} // namespace jigsaw
+
+#endif // JIGSAW_SIM_COMPACT_H

@@ -1,0 +1,68 @@
+#include "sim/noise_model.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace sim {
+
+MeasurementChannel::MeasurementChannel(
+    const circuit::QuantumCircuit &physical_circuit,
+    const device::DeviceModel &dev)
+{
+    const device::Calibration &cal = dev.calibration();
+    const std::vector<int> measured = physical_circuit.measuredQubits();
+    const int simultaneous = physical_circuit.countMeasurements();
+
+    flip0_.resize(measured.size(), 0.0);
+    flip1_.resize(measured.size(), 0.0);
+    for (std::size_t c = 0; c < measured.size(); ++c) {
+        const int q = measured[c];
+        fatalIf(q < 0, "MeasurementChannel: unused classical bit in "
+                       "measured circuit");
+        flip0_[c] = cal.effectiveReadoutError(q, simultaneous, 0);
+        flip1_[c] = cal.effectiveReadoutError(q, simultaneous, 1);
+    }
+
+    // Correlated flips act on clbit pairs whose physical qubits are
+    // coupled and measured together.
+    for (std::size_t a = 0; a < measured.size(); ++a) {
+        for (std::size_t b = a + 1; b < measured.size(); ++b) {
+            if (dev.topology().areCoupled(measured[a], measured[b])) {
+                correlatedPairs_.emplace_back(static_cast<int>(a),
+                                              static_cast<int>(b));
+            }
+        }
+    }
+    correlatedError_ = cal.correlatedPairError();
+}
+
+BasisState
+MeasurementChannel::apply(BasisState ideal, Rng &rng) const
+{
+    BasisState out = ideal;
+    for (std::size_t c = 0; c < flip0_.size(); ++c) {
+        const int bit = getBit(ideal, static_cast<int>(c));
+        const double p = bit ? flip1_[c] : flip0_[c];
+        if (rng.bernoulli(p))
+            out = flipBit(out, static_cast<int>(c));
+    }
+    for (const auto &[a, b] : correlatedPairs_) {
+        if (rng.bernoulli(correlatedError_)) {
+            out = flipBit(out, a);
+            out = flipBit(out, b);
+        }
+    }
+    return out;
+}
+
+double
+MeasurementChannel::flipProbability(int c, int bit) const
+{
+    fatalIf(c < 0 || c >= nClbits(),
+            "MeasurementChannel: clbit out of range");
+    return bit ? flip1_[static_cast<std::size_t>(c)]
+               : flip0_[static_cast<std::size_t>(c)];
+}
+
+} // namespace sim
+} // namespace jigsaw

@@ -1,0 +1,246 @@
+#include "sim/simulators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/compact.h"
+#include "sim/eps.h"
+#include "sim/noise_model.h"
+#include "sim/statevector.h"
+
+namespace jigsaw {
+namespace sim {
+
+using circuit::Gate;
+using circuit::QuantumCircuit;
+
+void
+checkTerminalMeasurements(const QuantumCircuit &qc)
+{
+    std::vector<bool> measured(static_cast<std::size_t>(qc.nQubits()),
+                               false);
+    std::vector<bool> clbit_used(static_cast<std::size_t>(qc.nClbits()),
+                                 false);
+    bool any = false;
+    for (const Gate &g : qc.gates()) {
+        if (g.isMeasure()) {
+            any = true;
+            fatalIf(clbit_used[static_cast<std::size_t>(g.clbit)],
+                    "duplicate measurement into one classical bit");
+            clbit_used[static_cast<std::size_t>(g.clbit)] = true;
+            measured[static_cast<std::size_t>(g.qubits[0])] = true;
+            continue;
+        }
+        for (int q : g.qubits) {
+            fatalIf(measured[static_cast<std::size_t>(q)],
+                    "gate after measurement: measurements must be terminal");
+        }
+    }
+    fatalIf(!any, "circuit has no measurements");
+}
+
+namespace {
+
+/**
+ * Exact output PMF of a (physical) circuit over its classical bits,
+ * computed by compacting onto active qubits and simulating.
+ */
+Pmf
+exactOutputPmf(const QuantumCircuit &physical)
+{
+    checkTerminalMeasurements(physical);
+    const CompactCircuit compact = compactCircuit(physical);
+
+    StateVector state(compact.circuit.nQubits());
+    state.applyCircuit(compact.circuit);
+
+    // Dense qubit index for each classical bit, in clbit order.
+    const std::vector<int> measured = compact.circuit.measuredQubits();
+    std::vector<int> dense_qubits;
+    dense_qubits.reserve(measured.size());
+    for (int q : measured) {
+        fatalIf(q < 0, "exactOutputPmf: unused classical bit");
+        dense_qubits.push_back(q);
+    }
+    return state.measurementPmf(dense_qubits);
+}
+
+/** Cumulative-distribution sampler over a sparse PMF. */
+class PmfSampler
+{
+  public:
+    explicit PmfSampler(const Pmf &pmf)
+    {
+        entries_.reserve(pmf.support());
+        double acc = 0.0;
+        for (const auto &[outcome, p] : pmf.probabilities()) {
+            acc += p;
+            entries_.emplace_back(acc, outcome);
+        }
+        total_ = acc;
+    }
+
+    BasisState
+    sample(Rng &rng) const
+    {
+        const double r = rng.uniform() * total_;
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), r,
+            [](const auto &e, double v) { return e.first < v; });
+        if (it == entries_.end())
+            --it;
+        return it->second;
+    }
+
+  private:
+    std::vector<std::pair<double, BasisState>> entries_;
+    double total_ = 0.0;
+};
+
+} // namespace
+
+IdealSimulator::IdealSimulator(std::uint64_t seed) : rng_(seed) {}
+
+Histogram
+IdealSimulator::run(const QuantumCircuit &physical_circuit,
+                    std::uint64_t shots)
+{
+    return idealPmf(physical_circuit).sampleHistogram(shots, rng_);
+}
+
+Pmf
+IdealSimulator::idealPmf(const QuantumCircuit &physical_circuit)
+{
+    return exactOutputPmf(physical_circuit);
+}
+
+NoisySimulator::NoisySimulator(device::DeviceModel dev,
+                               NoisySimulatorOptions options)
+    : dev_(std::move(dev)), options_(options), rng_(options.seed)
+{
+}
+
+Histogram
+NoisySimulator::run(const QuantumCircuit &physical_circuit,
+                    std::uint64_t shots)
+{
+    fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
+            "NoisySimulator: circuit is not in this device's physical "
+            "qubit space");
+    if (options_.trajectories > 0)
+        return runTrajectoryMode(physical_circuit, shots);
+    return runChannelMode(physical_circuit, shots);
+}
+
+Histogram
+NoisySimulator::runChannelMode(const QuantumCircuit &physical,
+                               std::uint64_t shots)
+{
+    const Pmf ideal = exactOutputPmf(physical);
+    const PmfSampler sampler(ideal);
+    const MeasurementChannel channel(physical, dev_);
+
+    const double gate_ok =
+        options_.gateNoise ? gateSuccessProbability(physical, dev_) : 1.0;
+    const int n_clbits = physical.nClbits();
+
+    Histogram hist(n_clbits);
+    for (std::uint64_t t = 0; t < shots; ++t) {
+        BasisState outcome = sampler.sample(rng_);
+        if (!rng_.bernoulli(gate_ok)) {
+            // Gate failure: corrupt the sampled outcome with
+            // independent bit flips (localized depolarizing).
+            for (int c = 0; c < n_clbits; ++c) {
+                if (rng_.bernoulli(options_.gateNoiseBitFlip))
+                    outcome = flipBit(outcome, c);
+            }
+        }
+        if (options_.measurementNoise)
+            outcome = channel.apply(outcome, rng_);
+        hist.add(outcome);
+    }
+    return hist;
+}
+
+Histogram
+NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
+                                  std::uint64_t shots)
+{
+    checkTerminalMeasurements(physical);
+    const CompactCircuit compact = compactCircuit(physical);
+    const device::Calibration &cal = dev_.calibration();
+    const device::Topology &topo = dev_.topology();
+    const MeasurementChannel channel(physical, dev_);
+
+    const std::vector<int> measured = compact.circuit.measuredQubits();
+    std::vector<int> dense_qubits;
+    for (int q : measured) {
+        fatalIf(q < 0, "trajectory mode: unused classical bit");
+        dense_qubits.push_back(q);
+    }
+
+    const int n_traj = options_.trajectories;
+    const std::uint64_t base_shots = shots / static_cast<std::uint64_t>(
+                                                 n_traj);
+    Histogram hist(physical.nClbits());
+
+    for (int traj = 0; traj < n_traj; ++traj) {
+        StateVector state(compact.circuit.nQubits());
+        for (const Gate &g : compact.circuit.gates()) {
+            if (g.isMeasure())
+                continue;
+            state.applyGate(g);
+            if (!options_.gateNoise ||
+                g.type == circuit::GateType::BARRIER) {
+                continue;
+            }
+            // Stochastic Pauli unravelling of a depolarizing channel
+            // with the calibrated per-gate strength.
+            double err;
+            if (g.isSingleQubit()) {
+                err = cal.qubit(compact.activeQubits[static_cast<
+                    std::size_t>(g.qubits[0])]).error1q;
+            } else {
+                const int pa = compact.activeQubits[static_cast<
+                    std::size_t>(g.qubits[0])];
+                const int pb = compact.activeQubits[static_cast<
+                    std::size_t>(g.qubits[1])];
+                const int e = topo.edgeIndex(pa, pb);
+                fatalIf(e < 0, "trajectory mode: unrouted two-qubit gate");
+                err = cal.edgeError(e);
+                if (g.type == circuit::GateType::SWAP) {
+                    err = 1.0 - (1.0 - err) * (1.0 - err) * (1.0 - err);
+                } else if (g.type == circuit::GateType::RZZ ||
+                           g.type == circuit::GateType::CP) {
+                    err = 1.0 - (1.0 - err) * (1.0 - err);
+                }
+            }
+            if (rng_.bernoulli(err)) {
+                for (int q : g.qubits) {
+                    const int pauli =
+                        static_cast<int>(rng_.uniformInt(0, 3));
+                    if (pauli > 0)
+                        state.applyPauli(pauli, q);
+                }
+            }
+        }
+
+        const Pmf traj_pmf = state.measurementPmf(dense_qubits);
+        const PmfSampler sampler(traj_pmf);
+        std::uint64_t traj_shots = base_shots;
+        if (traj == n_traj - 1)
+            traj_shots = shots - base_shots * static_cast<std::uint64_t>(
+                                                  n_traj - 1);
+        for (std::uint64_t t = 0; t < traj_shots; ++t) {
+            BasisState outcome = sampler.sample(rng_);
+            if (options_.measurementNoise)
+                outcome = channel.apply(outcome, rng_);
+            hist.add(outcome);
+        }
+    }
+    return hist;
+}
+
+} // namespace sim
+} // namespace jigsaw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Executor interface and the ideal / noisy backend implementations.
+ *
+ * An Executor plays the role of the NISQ machine in Figure 4 of the
+ * paper: it takes a routed (physical) circuit and a trial count and
+ * returns a histogram over the circuit's classical bits. JigSaw, EDM,
+ * and MBM are all written against this interface, so a different
+ * backend (e.g. a hardware client) can be swapped in.
+ */
+#ifndef JIGSAW_SIM_SIMULATORS_H
+#define JIGSAW_SIM_SIMULATORS_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "device/device_model.h"
+
+namespace jigsaw {
+namespace sim {
+
+/** Abstract quantum-program executor (the "NISQ machine"). */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /**
+     * Run @p physical_circuit for @p shots trials and return the
+     * histogram of outcomes over its classical bits. All measurements
+     * must be terminal (no gate may follow a measurement on the same
+     * qubit).
+     */
+    virtual Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                          std::uint64_t shots) = 0;
+};
+
+/**
+ * Noise-free executor; also exposes the exact output PMF, which the
+ * metrics use as the golden reference distribution.
+ */
+class IdealSimulator : public Executor
+{
+  public:
+    /** @p seed drives the multinomial shot sampling only. */
+    explicit IdealSimulator(std::uint64_t seed = 1);
+
+    Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                  std::uint64_t shots) override;
+
+    /** Exact output distribution over the circuit's classical bits. */
+    Pmf idealPmf(const circuit::QuantumCircuit &physical_circuit);
+
+  private:
+    Rng rng_;
+};
+
+/** Tuning knobs for NoisySimulator. */
+struct NoisySimulatorOptions
+{
+    std::uint64_t seed = 1234;
+    /**
+     * 0 = fast channel mode: gate noise becomes a depolarizing
+     * channel of strength 1 - gateSuccessProbability and readout
+     * noise is applied per sampled outcome.
+     * >0 = trajectory mode: this many stochastic-Pauli trajectories
+     * are simulated and shots are split across them (slow; used to
+     * validate the fast mode on small circuits).
+     */
+    int trajectories = 0;
+    bool gateNoise = true;
+    bool measurementNoise = true;
+    /**
+     * Channel-mode gate-failure corruption: each output bit of the
+     * sampled ideal outcome flips with this probability when the
+     * trial suffers a gate error. 0.5 reproduces the textbook
+     * uniform-outcome depolarizing channel; the default 0.15 models
+     * the localized corruption real hardware shows, which keeps the
+     * observed global-PMF support small (paper Table 6: ~7% of the
+     * possible outcomes at 512K trials).
+     */
+    double gateNoiseBitFlip = 0.15;
+};
+
+/**
+ * Noisy executor driven by a DeviceModel calibration.
+ *
+ * Fast mode (default) samples each trial from the exact state-vector
+ * distribution, replaces it with a uniform random outcome with
+ * probability 1 - gateSuccessProbability (global depolarizing
+ * approximation of accumulated gate error), and then pushes it through
+ * the MeasurementChannel.
+ */
+class NoisySimulator : public Executor
+{
+  public:
+    /** The device model is copied so the executor owns its lifetime. */
+    NoisySimulator(device::DeviceModel dev, NoisySimulatorOptions options = {});
+
+    Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                  std::uint64_t shots) override;
+
+    /** The device this executor models. */
+    const device::DeviceModel &device() const { return dev_; }
+
+    /** Options in effect. */
+    const NoisySimulatorOptions &options() const { return options_; }
+
+  private:
+    Histogram runChannelMode(const circuit::QuantumCircuit &physical,
+                             std::uint64_t shots);
+    Histogram runTrajectoryMode(const circuit::QuantumCircuit &physical,
+                                std::uint64_t shots);
+
+    device::DeviceModel dev_;
+    NoisySimulatorOptions options_;
+    Rng rng_;
+};
+
+/**
+ * Verify that every measurement in @p qc is terminal and measured
+ * classical bits are distinct; throws std::invalid_argument otherwise.
+ */
+void checkTerminalMeasurements(const circuit::QuantumCircuit &qc);
+
+} // namespace sim
+} // namespace jigsaw
+
+#endif // JIGSAW_SIM_SIMULATORS_H

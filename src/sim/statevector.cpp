@@ -1,0 +1,308 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace sim {
+
+using circuit::Gate;
+using circuit::GateType;
+
+namespace {
+
+constexpr double invSqrt2 = 0.70710678118654752440;
+
+using Amp = StateVector::Amplitude;
+
+/** Single-qubit matrix for a gate, filled into @p m. */
+void
+gateMatrix1q(const Gate &gate, Amp m[2][2])
+{
+    const Amp i(0.0, 1.0);
+    switch (gate.type) {
+      case GateType::H:
+        m[0][0] = invSqrt2;
+        m[0][1] = invSqrt2;
+        m[1][0] = invSqrt2;
+        m[1][1] = -invSqrt2;
+        return;
+      case GateType::X:
+        m[0][0] = 0;
+        m[0][1] = 1;
+        m[1][0] = 1;
+        m[1][1] = 0;
+        return;
+      case GateType::Y:
+        m[0][0] = 0;
+        m[0][1] = -i;
+        m[1][0] = i;
+        m[1][1] = 0;
+        return;
+      case GateType::Z:
+        m[0][0] = 1;
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = -1;
+        return;
+      case GateType::S:
+        m[0][0] = 1;
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = i;
+        return;
+      case GateType::SDG:
+        m[0][0] = 1;
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = -i;
+        return;
+      case GateType::T:
+        m[0][0] = 1;
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = std::exp(i * (M_PI / 4.0));
+        return;
+      case GateType::TDG:
+        m[0][0] = 1;
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = std::exp(-i * (M_PI / 4.0));
+        return;
+      case GateType::RX: {
+        const double half = gate.params.at(0) / 2.0;
+        m[0][0] = std::cos(half);
+        m[0][1] = -i * std::sin(half);
+        m[1][0] = -i * std::sin(half);
+        m[1][1] = std::cos(half);
+        return;
+      }
+      case GateType::RY: {
+        const double half = gate.params.at(0) / 2.0;
+        m[0][0] = std::cos(half);
+        m[0][1] = -std::sin(half);
+        m[1][0] = std::sin(half);
+        m[1][1] = std::cos(half);
+        return;
+      }
+      case GateType::RZ: {
+        const double half = gate.params.at(0) / 2.0;
+        m[0][0] = std::exp(-i * half);
+        m[0][1] = 0;
+        m[1][0] = 0;
+        m[1][1] = std::exp(i * half);
+        return;
+      }
+      case GateType::U3: {
+        const double theta = gate.params.at(0);
+        const double phi = gate.params.at(1);
+        const double lambda = gate.params.at(2);
+        m[0][0] = std::cos(theta / 2.0);
+        m[0][1] = -std::exp(i * lambda) * std::sin(theta / 2.0);
+        m[1][0] = std::exp(i * phi) * std::sin(theta / 2.0);
+        m[1][1] = std::exp(i * (phi + lambda)) * std::cos(theta / 2.0);
+        return;
+      }
+      default:
+        panicIf(true, "gateMatrix1q: not a single-qubit gate");
+    }
+}
+
+} // namespace
+
+StateVector::StateVector(int n_qubits) : nQubits_(n_qubits)
+{
+    fatalIf(n_qubits < 1 || n_qubits > 28,
+            "StateVector: qubit count must be in [1, 28]");
+    amps_.assign(1ULL << n_qubits, Amplitude(0.0, 0.0));
+    amps_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+StateVector::apply1q(const Amplitude m[2][2], int q)
+{
+    const BasisState mask = 1ULL << q;
+    const BasisState dim = amps_.size();
+    for (BasisState base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue;
+        const Amplitude a0 = amps_[base];
+        const Amplitude a1 = amps_[base | mask];
+        amps_[base] = m[0][0] * a0 + m[0][1] * a1;
+        amps_[base | mask] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::apply2q(const Amplitude m[4][4], int q0, int q1)
+{
+    // Basis convention within the 4x4 block: index = (bit q1 << 1) |
+    // bit q0, i.e. q0 is the low bit.
+    const BasisState mask0 = 1ULL << q0;
+    const BasisState mask1 = 1ULL << q1;
+    const BasisState dim = amps_.size();
+    for (BasisState base = 0; base < dim; ++base) {
+        if ((base & mask0) || (base & mask1))
+            continue;
+        BasisState idx[4];
+        idx[0] = base;
+        idx[1] = base | mask0;
+        idx[2] = base | mask1;
+        idx[3] = base | mask0 | mask1;
+        Amplitude in[4];
+        for (int k = 0; k < 4; ++k)
+            in[k] = amps_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Amplitude acc(0.0, 0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += m[r][c] * in[c];
+            amps_[idx[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::applyCx(int control, int target)
+{
+    const BasisState cmask = 1ULL << control;
+    const BasisState tmask = 1ULL << target;
+    const BasisState dim = amps_.size();
+    for (BasisState base = 0; base < dim; ++base) {
+        if ((base & cmask) && !(base & tmask))
+            std::swap(amps_[base], amps_[base | tmask]);
+    }
+}
+
+void
+StateVector::applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1)
+{
+    // Diagonal two-qubit phase: "even" applies where bits agree,
+    // "odd" where they differ (the RZZ structure).
+    const BasisState mask0 = 1ULL << q0;
+    const BasisState mask1 = 1ULL << q1;
+    const BasisState dim = amps_.size();
+    for (BasisState base = 0; base < dim; ++base) {
+        const bool b0 = base & mask0;
+        const bool b1 = base & mask1;
+        amps_[base] *= (b0 == b1) ? even : odd;
+    }
+}
+
+void
+StateVector::applyGate(const Gate &gate)
+{
+    fatalIf(gate.isMeasure(), "StateVector: cannot apply MEASURE");
+    if (gate.type == GateType::BARRIER)
+        return;
+
+    if (gate.isSingleQubit()) {
+        Amplitude m[2][2];
+        gateMatrix1q(gate, m);
+        apply1q(m, gate.qubits[0]);
+        return;
+    }
+
+    const int a = gate.qubits[0];
+    const int b = gate.qubits[1];
+    switch (gate.type) {
+      case GateType::CX:
+        applyCx(a, b);
+        return;
+      case GateType::CZ: {
+        const BasisState mask = (1ULL << a) | (1ULL << b);
+        for (BasisState base = 0; base < amps_.size(); ++base) {
+            if ((base & mask) == mask)
+                amps_[base] = -amps_[base];
+        }
+        return;
+      }
+      case GateType::CP: {
+        const Amplitude i(0.0, 1.0);
+        const Amplitude phase = std::exp(i * gate.params.at(0));
+        const BasisState mask = (1ULL << a) | (1ULL << b);
+        for (BasisState base = 0; base < amps_.size(); ++base) {
+            if ((base & mask) == mask)
+                amps_[base] *= phase;
+        }
+        return;
+      }
+      case GateType::SWAP: {
+        const BasisState ma = 1ULL << a;
+        const BasisState mb = 1ULL << b;
+        for (BasisState base = 0; base < amps_.size(); ++base) {
+            if ((base & ma) && !(base & mb))
+                std::swap(amps_[base], amps_[(base ^ ma) | mb]);
+        }
+        return;
+      }
+      case GateType::RZZ: {
+        const Amplitude i(0.0, 1.0);
+        const double half = gate.params.at(0) / 2.0;
+        applyPhasePair(std::exp(-i * half), std::exp(i * half), a, b);
+        return;
+      }
+      default:
+        panicIf(true, "StateVector: unhandled two-qubit gate");
+    }
+}
+
+void
+StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
+{
+    fatalIf(qc.nQubits() != nQubits_,
+            "StateVector: circuit qubit count mismatch");
+    for (const Gate &g : qc.gates()) {
+        if (!g.isMeasure())
+            applyGate(g);
+    }
+}
+
+StateVector::Amplitude
+StateVector::amplitude(BasisState basis) const
+{
+    fatalIf(basis >= amps_.size(), "StateVector: basis out of range");
+    return amps_[basis];
+}
+
+double
+StateVector::probability(BasisState basis) const
+{
+    return std::norm(amplitude(basis));
+}
+
+double
+StateVector::norm() const
+{
+    double total = 0.0;
+    for (const Amplitude &a : amps_)
+        total += std::norm(a);
+    return total;
+}
+
+Pmf
+StateVector::measurementPmf(const std::vector<int> &qubits,
+                            double threshold) const
+{
+    fatalIf(qubits.empty(), "measurementPmf: empty qubit list");
+    Pmf pmf(static_cast<int>(qubits.size()));
+    for (BasisState basis = 0; basis < amps_.size(); ++basis) {
+        const double p = std::norm(amps_[basis]);
+        if (p <= 0.0)
+            continue;
+        pmf.accumulate(extractBits(basis, qubits), p);
+    }
+    pmf.prune(threshold);
+    return pmf;
+}
+
+void
+StateVector::applyPauli(int pauli, int q)
+{
+    static const GateType types[] = {GateType::X, GateType::Y, GateType::Z};
+    fatalIf(pauli < 1 || pauli > 3, "applyPauli: pauli must be 1..3");
+    applyGate({types[pauli - 1], {q}, {}, -1});
+}
+
+} // namespace sim
+} // namespace jigsaw

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bernstein-Vazirani benchmark.
+ *
+ * BV-n recovers an n-bit hidden string with one oracle query. The
+ * circuit uses n data qubits plus one ancilla; only the data qubits
+ * are measured, so the program size (measured qubits) is n, matching
+ * the paper's Table 2 (1Q gates = 2(n+1), 2Q gates = n for the
+ * all-ones hidden string).
+ */
+#ifndef JIGSAW_WORKLOADS_BV_H
+#define JIGSAW_WORKLOADS_BV_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** Bernstein-Vazirani with a configurable hidden string. */
+class BernsteinVazirani : public Workload
+{
+  public:
+    /**
+     * @param n            Number of hidden-string bits (measured qubits).
+     * @param hidden_string Hidden string; bit i = coefficient of qubit
+     *                     i. Defaults to all ones (the paper's variant,
+     *                     which maximizes the two-qubit gate count).
+     */
+    explicit BernsteinVazirani(int n, BasisState hidden_string = ~0ULL);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+    /** The hidden string the oracle encodes. */
+    BasisState hiddenString() const { return hidden_; }
+
+  private:
+    int n_;
+    BasisState hidden_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_BV_H

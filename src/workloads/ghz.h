@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Greenberger-Horne-Zeilinger state preparation benchmark.
+ *
+ * GHZ-n prepares (|0...0> + |1...1>)/sqrt(2) with one H and a CX
+ * chain (1Q = 1, 2Q = n-1, matching Table 2). Both all-zeros and
+ * all-ones are correct outcomes, each ideally observed half the time.
+ */
+#ifndef JIGSAW_WORKLOADS_GHZ_H
+#define JIGSAW_WORKLOADS_GHZ_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** GHZ state preparation over n qubits. */
+class Ghz : public Workload
+{
+  public:
+    /** @param n Number of qubits (all measured). */
+    explicit Ghz(int n);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+  private:
+    int n_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_GHZ_H

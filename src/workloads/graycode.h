@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Gray-code decoder benchmark.
+ *
+ * Graycode-n loads an n-bit Gray-code word with X gates (n/2 of them
+ * for the alternating input pattern) and decodes it to binary with a
+ * CX cascade (n-1 gates), matching Table 2. The output is a single
+ * deterministic bitstring.
+ */
+#ifndef JIGSAW_WORKLOADS_GRAYCODE_H
+#define JIGSAW_WORKLOADS_GRAYCODE_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** Gray-to-binary decoder over n qubits. */
+class Graycode : public Workload
+{
+  public:
+    /** @param n Number of qubits (all measured). */
+    explicit Graycode(int n);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+    /** The Gray-code input word the circuit loads. */
+    BasisState grayInput() const { return gray_; }
+
+    /** The decoded binary word (the correct answer). */
+    BasisState binaryOutput() const { return binary_; }
+
+  private:
+    int n_;
+    BasisState gray_;
+    BasisState binary_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_GRAYCODE_H

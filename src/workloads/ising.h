@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Transverse-field Ising chain benchmark.
+ *
+ * Ising-n Trotterizes the evolution of an n-site transverse-field
+ * Ising chain from |0...0>. With the default n Trotter steps the
+ * circuit contains n(n-1) two-qubit interactions, matching Table 2's
+ * 2Q count. The weak transverse field keeps the output distribution
+ * peaked at the initial ferromagnetic state, which serves as the
+ * correct outcome; deep circuits make this the paper's most
+ * error-sensitive benchmark (absolute PST ~0.01).
+ */
+#ifndef JIGSAW_WORKLOADS_ISING_H
+#define JIGSAW_WORKLOADS_ISING_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** Trotterized transverse-field Ising chain. */
+class IsingChain : public Workload
+{
+  public:
+    /**
+     * @param n     Number of sites / qubits (all measured).
+     * @param steps Trotter steps; -1 selects the default of n steps.
+     */
+    explicit IsingChain(int n, int steps = -1);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+  private:
+    int n_;
+    int steps_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+    BasisState mode_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_ISING_H

@@ -1,0 +1,146 @@
+#include "workloads/qaoa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/nelder_mead.h"
+
+namespace jigsaw {
+namespace workloads {
+
+namespace {
+
+circuit::QuantumCircuit
+buildQaoa(int n, const std::vector<std::pair<double, double>> &angles)
+{
+    circuit::QuantumCircuit qc(n, n);
+    for (int q = 0; q < n; ++q)
+        qc.h(q);
+    for (const auto &[gamma, beta] : angles) {
+        for (int q = 0; q + 1 < n; ++q)
+            qc.rzz(2.0 * gamma, q, q + 1);
+        for (int q = 0; q < n; ++q)
+            qc.rx(2.0 * beta, q);
+    }
+    qc.barrier();
+    qc.measureAll();
+    return qc;
+}
+
+double
+cutValue(BasisState outcome, int n)
+{
+    double cut = 0.0;
+    for (int q = 0; q + 1 < n; ++q) {
+        if (getBit(outcome, q) != getBit(outcome, q + 1))
+            cut += 1.0;
+    }
+    return cut;
+}
+
+/**
+ * Optimize the 2p angles by maximizing the noiseless expected cut,
+ * starting from a linear ramp (a standard good initialization).
+ */
+std::vector<std::pair<double, double>>
+optimizeAngles(int n, int p)
+{
+    auto unpack = [p](const std::vector<double> &x) {
+        std::vector<std::pair<double, double>> angles;
+        angles.reserve(static_cast<std::size_t>(p));
+        for (int k = 0; k < p; ++k) {
+            angles.emplace_back(x[static_cast<std::size_t>(k)],
+                                x[static_cast<std::size_t>(p + k)]);
+        }
+        return angles;
+    };
+
+    auto objective = [n, &unpack](const std::vector<double> &x) {
+        const circuit::QuantumCircuit qc = buildQaoa(n, unpack(x));
+        const Pmf pmf = computeIdealPmf(qc);
+        double expected = 0.0;
+        for (const auto &[outcome, prob] : pmf.probabilities())
+            expected += prob * cutValue(outcome, n);
+        return -expected;
+    };
+
+    std::vector<double> start(static_cast<std::size_t>(2 * p));
+    for (int k = 0; k < p; ++k) {
+        const double frac = (static_cast<double>(k) + 0.5) /
+                            static_cast<double>(p);
+        start[static_cast<std::size_t>(k)] = 0.8 * frac;
+        start[static_cast<std::size_t>(p + k)] = 0.6 * (1.0 - frac);
+    }
+
+    NelderMeadOptions options;
+    options.maxIterations = 500;
+    options.tolerance = 1e-8;
+    options.initialStep = 0.15;
+    return unpack(nelderMead(objective, start, options).x);
+}
+
+} // namespace
+
+QaoaMaxCut::QaoaMaxCut(int n, int p)
+    : n_(n),
+      p_(p),
+      angles_(optimizeAngles(n, p)),
+      circuit_(buildQaoa(n, angles_)),
+      ideal_(computeIdealPmf(circuit_))
+{
+    fatalIf(n < 2 || n > 20, "QaoaMaxCut: n out of range");
+    fatalIf(p < 1 || p > 8, "QaoaMaxCut: p out of range");
+}
+
+std::string
+QaoaMaxCut::name() const
+{
+    return "QAOA-" + std::to_string(n_) + " p" + std::to_string(p_);
+}
+
+const circuit::QuantumCircuit &
+QaoaMaxCut::circuit() const
+{
+    return circuit_;
+}
+
+std::vector<BasisState>
+QaoaMaxCut::correctOutcomes() const
+{
+    // The two optimal path-graph cuts are the alternating colorings.
+    BasisState even = 0;
+    for (int q = 0; q < n_; q += 2)
+        even = setBit(even, q, 1);
+    const BasisState mask = (n_ >= 64) ? ~0ULL : ((1ULL << n_) - 1);
+    return {even, even ^ mask};
+}
+
+const Pmf &
+QaoaMaxCut::idealPmf() const
+{
+    return ideal_;
+}
+
+double
+QaoaMaxCut::cost(BasisState outcome) const
+{
+    return cutValue(outcome, n_);
+}
+
+double
+QaoaMaxCut::maxCost() const
+{
+    return static_cast<double>(n_ - 1);
+}
+
+double
+QaoaMaxCut::expectedCost(const Pmf &pmf) const
+{
+    double expected = 0.0;
+    for (const auto &[outcome, prob] : pmf.probabilities())
+        expected += prob * cost(outcome);
+    return expected;
+}
+
+} // namespace workloads
+} // namespace jigsaw

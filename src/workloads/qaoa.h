@@ -1,0 +1,68 @@
+/**
+ * @file
+ * QAOA MaxCut benchmark.
+ *
+ * MaxCut on the n-vertex path graph, whose p-layer ansatz uses exactly
+ * p(n-1) two-qubit interactions (Table 2's 2Q counts for QAOA-n). The
+ * angles are optimized classically against the noiseless simulator at
+ * construction, mirroring the classical outer loop of a real QAOA
+ * deployment; the workload then runs at fixed optimal angles, which is
+ * how the paper evaluates QAOA.
+ */
+#ifndef JIGSAW_WORKLOADS_QAOA_H
+#define JIGSAW_WORKLOADS_QAOA_H
+
+#include <utility>
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** QAOA for MaxCut on a path graph. */
+class QaoaMaxCut : public Workload
+{
+  public:
+    /**
+     * @param n Number of vertices / qubits (all measured).
+     * @param p Number of alternating-operator layers.
+     */
+    QaoaMaxCut(int n, int p);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+    bool hasCost() const override { return true; }
+
+    /** Cut size of @p outcome on the path graph. */
+    double cost(BasisState outcome) const override;
+
+    /** Optimal cut size (n - 1 for the path graph). */
+    double maxCost() const override;
+
+    /** Optimized (gamma, beta) pairs, one per layer. */
+    const std::vector<std::pair<double, double>> &angles() const
+    {
+        return angles_;
+    }
+
+    /** Expected cut size under a distribution @p pmf. */
+    double expectedCost(const Pmf &pmf) const;
+
+    /** Number of layers. */
+    int layers() const { return p_; }
+
+  private:
+    int n_;
+    int p_;
+    std::vector<std::pair<double, double>> angles_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_QAOA_H

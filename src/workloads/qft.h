@@ -1,0 +1,46 @@
+/**
+ * @file
+ * QFT-adjoint benchmark (library extension beyond the paper's suite).
+ *
+ * Loads an alternating computational-basis pattern, applies the
+ * quantum Fourier transform followed by its inverse, and measures.
+ * The ideal output is the input pattern with certainty, but the
+ * circuit carries n(n-1) controlled-phase interactions, making it a
+ * deep, deterministic stress test in the style of the paper's
+ * Graycode benchmark — useful for probing JigSaw on CP-heavy
+ * programs.
+ */
+#ifndef JIGSAW_WORKLOADS_QFT_H
+#define JIGSAW_WORKLOADS_QFT_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** QFT followed by inverse QFT over n qubits. */
+class QftAdjoint : public Workload
+{
+  public:
+    /** @param n Number of qubits (all measured). */
+    explicit QftAdjoint(int n);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+    /** The basis pattern the circuit loads (and ideally returns). */
+    BasisState pattern() const { return pattern_; }
+
+  private:
+    int n_;
+    BasisState pattern_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_QFT_H

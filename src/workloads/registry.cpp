@@ -1,0 +1,83 @@
+#include "workloads/registry.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/graycode.h"
+#include "workloads/ising.h"
+#include "workloads/qaoa.h"
+#include "workloads/qft.h"
+#include "workloads/wstate.h"
+
+namespace jigsaw {
+namespace workloads {
+
+std::vector<std::unique_ptr<Workload>>
+paperBenchmarks()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.push_back(std::make_unique<BernsteinVazirani>(6));
+    suite.push_back(std::make_unique<QaoaMaxCut>(8, 1));
+    suite.push_back(std::make_unique<QaoaMaxCut>(10, 2));
+    suite.push_back(std::make_unique<QaoaMaxCut>(10, 4));
+    suite.push_back(std::make_unique<QaoaMaxCut>(12, 4));
+    suite.push_back(std::make_unique<QaoaMaxCut>(14, 2));
+    suite.push_back(std::make_unique<IsingChain>(10));
+    suite.push_back(std::make_unique<Ghz>(14));
+    suite.push_back(std::make_unique<Graycode>(18));
+    return suite;
+}
+
+std::vector<std::unique_ptr<Workload>>
+qaoaBenchmarks()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.push_back(std::make_unique<QaoaMaxCut>(8, 1));
+    suite.push_back(std::make_unique<QaoaMaxCut>(10, 2));
+    suite.push_back(std::make_unique<QaoaMaxCut>(10, 4));
+    suite.push_back(std::make_unique<QaoaMaxCut>(12, 4));
+    suite.push_back(std::make_unique<QaoaMaxCut>(14, 2));
+    return suite;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    // Accepted formats: "BV-n", "GHZ-n", "Graycode-n", "Ising-n",
+    // "QFTAdj-n", "W-n", "QAOA-n pK".
+    const auto dash = name.find('-');
+    fatalIf(dash == std::string::npos, "makeWorkload: bad name " + name);
+    const std::string family = name.substr(0, dash);
+    std::istringstream rest(name.substr(dash + 1));
+    int n = 0;
+    rest >> n;
+    fatalIf(n <= 0, "makeWorkload: bad size in " + name);
+
+    if (family == "BV")
+        return std::make_unique<BernsteinVazirani>(n);
+    if (family == "GHZ")
+        return std::make_unique<Ghz>(n);
+    if (family == "Graycode")
+        return std::make_unique<Graycode>(n);
+    if (family == "Ising")
+        return std::make_unique<IsingChain>(n);
+    if (family == "QFTAdj")
+        return std::make_unique<QftAdjoint>(n);
+    if (family == "W")
+        return std::make_unique<WState>(n);
+    if (family == "QAOA") {
+        std::string ptoken;
+        rest >> ptoken;
+        fatalIf(ptoken.size() < 2 || ptoken[0] != 'p',
+                "makeWorkload: QAOA needs a pK suffix: " + name);
+        const int p = std::stoi(ptoken.substr(1));
+        return std::make_unique<QaoaMaxCut>(n, p);
+    }
+    fatalIf(true, "makeWorkload: unknown family " + family);
+    return nullptr;
+}
+
+} // namespace workloads
+} // namespace jigsaw

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Factory for the paper's benchmark suite.
+ */
+#ifndef JIGSAW_WORKLOADS_REGISTRY_H
+#define JIGSAW_WORKLOADS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/**
+ * The nine benchmarks of the paper's main evaluation (Figure 8), in
+ * figure order: BV-6, QAOA-8 p1, QAOA-10 p2, QAOA-10 p4, QAOA-12 p4,
+ * QAOA-14 p2, Ising-10, GHZ-14, Graycode-18.
+ */
+std::vector<std::unique_ptr<Workload>> paperBenchmarks();
+
+/** The five QAOA configurations of Table 5. */
+std::vector<std::unique_ptr<Workload>> qaoaBenchmarks();
+
+/** Construct a benchmark by display name (e.g. "GHZ-14"). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_REGISTRY_H

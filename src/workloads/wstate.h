@@ -1,0 +1,40 @@
+/**
+ * @file
+ * W-state preparation benchmark (library extension).
+ *
+ * W-n is the uniform superposition of the n one-hot bitstrings —
+ * maximally spread single-excitation entanglement, the complementary
+ * regime to GHZ's two-outcome correlation. Its n equally likely
+ * correct outcomes stress JigSaw differently from the suite's peaked
+ * workloads: every CPM marginal is genuinely multi-valued.
+ */
+#ifndef JIGSAW_WORKLOADS_WSTATE_H
+#define JIGSAW_WORKLOADS_WSTATE_H
+
+#include "workloads/workload.h"
+
+namespace jigsaw {
+namespace workloads {
+
+/** W-state preparation over n qubits. */
+class WState : public Workload
+{
+  public:
+    /** @param n Number of qubits (all measured). */
+    explicit WState(int n);
+
+    std::string name() const override;
+    const circuit::QuantumCircuit &circuit() const override;
+    std::vector<BasisState> correctOutcomes() const override;
+    const Pmf &idealPmf() const override;
+
+  private:
+    int n_;
+    circuit::QuantumCircuit circuit_;
+    Pmf ideal_;
+};
+
+} // namespace workloads
+} // namespace jigsaw
+
+#endif // JIGSAW_WORKLOADS_WSTATE_H

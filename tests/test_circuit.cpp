@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: builders, counters, and the CPM
+ * (measurement-subset) transform.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+
+namespace jigsaw {
+namespace circuit {
+namespace {
+
+TEST(Gate, Classification)
+{
+    const Gate h{GateType::H, {0}, {}, -1};
+    const Gate cx{GateType::CX, {0, 1}, {}, -1};
+    const Gate rzz{GateType::RZZ, {0, 1}, {0.1}, -1};
+    const Gate meas{GateType::MEASURE, {0}, {}, 0};
+    const Gate barrier{GateType::BARRIER, {}, {}, -1};
+
+    EXPECT_TRUE(h.isSingleQubit());
+    EXPECT_FALSE(h.isTwoQubit());
+    EXPECT_TRUE(cx.isTwoQubit());
+    EXPECT_TRUE(rzz.isTwoQubit());
+    EXPECT_TRUE(meas.isMeasure());
+    EXPECT_FALSE(meas.isSingleQubit());
+    EXPECT_FALSE(barrier.isSingleQubit());
+    EXPECT_FALSE(barrier.isTwoQubit());
+}
+
+TEST(Gate, Names)
+{
+    EXPECT_EQ(gateTypeName(GateType::CX), "cx");
+    EXPECT_EQ(gateTypeName(GateType::U3), "u3");
+    EXPECT_EQ(gateTypeName(GateType::MEASURE), "measure");
+}
+
+TEST(Circuit, BuilderCounts)
+{
+    QuantumCircuit qc(3);
+    qc.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2).measureAll();
+    EXPECT_EQ(qc.countSingleQubitGates(), 2);
+    EXPECT_EQ(qc.countTwoQubitGates(), 2);
+    EXPECT_EQ(qc.countMeasurements(), 3);
+    EXPECT_EQ(qc.nQubits(), 3);
+    EXPECT_EQ(qc.nClbits(), 3);
+}
+
+TEST(Circuit, RejectsBadQubit)
+{
+    QuantumCircuit qc(2);
+    EXPECT_THROW(qc.h(2), std::invalid_argument);
+    EXPECT_THROW(qc.cx(0, 0), std::invalid_argument);
+    EXPECT_THROW(qc.measure(0, 5), std::invalid_argument);
+}
+
+TEST(Circuit, ClassicalRegisterCappedAt64)
+{
+    // 64-bit outcome packing caps the classical register, not the
+    // qubit register (devices can exceed 64 physical qubits).
+    EXPECT_NO_THROW(QuantumCircuit qc(65, 10));
+    EXPECT_THROW(QuantumCircuit qc(65), std::invalid_argument);
+    EXPECT_THROW(QuantumCircuit qc(10, 65), std::invalid_argument);
+}
+
+TEST(Circuit, Depth)
+{
+    QuantumCircuit qc(3);
+    EXPECT_EQ(qc.depth(), 0);
+    qc.h(0);       // depth 1
+    qc.h(1);       // parallel, still 1
+    qc.cx(0, 1);   // depth 2
+    qc.barrier();  // ignored
+    qc.h(2);       // parallel with everything, depth stays 2
+    qc.cx(1, 2);   // depth 3
+    EXPECT_EQ(qc.depth(), 3);
+}
+
+TEST(Circuit, MeasuredQubits)
+{
+    QuantumCircuit qc(3, 2);
+    qc.h(0);
+    qc.measure(2, 0);
+    qc.measure(0, 1);
+    const std::vector<int> measured = qc.measuredQubits();
+    ASSERT_EQ(measured.size(), 2u);
+    EXPECT_EQ(measured[0], 2);
+    EXPECT_EQ(measured[1], 0);
+}
+
+TEST(Circuit, WithoutMeasurements)
+{
+    QuantumCircuit qc(2);
+    qc.h(0).cx(0, 1).measureAll();
+    const QuantumCircuit bare = qc.withoutMeasurements();
+    EXPECT_EQ(bare.countMeasurements(), 0);
+    EXPECT_EQ(bare.countTwoQubitGates(), 1);
+    EXPECT_EQ(bare.nClbits(), 2);
+}
+
+TEST(Circuit, MeasurementSubsetKeepsGates)
+{
+    QuantumCircuit qc(4);
+    qc.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measureAll();
+    const QuantumCircuit cpm = qc.withMeasurementSubset({1, 3});
+    EXPECT_EQ(cpm.countTwoQubitGates(), 3);
+    EXPECT_EQ(cpm.countMeasurements(), 2);
+    EXPECT_EQ(cpm.nClbits(), 2);
+    // clbit 0 <- qubit 1, clbit 1 <- qubit 3.
+    const std::vector<int> measured = cpm.measuredQubits();
+    EXPECT_EQ(measured[0], 1);
+    EXPECT_EQ(measured[1], 3);
+}
+
+TEST(Circuit, MeasurementSubsetReplacesOldMeasures)
+{
+    QuantumCircuit qc(3);
+    qc.h(0).measureAll();
+    const QuantumCircuit cpm = qc.withMeasurementSubset({2});
+    EXPECT_EQ(cpm.countMeasurements(), 1);
+    EXPECT_EQ(cpm.measuredQubits()[0], 2);
+}
+
+TEST(Circuit, MeasurementSubsetRejectsEmpty)
+{
+    QuantumCircuit qc(2);
+    qc.h(0).measureAll();
+    EXPECT_THROW(qc.withMeasurementSubset({}), std::invalid_argument);
+}
+
+TEST(Circuit, Compose)
+{
+    QuantumCircuit a(2);
+    a.h(0);
+    QuantumCircuit b(2);
+    b.cx(0, 1);
+    a.compose(b);
+    EXPECT_EQ(a.gates().size(), 2u);
+}
+
+TEST(Circuit, RemappedRewritesQubits)
+{
+    QuantumCircuit qc(2);
+    qc.h(0).cx(0, 1).measureAll();
+    const QuantumCircuit phys = qc.remapped({5, 3}, 6);
+    EXPECT_EQ(phys.nQubits(), 6);
+    EXPECT_EQ(phys.gates()[0].qubits[0], 5);
+    EXPECT_EQ(phys.gates()[1].qubits[0], 5);
+    EXPECT_EQ(phys.gates()[1].qubits[1], 3);
+    // clbits are preserved.
+    EXPECT_EQ(phys.measuredQubits()[0], 5);
+    EXPECT_EQ(phys.measuredQubits()[1], 3);
+}
+
+TEST(Circuit, RemappedRejectsShortMapping)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    EXPECT_THROW(qc.remapped({0, 1}, 4), std::invalid_argument);
+}
+
+TEST(Circuit, ToStringContainsOps)
+{
+    QuantumCircuit qc(2);
+    qc.h(0).rz(0.25, 1).cx(0, 1).measure(0, 0);
+    const std::string text = qc.toString();
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("rz(0.25) q1"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+    EXPECT_NE(text.find("measure q0 -> c0"), std::string::npos);
+}
+
+TEST(Circuit, MeasureDefaultsToSameClbit)
+{
+    QuantumCircuit qc(3);
+    qc.measure(1);
+    EXPECT_EQ(qc.gates()[0].clbit, 1);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace jigsaw

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Unit tests for src/common: bit ops, RNG, statistics, histogram/PMF,
+ * distance measures, table printer, and the Nelder-Mead optimizer.
+ */
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/histogram.h"
+#include "common/nelder_mead.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/table.h"
+
+namespace jigsaw {
+namespace {
+
+// ---------------------------------------------------------------- bitops
+
+TEST(Bitops, GetSetFlip)
+{
+    BasisState s = 0;
+    s = setBit(s, 3, 1);
+    EXPECT_EQ(getBit(s, 3), 1);
+    EXPECT_EQ(getBit(s, 2), 0);
+    s = flipBit(s, 3);
+    EXPECT_EQ(s, 0ULL);
+    s = setBit(s, 0, 1);
+    s = setBit(s, 63, 1);
+    EXPECT_EQ(getBit(s, 63), 1);
+    EXPECT_EQ(popcount(s), 2);
+}
+
+TEST(Bitops, ExtractDepositRoundTrip)
+{
+    const std::vector<int> positions{1, 3, 4};
+    const BasisState state = 0b11010; // bits 1, 3, 4 set
+    const BasisState key = extractBits(state, positions);
+    EXPECT_EQ(key, 0b111ULL);
+    EXPECT_EQ(depositBits(key, positions), state);
+}
+
+TEST(Bitops, ExtractOrderMatters)
+{
+    // Bit j of the key comes from positions[j].
+    const BasisState state = 0b01;
+    EXPECT_EQ(extractBits(state, {0, 1}), 0b01ULL);
+    EXPECT_EQ(extractBits(state, {1, 0}), 0b10ULL);
+}
+
+TEST(Bitops, HammingDistance)
+{
+    EXPECT_EQ(hammingDistance(0b1010, 0b0101), 4);
+    EXPECT_EQ(hammingDistance(0b1010, 0b1010), 0);
+}
+
+TEST(Bitops, BitstringRoundTrip)
+{
+    // Q_{n-1}...Q_0 print order.
+    EXPECT_EQ(toBitstring(0b110, 3), "110");
+    EXPECT_EQ(toBitstring(0b001, 3), "001");
+    EXPECT_EQ(fromBitstring("110"), 0b110ULL);
+    for (BasisState s = 0; s < 32; ++s)
+        EXPECT_EQ(fromBitstring(toBitstring(s, 5)), s);
+}
+
+TEST(Bitops, BitstringRejectsGarbage)
+{
+    EXPECT_THROW(fromBitstring("10a"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng rng(7);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(7);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights)
+{
+    Rng rng(3);
+    const std::vector<double> weights{1.0, 3.0};
+    int ones = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.discrete(weights) == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsEmpty)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(11);
+    for (int round = 0; round < 50; ++round) {
+        const std::vector<int> sample = rng.sampleWithoutReplacement(10, 4);
+        ASSERT_EQ(sample.size(), 4u);
+        std::set<int> unique(sample.begin(), sample.end());
+        EXPECT_EQ(unique.size(), 4u);
+        for (int v : sample) {
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, 10);
+        }
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFull)
+{
+    Rng rng(11);
+    const std::vector<int> sample = rng.sampleWithoutReplacement(5, 5);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.logNormal(std::log(0.03), 1.0));
+    EXPECT_NEAR(stats::median(xs), 0.03, 0.003);
+}
+
+// ------------------------------------------------------------- statistics
+
+TEST(Statistics, MeanStddev)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+    EXPECT_NEAR(stats::stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Statistics, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Statistics, Geomean)
+{
+    EXPECT_DOUBLE_EQ(stats::geomean({2.0, 8.0}), 4.0);
+    EXPECT_THROW(stats::geomean({1.0, -1.0}), std::invalid_argument);
+    EXPECT_THROW(stats::geomean({}), std::invalid_argument);
+}
+
+TEST(Statistics, MedianEvenOdd)
+{
+    EXPECT_DOUBLE_EQ(stats::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Statistics, Percentile)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 50.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 30.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 25), 20.0);
+}
+
+TEST(Statistics, MinMax)
+{
+    const std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(stats::min(xs), 1.0);
+    EXPECT_DOUBLE_EQ(stats::max(xs), 3.0);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, AddAndCount)
+{
+    Histogram h(3);
+    h.add(0b101);
+    h.add(0b101, 4);
+    h.add(0b000);
+    EXPECT_EQ(h.count(0b101), 5u);
+    EXPECT_EQ(h.count(0b000), 1u);
+    EXPECT_EQ(h.count(0b111), 0u);
+    EXPECT_EQ(h.totalCount(), 6u);
+    EXPECT_EQ(h.uniqueOutcomes(), 2u);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(2), b(2);
+    a.add(0b01, 3);
+    b.add(0b01, 2);
+    b.add(0b10, 5);
+    a.merge(b);
+    EXPECT_EQ(a.count(0b01), 5u);
+    EXPECT_EQ(a.count(0b10), 5u);
+    EXPECT_EQ(a.totalCount(), 10u);
+}
+
+TEST(Histogram, MergeRejectsMismatch)
+{
+    Histogram a(2), b(3);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ToPmfNormalizes)
+{
+    Histogram h(2);
+    h.add(0b00, 1);
+    h.add(0b11, 3);
+    const Pmf pmf = h.toPmf();
+    EXPECT_DOUBLE_EQ(pmf.prob(0b00), 0.25);
+    EXPECT_DOUBLE_EQ(pmf.prob(0b11), 0.75);
+    EXPECT_NEAR(pmf.totalMass(), 1.0, 1e-12);
+}
+
+TEST(Histogram, MarginalProjects)
+{
+    Histogram h(3);
+    h.add(0b101, 2); // bits q0=1, q2=1
+    h.add(0b100, 3);
+    const Histogram m = h.marginal({0, 2});
+    // key bit0 = q0, bit1 = q2.
+    EXPECT_EQ(m.count(0b11), 2u);
+    EXPECT_EQ(m.count(0b10), 3u);
+    EXPECT_EQ(m.nQubits(), 2);
+}
+
+TEST(Pmf, NormalizeAndPrune)
+{
+    Pmf p(2);
+    p.set(0b00, 2.0);
+    p.set(0b01, 6.0);
+    p.set(0b10, 1e-15);
+    p.normalize();
+    EXPECT_NEAR(p.prob(0b00), 0.25, 1e-9);
+    p.prune(1e-12);
+    EXPECT_EQ(p.support(), 2u);
+}
+
+TEST(Pmf, NormalizeZeroMassIsNoop)
+{
+    Pmf p(2);
+    p.normalize();
+    EXPECT_EQ(p.support(), 0u);
+}
+
+TEST(Pmf, MarginalSumsProbability)
+{
+    Pmf p(3);
+    p.set(0b000, 0.1);
+    p.set(0b100, 0.2);
+    p.set(0b011, 0.7);
+    const Pmf m = p.marginal({0, 1});
+    EXPECT_NEAR(m.prob(0b00), 0.3, 1e-12);
+    EXPECT_NEAR(m.prob(0b11), 0.7, 1e-12);
+}
+
+TEST(Pmf, Mode)
+{
+    Pmf p(2);
+    p.set(0b01, 0.6);
+    p.set(0b10, 0.4);
+    EXPECT_EQ(p.mode(), 0b01ULL);
+}
+
+TEST(Pmf, SortedDescending)
+{
+    Pmf p(2);
+    p.set(0b00, 0.2);
+    p.set(0b01, 0.5);
+    p.set(0b10, 0.3);
+    const auto entries = p.sorted();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, 0b01ULL);
+    EXPECT_EQ(entries[1].first, 0b10ULL);
+    EXPECT_EQ(entries[2].first, 0b00ULL);
+}
+
+TEST(Pmf, SampleHistogramMatchesDistribution)
+{
+    Pmf p(1);
+    p.set(0, 0.25);
+    p.set(1, 0.75);
+    Rng rng(5);
+    const Histogram h = p.sampleHistogram(100000, rng);
+    EXPECT_EQ(h.totalCount(), 100000u);
+    EXPECT_NEAR(static_cast<double>(h.count(1)) / 100000.0, 0.75, 0.01);
+}
+
+TEST(Distances, TvdBasics)
+{
+    Pmf p(1), q(1);
+    p.set(0, 1.0);
+    q.set(1, 1.0);
+    EXPECT_NEAR(totalVariationDistance(p, q), 1.0, 1e-12);
+    EXPECT_NEAR(totalVariationDistance(p, p), 0.0, 1e-12);
+}
+
+TEST(Distances, TvdHalfOverlap)
+{
+    Pmf p(1), q(1);
+    p.set(0, 0.5);
+    p.set(1, 0.5);
+    q.set(0, 1.0);
+    EXPECT_NEAR(totalVariationDistance(p, q), 0.5, 1e-12);
+}
+
+TEST(Distances, HellingerBounds)
+{
+    Pmf p(1), q(1);
+    p.set(0, 1.0);
+    q.set(1, 1.0);
+    EXPECT_NEAR(hellingerDistance(p, q), 1.0, 1e-12);
+    EXPECT_NEAR(hellingerDistance(p, p), 0.0, 1e-9);
+}
+
+TEST(Distances, KlDivergenceZeroForIdentical)
+{
+    Pmf p(2);
+    p.set(0b00, 0.5);
+    p.set(0b11, 0.5);
+    EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Distances, MismatchedSizesRejected)
+{
+    Pmf p(1), q(2);
+    p.set(0, 1.0);
+    q.set(0, 1.0);
+    EXPECT_THROW(totalVariationDistance(p, q), std::invalid_argument);
+    EXPECT_THROW(hellingerDistance(p, q), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumns)
+{
+    ConsoleTable t({"name", "v"});
+    t.addRow({"x", "1.00"});
+    t.addRow({"longer", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(ConsoleTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ConsoleTable::num(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------ nelder-mead
+
+TEST(NelderMead, MinimizesQuadratic)
+{
+    const auto result = nelderMead(
+        [](const std::vector<double> &x) {
+            return (x[0] - 1.0) * (x[0] - 1.0) +
+                   (x[1] + 2.0) * (x[1] + 2.0);
+        },
+        {0.0, 0.0});
+    EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(result.x[1], -2.0, 1e-3);
+    EXPECT_LT(result.value, 1e-5);
+}
+
+TEST(NelderMead, MinimizesRosenbrock)
+{
+    NelderMeadOptions options;
+    options.maxIterations = 5000;
+    options.tolerance = 1e-12;
+    const auto result = nelderMead(
+        [](const std::vector<double> &x) {
+            const double a = 1.0 - x[0];
+            const double b = x[1] - x[0] * x[0];
+            return a * a + 100.0 * b * b;
+        },
+        {-1.0, 1.0}, options);
+    EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+    EXPECT_NEAR(result.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, RejectsEmptyStart)
+{
+    EXPECT_THROW(
+        nelderMead([](const std::vector<double> &) { return 0.0; }, {}),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace jigsaw

@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Core JigSaw tests: subset generation (Section 4.2.1), the Bayesian
+ * reconstruction against the paper's Figure 6 worked example, the
+ * multi-layer ordering of Section 4.4.2, the driver's trial
+ * accounting, and the Section 7 scalability model against Table 7.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/bayesian.h"
+#include "core/jigsaw.h"
+#include "core/scalability.h"
+#include "core/subsets.h"
+#include "device/library.h"
+#include "sim/eps.h"
+#include "metrics/metrics.h"
+#include "workloads/ghz.h"
+
+namespace jigsaw {
+namespace core {
+namespace {
+
+// --------------------------------------------------------------- subsets
+
+TEST(Subsets, SlidingWindowMatchesPaperExample)
+{
+    // Paper Section 4.2.1: 4-qubit program -> (q0,q1), (q1,q2),
+    // (q2,q3), (q0,q3).
+    const std::vector<Subset> subsets = slidingWindowSubsets(4, 2);
+    ASSERT_EQ(subsets.size(), 4u);
+    EXPECT_EQ(subsets[0], (Subset{0, 1}));
+    EXPECT_EQ(subsets[1], (Subset{1, 2}));
+    EXPECT_EQ(subsets[2], (Subset{2, 3}));
+    EXPECT_EQ(subsets[3], (Subset{0, 3}));
+}
+
+TEST(Subsets, SlidingWindowCountEqualsQubits)
+{
+    for (int n = 3; n <= 12; ++n) {
+        for (int s = 2; s < n; ++s) {
+            const std::vector<Subset> subsets =
+                slidingWindowSubsets(n, s);
+            EXPECT_EQ(subsets.size(), static_cast<std::size_t>(n))
+                << "n=" << n << " s=" << s;
+            std::set<Subset> unique(subsets.begin(), subsets.end());
+            EXPECT_EQ(unique.size(), subsets.size());
+            for (const Subset &sub : subsets) {
+                EXPECT_EQ(sub.size(), static_cast<std::size_t>(s));
+                EXPECT_TRUE(std::is_sorted(sub.begin(), sub.end()));
+            }
+        }
+    }
+}
+
+TEST(Subsets, SlidingWindowFullSizeIsSingle)
+{
+    const std::vector<Subset> subsets = slidingWindowSubsets(4, 4);
+    ASSERT_EQ(subsets.size(), 1u);
+    EXPECT_EQ(subsets[0], (Subset{0, 1, 2, 3}));
+}
+
+TEST(Subsets, SlidingWindowCoversEveryQubit)
+{
+    const std::vector<Subset> subsets = slidingWindowSubsets(9, 3);
+    std::set<int> covered;
+    for (const Subset &s : subsets)
+        covered.insert(s.begin(), s.end());
+    EXPECT_EQ(covered.size(), 9u);
+}
+
+TEST(Subsets, RandomDistinctAndSized)
+{
+    Rng rng(3);
+    const std::vector<Subset> subsets = randomSubsets(12, 2, 20, rng);
+    EXPECT_EQ(subsets.size(), 20u);
+    std::set<Subset> unique(subsets.begin(), subsets.end());
+    EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Subsets, RandomCappedAtCombinations)
+{
+    Rng rng(3);
+    // C(4,2) = 6 possibilities.
+    const std::vector<Subset> subsets = randomSubsets(4, 2, 100, rng);
+    EXPECT_EQ(subsets.size(), 6u);
+}
+
+TEST(Subsets, CoveringRandomCoversAll)
+{
+    Rng rng(5);
+    for (int round = 0; round < 10; ++round) {
+        const std::vector<Subset> subsets =
+            coveringRandomSubsets(12, 2, rng);
+        EXPECT_EQ(subsets.size(), 12u);
+        std::set<int> covered;
+        for (const Subset &s : subsets)
+            covered.insert(s.begin(), s.end());
+        EXPECT_EQ(covered.size(), 12u);
+    }
+}
+
+TEST(Subsets, RejectsBadSize)
+{
+    Rng rng(1);
+    EXPECT_THROW(slidingWindowSubsets(4, 0), std::invalid_argument);
+    EXPECT_THROW(slidingWindowSubsets(4, 5), std::invalid_argument);
+    EXPECT_THROW(randomSubsets(4, 5, 1, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- bayesian
+
+/** The paper's Figure 6 instance: global PMF over (Q2,Q1,Q0) and the
+ *  marginal from a CPM measuring (Q1,Q0). */
+Pmf
+figure6Global()
+{
+    Pmf p(3);
+    p.set(0b000, 0.10);
+    p.set(0b001, 0.10);
+    p.set(0b010, 0.15);
+    p.set(0b011, 0.15);
+    p.set(0b100, 0.10);
+    p.set(0b101, 0.05);
+    p.set(0b110, 0.15);
+    p.set(0b111, 0.20);
+    return p;
+}
+
+Marginal
+figure6Marginal()
+{
+    Pmf local(2);
+    local.set(0b00, 0.1);
+    local.set(0b01, 0.1);
+    local.set(0b10, 0.2);
+    local.set(0b11, 0.6);
+    return {local, {0, 1}};
+}
+
+TEST(Bayesian, Figure6UpdateCoefficientsAndPosterior)
+{
+    // Hand-compute Algorithm 1 for the Figure 6 example. Raw
+    // posteriors (coefficient * pry / (1 - pry)):
+    //   000: 0.5    * 0.1/0.9 = 0.055556   100: same    = 0.055556
+    //   001: 0.6667 * 0.1/0.9 = 0.074074   101: 0.3333* = 0.037037
+    //   010: 0.5    * 0.2/0.8 = 0.125      110: same    = 0.125
+    //   011: 0.4286 * 0.6/0.4 = 0.642857   111: 0.5714* = 0.857143
+    // (matches the paper's Ppost column up to its 2-digit rounding).
+    const Pmf posterior =
+        bayesianUpdate(figure6Global(), figure6Marginal());
+
+    const double raw[8] = {0.0555556, 0.0740741, 0.125,     0.6428571,
+                           0.0555556, 0.0370370, 0.125,     0.8571429};
+    double total = 0.0;
+    for (double r : raw)
+        total += r;
+    for (BasisState s = 0; s < 8; ++s)
+        EXPECT_NEAR(posterior.prob(s), raw[s] / total, 1e-6)
+            << "outcome " << s;
+    EXPECT_NEAR(posterior.totalMass(), 1.0, 1e-12);
+}
+
+TEST(Bayesian, Figure6BoostsCorrectAnswer)
+{
+    // The paper reports the correct answer 111's probability rising
+    // 2.2x after reconstruction with all marginals; with the single
+    // published marginal it must already rise and become the mode.
+    const Pmf out = bayesianReconstruct(figure6Global(),
+                                        {figure6Marginal()});
+    EXPECT_GT(out.prob(0b111), 0.20);
+    EXPECT_EQ(out.mode(), 0b111ULL);
+}
+
+TEST(Bayesian, UpdatePreservesSupport)
+{
+    const Pmf prior = figure6Global();
+    const Pmf posterior = bayesianUpdate(prior, figure6Marginal());
+    EXPECT_EQ(posterior.support(), prior.support());
+    for (const auto &[outcome, p] : posterior.probabilities()) {
+        EXPECT_GT(prior.prob(outcome), 0.0);
+        EXPECT_GE(p, 0.0);
+    }
+}
+
+TEST(Bayesian, UnseenMarginalValueKeepsPrior)
+{
+    // A marginal that never observed subset value 1 leaves outcomes
+    // with that value at their prior (unnormalized) probability.
+    Pmf prior(2);
+    prior.set(0b00, 0.5);
+    prior.set(0b01, 0.5);
+    Pmf local(1);
+    local.set(0b0, 1.0); // only saw q0 = 0
+    const Pmf posterior = bayesianUpdate(prior, {local, {0}});
+    // 0b01 (q0=1) kept prior 0.5; 0b00 got 1.0 * ~1e12 clamped...
+    // with pry clamped below 1 the 0b00 mass dominates overwhelmingly.
+    EXPECT_GT(posterior.prob(0b00), 0.99);
+}
+
+TEST(Bayesian, PerfectMarginalSharpensTruth)
+{
+    // Global PMF spread by noise around truth 0b1111; local PMFs
+    // peaked at the true subset values must boost the truth.
+    Pmf global(4);
+    global.set(0b1111, 0.30);
+    global.set(0b0111, 0.15);
+    global.set(0b1011, 0.15);
+    global.set(0b1101, 0.15);
+    global.set(0b1110, 0.15);
+    global.set(0b0000, 0.10);
+
+    std::vector<Marginal> marginals;
+    for (const Subset &s : slidingWindowSubsets(4, 2)) {
+        Pmf local(2);
+        local.set(0b11, 0.96);
+        local.set(0b00, 0.02);
+        local.set(0b01, 0.01);
+        local.set(0b10, 0.01);
+        marginals.push_back({local, s});
+    }
+    const Pmf out = bayesianReconstruct(global, marginals);
+    EXPECT_GT(out.prob(0b1111), global.prob(0b1111));
+    EXPECT_EQ(out.mode(), 0b1111ULL);
+}
+
+TEST(Bayesian, EmptyMarginalListReturnsGlobal)
+{
+    const Pmf global = figure6Global();
+    const Pmf out = bayesianReconstruct(global, {});
+    EXPECT_LT(totalVariationDistance(global, out), 1e-12);
+}
+
+TEST(Bayesian, OrderIndependentWithinRound)
+{
+    const Pmf global = figure6Global();
+    Pmf local2(2);
+    local2.set(0b01, 0.6);
+    local2.set(0b11, 0.4);
+    const Marginal m0 = figure6Marginal();
+    const Marginal m1{local2, {1, 2}};
+
+    ReconstructionOptions one_round;
+    one_round.maxRounds = 1;
+    const Pmf a = bayesianReconstruct(global, {m0, m1}, one_round);
+    const Pmf b = bayesianReconstruct(global, {m1, m0}, one_round);
+    EXPECT_LT(totalVariationDistance(a, b), 1e-12);
+}
+
+TEST(Bayesian, ReconstructConverges)
+{
+    // With generous rounds the output must stop moving: one more
+    // round changes nothing beyond the tolerance.
+    const Pmf global = figure6Global();
+    const std::vector<Marginal> ms{figure6Marginal()};
+    ReconstructionOptions opts;
+    opts.maxRounds = 32;
+    opts.tolerance = 1e-10;
+    const Pmf out = bayesianReconstruct(global, ms, opts);
+
+    // Re-running from the converged point moves at most tolerance.
+    ReconstructionOptions one;
+    one.maxRounds = 1;
+    const Pmf next = bayesianReconstruct(out, ms, one);
+    EXPECT_LT(hellingerDistance(out, next), 1e-3);
+}
+
+TEST(Bayesian, RejectsBadMarginal)
+{
+    const Pmf global = figure6Global();
+    Pmf local(2);
+    local.set(0, 1.0);
+    EXPECT_THROW(bayesianUpdate(global, {local, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(bayesianUpdate(global, {local, {0, 5}}),
+                 std::invalid_argument);
+    EXPECT_THROW(bayesianUpdate(global, {local, {0}}),
+                 std::invalid_argument); // size mismatch
+}
+
+TEST(Bayesian, MultiLayerAppliesLargestFirst)
+{
+    // Construct a case where layer order matters: a size-3 marginal
+    // carries the correct correlation, a size-2 marginal is biased.
+    Pmf global(3);
+    global.set(0b111, 0.4);
+    global.set(0b000, 0.3);
+    global.set(0b101, 0.3);
+
+    Pmf big(3);
+    big.set(0b111, 0.9);
+    big.set(0b000, 0.1);
+    Pmf small(2);
+    small.set(0b01, 0.5);
+    small.set(0b11, 0.5);
+
+    const std::vector<Marginal> ms{{small, {0, 1}}, {big, {0, 1, 2}}};
+    const Pmf out = multiLayerReconstruct(global, ms);
+    // The top-down order lets the size-3 marginal fix the correlation
+    // before the smaller layer redistributes within it.
+    EXPECT_EQ(out.mode(), 0b111ULL);
+    EXPECT_NEAR(out.totalMass(), 1.0, 1e-9);
+}
+
+TEST(Bayesian, MultiLayerSingleSizeMatchesPlain)
+{
+    const Pmf global = figure6Global();
+    const std::vector<Marginal> ms{figure6Marginal()};
+    const Pmf a = bayesianReconstruct(global, ms);
+    const Pmf b = multiLayerReconstruct(global, ms);
+    EXPECT_LT(totalVariationDistance(a, b), 1e-12);
+}
+
+/** Property sweep: reconstruction outputs are valid PMFs over the
+ *  global support for random instances. */
+class BayesianProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BayesianProperty, OutputIsValidPmfOverGlobalSupport)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    const int n = 4 + static_cast<int>(rng.uniformInt(0, 2));
+
+    Pmf global(n);
+    const int support = 5 + static_cast<int>(rng.uniformInt(0, 20));
+    for (int i = 0; i < support; ++i) {
+        global.set(static_cast<BasisState>(
+                       rng.uniformInt(0, (1 << n) - 1)),
+                   rng.uniform(0.01, 1.0));
+    }
+    global.normalize();
+
+    std::vector<Marginal> marginals;
+    for (const Subset &s : slidingWindowSubsets(n, 2)) {
+        Pmf local(2);
+        for (BasisState v = 0; v < 4; ++v)
+            local.set(v, rng.uniform(0.0, 1.0));
+        local.normalize();
+        marginals.push_back({local, s});
+    }
+
+    const Pmf out = bayesianReconstruct(global, marginals);
+    EXPECT_NEAR(out.totalMass(), 1.0, 1e-9);
+    for (const auto &[outcome, p] : out.probabilities()) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_GT(global.prob(outcome), 0.0)
+            << "reconstruction must not invent outcomes";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BayesianProperty, ::testing::Range(1, 16));
+
+// ----------------------------------------------------------------- jigsaw
+
+TEST(Jigsaw, TrialAccountingAndCpmCount)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 1});
+    const workloads::Ghz ghz(6);
+
+    const JigsawResult result =
+        runJigsaw(ghz.circuit(), dev, executor, 8192);
+    EXPECT_EQ(result.globalTrials, 4096u);
+    EXPECT_EQ(result.cpms.size(), 6u); // sliding window, n subsets
+    EXPECT_LE(result.globalTrials + result.subsetTrials, 8192u);
+    for (const CpmRecord &cpm : result.cpms) {
+        EXPECT_EQ(cpm.subset.size(), 2u);
+        EXPECT_EQ(cpm.trials, 4096u / 6u);
+        EXPECT_EQ(cpm.compiled.physical.countMeasurements(), 2);
+        EXPECT_NEAR(cpm.localPmf.totalMass(), 1.0, 1e-9);
+    }
+    EXPECT_NEAR(result.output.totalMass(), 1.0, 1e-9);
+}
+
+TEST(Jigsaw, JigsawMUsesAllSizes)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 2});
+    const workloads::Ghz ghz(6);
+
+    const JigsawResult result = runJigsaw(ghz.circuit(), dev, executor,
+                                          8192, jigsawMOptions());
+    // Sizes 2..5, n subsets each.
+    EXPECT_EQ(result.cpms.size(), 24u);
+    std::set<std::size_t> sizes;
+    for (const CpmRecord &cpm : result.cpms)
+        sizes.insert(cpm.subset.size());
+    EXPECT_EQ(sizes, (std::set<std::size_t>{2, 3, 4, 5}));
+}
+
+TEST(Jigsaw, CustomSubsetsHonored)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 3});
+    const workloads::Ghz ghz(5);
+
+    JigsawOptions options;
+    options.customSubsets = std::vector<Subset>{{0, 2}, {1, 4}};
+    const JigsawResult result =
+        runJigsaw(ghz.circuit(), dev, executor, 4096, options);
+    ASSERT_EQ(result.cpms.size(), 2u);
+    EXPECT_EQ(result.cpms[0].subset, (Subset{0, 2}));
+    EXPECT_EQ(result.cpms[1].subset, (Subset{1, 4}));
+}
+
+TEST(Jigsaw, NoRecompilationReusesGlobalMapping)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 4});
+    const workloads::Ghz ghz(5);
+
+    JigsawOptions options;
+    options.recompileCpms = false;
+    const JigsawResult result =
+        runJigsaw(ghz.circuit(), dev, executor, 4096, options);
+    for (const CpmRecord &cpm : result.cpms) {
+        EXPECT_EQ(cpm.compiled.swapCount, result.globalCompiled.swapCount);
+        EXPECT_EQ(cpm.compiled.initialLayout.logicalToPhysical(),
+                  result.globalCompiled.initialLayout.logicalToPhysical());
+    }
+}
+
+TEST(Jigsaw, CpmsRespectSwapBudget)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 5});
+    const workloads::Ghz ghz(8);
+
+    const JigsawResult result =
+        runJigsaw(ghz.circuit(), dev, executor, 8192);
+    for (const CpmRecord &cpm : result.cpms)
+        EXPECT_LE(cpm.compiled.swapCount,
+                  result.globalCompiled.swapCount);
+}
+
+TEST(Jigsaw, RecompiledCpmsNeverWorseThanGlobalMapping)
+{
+    // The driver considers the global allocation as a CPM candidate,
+    // so recompilation can only improve the CPM's expected probability
+    // of success.
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 7});
+    const workloads::Ghz ghz(8);
+
+    const JigsawResult result =
+        runJigsaw(ghz.circuit(), dev, executor, 8192);
+    const std::vector<int> qubit_of_clbit =
+        ghz.circuit().measuredQubits();
+    for (const CpmRecord &cpm : result.cpms) {
+        std::vector<int> physical;
+        for (int c : cpm.subset) {
+            physical.push_back(
+                result.globalCompiled.finalLayout.physicalOf(
+                    qubit_of_clbit[static_cast<std::size_t>(c)]));
+        }
+        const circuit::QuantumCircuit reuse_circuit =
+            result.globalCompiled.physical.withMeasurementSubset(
+                physical);
+        const double reuse_eps =
+            sim::expectedProbabilityOfSuccess(reuse_circuit, dev);
+        EXPECT_GE(cpm.compiled.eps + 1e-9, reuse_eps);
+    }
+}
+
+TEST(Jigsaw, RejectsBadOptions)
+{
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 6});
+    const workloads::Ghz ghz(5);
+
+    EXPECT_THROW(runJigsaw(ghz.circuit(), dev, executor, 1),
+                 std::invalid_argument);
+
+    JigsawOptions bad_fraction;
+    bad_fraction.globalFraction = 1.0;
+    EXPECT_THROW(
+        runJigsaw(ghz.circuit(), dev, executor, 1000, bad_fraction),
+        std::invalid_argument);
+
+    JigsawOptions bad_size;
+    bad_size.subsetSizes = {9};
+    EXPECT_THROW(runJigsaw(ghz.circuit(), dev, executor, 1000, bad_size),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------ scalability
+
+TEST(Scalability, OperationsMatchTable7JigsawRows)
+{
+    // Paper Table 7 (JigSaw: S=1, subset size 5, N = n), T in binary K.
+    ScalabilityConfig config;
+    config.subsetSizes = {5};
+    config.nQubits = 100;
+    config.numCpms = 100;
+
+    config.epsilon = 0.05;
+    config.trials = 32ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 0.66, 0.01);
+    config.trials = 1024ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 21.0, 0.1);
+
+    config.epsilon = 1.0;
+    config.trials = 32ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 13.1, 0.1);
+    config.trials = 1024ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 419.0, 1.0);
+
+    config.nQubits = 500;
+    config.numCpms = 500;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 2097.0, 1.0);
+    config.epsilon = 0.05;
+    config.trials = 32ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 3.28, 0.01);
+}
+
+TEST(Scalability, OperationsMatchTable7JigsawMRows)
+{
+    // JigSaw-M: sizes {5, 10, 15, 20} so S = 4.
+    ScalabilityConfig config;
+    config.subsetSizes = {5, 10, 15, 20};
+    config.nQubits = 100;
+    config.numCpms = 100;
+    config.epsilon = 0.05;
+    config.trials = 32ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 2.62, 0.05);
+    config.trials = 1024ULL * 1024;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 83.9, 0.2);
+    config.epsilon = 1.0;
+    EXPECT_NEAR(reconstructionOperations(config) / 1e6, 1677.0, 2.0);
+}
+
+TEST(Scalability, MemoryMatchesTable7JigsawRows)
+{
+    // JigSaw memory is dominated by the {n + 8(2+N)} eps T term;
+    // Table 7 reports 0.96 GB for n=100, eps=1, T=1024K.
+    ScalabilityConfig config;
+    config.subsetSizes = {5};
+    config.nQubits = 100;
+    config.numCpms = 100;
+    config.epsilon = 1.0;
+    config.delta = 1.0;
+    config.trials = 1024ULL * 1024;
+    EXPECT_NEAR(reconstructionMemoryBytes(config) / 1e9, 0.96, 0.01);
+
+    config.nQubits = 500;
+    config.numCpms = 500;
+    EXPECT_NEAR(reconstructionMemoryBytes(config) / 1e9, 4.74, 0.01);
+
+    config.epsilon = 0.05;
+    config.delta = 0.05;
+    EXPECT_NEAR(reconstructionMemoryBytes(config) / 1e9, 0.24, 0.01);
+}
+
+TEST(Scalability, MemoryLinearInTrialsAndCpms)
+{
+    ScalabilityConfig config;
+    config.subsetSizes = {2};
+    config.nQubits = 50;
+    config.numCpms = 50;
+    config.epsilon = 0.05;
+    config.delta = 0.05;
+    config.trials = 100000;
+    const double base = reconstructionMemoryBytes(config);
+
+    config.trials = 200000;
+    EXPECT_NEAR(reconstructionMemoryBytes(config) / base, 2.0, 0.01);
+
+    config.trials = 100000;
+    config.numCpms = 100;
+    EXPECT_GT(reconstructionMemoryBytes(config), base * 1.5);
+}
+
+TEST(Scalability, RejectsIncompleteConfig)
+{
+    ScalabilityConfig config;
+    EXPECT_THROW(reconstructionMemoryBytes(config),
+                 std::invalid_argument);
+    EXPECT_THROW(reconstructionOperations(config),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace core
+} // namespace jigsaw

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Device-model tests: topology structure and distances, heavy-hex
+ * layouts, calibration synthesis statistics against the paper's
+ * published per-device numbers.
+ */
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "device/calibration.h"
+#include "device/library.h"
+#include "device/topology.h"
+
+namespace jigsaw {
+namespace device {
+namespace {
+
+TEST(Topology, LinearChain)
+{
+    const Topology t = linearTopology(5);
+    EXPECT_EQ(t.nQubits(), 5);
+    EXPECT_EQ(t.edges().size(), 4u);
+    EXPECT_TRUE(t.areCoupled(0, 1));
+    EXPECT_TRUE(t.areCoupled(1, 0));
+    EXPECT_FALSE(t.areCoupled(0, 2));
+    EXPECT_EQ(t.distance(0, 4), 4);
+    EXPECT_EQ(t.distance(2, 2), 0);
+    EXPECT_TRUE(t.isConnected());
+}
+
+TEST(Topology, Grid)
+{
+    const Topology t = gridTopology(3, 4);
+    EXPECT_EQ(t.nQubits(), 12);
+    // 3*(4-1) horizontal + (3-1)*4 vertical edges.
+    EXPECT_EQ(t.edges().size(), 17u);
+    EXPECT_EQ(t.distance(0, 11), 5); // Manhattan distance on a grid.
+    EXPECT_TRUE(t.isConnected());
+}
+
+TEST(Topology, Neighbors)
+{
+    const Topology t = linearTopology(4);
+    EXPECT_EQ(t.neighbors(0), (std::vector<int>{1}));
+    EXPECT_EQ(t.neighbors(1), (std::vector<int>{0, 2}));
+}
+
+TEST(Topology, EdgeIndexRoundTrip)
+{
+    const Topology t = heavyHex27();
+    for (std::size_t e = 0; e < t.edges().size(); ++e) {
+        const auto [a, b] = t.edges()[e];
+        EXPECT_EQ(t.edgeIndex(a, b), static_cast<int>(e));
+        EXPECT_EQ(t.edgeIndex(b, a), static_cast<int>(e));
+    }
+    EXPECT_EQ(t.edgeIndex(0, 26), -1);
+}
+
+TEST(Topology, RejectsBadEdges)
+{
+    EXPECT_THROW(Topology(2, {{0, 2}}), std::invalid_argument);
+    EXPECT_THROW(Topology(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Topology, HeavyHex27Structure)
+{
+    const Topology t = heavyHex27();
+    EXPECT_EQ(t.nQubits(), 27);
+    EXPECT_EQ(t.edges().size(), 28u);
+    EXPECT_TRUE(t.isConnected());
+    // Heavy-hex: degree never exceeds 3.
+    for (int q = 0; q < t.nQubits(); ++q)
+        EXPECT_LE(t.neighbors(q).size(), 3u);
+}
+
+TEST(Topology, HeavyHex65Structure)
+{
+    const Topology t = heavyHex65();
+    EXPECT_EQ(t.nQubits(), 65);
+    EXPECT_EQ(t.edges().size(), 72u);
+    EXPECT_TRUE(t.isConnected());
+    for (int q = 0; q < t.nQubits(); ++q)
+        EXPECT_LE(t.neighbors(q).size(), 3u);
+}
+
+TEST(Calibration, EffectiveErrorGrowsWithSimultaneity)
+{
+    Calibration cal(2, 1);
+    cal.qubit(0).readoutError01 = 0.02;
+    cal.qubit(0).readoutError10 = 0.03;
+    cal.qubit(0).crosstalkGamma = 0.004;
+    EXPECT_DOUBLE_EQ(cal.effectiveReadoutError(0, 1, 0), 0.02);
+    EXPECT_DOUBLE_EQ(cal.effectiveReadoutError(0, 1, 1), 0.03);
+    EXPECT_NEAR(cal.effectiveReadoutError(0, 5, 0), 0.02 + 0.016, 1e-12);
+    EXPECT_NEAR(cal.effectiveReadoutError(0, 10, 1), 0.03 + 0.036, 1e-12);
+}
+
+TEST(Calibration, EffectiveErrorClamped)
+{
+    Calibration cal(1, 0);
+    cal.qubit(0).readoutError01 = 0.4;
+    cal.qubit(0).crosstalkGamma = 0.1;
+    EXPECT_DOUBLE_EQ(cal.effectiveReadoutError(0, 10, 0), 0.5);
+}
+
+TEST(Calibration, BestReadoutQubitsSorted)
+{
+    Calibration cal(3, 0);
+    cal.qubit(0).readoutError01 = cal.qubit(0).readoutError10 = 0.05;
+    cal.qubit(1).readoutError01 = cal.qubit(1).readoutError10 = 0.01;
+    cal.qubit(2).readoutError01 = cal.qubit(2).readoutError10 = 0.03;
+    EXPECT_EQ(cal.bestReadoutQubits(2), (std::vector<int>{1, 2}));
+    EXPECT_EQ(cal.bestReadoutQubits(10).size(), 3u);
+}
+
+TEST(Calibration, SynthesisDeterministic)
+{
+    const Topology topo = heavyHex27();
+    const CalibrationProfile profile;
+    const Calibration a = synthesizeCalibration(topo, profile, 5);
+    const Calibration b = synthesizeCalibration(topo, profile, 5);
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_DOUBLE_EQ(a.qubit(q).readoutError01,
+                         b.qubit(q).readoutError01);
+    }
+    const Calibration c = synthesizeCalibration(topo, profile, 6);
+    bool any_different = false;
+    for (int q = 0; q < 27; ++q) {
+        if (a.qubit(q).readoutError01 != c.qubit(q).readoutError01)
+            any_different = true;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Calibration, SynthesisRespectsClamps)
+{
+    const Topology topo = heavyHex65();
+    CalibrationProfile profile;
+    const Calibration cal = synthesizeCalibration(topo, profile, 77);
+    for (int q = 0; q < topo.nQubits(); ++q) {
+        const double mean = cal.qubit(q).meanReadoutError();
+        EXPECT_GE(mean, profile.readoutFloor - 1e-12);
+        EXPECT_LE(mean, profile.readoutCeil + 1e-12);
+        EXPECT_GT(cal.qubit(q).readoutError10,
+                  cal.qubit(q).readoutError01);
+        EXPECT_LE(cal.qubit(q).crosstalkGamma, profile.gammaCeil + 1e-12);
+    }
+}
+
+TEST(Calibration, AsymmetryRatio)
+{
+    const Topology topo = heavyHex27();
+    CalibrationProfile profile;
+    profile.asymmetry = 1.5;
+    const Calibration cal = synthesizeCalibration(topo, profile, 9);
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_NEAR(cal.qubit(q).readoutError10 /
+                        cal.qubit(q).readoutError01,
+                    1.5, 1e-9);
+    }
+}
+
+TEST(DeviceLibrary, TorontoMatchesPaperSpread)
+{
+    // Paper Fig 3: mean 4.70%, median 2.76%, min 0.85%, max 22.2%.
+    // Synthetic calibration should land in the same regime.
+    const DeviceModel dev = toronto();
+    const std::vector<double> errors = dev.calibration().readoutErrors();
+    EXPECT_EQ(errors.size(), 27u);
+    EXPECT_NEAR(stats::median(errors), 0.0276, 0.015);
+    EXPECT_GT(stats::mean(errors), stats::median(errors)); // heavy tail
+    EXPECT_LT(stats::min(errors), 0.02);
+    EXPECT_GT(stats::max(errors), 0.10);
+}
+
+TEST(DeviceLibrary, SycamoreMatchesTable1Regime)
+{
+    // Paper Table 1 isolated: min 2.6%, avg 6.14%, median 5.7%,
+    // max 11.7%.
+    const DeviceModel dev = sycamore();
+    const std::vector<double> errors = dev.calibration().readoutErrors();
+    EXPECT_NEAR(stats::median(errors), 0.057, 0.02);
+    EXPECT_GE(stats::min(errors), 0.02);
+    EXPECT_LE(stats::max(errors), 0.125);
+}
+
+TEST(DeviceLibrary, NamesAndSizes)
+{
+    EXPECT_EQ(toronto().name(), "ibmq-toronto");
+    EXPECT_EQ(toronto().nQubits(), 27);
+    EXPECT_EQ(paris().nQubits(), 27);
+    EXPECT_EQ(manhattan().nQubits(), 65);
+    EXPECT_EQ(sycamore().nQubits(), 54); // 6x9 grid model
+    EXPECT_EQ(evaluationDevices().size(), 3u);
+}
+
+TEST(DeviceLibrary, ByName)
+{
+    EXPECT_EQ(byName("ibmq-paris").name(), "ibmq-paris");
+    EXPECT_THROW(byName("nope"), std::invalid_argument);
+}
+
+TEST(DeviceLibrary, DevicesDiffer)
+{
+    const DeviceModel tor = toronto();
+    const DeviceModel par = paris();
+    bool any_different = false;
+    for (int q = 0; q < 27; ++q) {
+        if (tor.calibration().qubit(q).readoutError01 !=
+            par.calibration().qubit(q).readoutError01) {
+            any_different = true;
+        }
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(DeviceModel, RejectsMismatch)
+{
+    EXPECT_THROW(DeviceModel("bad", linearTopology(3),
+                             Calibration(4, 0)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace device
+} // namespace jigsaw

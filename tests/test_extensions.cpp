@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the library extensions beyond the paper's core: the CP
+ * gate, OpenQASM 2.0 interchange, the QFT-adjoint workload, the
+ * Appendix A.2 trial estimator, and the JigSaw-M layer-order option.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.h"
+#include "core/bayesian.h"
+#include "core/jigsaw.h"
+#include "core/trial_estimate.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "sim/eps.h"
+#include "sim/simulators.h"
+#include "sim/statevector.h"
+#include "workloads/qft.h"
+#include "workloads/registry.h"
+
+namespace jigsaw {
+namespace {
+
+using circuit::GateType;
+using circuit::QuantumCircuit;
+
+// --------------------------------------------------------------- CP gate
+
+TEST(CpGate, PiEqualsCz)
+{
+    sim::StateVector a(2), b(2);
+    QuantumCircuit prep(2);
+    prep.h(0).h(1);
+    a.applyCircuit(prep);
+    b.applyCircuit(prep);
+    a.applyGate({GateType::CP, {0, 1}, {M_PI}, -1});
+    b.applyGate({GateType::CZ, {0, 1}, {}, -1});
+    for (BasisState s = 0; s < 4; ++s)
+        EXPECT_NEAR(std::abs(a.amplitude(s) - b.amplitude(s)), 0.0,
+                    1e-12);
+}
+
+TEST(CpGate, OnlyPhases11)
+{
+    sim::StateVector sv(2);
+    QuantumCircuit prep(2);
+    prep.h(0).h(1);
+    sv.applyCircuit(prep);
+    sv.applyGate({GateType::CP, {0, 1}, {0.7}, -1});
+    // Probabilities unchanged (diagonal gate).
+    for (BasisState s = 0; s < 4; ++s)
+        EXPECT_NEAR(sv.probability(s), 0.25, 1e-12);
+    EXPECT_NEAR(std::arg(sv.amplitude(0b11)) -
+                    std::arg(sv.amplitude(0b00)),
+                0.7, 1e-12);
+}
+
+TEST(CpGate, SymmetricInQubits)
+{
+    sim::StateVector a(2), b(2);
+    QuantumCircuit prep(2);
+    prep.h(0).ry(0.4, 1);
+    a.applyCircuit(prep);
+    b.applyCircuit(prep);
+    a.applyGate({GateType::CP, {0, 1}, {1.1}, -1});
+    b.applyGate({GateType::CP, {1, 0}, {1.1}, -1});
+    for (BasisState s = 0; s < 4; ++s)
+        EXPECT_NEAR(std::abs(a.amplitude(s) - b.amplitude(s)), 0.0,
+                    1e-12);
+}
+
+TEST(CpGate, EpsCountsAsTwoCx)
+{
+    device::Topology topo = device::linearTopology(2);
+    device::Calibration cal(2, 1);
+    cal.setEdgeError(0, 0.02);
+    cal.qubit(1).error1q = 0.001;
+    const device::DeviceModel dev("t", std::move(topo), std::move(cal));
+    QuantumCircuit qc(2, 1);
+    qc.cp(0.3, 0, 1).measure(0, 0);
+    EXPECT_NEAR(sim::gateSuccessProbability(qc, dev),
+                0.98 * 0.98 * 0.999, 1e-12);
+}
+
+// ------------------------------------------------------------------ qasm
+
+TEST(Qasm, EmitsHeaderAndGates)
+{
+    QuantumCircuit qc(3, 2);
+    qc.h(0).cx(0, 1).rz(0.5, 2).cp(0.25, 0, 2).barrier();
+    qc.measure(0, 0).measure(2, 1);
+    const std::string text = circuit::toQasm(qc);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(text.find("cu1(0.25) q[0],q[2];"), std::string::npos);
+    EXPECT_NE(text.find("measure q[2] -> c[1];"), std::string::npos);
+    EXPECT_NE(text.find("barrier q;"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics)
+{
+    // Every gate type in one circuit; the reparsed circuit must
+    // produce exactly the same output distribution.
+    QuantumCircuit qc(4, 4);
+    qc.h(0).x(1).y(2).z(3).s(0).sdg(1).t(2).tdg(3);
+    qc.rx(0.3, 0).ry(0.7, 1).rz(1.1, 2).u3(0.2, 0.4, 0.6, 3);
+    qc.cx(0, 1).cz(1, 2).cp(0.9, 2, 3).rzz(0.5, 0, 3).swap(1, 3);
+    qc.barrier();
+    qc.measureAll();
+
+    const QuantumCircuit parsed = circuit::fromQasm(circuit::toQasm(qc));
+    EXPECT_EQ(parsed.nQubits(), qc.nQubits());
+    EXPECT_EQ(parsed.nClbits(), qc.nClbits());
+    EXPECT_EQ(parsed.gates().size(), qc.gates().size());
+
+    sim::IdealSimulator ideal;
+    EXPECT_LT(totalVariationDistance(ideal.idealPmf(qc),
+                                     ideal.idealPmf(parsed)),
+              1e-12);
+}
+
+TEST(Qasm, ParsesCommentsAndWhitespace)
+{
+    const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+// a comment line
+qreg q[2];
+creg c[2];
+
+h q[0];   // trailing comment
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)";
+    const QuantumCircuit qc = circuit::fromQasm(text);
+    EXPECT_EQ(qc.nQubits(), 2);
+    EXPECT_EQ(qc.countMeasurements(), 2);
+    sim::IdealSimulator ideal;
+    EXPECT_NEAR(ideal.idealPmf(qc).prob(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(ideal.idealPmf(qc).prob(0b11), 0.5, 1e-12);
+}
+
+TEST(Qasm, RejectsGarbage)
+{
+    EXPECT_THROW(circuit::fromQasm("h q[0];"), std::invalid_argument);
+    EXPECT_THROW(circuit::fromQasm("qreg q[2];\nfoo q[0];"),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::fromQasm("qreg q[2];\nh q[0]"),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::fromQasm("qreg q[2];\nrx() q[0];"),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- QFT
+
+TEST(QftAdjoint, DeterministicIdentity)
+{
+    const workloads::QftAdjoint qft(6);
+    EXPECT_EQ(qft.name(), "QFTAdj-6");
+    EXPECT_EQ(qft.idealPmf().support(), 1u);
+    EXPECT_NEAR(qft.idealPmf().prob(qft.pattern()), 1.0, 1e-9);
+    EXPECT_EQ(qft.correctOutcomes(),
+              (std::vector<BasisState>{qft.pattern()}));
+}
+
+TEST(QftAdjoint, CpHeavy)
+{
+    const workloads::QftAdjoint qft(8);
+    // n(n-1) controlled-phase interactions across QFT + inverse.
+    EXPECT_EQ(qft.circuit().countTwoQubitGates(), 56);
+}
+
+TEST(QftAdjoint, RegistryName)
+{
+    EXPECT_EQ(workloads::makeWorkload("QFTAdj-4")->name(), "QFTAdj-4");
+}
+
+TEST(QftAdjoint, JigsawImprovesIt)
+{
+    const auto qft = workloads::makeWorkload("QFTAdj-8");
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 55});
+    const Pmf baseline =
+        core::runBaseline(qft->circuit(), dev, executor, 8192);
+    const core::JigsawResult js =
+        core::runJigsaw(qft->circuit(), dev, executor, 8192);
+    EXPECT_GT(metrics::pst(js.output, *qft),
+              metrics::pst(baseline, *qft));
+}
+
+// -------------------------------------------------------- trial estimate
+
+TEST(TrialEstimate, PaperAppendixNumbers)
+{
+    // Paper: "only about 150 trials are required to ensure (with
+    // 99.99% probability) that we obtain each possible answer at
+    // least one time" for subset size 2.
+    EXPECT_NEAR(static_cast<double>(
+                    core::trialsForFullCoverage(2, 0.9999)),
+                150.0, 5.0);
+    // Per-outcome requirement is 1/4 of that (N vs N^2).
+    EXPECT_EQ(core::trialsForOutcome(2, 0.9999) * 4,
+              core::trialsForFullCoverage(2, 0.9999));
+}
+
+TEST(TrialEstimate, CoverageProbabilityMatchesFormula)
+{
+    // P = 1 - (1 - 2^-s)^t exactly.
+    EXPECT_NEAR(core::coverageProbability(2, 1), 0.25, 1e-12);
+    EXPECT_NEAR(core::coverageProbability(2, 2), 1 - 0.75 * 0.75,
+                1e-12);
+    EXPECT_NEAR(core::coverageProbability(1, 10),
+                1 - std::pow(0.5, 10), 1e-12);
+}
+
+TEST(TrialEstimate, MonotoneInSizeAndConfidence)
+{
+    for (int s = 2; s < 9; ++s) {
+        EXPECT_LT(core::trialsForFullCoverage(s, 0.99),
+                  core::trialsForFullCoverage(s + 1, 0.99));
+        EXPECT_LT(core::trialsForFullCoverage(s, 0.9),
+                  core::trialsForFullCoverage(s, 0.999));
+    }
+}
+
+TEST(TrialEstimate, GrowsAsNSquared)
+{
+    // Eq. 9 is quadratic in the outcome count: +1 subset bit
+    // quadruples the budget.
+    const auto t4 = core::trialsForFullCoverage(4, 0.999);
+    const auto t5 = core::trialsForFullCoverage(5, 0.999);
+    EXPECT_NEAR(static_cast<double>(t5) / static_cast<double>(t4), 4.0,
+                0.01);
+}
+
+TEST(TrialEstimate, RejectsBadInputs)
+{
+    EXPECT_THROW(core::trialsForFullCoverage(0, 0.99),
+                 std::invalid_argument);
+    EXPECT_THROW(core::trialsForFullCoverage(2, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(core::trialsForFullCoverage(2, 1.0),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------ layer order
+
+TEST(LayerOrder, BothOrdersProduceValidPmfs)
+{
+    Pmf global(3);
+    global.set(0b111, 0.4);
+    global.set(0b000, 0.3);
+    global.set(0b101, 0.3);
+    Pmf big(3);
+    big.set(0b111, 0.9);
+    big.set(0b000, 0.1);
+    Pmf small(2);
+    small.set(0b11, 0.8);
+    small.set(0b00, 0.2);
+    const std::vector<core::Marginal> ms{{small, {0, 1}},
+                                         {big, {0, 1, 2}}};
+
+    core::ReconstructionOptions top_down;
+    core::ReconstructionOptions bottom_up;
+    bottom_up.layerOrder = core::LayerOrder::BottomUp;
+
+    const Pmf a = core::multiLayerReconstruct(global, ms, top_down);
+    const Pmf b = core::multiLayerReconstruct(global, ms, bottom_up);
+    EXPECT_NEAR(a.totalMass(), 1.0, 1e-9);
+    EXPECT_NEAR(b.totalMass(), 1.0, 1e-9);
+    // Orders genuinely differ on this instance.
+    EXPECT_GT(totalVariationDistance(a, b), 1e-6);
+}
+
+TEST(LayerOrder, TopDownAtLeastAsGoodOnDevice)
+{
+    // End-to-end: the paper's ordering should not lose to bottom-up
+    // on a measurement-noise dominated workload.
+    const auto ghz = workloads::makeWorkload("GHZ-10");
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 66});
+
+    const core::JigsawResult run = core::runJigsaw(
+        ghz->circuit(), dev, executor, 16384, core::jigsawMOptions());
+    core::ReconstructionOptions bottom_up;
+    bottom_up.layerOrder = core::LayerOrder::BottomUp;
+    const Pmf reversed = core::multiLayerReconstruct(
+        run.globalPmf, run.marginals(), bottom_up);
+
+    EXPECT_GE(metrics::pst(run.output, *ghz),
+              metrics::pst(reversed, *ghz) * 0.98);
+}
+
+} // namespace
+} // namespace jigsaw

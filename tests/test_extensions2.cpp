@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the second extension round: empirical readout
+ * characterization (calibration-free MBM), the W-state workload, and
+ * CSV export.
+ */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "mitigation/characterize.h"
+#include "mitigation/mbm.h"
+#include "sim/simulators.h"
+#include "workloads/registry.h"
+#include "workloads/wstate.h"
+
+namespace jigsaw {
+namespace {
+
+using circuit::QuantumCircuit;
+using device::DeviceModel;
+
+DeviceModel
+flatDevice(double e0, double e1)
+{
+    device::Topology topo = device::linearTopology(4);
+    device::Calibration cal(4, 3);
+    for (int q = 0; q < 4; ++q) {
+        cal.qubit(q).readoutError01 = e0;
+        cal.qubit(q).readoutError10 = e1;
+    }
+    return DeviceModel("flat", std::move(topo), std::move(cal));
+}
+
+// --------------------------------------------------- characterization
+
+TEST(Characterize, RecoversModelRates)
+{
+    const double e0 = 0.03;
+    const double e1 = 0.07;
+    const DeviceModel dev = flatDevice(e0, e1);
+    sim::NoisySimulator executor(dev, {.seed = 81});
+
+    QuantumCircuit target(4, 2);
+    target.h(0).measure(0, 0).measure(2, 1);
+    const mitigation::EmpiricalConfusion confusion =
+        mitigation::characterizeReadout(target, executor, 100000);
+
+    ASSERT_EQ(confusion.flip0.size(), 2u);
+    for (int c = 0; c < 2; ++c) {
+        EXPECT_NEAR(confusion.flip0[static_cast<std::size_t>(c)], e0,
+                    0.005);
+        EXPECT_NEAR(confusion.flip1[static_cast<std::size_t>(c)], e1,
+                    0.005);
+    }
+}
+
+TEST(Characterize, MatchesCrosstalkConditions)
+{
+    // A 5-qubit simultaneous measurement must show higher empirical
+    // error than an isolated one on the same qubit.
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 82});
+
+    QuantumCircuit isolated(dev.nQubits(), 1);
+    isolated.measure(0, 0);
+    QuantumCircuit grouped(dev.nQubits(), 5);
+    for (int q = 0; q < 5; ++q)
+        grouped.measure(q, q);
+
+    const auto alone =
+        mitigation::characterizeReadout(isolated, executor, 60000);
+    const auto together =
+        mitigation::characterizeReadout(grouped, executor, 60000);
+    EXPECT_GT(together.flip1[0], alone.flip1[0]);
+}
+
+TEST(Characterize, RejectsBadInputs)
+{
+    const DeviceModel dev = flatDevice(0.02, 0.02);
+    sim::NoisySimulator executor(dev, {.seed = 83});
+    QuantumCircuit no_measure(4, 1);
+    no_measure.h(0);
+    EXPECT_THROW(
+        mitigation::characterizeReadout(no_measure, executor, 100),
+        std::invalid_argument);
+    QuantumCircuit ok(4, 1);
+    ok.measure(0, 0);
+    EXPECT_THROW(mitigation::characterizeReadout(ok, executor, 0),
+                 std::invalid_argument);
+}
+
+TEST(Characterize, EmpiricalMbmMitigates)
+{
+    // Full calibration-free flow: characterize, build MBM from the
+    // empirical rates, mitigate a measurement-noise-only GHZ run.
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(
+        dev, {.seed = 84, .trajectories = 0, .gateNoise = false,
+              .measurementNoise = true});
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+
+    const compiler::CompiledCircuit compiled =
+        compiler::transpile(ghz->circuit(), dev);
+    const auto confusion = mitigation::characterizeReadout(
+        compiled.physical, executor, 60000);
+    const mitigation::MbmMitigator mbm(confusion);
+
+    const Pmf observed =
+        executor.run(compiled.physical, 100000).toPmf();
+    const Pmf mitigated = mbm.mitigate(observed);
+    EXPECT_GT(metrics::pst(mitigated, *ghz),
+              metrics::pst(observed, *ghz));
+}
+
+TEST(Characterize, EmpiricalCloseToModelMbm)
+{
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(
+        dev, {.seed = 85, .trajectories = 0, .gateNoise = false,
+              .measurementNoise = true});
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+    const compiler::CompiledCircuit compiled =
+        compiler::transpile(ghz->circuit(), dev);
+
+    const mitigation::MbmMitigator model_mbm(compiled.physical, dev);
+    const mitigation::MbmMitigator empirical_mbm(
+        mitigation::characterizeReadout(compiled.physical, executor,
+                                        100000));
+    const Pmf observed =
+        executor.run(compiled.physical, 100000).toPmf();
+    EXPECT_LT(totalVariationDistance(model_mbm.mitigate(observed),
+                                     empirical_mbm.mitigate(observed)),
+              0.03);
+}
+
+TEST(Characterize, MbmRejectsMalformedConfusion)
+{
+    mitigation::EmpiricalConfusion bad;
+    EXPECT_THROW(mitigation::MbmMitigator{bad}, std::invalid_argument);
+    bad.flip0 = {0.1};
+    bad.flip1 = {0.1, 0.2};
+    EXPECT_THROW(mitigation::MbmMitigator{bad}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------- W state
+
+TEST(WStateTest, IdealIsUniformOneHot)
+{
+    const workloads::WState w(5);
+    EXPECT_EQ(w.name(), "W-5");
+    EXPECT_EQ(w.idealPmf().support(), 5u);
+    for (BasisState outcome : w.correctOutcomes()) {
+        EXPECT_EQ(popcount(outcome), 1);
+        EXPECT_NEAR(w.idealPmf().prob(outcome), 0.2, 1e-9);
+    }
+    EXPECT_NEAR(metrics::pst(w.idealPmf(), w), 1.0, 1e-9);
+}
+
+TEST(WStateTest, SizesTwoAndLarge)
+{
+    const workloads::WState w2(2);
+    EXPECT_NEAR(w2.idealPmf().prob(0b01), 0.5, 1e-9);
+    EXPECT_NEAR(w2.idealPmf().prob(0b10), 0.5, 1e-9);
+
+    const workloads::WState w10(10);
+    EXPECT_EQ(w10.idealPmf().support(), 10u);
+    EXPECT_NEAR(w10.idealPmf().prob(1ULL << 7), 0.1, 1e-9);
+}
+
+TEST(WStateTest, RegistryAndJigsaw)
+{
+    const auto w = workloads::makeWorkload("W-8");
+    EXPECT_EQ(w->name(), "W-8");
+
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 86});
+    const Pmf baseline =
+        core::runBaseline(w->circuit(), dev, executor, 16384);
+    const core::JigsawResult js =
+        core::runJigsaw(w->circuit(), dev, executor, 16384);
+    EXPECT_GT(metrics::pst(js.output, *w), metrics::pst(baseline, *w));
+}
+
+// --------------------------------------------------------------- CSV
+
+TEST(Csv, PmfSortedRows)
+{
+    Pmf pmf(2);
+    pmf.set(0b01, 0.7);
+    pmf.set(0b10, 0.3);
+    std::ostringstream oss;
+    writeCsv(oss, pmf);
+    EXPECT_EQ(oss.str(), "bitstring,probability\n01,0.7\n10,0.3\n");
+}
+
+TEST(Csv, HistogramRowsAndLimit)
+{
+    Histogram hist(3);
+    hist.add(0b101, 5);
+    hist.add(0b001, 9);
+    hist.add(0b111, 1);
+    std::ostringstream oss;
+    writeCsv(oss, hist, 2);
+    EXPECT_EQ(oss.str(), "bitstring,count\n001,9\n101,5\n");
+}
+
+TEST(Csv, EmptyPmfHeaderOnly)
+{
+    Pmf pmf(2);
+    std::ostringstream oss;
+    writeCsv(oss, pmf);
+    EXPECT_EQ(oss.str(), "bitstring,probability\n");
+}
+
+} // namespace
+} // namespace jigsaw

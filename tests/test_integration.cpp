@@ -1,0 +1,200 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * claims in miniature: JigSaw beats the baseline on PST/IST/Fidelity,
+ * JigSaw-M beats JigSaw, recompilation contributes, and the claims
+ * hold across device models.
+ */
+#include <gtest/gtest.h>
+
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "mitigation/edm.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/registry.h"
+
+namespace jigsaw {
+namespace {
+
+constexpr std::uint64_t trials = 16384;
+
+struct Comparison
+{
+    double baseline_pst;
+    double jigsaw_pst;
+    double jigsaw_m_pst;
+    double baseline_fidelity;
+    double jigsaw_fidelity;
+};
+
+Comparison
+compare(const workloads::Workload &w, const device::DeviceModel &dev,
+        std::uint64_t seed)
+{
+    sim::NoisySimulator executor(dev, {.seed = seed});
+    const Pmf baseline =
+        core::runBaseline(w.circuit(), dev, executor, trials);
+    const core::JigsawResult js =
+        core::runJigsaw(w.circuit(), dev, executor, trials);
+    const core::JigsawResult jsm = core::runJigsaw(
+        w.circuit(), dev, executor, trials, core::jigsawMOptions());
+    return {metrics::pst(baseline, w), metrics::pst(js.output, w),
+            metrics::pst(jsm.output, w), metrics::fidelity(baseline, w),
+            metrics::fidelity(js.output, w)};
+}
+
+TEST(Integration, JigsawBeatsBaselineGhzToronto)
+{
+    const workloads::Ghz ghz(12);
+    const Comparison c = compare(ghz, device::toronto(), 101);
+    EXPECT_GT(c.jigsaw_pst, c.baseline_pst * 1.1)
+        << "JigSaw should clearly improve PST";
+    EXPECT_GT(c.jigsaw_fidelity, c.baseline_fidelity);
+}
+
+TEST(Integration, JigsawMBeatsJigsawGhzToronto)
+{
+    const workloads::Ghz ghz(12);
+    const Comparison c = compare(ghz, device::toronto(), 102);
+    // Paper: JigSaw-M improves over JigSaw by 1.26x on average; allow
+    // sampling slack but require no regression.
+    EXPECT_GE(c.jigsaw_m_pst, c.jigsaw_pst * 0.97);
+    EXPECT_GT(c.jigsaw_m_pst, c.baseline_pst);
+}
+
+TEST(Integration, HoldsOnParisAndManhattan)
+{
+    const workloads::Ghz ghz(12);
+    for (const auto &dev :
+         {device::paris(), device::manhattan()}) {
+        const Comparison c = compare(ghz, dev, 103);
+        EXPECT_GT(c.jigsaw_pst, c.baseline_pst) << dev.name();
+        EXPECT_GT(c.jigsaw_fidelity, c.baseline_fidelity) << dev.name();
+    }
+}
+
+TEST(Integration, BvRecoversHiddenString)
+{
+    const workloads::BernsteinVazirani bv(6);
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 104});
+
+    const core::JigsawResult js =
+        core::runJigsaw(bv.circuit(), dev, executor, trials);
+    EXPECT_EQ(js.output.mode(), bv.hiddenString());
+}
+
+TEST(Integration, RecompilationContributes)
+{
+    const workloads::Ghz ghz(12);
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 105});
+
+    core::JigsawOptions no_recompile;
+    no_recompile.recompileCpms = false;
+    const core::JigsawResult without = core::runJigsaw(
+        ghz.circuit(), dev, executor, trials, no_recompile);
+    const core::JigsawResult with =
+        core::runJigsaw(ghz.circuit(), dev, executor, trials);
+
+    // Figure 11: recompilation strictly adds on top of subsetting.
+    // CPM expected success must not degrade; PST should not regress
+    // beyond sampling noise.
+    double mean_eps_with = 0.0;
+    double mean_eps_without = 0.0;
+    for (const auto &cpm : with.cpms)
+        mean_eps_with += cpm.compiled.eps;
+    for (const auto &cpm : without.cpms)
+        mean_eps_without += cpm.compiled.eps;
+    mean_eps_with /= static_cast<double>(with.cpms.size());
+    mean_eps_without /= static_cast<double>(without.cpms.size());
+    EXPECT_GE(mean_eps_with, mean_eps_without);
+
+    const double pst_with = metrics::pst(with.output, ghz);
+    const double pst_without = metrics::pst(without.output, ghz);
+    EXPECT_GE(pst_with, pst_without * 0.95);
+}
+
+TEST(Integration, SubsettingAloneBeatsBaseline)
+{
+    // Paper: JigSaw without recompilation still improves PST (1.85x
+    // average). Require a clear improvement.
+    const workloads::Ghz ghz(12);
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 106});
+
+    const Pmf baseline =
+        core::runBaseline(ghz.circuit(), dev, executor, trials);
+    core::JigsawOptions no_recompile;
+    no_recompile.recompileCpms = false;
+    const core::JigsawResult js = core::runJigsaw(
+        ghz.circuit(), dev, executor, trials, no_recompile);
+    EXPECT_GT(metrics::pst(js.output, ghz),
+              metrics::pst(baseline, ghz));
+}
+
+TEST(Integration, IstImproves)
+{
+    const workloads::Ghz ghz(12);
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 107});
+
+    const Pmf baseline =
+        core::runBaseline(ghz.circuit(), dev, executor, trials);
+    const core::JigsawResult js =
+        core::runJigsaw(ghz.circuit(), dev, executor, trials);
+    EXPECT_GT(metrics::ist(js.output, ghz), metrics::ist(baseline, ghz));
+}
+
+TEST(Integration, JigsawBeatsEdm)
+{
+    // Figure 8: JigSaw outperforms EDM across the suite; check one
+    // representative configuration.
+    const workloads::Ghz ghz(12);
+    const device::DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 108});
+
+    const mitigation::EdmResult edm =
+        mitigation::runEdm(ghz.circuit(), dev, executor, trials, 4);
+    const core::JigsawResult js =
+        core::runJigsaw(ghz.circuit(), dev, executor, trials);
+    EXPECT_GT(metrics::pst(js.output, ghz),
+              metrics::pst(edm.output, ghz));
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const workloads::Ghz ghz(8);
+    const device::DeviceModel dev = device::toronto();
+
+    sim::NoisySimulator a(dev, {.seed = 109});
+    sim::NoisySimulator b(dev, {.seed = 109});
+    const core::JigsawResult ra =
+        core::runJigsaw(ghz.circuit(), dev, a, 4096);
+    const core::JigsawResult rb =
+        core::runJigsaw(ghz.circuit(), dev, b, 4096);
+    EXPECT_LT(totalVariationDistance(ra.output, rb.output), 1e-12);
+}
+
+TEST(Integration, WiderBenchmarkSweep)
+{
+    // A light sweep over further suite members to guard against
+    // regressions that only bite specific circuit shapes.
+    const device::DeviceModel dev = device::paris();
+    for (const char *name : {"BV-6", "Graycode-10", "QAOA-8 p1"}) {
+        const auto w = workloads::makeWorkload(name);
+        sim::NoisySimulator executor(dev, {.seed = 110});
+        const Pmf baseline =
+            core::runBaseline(w->circuit(), dev, executor, 8192);
+        const core::JigsawResult js =
+            core::runJigsaw(w->circuit(), dev, executor, 8192);
+        EXPECT_GE(metrics::pst(js.output, *w),
+                  metrics::pst(baseline, *w) * 0.95)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace jigsaw

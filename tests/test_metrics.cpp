@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Metric tests against hand-computed values for the paper's four
+ * figures of merit (Section 5.5).
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "workloads/ghz.h"
+#include "workloads/qaoa.h"
+
+namespace jigsaw {
+namespace metrics {
+namespace {
+
+Pmf
+makePmf(int n, std::initializer_list<std::pair<BasisState, double>> entries)
+{
+    Pmf pmf(n);
+    for (const auto &[outcome, p] : entries)
+        pmf.set(outcome, p);
+    return pmf;
+}
+
+TEST(Pst, SumsCorrectOutcomes)
+{
+    const Pmf pmf = makePmf(2, {{0b00, 0.4}, {0b11, 0.35}, {0b01, 0.25}});
+    EXPECT_DOUBLE_EQ(pst(pmf, {0b00, 0b11}), 0.75);
+    EXPECT_DOUBLE_EQ(pst(pmf, {0b10}), 0.0);
+}
+
+TEST(Ist, RatioOfBestCorrectToBestIncorrect)
+{
+    const Pmf pmf = makePmf(2, {{0b00, 0.5}, {0b11, 0.2}, {0b01, 0.25},
+                                {0b10, 0.05}});
+    // Best correct 0.5; most frequent incorrect 0.25.
+    EXPECT_DOUBLE_EQ(ist(pmf, {0b00, 0b11}), 2.0);
+}
+
+TEST(Ist, BelowOneWhenWrongAnswerDominates)
+{
+    const Pmf pmf = makePmf(1, {{0, 0.3}, {1, 0.7}});
+    EXPECT_NEAR(ist(pmf, {0}), 0.3 / 0.7, 1e-12);
+}
+
+TEST(Ist, LargeWhenNoIncorrectObserved)
+{
+    const Pmf pmf = makePmf(1, {{1, 1.0}});
+    EXPECT_GE(ist(pmf, {1}), 1e12);
+}
+
+TEST(Fidelity, OneForIdentical)
+{
+    const Pmf pmf = makePmf(1, {{0, 0.5}, {1, 0.5}});
+    EXPECT_NEAR(fidelity(pmf, pmf), 1.0, 1e-12);
+}
+
+TEST(Fidelity, ZeroForDisjoint)
+{
+    const Pmf p = makePmf(1, {{0, 1.0}});
+    const Pmf q = makePmf(1, {{1, 1.0}});
+    EXPECT_NEAR(fidelity(p, q), 0.0, 1e-12);
+}
+
+TEST(Fidelity, HandComputedOverlap)
+{
+    const Pmf p = makePmf(1, {{0, 0.8}, {1, 0.2}});
+    const Pmf q = makePmf(1, {{0, 0.6}, {1, 0.4}});
+    // TVD = 0.5 * (0.2 + 0.2) = 0.2.
+    EXPECT_NEAR(fidelity(p, q), 0.8, 1e-12);
+}
+
+TEST(Ar, PerfectDistributionScoresOne)
+{
+    const workloads::QaoaMaxCut qaoa(4, 1);
+    const Pmf perfect = makePmf(4, {{0b0101, 0.5}, {0b1010, 0.5}});
+    EXPECT_NEAR(approximationRatio(perfect, qaoa), 1.0, 1e-12);
+}
+
+TEST(Ar, UniformDistributionScoresHalf)
+{
+    const workloads::QaoaMaxCut qaoa(4, 1);
+    Pmf uniform(4);
+    for (BasisState s = 0; s < 16; ++s)
+        uniform.set(s, 1.0 / 16.0);
+    // Each edge is cut in half of the bitstrings: E[cut] = (n-1)/2.
+    EXPECT_NEAR(approximationRatio(uniform, qaoa), 0.5, 1e-12);
+}
+
+TEST(Arg, ZeroAgainstIdealItself)
+{
+    const workloads::QaoaMaxCut qaoa(6, 1);
+    EXPECT_NEAR(approximationRatioGap(qaoa.idealPmf(), qaoa), 0.0, 1e-9);
+}
+
+TEST(Arg, PositiveForDegradedDistribution)
+{
+    const workloads::QaoaMaxCut qaoa(6, 1);
+    Pmf uniform(6);
+    for (BasisState s = 0; s < 64; ++s)
+        uniform.set(s, 1.0 / 64.0);
+    const double gap = approximationRatioGap(uniform, qaoa);
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, 100.0);
+}
+
+TEST(Arg, RejectsWorkloadWithoutCost)
+{
+    const workloads::Ghz ghz(4);
+    const Pmf pmf = makePmf(4, {{0, 1.0}});
+    EXPECT_THROW(approximationRatio(pmf, ghz), std::invalid_argument);
+}
+
+TEST(WilsonInterval, HandComputedValue)
+{
+    // 80 successes of 100 at 95%: Wilson gives ~[0.711, 0.867].
+    Histogram hist(1);
+    hist.add(1, 80);
+    hist.add(0, 20);
+    const Interval ci = pstWilsonInterval(hist, {1});
+    EXPECT_NEAR(ci.low, 0.711, 0.005);
+    EXPECT_NEAR(ci.high, 0.867, 0.005);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate)
+{
+    Histogram hist(2);
+    hist.add(0b00, 300);
+    hist.add(0b11, 200);
+    hist.add(0b01, 500);
+    const Interval ci = pstWilsonInterval(hist, {0b00, 0b11});
+    EXPECT_LT(ci.low, 0.5);
+    EXPECT_GT(ci.high, 0.5);
+    EXPECT_GT(ci.low, 0.0);
+    EXPECT_LT(ci.high, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithTrials)
+{
+    Histogram small(1), large(1);
+    small.add(1, 30);
+    small.add(0, 70);
+    large.add(1, 3000);
+    large.add(0, 7000);
+    const Interval a = pstWilsonInterval(small, {1});
+    const Interval b = pstWilsonInterval(large, {1});
+    EXPECT_LT(b.high - b.low, a.high - a.low);
+}
+
+TEST(WilsonInterval, EdgeCasesStayInBounds)
+{
+    Histogram all(1);
+    all.add(1, 50);
+    const Interval full = pstWilsonInterval(all, {1});
+    EXPECT_GT(full.low, 0.8);
+    EXPECT_LE(full.high, 1.0);
+
+    const Interval empty = pstWilsonInterval(all, {0});
+    EXPECT_GE(empty.low, 0.0);
+    EXPECT_LT(empty.high, 0.15);
+}
+
+TEST(WilsonInterval, RejectsBadInputs)
+{
+    Histogram empty(1);
+    EXPECT_THROW(pstWilsonInterval(empty, {1}), std::invalid_argument);
+    Histogram ok(1);
+    ok.add(1, 10);
+    EXPECT_THROW(pstWilsonInterval(ok, {1}, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(WilsonInterval, EmpiricalCoverage)
+{
+    // ~95% of intervals from repeated sampling should contain the
+    // true PST.
+    Rng rng(77);
+    Pmf truth(1);
+    truth.set(1, 0.3);
+    truth.set(0, 0.7);
+    int covered = 0;
+    const int reps = 300;
+    for (int rep = 0; rep < reps; ++rep) {
+        const Histogram hist = truth.sampleHistogram(500, rng);
+        const Interval ci = pstWilsonInterval(hist, {1});
+        if (ci.low <= 0.3 && 0.3 <= ci.high)
+            ++covered;
+    }
+    EXPECT_GT(static_cast<double>(covered) / reps, 0.90);
+    EXPECT_LT(static_cast<double>(covered) / reps, 0.99);
+}
+
+TEST(WorkloadOverloads, MatchExplicitForms)
+{
+    const workloads::Ghz ghz(4);
+    const Pmf pmf = makePmf(4, {{0b0000, 0.4}, {0b1111, 0.3},
+                                {0b0001, 0.3}});
+    EXPECT_DOUBLE_EQ(pst(pmf, ghz), pst(pmf, ghz.correctOutcomes()));
+    EXPECT_DOUBLE_EQ(ist(pmf, ghz), ist(pmf, ghz.correctOutcomes()));
+    EXPECT_DOUBLE_EQ(fidelity(pmf, ghz), fidelity(pmf, ghz.idealPmf()));
+    EXPECT_NEAR(ist(pmf, ghz), 0.4 / 0.3, 1e-12);
+}
+
+} // namespace
+} // namespace metrics
+} // namespace jigsaw

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Robustness and edge-case tests across module boundaries: degenerate
+ * JigSaw configurations, extreme calibrations, alternative device
+ * families, router parameter extremes, and QASM round-trips of the
+ * whole benchmark registry.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.h"
+#include "compiler/sabre.h"
+#include "core/jigsaw.h"
+#include "device/library.h"
+#include "metrics/metrics.h"
+#include "mitigation/characterize.h"
+#include "sim/simulators.h"
+#include "workloads/registry.h"
+
+namespace jigsaw {
+namespace {
+
+using circuit::QuantumCircuit;
+using device::DeviceModel;
+
+TEST(Robustness, FullSizeSubsetDegeneratesToGlobalDuplicate)
+{
+    // A CPM that measures every qubit is legal: the marginal covers
+    // all bits, and reconstruction still returns a valid PMF.
+    const auto ghz = workloads::makeWorkload("GHZ-5");
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 91});
+
+    core::JigsawOptions options;
+    options.subsetSizes = {5};
+    const core::JigsawResult run =
+        core::runJigsaw(ghz->circuit(), dev, executor, 4096, options);
+    ASSERT_EQ(run.cpms.size(), 1u); // one unique full window
+    EXPECT_EQ(run.cpms[0].subset.size(), 5u);
+    EXPECT_NEAR(run.output.totalMass(), 1.0, 1e-9);
+    EXPECT_GT(metrics::pst(run.output, *ghz), 0.2);
+}
+
+TEST(Robustness, OddTrialCountsAccounted)
+{
+    const auto ghz = workloads::makeWorkload("GHZ-5");
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 92});
+    const core::JigsawResult run =
+        core::runJigsaw(ghz->circuit(), dev, executor, 12345);
+    EXPECT_EQ(run.globalTrials, 6172u); // floor(12345 * 0.5)
+    EXPECT_LE(run.globalTrials + run.subsetTrials, 12345u);
+}
+
+TEST(Robustness, ExtremeReadoutStillValid)
+{
+    // A device with near-maximal readout error must not break the
+    // pipeline; outputs stay normalized even if useless.
+    device::Topology topo = device::linearTopology(4);
+    device::Calibration cal(4, 3);
+    for (int q = 0; q < 4; ++q) {
+        cal.qubit(q).readoutError01 = 0.45;
+        cal.qubit(q).readoutError10 = 0.49;
+        cal.qubit(q).crosstalkGamma = 0.05; // clamps at 0.5
+    }
+    const DeviceModel dev("awful", std::move(topo), std::move(cal));
+    sim::NoisySimulator executor(dev, {.seed = 93});
+
+    const auto ghz = workloads::makeWorkload("GHZ-4");
+    const core::JigsawResult run =
+        core::runJigsaw(ghz->circuit(), dev, executor, 4096);
+    EXPECT_NEAR(run.output.totalMass(), 1.0, 1e-9);
+    for (const auto &[outcome, p] : run.output.probabilities())
+        EXPECT_GE(p, 0.0);
+}
+
+TEST(Robustness, PerfectDeviceIsNoOp)
+{
+    // All-zero calibration: JigSaw must not corrupt a clean result.
+    device::Topology topo = device::linearTopology(5);
+    device::Calibration cal(5, 4);
+    const DeviceModel dev("perfect", std::move(topo), std::move(cal));
+    sim::NoisySimulator executor(dev, {.seed = 94});
+
+    const auto ghz = workloads::makeWorkload("GHZ-5");
+    const core::JigsawResult run =
+        core::runJigsaw(ghz->circuit(), dev, executor, 8192);
+    EXPECT_GT(metrics::pst(run.output, *ghz), 0.99);
+}
+
+TEST(Robustness, SycamoreGridDevicePipeline)
+{
+    // The grid-topology Sycamore model exercises different routing
+    // patterns than heavy-hex; the full pipeline must still win.
+    const DeviceModel dev = device::sycamore();
+    sim::NoisySimulator executor(dev, {.seed = 95});
+    const auto ghz = workloads::makeWorkload("GHZ-10");
+
+    const Pmf baseline =
+        core::runBaseline(ghz->circuit(), dev, executor, 16384);
+    const core::JigsawResult js =
+        core::runJigsaw(ghz->circuit(), dev, executor, 16384);
+    EXPECT_GT(metrics::pst(js.output, *ghz),
+              metrics::pst(baseline, *ghz));
+}
+
+TEST(Robustness, SabreExtremeParameters)
+{
+    // Zero lookahead and zero decay must still route correctly.
+    const device::Topology topo = device::linearTopology(6);
+    QuantumCircuit qc(6, 6);
+    qc.cx(0, 5).cx(5, 0).cx(2, 4).measureAll();
+    std::vector<int> identity{0, 1, 2, 3, 4, 5};
+    compiler::SabreOptions options;
+    options.lookaheadDepth = 0;
+    options.decayStep = 0.0;
+    const compiler::RoutedCircuit routed = compiler::sabreRoute(
+        qc, topo, compiler::Layout(identity, 6), options);
+    for (const circuit::Gate &g : routed.physical.gates()) {
+        if (g.isTwoQubit()) {
+            EXPECT_TRUE(topo.areCoupled(g.qubits[0], g.qubits[1]));
+        }
+    }
+    sim::IdealSimulator ideal;
+    EXPECT_LT(totalVariationDistance(ideal.idealPmf(qc),
+                                     ideal.idealPmf(routed.physical)),
+              1e-9);
+}
+
+TEST(Robustness, CharacterizeCpmSubset)
+{
+    // Characterization works for a CPM's 2-qubit measurement set.
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 96});
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+    const core::JigsawResult run =
+        core::runJigsaw(ghz->circuit(), dev, executor, 8192);
+    const auto confusion = mitigation::characterizeReadout(
+        run.cpms.front().compiled.physical, executor, 20000);
+    ASSERT_EQ(confusion.flip0.size(), 2u);
+    for (double f : confusion.flip0) {
+        EXPECT_GT(f, 0.0);
+        EXPECT_LT(f, 0.2);
+    }
+}
+
+TEST(Robustness, LargeProgramOnManhattan)
+{
+    // GHZ-20 on the 65-qubit model: routing spills onto extra
+    // physical qubits, and the compacted state vector must stay
+    // within the simulator's limit while JigSaw still helps.
+    const DeviceModel dev = device::manhattan();
+    sim::NoisySimulator executor(dev, {.seed = 97});
+    const auto ghz = workloads::makeWorkload("GHZ-20");
+
+    const Pmf baseline =
+        core::runBaseline(ghz->circuit(), dev, executor, 8192);
+    const core::JigsawResult js =
+        core::runJigsaw(ghz->circuit(), dev, executor, 8192);
+    EXPECT_GT(metrics::pst(js.output, *ghz),
+              metrics::pst(baseline, *ghz));
+    EXPECT_NEAR(js.output.totalMass(), 1.0, 1e-9);
+}
+
+TEST(Robustness, CorrelatedErrorFloorLimitsBaselineNotJigsaw)
+{
+    // The correlated-pair flips create the error floor that makes
+    // trials saturate (Fig 7); reconstruction should claw back part
+    // of it. Compare devices differing only in that knob.
+    device::Topology topo = device::linearTopology(6);
+    device::Calibration clean_cal(6, 5);
+    for (int q = 0; q < 6; ++q) {
+        clean_cal.qubit(q).readoutError01 = 0.02;
+        clean_cal.qubit(q).readoutError10 = 0.03;
+    }
+    device::Calibration corr_cal = clean_cal;
+    corr_cal.setCorrelatedPairError(0.02);
+
+    const DeviceModel clean("clean", topo, std::move(clean_cal));
+    const DeviceModel correlated("corr", topo, std::move(corr_cal));
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+
+    sim::NoisySimulator clean_exec(clean, {.seed = 98});
+    sim::NoisySimulator corr_exec(correlated, {.seed = 98});
+    const Pmf base_clean =
+        core::runBaseline(ghz->circuit(), clean, clean_exec, 32768);
+    const Pmf base_corr =
+        core::runBaseline(ghz->circuit(), correlated, corr_exec, 32768);
+    // The correlated floor costs baseline PST.
+    EXPECT_LT(metrics::pst(base_corr, *ghz),
+              metrics::pst(base_clean, *ghz));
+
+    const core::JigsawResult js_corr =
+        core::runJigsaw(ghz->circuit(), correlated, corr_exec, 32768);
+    EXPECT_GT(metrics::pst(js_corr.output, *ghz),
+              metrics::pst(base_corr, *ghz));
+}
+
+/** Property: every registry benchmark round-trips through QASM with
+ *  identical output distributions. */
+class QasmRegistryRoundTrip
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(QasmRegistryRoundTrip, DistributionPreserved)
+{
+    const auto workload = workloads::makeWorkload(GetParam());
+    const QuantumCircuit &original = workload->circuit();
+    const QuantumCircuit parsed =
+        circuit::fromQasm(circuit::toQasm(original));
+
+    sim::IdealSimulator ideal;
+    EXPECT_LT(totalVariationDistance(ideal.idealPmf(original),
+                                     ideal.idealPmf(parsed)),
+              1e-9);
+    EXPECT_EQ(parsed.countTwoQubitGates(),
+              original.countTwoQubitGates());
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, QasmRegistryRoundTrip,
+                         ::testing::Values("BV-5", "GHZ-6",
+                                           "Graycode-8", "Ising-4",
+                                           "QAOA-6 p2", "QFTAdj-5",
+                                           "W-5"));
+
+/** Property: every registry benchmark's circuit has terminal
+ *  measurements and a normalized ideal PMF. */
+class WorkloadWellFormed : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadWellFormed, TerminalMeasuresAndNormalizedIdeal)
+{
+    const auto workload = workloads::makeWorkload(GetParam());
+    EXPECT_NO_THROW(
+        sim::checkTerminalMeasurements(workload->circuit()));
+    EXPECT_NEAR(workload->idealPmf().totalMass(), 1.0, 1e-9);
+    EXPECT_GT(metrics::pst(workload->idealPmf(), *workload), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, WorkloadWellFormed,
+                         ::testing::Values("BV-5", "GHZ-6",
+                                           "Graycode-8", "Ising-4",
+                                           "QAOA-6 p2", "QFTAdj-5",
+                                           "W-5"));
+
+} // namespace
+} // namespace jigsaw

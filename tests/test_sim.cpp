@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Noise-pipeline tests: circuit compaction, EPS accounting, the
+ * measurement channel's statistics, and the ideal/noisy executors
+ * (including fast-channel vs trajectory-mode agreement).
+ */
+#include <gtest/gtest.h>
+
+#include "device/library.h"
+#include "sim/compact.h"
+#include "sim/eps.h"
+#include "sim/noise_model.h"
+#include "sim/simulators.h"
+
+namespace jigsaw {
+namespace sim {
+namespace {
+
+using circuit::QuantumCircuit;
+using device::DeviceModel;
+
+/** A 3-qubit linear device with hand-set calibration for exact math. */
+DeviceModel
+tinyDevice()
+{
+    device::Topology topo = device::linearTopology(3);
+    device::Calibration cal(3, 2);
+    for (int q = 0; q < 3; ++q) {
+        cal.qubit(q).readoutError01 = 0.02;
+        cal.qubit(q).readoutError10 = 0.04;
+        cal.qubit(q).error1q = 0.001;
+        cal.qubit(q).crosstalkGamma = 0.005;
+    }
+    cal.setEdgeError(0, 0.01);
+    cal.setEdgeError(1, 0.02);
+    cal.setCorrelatedPairError(0.0);
+    return DeviceModel("tiny", std::move(topo), std::move(cal));
+}
+
+TEST(Compact, RenumbersActiveQubits)
+{
+    QuantumCircuit qc(10, 2);
+    qc.h(7).cx(7, 3).measure(7, 0).measure(3, 1);
+    const CompactCircuit c = compactCircuit(qc);
+    EXPECT_EQ(c.circuit.nQubits(), 2);
+    EXPECT_EQ(c.activeQubits, (std::vector<int>{7, 3}));
+    EXPECT_EQ(c.denseOf[7], 0);
+    EXPECT_EQ(c.denseOf[3], 1);
+    EXPECT_EQ(c.denseOf[0], -1);
+    EXPECT_EQ(c.circuit.nClbits(), 2);
+}
+
+TEST(Compact, RejectsEmptyCircuit)
+{
+    QuantumCircuit qc(3);
+    EXPECT_THROW(compactCircuit(qc), std::invalid_argument);
+}
+
+TEST(Eps, GateSuccessExactProduct)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).cx(1, 2).measureAll();
+    // (1 - 0.001) * (1 - 0.01) * (1 - 0.02)
+    EXPECT_NEAR(gateSuccessProbability(qc, dev),
+                0.999 * 0.99 * 0.98, 1e-12);
+}
+
+TEST(Eps, SwapCountsAsThreeCx)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 1);
+    qc.swap(0, 1).measure(0, 0);
+    EXPECT_NEAR(gateSuccessProbability(qc, dev), 0.99 * 0.99 * 0.99,
+                1e-12);
+}
+
+TEST(Eps, RzzCountsAsTwoCxOneRz)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 1);
+    qc.rzz(0.3, 1, 2).measure(1, 0);
+    EXPECT_NEAR(gateSuccessProbability(qc, dev), 0.98 * 0.98 * 0.999,
+                1e-12);
+}
+
+TEST(Eps, RejectsUnroutedGate)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 1);
+    qc.cx(0, 2).measure(0, 0); // 0-2 not coupled on a line
+    EXPECT_THROW(gateSuccessProbability(qc, dev), std::invalid_argument);
+}
+
+TEST(Eps, MeasurementSuccessIncludesCrosstalk)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit one(3, 1);
+    one.h(0).measure(0, 0);
+    // Single measurement: state-averaged error 0.03.
+    EXPECT_NEAR(measurementSuccessProbability(one, dev), 0.97, 1e-12);
+
+    QuantumCircuit three(3, 3);
+    three.h(0).measureAll();
+    // Three simultaneous: 0.03 + 0.005 * 2 = 0.04 each.
+    EXPECT_NEAR(measurementSuccessProbability(three, dev),
+                0.96 * 0.96 * 0.96, 1e-12);
+}
+
+TEST(Eps, FullEpsIsProduct)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).measureAll();
+    EXPECT_NEAR(expectedProbabilityOfSuccess(qc, dev),
+                gateSuccessProbability(qc, dev) *
+                    measurementSuccessProbability(qc, dev),
+                1e-15);
+}
+
+TEST(TerminalMeasurements, AcceptsTerminal)
+{
+    QuantumCircuit qc(2, 2);
+    qc.h(0).cx(0, 1).measureAll();
+    EXPECT_NO_THROW(checkTerminalMeasurements(qc));
+}
+
+TEST(TerminalMeasurements, RejectsGateAfterMeasure)
+{
+    QuantumCircuit qc(2, 2);
+    qc.measure(0, 0).h(0);
+    EXPECT_THROW(checkTerminalMeasurements(qc), std::invalid_argument);
+}
+
+TEST(TerminalMeasurements, RejectsDuplicateClbit)
+{
+    QuantumCircuit qc(2, 2);
+    qc.measure(0, 0).measure(1, 0);
+    EXPECT_THROW(checkTerminalMeasurements(qc), std::invalid_argument);
+}
+
+TEST(TerminalMeasurements, RejectsNoMeasurement)
+{
+    QuantumCircuit qc(2, 2);
+    qc.h(0);
+    EXPECT_THROW(checkTerminalMeasurements(qc), std::invalid_argument);
+}
+
+TEST(MeasurementChannel, FlipProbabilitiesIncludeCrosstalk)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 2);
+    qc.h(0).measure(0, 0).measure(2, 1);
+    const MeasurementChannel channel(qc, dev);
+    EXPECT_EQ(channel.nClbits(), 2);
+    // Two simultaneous measurements: base + gamma * 1.
+    EXPECT_NEAR(channel.flipProbability(0, 0), 0.02 + 0.005, 1e-12);
+    EXPECT_NEAR(channel.flipProbability(0, 1), 0.04 + 0.005, 1e-12);
+}
+
+TEST(MeasurementChannel, EmpiricalFlipRate)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 1);
+    qc.h(0).measure(0, 0);
+    const MeasurementChannel channel(qc, dev);
+    Rng rng(31);
+    const int n = 200000;
+    int flips_from_0 = 0;
+    int flips_from_1 = 0;
+    for (int i = 0; i < n; ++i) {
+        if (channel.apply(0b0, rng) != 0b0)
+            ++flips_from_0;
+        if (channel.apply(0b1, rng) != 0b1)
+            ++flips_from_1;
+    }
+    EXPECT_NEAR(static_cast<double>(flips_from_0) / n, 0.02, 0.002);
+    EXPECT_NEAR(static_cast<double>(flips_from_1) / n, 0.04, 0.003);
+}
+
+TEST(MeasurementChannel, CorrelatedPairsOnCoupledQubits)
+{
+    device::Topology topo = device::linearTopology(3);
+    device::Calibration cal(3, 2);
+    cal.setCorrelatedPairError(0.5);
+    const DeviceModel dev("tiny2", std::move(topo), std::move(cal));
+
+    QuantumCircuit qc(3, 3);
+    qc.h(0).measureAll();
+    const MeasurementChannel channel(qc, dev);
+    // Coupled measured pairs on a 3-line: (0,1) and (1,2).
+    EXPECT_EQ(channel.correlatedPairs().size(), 2u);
+    EXPECT_DOUBLE_EQ(channel.correlatedError(), 0.5);
+
+    // With flip rates zero, only correlated flips act, always flipping
+    // pairs: parity of bits 0^1^2 changes by 0 or 2 flips per pair.
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i) {
+        const BasisState out = channel.apply(0b000, rng);
+        EXPECT_EQ(popcount(out) % 2, 0);
+    }
+}
+
+TEST(IdealSimulator, ExactBellPmf)
+{
+    IdealSimulator ideal;
+    QuantumCircuit qc(2, 2);
+    qc.h(0).cx(0, 1).measureAll();
+    const Pmf pmf = ideal.idealPmf(qc);
+    EXPECT_NEAR(pmf.prob(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(pmf.prob(0b11), 0.5, 1e-12);
+}
+
+TEST(IdealSimulator, PartialMeasurementClbitOrder)
+{
+    IdealSimulator ideal;
+    QuantumCircuit qc(3, 1);
+    qc.x(2).measure(2, 0);
+    const Pmf pmf = ideal.idealPmf(qc);
+    EXPECT_NEAR(pmf.prob(0b1), 1.0, 1e-12);
+}
+
+TEST(IdealSimulator, RunSamplesDistribution)
+{
+    IdealSimulator ideal(7);
+    QuantumCircuit qc(1, 1);
+    qc.h(0).measure(0, 0);
+    const Histogram hist = ideal.run(qc, 100000);
+    EXPECT_NEAR(static_cast<double>(hist.count(0)) / 100000.0, 0.5, 0.01);
+}
+
+TEST(NoisySimulator, NoNoiseMatchesIdeal)
+{
+    const DeviceModel dev = tinyDevice();
+    NoisySimulatorOptions options;
+    options.gateNoise = false;
+    options.measurementNoise = false;
+    NoisySimulator noiseless(dev, options);
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).cx(1, 2).measureAll();
+    const Pmf pmf = noiseless.run(qc, 50000).toPmf();
+    EXPECT_NEAR(pmf.prob(0b000), 0.5, 0.01);
+    EXPECT_NEAR(pmf.prob(0b111), 0.5, 0.01);
+    EXPECT_EQ(pmf.support(), 2u);
+}
+
+TEST(NoisySimulator, MeasurementNoiseDegradesDeterministicCircuit)
+{
+    const DeviceModel dev = tinyDevice();
+    NoisySimulator noisy(dev, {.seed = 3, .trajectories = 0,
+                               .gateNoise = false,
+                               .measurementNoise = true});
+    QuantumCircuit qc(3, 3);
+    qc.x(0).x(1).x(2).measureAll();
+    const Pmf pmf = noisy.run(qc, 100000).toPmf();
+    // Each bit reads 1 with probability 1 - (0.04 + 0.005*2) = 0.95.
+    EXPECT_NEAR(pmf.prob(0b111), 0.95 * 0.95 * 0.95, 0.01);
+}
+
+TEST(NoisySimulator, GateNoiseUniformAtHalfFlip)
+{
+    const DeviceModel dev = tinyDevice();
+    // gateNoiseBitFlip = 0.5 reproduces the textbook uniform-outcome
+    // depolarizing channel.
+    NoisySimulator noisy(dev, {.seed = 5, .trajectories = 0,
+                               .gateNoise = true,
+                               .measurementNoise = false,
+                               .gateNoiseBitFlip = 0.5});
+    QuantumCircuit qc(3, 3);
+    // 30 CX gates: success (1-0.01)^30 ~ 0.74.
+    for (int i = 0; i < 30; ++i)
+        qc.cx(0, 1);
+    qc.measureAll();
+    const Pmf pmf = noisy.run(qc, 200000).toPmf();
+    // |000> keeps gate-success mass plus 1/8 of the failures.
+    const double p_ok = gateSuccessProbability(qc, dev);
+    EXPECT_NEAR(pmf.prob(0b000), p_ok + (1 - p_ok) / 8.0, 0.01);
+}
+
+TEST(NoisySimulator, GateNoiseLocalizedByDefault)
+{
+    const DeviceModel dev = tinyDevice();
+    NoisySimulator noisy(dev, {.seed = 6, .trajectories = 0,
+                               .gateNoise = true,
+                               .measurementNoise = false});
+    QuantumCircuit qc(3, 3);
+    for (int i = 0; i < 30; ++i)
+        qc.cx(0, 1);
+    qc.measureAll();
+    const Pmf pmf = noisy.run(qc, 200000).toPmf();
+    // Default flip rate 0.15: failed trials keep |000> with
+    // probability 0.85^3, so the correct outcome retains more mass
+    // than under the uniform channel.
+    const double p_ok = gateSuccessProbability(qc, dev);
+    const double keep = 0.85 * 0.85 * 0.85;
+    EXPECT_NEAR(pmf.prob(0b000), p_ok + (1 - p_ok) * keep, 0.01);
+    // Single-bit corruption beats triple-bit corruption.
+    EXPECT_GT(pmf.prob(0b001), pmf.prob(0b111));
+}
+
+TEST(NoisySimulator, RejectsWrongQubitSpace)
+{
+    const DeviceModel dev = tinyDevice();
+    NoisySimulator noisy(dev);
+    QuantumCircuit qc(2, 2);
+    qc.h(0).measureAll();
+    EXPECT_THROW(noisy.run(qc, 10), std::invalid_argument);
+}
+
+TEST(NoisySimulator, TrajectoryModeAgreesWithChannelMode)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).cx(1, 2).measureAll();
+
+    NoisySimulator fast(dev, {.seed = 11, .trajectories = 0,
+                              .gateNoise = true,
+                              .measurementNoise = true});
+    NoisySimulator traj(dev, {.seed = 11, .trajectories = 400,
+                              .gateNoise = true,
+                              .measurementNoise = true});
+    const Pmf fast_pmf = fast.run(qc, 120000).toPmf();
+    const Pmf traj_pmf = traj.run(qc, 120000).toPmf();
+    // The two noise treatments should produce similar distributions
+    // (they model the same calibration); allow a loose TVD bound.
+    EXPECT_LT(totalVariationDistance(fast_pmf, traj_pmf), 0.05);
+}
+
+TEST(NoisySimulator, DeterministicWithSameSeed)
+{
+    const DeviceModel dev = tinyDevice();
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).measureAll();
+    NoisySimulator a(dev, {.seed = 9});
+    NoisySimulator b(dev, {.seed = 9});
+    const Histogram ha = a.run(qc, 5000);
+    const Histogram hb = b.run(qc, 5000);
+    for (const auto &[outcome, count] : ha.counts())
+        EXPECT_EQ(count, hb.count(outcome));
+}
+
+} // namespace
+} // namespace sim
+} // namespace jigsaw

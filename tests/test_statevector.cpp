@@ -1,0 +1,284 @@
+/**
+ * @file
+ * State-vector simulator tests: gate matrices against hand-computed
+ * states, Bell/GHZ preparation, norm preservation as a parameterized
+ * property over random circuits, and measurement PMFs.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace jigsaw {
+namespace sim {
+namespace {
+
+using circuit::GateType;
+using circuit::QuantumCircuit;
+
+constexpr double tol = 1e-12;
+
+TEST(StateVector, InitialState)
+{
+    StateVector sv(2);
+    EXPECT_NEAR(sv.probability(0b00), 1.0, tol);
+    EXPECT_NEAR(sv.norm(), 1.0, tol);
+}
+
+TEST(StateVector, HadamardSuperposition)
+{
+    StateVector sv(1);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    EXPECT_NEAR(sv.probability(0), 0.5, tol);
+    EXPECT_NEAR(sv.probability(1), 0.5, tol);
+}
+
+TEST(StateVector, XFlips)
+{
+    StateVector sv(2);
+    sv.applyGate({GateType::X, {1}, {}, -1});
+    EXPECT_NEAR(sv.probability(0b10), 1.0, tol);
+}
+
+TEST(StateVector, HZHEqualsX)
+{
+    StateVector sv(1);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::Z, {0}, {}, -1});
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    EXPECT_NEAR(sv.probability(1), 1.0, tol);
+}
+
+TEST(StateVector, SSDGCancel)
+{
+    StateVector sv(1);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::S, {0}, {}, -1});
+    sv.applyGate({GateType::SDG, {0}, {}, -1});
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    EXPECT_NEAR(sv.probability(0), 1.0, tol);
+}
+
+TEST(StateVector, TTequalsS)
+{
+    StateVector a(1), b(1);
+    a.applyGate({GateType::H, {0}, {}, -1});
+    a.applyGate({GateType::T, {0}, {}, -1});
+    a.applyGate({GateType::T, {0}, {}, -1});
+    b.applyGate({GateType::H, {0}, {}, -1});
+    b.applyGate({GateType::S, {0}, {}, -1});
+    for (BasisState s = 0; s < 2; ++s) {
+        EXPECT_NEAR(std::abs(a.amplitude(s) - b.amplitude(s)), 0.0, tol);
+    }
+}
+
+TEST(StateVector, RotationAngles)
+{
+    // RY(theta) |0> = cos(theta/2)|0> + sin(theta/2)|1>.
+    StateVector sv(1);
+    const double theta = 0.73;
+    sv.applyGate({GateType::RY, {0}, {theta}, -1});
+    EXPECT_NEAR(sv.probability(0), std::cos(theta / 2) * std::cos(theta / 2),
+                tol);
+    EXPECT_NEAR(sv.probability(1), std::sin(theta / 2) * std::sin(theta / 2),
+                tol);
+}
+
+TEST(StateVector, RxMatchesU3)
+{
+    // RX(theta) == U3(theta, -pi/2, pi/2) up to global phase.
+    const double theta = 1.234;
+    StateVector a(1), b(1);
+    a.applyGate({GateType::H, {0}, {}, -1});
+    b.applyGate({GateType::H, {0}, {}, -1});
+    a.applyGate({GateType::RX, {0}, {theta}, -1});
+    b.applyGate({GateType::U3, {0}, {theta, -M_PI / 2, M_PI / 2}, -1});
+    for (BasisState s = 0; s < 2; ++s)
+        EXPECT_NEAR(std::norm(a.amplitude(s)), std::norm(b.amplitude(s)),
+                    tol);
+}
+
+TEST(StateVector, BellState)
+{
+    StateVector sv(2);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::CX, {0, 1}, {}, -1});
+    EXPECT_NEAR(sv.probability(0b00), 0.5, tol);
+    EXPECT_NEAR(sv.probability(0b11), 0.5, tol);
+    EXPECT_NEAR(sv.probability(0b01), 0.0, tol);
+    EXPECT_NEAR(sv.probability(0b10), 0.0, tol);
+}
+
+TEST(StateVector, GhzState)
+{
+    const int n = 5;
+    StateVector sv(n);
+    QuantumCircuit qc(n);
+    qc.h(0);
+    for (int q = 0; q + 1 < n; ++q)
+        qc.cx(q, q + 1);
+    sv.applyCircuit(qc);
+    EXPECT_NEAR(sv.probability(0), 0.5, tol);
+    EXPECT_NEAR(sv.probability((1ULL << n) - 1), 0.5, tol);
+}
+
+TEST(StateVector, CzPhase)
+{
+    // CZ only flips the |11> phase: |++> -> entangled state where
+    // H(q1) basis change reveals the phase kickback.
+    StateVector sv(2);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::X, {1}, {}, -1});
+    sv.applyGate({GateType::CZ, {0, 1}, {}, -1});
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    // q0 was |+> and picked up Z from the control on |1>: now |1>.
+    EXPECT_NEAR(sv.probability(0b11), 1.0, tol);
+}
+
+TEST(StateVector, SwapGate)
+{
+    StateVector sv(2);
+    sv.applyGate({GateType::X, {0}, {}, -1});
+    sv.applyGate({GateType::SWAP, {0, 1}, {}, -1});
+    EXPECT_NEAR(sv.probability(0b10), 1.0, tol);
+}
+
+TEST(StateVector, SwapEqualsThreeCx)
+{
+    Rng rng(17);
+    StateVector a(3), b(3);
+    QuantumCircuit prep(3);
+    for (int q = 0; q < 3; ++q)
+        prep.u3(rng.uniform(0, M_PI), rng.uniform(0, 2 * M_PI),
+                rng.uniform(0, 2 * M_PI), q);
+    a.applyCircuit(prep);
+    b.applyCircuit(prep);
+    a.applyGate({GateType::SWAP, {0, 2}, {}, -1});
+    b.applyGate({GateType::CX, {0, 2}, {}, -1});
+    b.applyGate({GateType::CX, {2, 0}, {}, -1});
+    b.applyGate({GateType::CX, {0, 2}, {}, -1});
+    for (BasisState s = 0; s < 8; ++s)
+        EXPECT_NEAR(std::abs(a.amplitude(s) - b.amplitude(s)), 0.0, tol);
+}
+
+TEST(StateVector, RzzEqualsCxRzCx)
+{
+    const double theta = 0.77;
+    Rng rng(23);
+    QuantumCircuit prep(2);
+    prep.u3(rng.uniform(0, M_PI), 0.3, 1.2, 0);
+    prep.u3(rng.uniform(0, M_PI), 2.1, 0.4, 1);
+    StateVector a(2), b(2);
+    a.applyCircuit(prep);
+    b.applyCircuit(prep);
+    a.applyGate({GateType::RZZ, {0, 1}, {theta}, -1});
+    b.applyGate({GateType::CX, {0, 1}, {}, -1});
+    b.applyGate({GateType::RZ, {1}, {theta}, -1});
+    b.applyGate({GateType::CX, {0, 1}, {}, -1});
+    for (BasisState s = 0; s < 4; ++s)
+        EXPECT_NEAR(std::abs(a.amplitude(s) - b.amplitude(s)), 0.0, tol);
+}
+
+TEST(StateVector, PauliApplication)
+{
+    StateVector sv(1);
+    sv.applyPauli(1, 0); // X
+    EXPECT_NEAR(sv.probability(1), 1.0, tol);
+    sv.applyPauli(3, 0); // Z on |1> adds phase only
+    EXPECT_NEAR(sv.probability(1), 1.0, tol);
+    sv.applyPauli(2, 0); // Y flips back
+    EXPECT_NEAR(sv.probability(0), 1.0, tol);
+    EXPECT_THROW(sv.applyPauli(0, 0), std::invalid_argument);
+}
+
+TEST(StateVector, MeasurementPmfFull)
+{
+    StateVector sv(2);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::CX, {0, 1}, {}, -1});
+    const Pmf pmf = sv.measurementPmf({0, 1});
+    EXPECT_NEAR(pmf.prob(0b00), 0.5, tol);
+    EXPECT_NEAR(pmf.prob(0b11), 0.5, tol);
+    EXPECT_EQ(pmf.support(), 2u);
+}
+
+TEST(StateVector, MeasurementPmfMarginal)
+{
+    // Bell state marginal on one qubit is uniform.
+    StateVector sv(2);
+    sv.applyGate({GateType::H, {0}, {}, -1});
+    sv.applyGate({GateType::CX, {0, 1}, {}, -1});
+    const Pmf pmf = sv.measurementPmf({1});
+    EXPECT_NEAR(pmf.prob(0), 0.5, tol);
+    EXPECT_NEAR(pmf.prob(1), 0.5, tol);
+}
+
+TEST(StateVector, MeasurementPmfOrderMatters)
+{
+    StateVector sv(2);
+    sv.applyGate({GateType::X, {1}, {}, -1});
+    // state |10>: qubit1 = 1, qubit0 = 0.
+    EXPECT_NEAR(sv.measurementPmf({0, 1}).prob(0b10), 1.0, tol);
+    EXPECT_NEAR(sv.measurementPmf({1, 0}).prob(0b01), 1.0, tol);
+}
+
+TEST(StateVector, RejectsMeasureGate)
+{
+    StateVector sv(1);
+    EXPECT_THROW(sv.applyGate({GateType::MEASURE, {0}, {}, 0}),
+                 std::invalid_argument);
+}
+
+TEST(StateVector, RejectsHugeRegister)
+{
+    EXPECT_THROW(StateVector sv(29), std::invalid_argument);
+}
+
+/**
+ * Property: any sequence of unitary gates preserves the norm, and the
+ * measurement PMF over all qubits sums to one.
+ */
+class RandomCircuitNorm : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCircuitNorm, NormAndPmfMassPreserved)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 4));
+    QuantumCircuit qc(n);
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+        all[static_cast<std::size_t>(q)] = q;
+
+    for (int step = 0; step < 60; ++step) {
+        const int kind = static_cast<int>(rng.uniformInt(0, 5));
+        const int a = static_cast<int>(rng.uniformInt(0, n - 1));
+        int b = static_cast<int>(rng.uniformInt(0, n - 1));
+        if (b == a)
+            b = (a + 1) % n;
+        switch (kind) {
+          case 0: qc.h(a); break;
+          case 1: qc.u3(rng.uniform(0, M_PI), rng.uniform(0, 2 * M_PI),
+                        rng.uniform(0, 2 * M_PI), a); break;
+          case 2: qc.cx(a, b); break;
+          case 3: qc.rzz(rng.uniform(0, 2 * M_PI), a, b); break;
+          case 4: qc.swap(a, b); break;
+          default: qc.rx(rng.uniform(0, 2 * M_PI), a); break;
+        }
+    }
+
+    StateVector sv(n);
+    sv.applyCircuit(qc);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(sv.measurementPmf(all).totalMass(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitNorm,
+                         ::testing::Range(1, 21));
+
+} // namespace
+} // namespace sim
+} // namespace jigsaw

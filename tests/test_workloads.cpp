@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Workload tests: each benchmark's circuit structure matches Table 2
+ * where the paper specifies it, ideal semantics are correct, and the
+ * registry builds the paper's suite.
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/graycode.h"
+#include "workloads/ising.h"
+#include "workloads/qaoa.h"
+#include "workloads/registry.h"
+
+namespace jigsaw {
+namespace workloads {
+namespace {
+
+TEST(Bv, GateCountsMatchTable2)
+{
+    const BernsteinVazirani bv(6);
+    // 1Q = 2(n+1), 2Q = n for the all-ones hidden string.
+    EXPECT_EQ(bv.circuit().countSingleQubitGates(), 14);
+    EXPECT_EQ(bv.circuit().countTwoQubitGates(), 6);
+    EXPECT_EQ(bv.circuit().countMeasurements(), 6);
+    EXPECT_EQ(bv.circuit().nQubits(), 7); // n data + 1 ancilla
+    EXPECT_EQ(bv.name(), "BV-6");
+}
+
+TEST(Bv, IdealOutputIsHiddenString)
+{
+    const BernsteinVazirani bv(5);
+    EXPECT_EQ(bv.hiddenString(), 0b11111ULL);
+    EXPECT_NEAR(bv.idealPmf().prob(0b11111), 1.0, 1e-9);
+    EXPECT_EQ(bv.correctOutcomes(),
+              (std::vector<BasisState>{0b11111ULL}));
+}
+
+TEST(Bv, CustomHiddenString)
+{
+    const BernsteinVazirani bv(4, 0b1010);
+    EXPECT_NEAR(bv.idealPmf().prob(0b1010), 1.0, 1e-9);
+    // 2Q count equals popcount of the hidden string.
+    EXPECT_EQ(bv.circuit().countTwoQubitGates(), 2);
+}
+
+TEST(Ghz, GateCountsMatchTable2)
+{
+    const Ghz ghz(14);
+    EXPECT_EQ(ghz.circuit().countSingleQubitGates(), 1);
+    EXPECT_EQ(ghz.circuit().countTwoQubitGates(), 13);
+    EXPECT_EQ(ghz.name(), "GHZ-14");
+}
+
+TEST(Ghz, IdealHalfHalf)
+{
+    const Ghz ghz(6);
+    EXPECT_NEAR(ghz.idealPmf().prob(0), 0.5, 1e-9);
+    EXPECT_NEAR(ghz.idealPmf().prob(0b111111), 0.5, 1e-9);
+    EXPECT_EQ(ghz.idealPmf().support(), 2u);
+    EXPECT_EQ(ghz.correctOutcomes().size(), 2u);
+}
+
+TEST(Graycode, GateCountsMatchTable2)
+{
+    const Graycode gc(18);
+    EXPECT_EQ(gc.circuit().countSingleQubitGates(), 9); // n/2 X gates
+    EXPECT_EQ(gc.circuit().countTwoQubitGates(), 17);   // n-1 CX
+    EXPECT_EQ(gc.name(), "Graycode-18");
+}
+
+TEST(Graycode, DecodesDeterministically)
+{
+    const Graycode gc(6);
+    // Gray 010101 (alternating; bit i set for odd i).
+    EXPECT_EQ(gc.grayInput(), 0b101010ULL);
+    // Binary decode of alternating gray: b_i = xor of g_j, j >= i.
+    // g = 101010 (q5..q0): b5=1, b4=1, b3=0, b2=0, b1=1, b0=1.
+    EXPECT_EQ(gc.binaryOutput(), 0b110011ULL);
+    EXPECT_NEAR(gc.idealPmf().prob(gc.binaryOutput()), 1.0, 1e-9);
+    EXPECT_EQ(gc.idealPmf().support(), 1u);
+}
+
+TEST(Qaoa, StructureMatchesTable2TwoQubitCounts)
+{
+    const QaoaMaxCut q8(8, 1);
+    EXPECT_EQ(q8.circuit().countTwoQubitGates(), 7); // (n-1) per layer
+    const QaoaMaxCut q10(10, 2);
+    EXPECT_EQ(q10.circuit().countTwoQubitGates(), 18); // 2(n-1)
+    EXPECT_EQ(q10.name(), "QAOA-10 p2");
+    EXPECT_EQ(q10.layers(), 2);
+}
+
+TEST(Qaoa, CostFunction)
+{
+    const QaoaMaxCut q(4, 1);
+    EXPECT_TRUE(q.hasCost());
+    EXPECT_DOUBLE_EQ(q.maxCost(), 3.0);
+    EXPECT_DOUBLE_EQ(q.cost(0b0000), 0.0);
+    EXPECT_DOUBLE_EQ(q.cost(0b0101), 3.0); // alternating = max cut
+    EXPECT_DOUBLE_EQ(q.cost(0b1010), 3.0);
+    EXPECT_DOUBLE_EQ(q.cost(0b0011), 1.0);
+}
+
+TEST(Qaoa, CorrectOutcomesAreOptimalCuts)
+{
+    const QaoaMaxCut q(6, 1);
+    for (BasisState outcome : q.correctOutcomes())
+        EXPECT_DOUBLE_EQ(q.cost(outcome), q.maxCost());
+}
+
+TEST(Qaoa, OptimizedAnglesBeatRandomGuess)
+{
+    // The optimizer should find angles whose expected cut clearly
+    // exceeds the uniform-distribution baseline of (n-1)/2.
+    const QaoaMaxCut q(8, 1);
+    const double expected = q.expectedCost(q.idealPmf());
+    EXPECT_GT(expected, 0.5 * q.maxCost() + 0.5);
+}
+
+TEST(Qaoa, DeeperIsBetter)
+{
+    const QaoaMaxCut p1(8, 1);
+    const QaoaMaxCut p2(8, 2);
+    EXPECT_GE(p2.expectedCost(p2.idealPmf()),
+              p1.expectedCost(p1.idealPmf()) - 0.05);
+}
+
+TEST(Ising, GateCountsMatchTable2TwoQubit)
+{
+    const IsingChain ising(10);
+    // n steps x (n-1) RZZ = n(n-1) = 90 two-qubit interactions.
+    EXPECT_EQ(ising.circuit().countTwoQubitGates(), 90);
+    EXPECT_EQ(ising.name(), "Ising-10");
+}
+
+TEST(Ising, OutputPeaked)
+{
+    const IsingChain ising(8);
+    const BasisState mode = ising.correctOutcomes()[0];
+    // The weak-field evolution keeps a dominant outcome.
+    EXPECT_GT(ising.idealPmf().prob(mode), 0.25);
+}
+
+TEST(Registry, PaperSuite)
+{
+    const auto suite = paperBenchmarks();
+    ASSERT_EQ(suite.size(), 9u);
+    EXPECT_EQ(suite[0]->name(), "BV-6");
+    EXPECT_EQ(suite[1]->name(), "QAOA-8 p1");
+    EXPECT_EQ(suite[6]->name(), "Ising-10");
+    EXPECT_EQ(suite[7]->name(), "GHZ-14");
+    EXPECT_EQ(suite[8]->name(), "Graycode-18");
+}
+
+TEST(Registry, QaoaSuite)
+{
+    const auto suite = qaoaBenchmarks();
+    ASSERT_EQ(suite.size(), 5u);
+    for (const auto &w : suite)
+        EXPECT_TRUE(w->hasCost());
+}
+
+TEST(Registry, MakeWorkloadByName)
+{
+    EXPECT_EQ(makeWorkload("GHZ-8")->name(), "GHZ-8");
+    EXPECT_EQ(makeWorkload("BV-4")->name(), "BV-4");
+    EXPECT_EQ(makeWorkload("QAOA-6 p2")->name(), "QAOA-6 p2");
+    EXPECT_EQ(makeWorkload("Ising-4")->name(), "Ising-4");
+    EXPECT_EQ(makeWorkload("Graycode-4")->name(), "Graycode-4");
+    EXPECT_THROW(makeWorkload("Nope-3"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("QAOA-6"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("GHZ"), std::invalid_argument);
+}
+
+TEST(Workload, CostThrowsWithoutCostFunction)
+{
+    const Ghz ghz(4);
+    EXPECT_FALSE(ghz.hasCost());
+    EXPECT_THROW(ghz.cost(0), std::invalid_argument);
+    EXPECT_THROW(ghz.maxCost(), std::invalid_argument);
+}
+
+TEST(Workload, IdealPmfNormalized)
+{
+    const auto suite = paperBenchmarks();
+    for (const auto &w : suite) {
+        EXPECT_NEAR(w->idealPmf().totalMass(), 1.0, 1e-9)
+            << w->name();
+        // The two optimal cuts of QAOA-14 p2 carry only ~3% ideal
+        // mass (consistent with the paper's low absolute QAOA PSTs).
+        EXPECT_GT(metrics::pst(w->idealPmf(), *w), 0.02) << w->name();
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace jigsaw
