@@ -1,17 +1,37 @@
 #include "suite_runner.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/error.h"
 #include "core/jigsaw.h"
 #include "device/library.h"
 #include "mitigation/edm.h"
+#include "perf_json.h"
 #include "sim/simulators.h"
 #include "workloads/registry.h"
 
 namespace jigsaw {
 namespace bench {
+
+namespace {
+
+/** Run @p fn, add its wall milliseconds to @p acc, return its value. */
+template <typename Fn>
+auto
+timed(double &acc, Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto result = fn();
+    acc += std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count();
+    return result;
+}
+
+} // namespace
 
 const SuiteCell &
 SuiteRun::cell(int d, int w) const
@@ -32,6 +52,7 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
     run.devices = device::evaluationDevices();
     run.workloads = qaoa_only ? workloads::qaoaBenchmarks()
                               : workloads::paperBenchmarks();
+    const auto sweep_start = std::chrono::steady_clock::now();
 
     for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
         const device::DeviceModel &dev =
@@ -48,31 +69,64 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
                 10007ULL * static_cast<std::uint64_t>(w);
             sim::NoisySimulator executor(dev, {.seed = cell_seed});
 
-            const Pmf baseline = core::runBaseline(workload.circuit(),
-                                                   dev, executor, trials);
-            const Pmf edm = mitigation::runEdm(workload.circuit(), dev,
-                                               executor, trials, 4)
-                                .output;
+            const Pmf baseline = timed(run.baselineMs, [&] {
+                return core::runBaseline(workload.circuit(), dev,
+                                         executor, trials);
+            });
+            const Pmf edm = timed(run.edmMs, [&] {
+                return mitigation::runEdm(workload.circuit(), dev,
+                                          executor, trials, 4)
+                    .output;
+            });
 
             core::JigsawOptions no_recomp;
             no_recomp.recompileCpms = false;
-            const Pmf jigsaw_no_recomp =
-                core::runJigsaw(workload.circuit(), dev, executor,
-                                trials, no_recomp)
+            const Pmf jigsaw_no_recomp = timed(run.jigsawNoRecompMs, [&] {
+                return core::runJigsaw(workload.circuit(), dev, executor,
+                                       trials, no_recomp)
                     .output;
-            const Pmf jigsaw = core::runJigsaw(workload.circuit(), dev,
-                                               executor, trials)
-                                   .output;
-            const Pmf jigsaw_m =
-                core::runJigsaw(workload.circuit(), dev, executor,
-                                trials, core::jigsawMOptions())
+            });
+            const Pmf jigsaw = timed(run.jigsawMs, [&] {
+                return core::runJigsaw(workload.circuit(), dev, executor,
+                                       trials)
                     .output;
+            });
+            const Pmf jigsaw_m = timed(run.jigsawMMs, [&] {
+                return core::runJigsaw(workload.circuit(), dev, executor,
+                                       trials, core::jigsawMOptions())
+                    .output;
+            });
 
             run.cells.push_back({d, w, baseline, edm, jigsaw_no_recomp,
                                  jigsaw, jigsaw_m});
         }
     }
+    run.totalMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sweep_start)
+                      .count();
+
+    if (const char *path = std::getenv("JIGSAW_SUITE_TIMINGS_JSON")) {
+        if (path[0] != '\0' && !writeSuiteTimings(run, path) && !quiet)
+            std::cerr << "  [suite] cannot write timings to " << path
+                      << "\n";
+    }
     return run;
+}
+
+bool
+writeSuiteTimings(const SuiteRun &run, const std::string &path)
+{
+    PerfReport report("evaluation sweep: " +
+                      std::to_string(run.devices.size()) + " devices x " +
+                      std::to_string(run.workloads.size()) +
+                      " workloads");
+    report.addTiming("suite/baseline", run.baselineMs);
+    report.addTiming("suite/edm", run.edmMs);
+    report.addTiming("suite/jigsaw_no_recompile", run.jigsawNoRecompMs);
+    report.addTiming("suite/jigsaw", run.jigsawMs);
+    report.addTiming("suite/jigsaw_m", run.jigsawMMs);
+    report.addTiming("suite/total", run.totalMs);
+    return report.write(path);
 }
 
 double

@@ -42,12 +42,26 @@ struct SuiteRun
     std::vector<std::unique_ptr<workloads::Workload>> workloads;
     std::vector<SuiteCell> cells;
 
+    /** Cumulative wall milliseconds per scheme, across all cells. */
+    double baselineMs = 0.0;
+    double edmMs = 0.0;
+    double jigsawNoRecompMs = 0.0;
+    double jigsawMs = 0.0;
+    double jigsawMMs = 0.0;
+    double totalMs = 0.0; ///< Whole-sweep wall time.
+
     /** The cell for (device d, workload w). */
     const SuiteCell &cell(int d, int w) const;
 };
 
 /**
  * Run the full evaluation sweep.
+ *
+ * Scheme wall times are accumulated into the returned SuiteRun; when
+ * the JIGSAW_SUITE_TIMINGS_JSON environment variable names a path,
+ * they are also written there in the BENCH_perf.json format (see
+ * docs/performance.md), giving every fig/tab bench binary a perf
+ * trajectory for free.
  *
  * @param trials        Trial budget per scheme (shared by all).
  * @param seed          Base RNG seed (per-cell seeds derive from it).
@@ -56,6 +70,9 @@ struct SuiteRun
  */
 SuiteRun runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
                             bool qaoa_only = false, bool quiet = false);
+
+/** Write the sweep's scheme timings in the BENCH_perf.json format. */
+bool writeSuiteTimings(const SuiteRun &run, const std::string &path);
 
 /** Geometric mean helper that tolerates zero entries by flooring. */
 double geomeanFloored(const std::vector<double> &xs, double floor = 1e-6);

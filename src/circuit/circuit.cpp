@@ -1,6 +1,7 @@
 #include "circuit/circuit.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/error.h"
@@ -275,6 +276,35 @@ QuantumCircuit::remapped(const std::vector<int> &mapping,
         out.append(std::move(h));
     }
     return out;
+}
+
+std::uint64_t
+QuantumCircuit::structuralHash() const
+{
+    // FNV-1a over the structural fields. 64 bits keeps accidental
+    // collisions between the handful of circuits a process touches
+    // out of practical reach.
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffULL;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(nQubits_));
+    mix(static_cast<std::uint64_t>(nClbits_));
+    for (const Gate &g : gates_) {
+        mix(static_cast<std::uint64_t>(g.type));
+        mix(g.qubits.size());
+        for (int q : g.qubits)
+            mix(static_cast<std::uint64_t>(q));
+        mix(g.params.size());
+        for (double p : g.params)
+            mix(std::bit_cast<std::uint64_t>(p));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(g.clbit)));
+    }
+    return h;
 }
 
 std::string

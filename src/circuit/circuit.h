@@ -6,6 +6,7 @@
 #ifndef JIGSAW_CIRCUIT_CIRCUIT_H
 #define JIGSAW_CIRCUIT_CIRCUIT_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,14 @@ class QuantumCircuit
      */
     QuantumCircuit remapped(const std::vector<int> &mapping,
                             int n_physical) const;
+
+    /**
+     * Structural 64-bit hash over register sizes and the exact gate
+     * sequence (types, qubits, parameter bit patterns, classical
+     * bits). Two circuits with equal hashes execute identically, so
+     * executors use it as a memoization key for exact output PMFs.
+     */
+    std::uint64_t structuralHash() const;
 
     /** Human-readable listing (one gate per line, OpenQASM-flavored). */
     std::string toString() const;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Walker alias-table sampler over a sparse PMF.
+ *
+ * Setup is O(support); each draw is O(1) and consumes exactly one
+ * uniform from the Rng, so sampling a histogram of T trials is O(T)
+ * after an O(support) build — replacing the per-draw binary search of
+ * the old cumulative-distribution sampler. Entries are sorted by
+ * outcome at build time so a table built from the same PMF samples the
+ * same stream regardless of hash-map iteration order.
+ */
+#ifndef JIGSAW_COMMON_ALIAS_H
+#define JIGSAW_COMMON_ALIAS_H
+
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+
+namespace jigsaw {
+
+class Pmf;
+
+/** Precomputed alias table for O(1) categorical sampling. */
+class AliasTable
+{
+  public:
+    /** Empty table; sample() on it is an error. */
+    AliasTable() = default;
+
+    /** Build from the non-zero entries of @p pmf (need not be normalized). */
+    explicit AliasTable(const Pmf &pmf);
+
+    /** Build from explicit (outcome, weight) pairs. */
+    explicit AliasTable(
+        std::vector<std::pair<BasisState, double>> entries);
+
+    /** True when the table has no entries. */
+    bool empty() const { return outcomes_.empty(); }
+
+    /** Number of entries in the table. */
+    std::size_t size() const { return outcomes_.size(); }
+
+    /** Draw one outcome; consumes one uniform from @p rng. */
+    BasisState sample(Rng &rng) const;
+
+  private:
+    void build(std::vector<std::pair<BasisState, double>> entries);
+
+    std::vector<BasisState> outcomes_; ///< Outcome of each bin.
+    std::vector<BasisState> alias_;    ///< Alias outcome of each bin.
+    std::vector<double> threshold_;    ///< Bin-local acceptance bound.
+};
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_ALIAS_H

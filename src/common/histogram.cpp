@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/alias.h"
 #include "common/error.h"
 
 namespace jigsaw {
@@ -177,29 +178,14 @@ Pmf::sample(Rng &rng) const
 Histogram
 Pmf::sampleHistogram(std::uint64_t trials, Rng &rng) const
 {
-    // Draw from the cumulative distribution over a flattened copy so
-    // each draw is O(log support) instead of O(support).
+    // Walker alias table: O(support) setup, O(1) per draw, so a batch
+    // of T trials costs O(support + T) instead of O(T log support).
     Histogram hist(nQubits_);
     if (probs_.empty() || trials == 0)
         return hist;
-    std::vector<std::pair<BasisState, double>> entries(probs_.begin(),
-                                                       probs_.end());
-    std::vector<double> cumulative(entries.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        acc += entries[i].second;
-        cumulative[i] = acc;
-    }
-    for (std::uint64_t t = 0; t < trials; ++t) {
-        const double r = rng.uniform() * acc;
-        const auto it = std::lower_bound(cumulative.begin(),
-                                         cumulative.end(), r);
-        const auto idx = static_cast<std::size_t>(
-            std::min<std::ptrdiff_t>(it - cumulative.begin(),
-                                     static_cast<std::ptrdiff_t>(
-                                         entries.size() - 1)));
-        hist.add(entries[idx].first);
-    }
+    const AliasTable table(*this);
+    for (std::uint64_t t = 0; t < trials; ++t)
+        hist.add(table.sample(rng));
     return hist;
 }
 

@@ -84,6 +84,9 @@ class Pmf
     /** Construct from an explicit (outcome -> probability) map. */
     Pmf(int n_qubits, Map probabilities);
 
+    /** Pre-size the hash table for @p n expected outcomes. */
+    void reserve(std::size_t n) { probs_.reserve(n); }
+
     /** Set the probability of @p outcome (unnormalized until normalize()). */
     void set(BasisState outcome, double probability);
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Minimal thread-pool parallel-for for the amplitude and
+ * reconstruction hot loops.
+ *
+ * The pool is lazily created on first use and sized from the
+ * JIGSAW_THREADS environment variable (falling back to
+ * std::thread::hardware_concurrency). On single-core machines, or for
+ * ranges below the grain size, parallelFor degrades to a plain serial
+ * loop with zero synchronization cost, so callers never need a
+ * separate serial path.
+ */
+#ifndef JIGSAW_COMMON_PARALLEL_H
+#define JIGSAW_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jigsaw {
+
+namespace detail {
+
+/** Fixed-size pool of worker threads executing range chunks. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t n_workers)
+    {
+        workers_.reserve(n_workers);
+        for (std::size_t w = 0; w < n_workers; ++w)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Run @p task(chunk) for every chunk index in [0, n_chunks),
+     * blocking until all chunks finish. Chunk 0 runs on the calling
+     * thread so a pool of k workers executes k + 1 chunks at once.
+     */
+    void
+    runChunks(std::size_t n_chunks,
+              const std::function<void(std::size_t)> &task)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ = &task;
+            nextChunk_ = 1; // chunk 0 is ours
+            totalChunks_ = n_chunks;
+            pendingChunks_ = n_chunks;
+        }
+        wake_.notify_all();
+
+        task(0);
+        finishChunks(1);
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pendingChunks_ == 0; });
+        task_ = nullptr;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            const std::function<void(std::size_t)> *task = nullptr;
+            std::size_t chunk = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ ||
+                           (task_ != nullptr && nextChunk_ < totalChunks_);
+                });
+                if (stopping_)
+                    return;
+                task = task_;
+                chunk = nextChunk_++;
+            }
+            (*task)(chunk);
+            finishChunks(1);
+        }
+    }
+
+    void
+    finishChunks(std::size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        pendingChunks_ -= n;
+        if (pendingChunks_ == 0)
+            done_.notify_all();
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> workers_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t nextChunk_ = 0;
+    std::size_t totalChunks_ = 0;
+    std::size_t pendingChunks_ = 0;
+    bool stopping_ = false;
+};
+
+inline ThreadPool &
+sharedPool()
+{
+    static ThreadPool pool([] {
+        if (const char *env = std::getenv("JIGSAW_THREADS")) {
+            const long n = std::strtol(env, nullptr, 10);
+            if (n >= 1)
+                return static_cast<std::size_t>(n - 1); // workers = n - 1
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
+    }());
+    return pool;
+}
+
+} // namespace detail
+
+/** Number of threads parallelFor uses (pool workers + the caller). */
+inline std::size_t
+parallelThreads()
+{
+    return detail::sharedPool().workerCount() + 1;
+}
+
+/**
+ * Apply @p body(lo, hi) over half-open subranges that partition
+ * [begin, end). Runs serially when the range is below @p grain or the
+ * pool has no workers; otherwise splits into one chunk per thread.
+ * @p body must be safe to call concurrently on disjoint ranges.
+ *
+ * Templated on the callable so the serial path — and the per-chunk
+ * loop body — inline fully; type erasure happens only once per call,
+ * at the pool boundary.
+ */
+template <typename Body>
+inline void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            Body &&body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    const std::size_t threads = parallelThreads();
+    if (threads <= 1 || count <= grain) {
+        body(begin, end);
+        return;
+    }
+    const std::size_t n_chunks = std::min(threads, (count + grain - 1) / grain);
+    const std::size_t chunk_size = (count + n_chunks - 1) / n_chunks;
+    const std::function<void(std::size_t)> chunk_task =
+        [&](std::size_t c) {
+            const std::size_t lo = begin + c * chunk_size;
+            const std::size_t hi = std::min(end, lo + chunk_size);
+            if (lo < hi)
+                body(lo, hi);
+        };
+    detail::sharedPool().runChunks(n_chunks, chunk_task);
+}
+
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_PARALLEL_H

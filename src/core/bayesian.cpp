@@ -1,15 +1,21 @@
 #include "core/bayesian.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace jigsaw {
 namespace core {
 
-Pmf
-bayesianUpdate(const Pmf &prior, const Marginal &m)
+namespace {
+
+void
+checkMarginal(const Pmf &prior, const Marginal &m)
 {
     fatalIf(m.qubits.empty(), "bayesianUpdate: empty marginal subset");
     fatalIf(static_cast<int>(m.qubits.size()) != m.local.nQubits(),
@@ -18,31 +24,106 @@ bayesianUpdate(const Pmf &prior, const Marginal &m)
         fatalIf(q < 0 || q >= prior.nQubits(),
                 "bayesianUpdate: subset bit outside the global PMF");
     }
+}
+
+/** Odds factor of a local probability, clamped below certainty. */
+inline double
+evidenceOdds(double pry)
+{
+    const double clamped = std::min(pry, 1.0 - 1e-12);
+    return clamped / (1.0 - clamped);
+}
+
+/**
+ * A marginal compiled against a fixed outcome list: each outcome's
+ * subset key is resolved once to a dense bucket id, and each bucket
+ * carries its precomputed evidence odds (or "keep prior" when the
+ * local PMF has no mass there). Valid for every round because
+ * reconstruction never grows the support.
+ */
+struct IndexedMarginal
+{
+    std::vector<std::uint32_t> bucketOf; ///< Outcome index -> bucket.
+    std::vector<double> odds; ///< Bucket -> odds; < 0 keeps the prior.
+    std::size_t nBuckets = 0;
+};
+
+IndexedMarginal
+indexMarginal(const std::vector<BasisState> &outcomes, const Marginal &m,
+              double evidence_threshold)
+{
+    IndexedMarginal idx;
+    idx.bucketOf.resize(outcomes.size());
+    std::unordered_map<BasisState, std::uint32_t> bucket_of_key;
+    bucket_of_key.reserve(1ULL << std::min<std::size_t>(m.qubits.size(),
+                                                        16));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const BasisState key = extractBits(outcomes[i], m.qubits);
+        const auto [it, inserted] = bucket_of_key.emplace(
+            key, static_cast<std::uint32_t>(idx.odds.size()));
+        if (inserted) {
+            const double pry = m.local.prob(key);
+            idx.odds.push_back(pry > evidence_threshold
+                                   ? evidenceOdds(pry)
+                                   : -1.0);
+        }
+        idx.bucketOf[i] = it->second;
+    }
+    idx.nBuckets = idx.odds.size();
+    return idx;
+}
+
+/** Hellinger distance between two aligned probability vectors. */
+double
+flatHellinger(const std::vector<double> &p, const std::vector<double> &q)
+{
+    double bc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] > 0.0 && q[i] > 0.0)
+            bc += std::sqrt(p[i] * q[i]);
+    }
+    return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+} // namespace
+
+Pmf
+bayesianUpdate(const Pmf &prior, const Marginal &m,
+               double evidence_threshold)
+{
+    checkMarginal(prior, m);
 
     // Step 1: bucket the prior outcomes by their value on the subset
     // bits, tracking each bucket's total prior mass (the normalizer
-    // for the update coefficients of Step 2).
+    // for the update coefficients of Step 2) and whether the local
+    // PMF has observable evidence for it.
     std::unordered_map<BasisState, double> bucket_mass;
     bucket_mass.reserve(prior.support());
-    for (const auto &[outcome, p] : prior.probabilities())
-        bucket_mass[extractBits(outcome, m.qubits)] += p;
+    bool covers_all = true;
+    for (const auto &[outcome, p] : prior.probabilities()) {
+        const BasisState key = extractBits(outcome, m.qubits);
+        bucket_mass[key] += p;
+        if (m.local.prob(key) <= evidence_threshold)
+            covers_all = false;
+    }
 
     // Steps 2-3: posterior[outcome] = coefficient * pry / (1 - pry),
     // where coefficient is the outcome's share of its bucket. Global
-    // outcomes whose subset value never appears in the local PMF keep
-    // their prior probability (Algorithm 1 initializes Po = P).
-    Pmf posterior = prior;
+    // outcomes whose subset value carries no local mass (absent, or at
+    // or below the pruning threshold) keep their prior probability
+    // (Algorithm 1 initializes Po = P). When every bucket has
+    // evidence, no prior entry survives, so start from an empty PMF
+    // instead of copying the whole prior just to overwrite it.
+    Pmf posterior = covers_all ? Pmf(prior.nQubits()) : prior;
     for (const auto &[outcome, p] : prior.probabilities()) {
         const BasisState key = extractBits(outcome, m.qubits);
         const double pry = m.local.prob(key);
-        if (pry <= 0.0)
+        if (pry <= evidence_threshold)
             continue;
         const double mass = bucket_mass[key];
         if (mass <= 0.0)
             continue;
-        const double coefficient = p / mass;
-        const double clamped = std::min(pry, 1.0 - 1e-12);
-        posterior.set(outcome, coefficient * clamped / (1.0 - clamped));
+        posterior.set(outcome, (p / mass) * evidenceOdds(pry));
     }
     posterior.normalize();
     return posterior;
@@ -53,29 +134,93 @@ bayesianReconstruct(const Pmf &global,
                     const std::vector<Marginal> &marginals,
                     const ReconstructionOptions &options)
 {
-    if (marginals.empty())
+    if (marginals.empty() || global.support() == 0)
         return global;
+    for (const Marginal &m : marginals)
+        checkMarginal(global, m);
 
-    Pmf output = global;
+    // Flatten the global PMF once; outcome order is sorted so the
+    // result is deterministic whatever the hash layout was.
+    std::vector<BasisState> outcomes;
+    outcomes.reserve(global.support());
+    for (const auto &[outcome, p] : global.probabilities())
+        outcomes.push_back(outcome);
+    std::sort(outcomes.begin(), outcomes.end());
+
+    const std::size_t n = outcomes.size();
+    std::vector<double> cur(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cur[i] = global.prob(outcomes[i]);
+
+    const std::size_t n_m = marginals.size();
+    std::vector<IndexedMarginal> indexed;
+    indexed.reserve(n_m);
+    for (const Marginal &m : marginals)
+        indexed.push_back(
+            indexMarginal(outcomes, m, options.evidenceThreshold));
+
+    // Per-marginal posterior buffers, reused across rounds.
+    std::vector<std::vector<double>> posts(
+        n_m, std::vector<double>(n, 0.0));
+
+    std::vector<double> accum(n);
     for (int round = 0; round < options.maxRounds; ++round) {
         // One Bayesian_Reconstruction call: all marginals update the
-        // same prior (the previous round's output), and the posteriors
-        // are summed into it. Updates are independent, so order does
-        // not matter (paper Section 4.3).
-        const Pmf prior = output;
-        Pmf accumulated = prior;
-        for (const Marginal &m : marginals) {
-            const Pmf posterior = bayesianUpdate(prior, m);
-            for (const auto &[outcome, p] : posterior.probabilities())
-                accumulated.accumulate(outcome, p);
-        }
-        accumulated.normalize();
+        // same prior (the previous round's output) independently —
+        // computed in parallel — and the normalized posteriors are
+        // summed into it in marginal order, so the result is
+        // identical however many threads ran.
+        parallelFor(0, n_m, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t mi = lo; mi < hi; ++mi) {
+                const IndexedMarginal &im = indexed[mi];
+                std::vector<double> &post = posts[mi];
+                std::vector<double> mass(im.nBuckets, 0.0);
+                for (std::size_t i = 0; i < n; ++i)
+                    mass[im.bucketOf[i]] += cur[i];
+                double post_sum = 0.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::uint32_t b = im.bucketOf[i];
+                    const double odds = im.odds[b];
+                    double v;
+                    if (odds < 0.0 || mass[b] <= 0.0)
+                        v = cur[i];
+                    else
+                        v = (cur[i] / mass[b]) * odds;
+                    post[i] = v;
+                    post_sum += v;
+                }
+                if (post_sum > 0.0) {
+                    const double inv = 1.0 / post_sum;
+                    for (std::size_t i = 0; i < n; ++i)
+                        post[i] *= inv;
+                }
+            }
+        });
 
-        const double moved = hellingerDistance(output, accumulated);
-        output = std::move(accumulated);
+        accum = cur;
+        for (std::size_t mi = 0; mi < n_m; ++mi) {
+            const std::vector<double> &post = posts[mi];
+            for (std::size_t i = 0; i < n; ++i)
+                accum[i] += post[i];
+        }
+        double total = 0.0;
+        for (double v : accum)
+            total += v;
+        if (total > 0.0) {
+            const double inv = 1.0 / total;
+            for (double &v : accum)
+                v *= inv;
+        }
+
+        const double moved = flatHellinger(cur, accum);
+        cur.swap(accum);
         if (moved < options.tolerance)
             break;
     }
+
+    Pmf output(global.nQubits());
+    for (std::size_t i = 0; i < n; ++i)
+        output.set(outcomes[i], cur[i]);
     return output;
 }
 

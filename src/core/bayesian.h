@@ -46,19 +46,36 @@ struct ReconstructionOptions
     int maxRounds = 16;       ///< Hard cap on update rounds.
     double tolerance = 1e-4;  ///< Hellinger-distance convergence bound.
     LayerOrder layerOrder = LayerOrder::TopDown; ///< JigSaw-M ordering.
+    /**
+     * Local-PMF mass at or below this is treated as unobserved — the
+     * matching global outcomes keep their prior probability, exactly
+     * as Algorithm 1 handles subset values absent from the CPM. The
+     * default matches Pmf::prune's sparsity cutoff so evidence that
+     * pruning would have dropped cannot skew an update.
+     */
+    double evidenceThreshold = 1e-14;
 };
 
 /**
  * One Bayesian_Update call from Algorithm 1: returns the (normalized)
- * posterior of @p prior given the single marginal @p m.
+ * posterior of @p prior given the single marginal @p m. Subset keys
+ * whose local probability is at or below @p evidence_threshold
+ * contribute no evidence (their outcomes keep the prior value).
  */
-Pmf bayesianUpdate(const Pmf &prior, const Marginal &m);
+Pmf bayesianUpdate(const Pmf &prior, const Marginal &m,
+                   double evidence_threshold = 1e-14);
 
 /**
  * Full reconstruction: iterated rounds of updating @p global with all
  * of @p marginals until the output stops moving. The result keeps the
  * support of @p global (only observed outcomes gain probability,
  * which is what bounds the complexity; Section 7.1).
+ *
+ * Implementation note: because the support is invariant across
+ * rounds, the subset keys and bucket assignments of every marginal
+ * are precomputed once into flat indexed arrays; each round then
+ * iterates dense vectors (no per-round hash-map rebuilds) and
+ * computes the per-marginal posteriors in parallel.
  */
 Pmf bayesianReconstruct(const Pmf &global,
                         const std::vector<Marginal> &marginals,

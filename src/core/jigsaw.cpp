@@ -106,9 +106,13 @@ runJigsaw(const circuit::QuantumCircuit &logical,
     const std::vector<Subset> subsets =
         generateSubsets(n_measured, options);
     fatalIf(subsets.empty(), "runJigsaw: no subsets generated");
+    // Split the subset budget evenly, handing the integer-division
+    // remainder to the first CPMs one trial each, so the run spends
+    // exactly the budget it was given (globalTrials + subsetTrials ==
+    // total_trials whenever the budget covers one trial per CPM).
     const std::uint64_t subset_budget = total_trials - global_trials;
-    const std::uint64_t per_cpm =
-        std::max<std::uint64_t>(1, subset_budget / subsets.size());
+    const std::uint64_t per_cpm_base = subset_budget / subsets.size();
+    const std::uint64_t remainder = subset_budget % subsets.size();
 
     // CPM recompilation must not add SWAPs over the global schedule
     // (Section 4.2.2's "avoid extra SWAPs" rule).
@@ -117,7 +121,10 @@ runJigsaw(const circuit::QuantumCircuit &logical,
 
     JigsawResult result{global_pmf, global_pmf, global_compiled, {},
                         global_trials, 0};
-    for (const Subset &subset : subsets) {
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+        const Subset &subset = subsets[s];
+        const std::uint64_t per_cpm = std::max<std::uint64_t>(
+            1, per_cpm_base + (s < remainder ? 1 : 0));
         std::vector<int> logical_qubits;
         logical_qubits.reserve(subset.size());
         for (int c : subset) {

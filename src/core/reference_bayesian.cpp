@@ -1,0 +1,57 @@
+#include "core/reference_bayesian.h"
+
+#include <map>
+
+namespace jigsaw {
+namespace core {
+
+Pmf
+referenceReconstruct(const Pmf &global,
+                     const std::vector<Marginal> &marginals,
+                     const ReconstructionOptions &options)
+{
+    if (marginals.empty())
+        return global;
+
+    Pmf output = global;
+    for (int round = 0; round < options.maxRounds; ++round) {
+        const Pmf prior = output;
+        Pmf accumulated = prior;
+        for (const Marginal &m : marginals) {
+            const Pmf posterior =
+                bayesianUpdate(prior, m, options.evidenceThreshold);
+            for (const auto &[outcome, p] : posterior.probabilities())
+                accumulated.accumulate(outcome, p);
+        }
+        accumulated.normalize();
+
+        const double moved = hellingerDistance(output, accumulated);
+        output = std::move(accumulated);
+        if (moved < options.tolerance)
+            break;
+    }
+    return output;
+}
+
+Pmf
+referenceMultiLayerReconstruct(const Pmf &global,
+                               const std::vector<Marginal> &marginals,
+                               const ReconstructionOptions &options)
+{
+    std::map<int, std::vector<Marginal>> by_size;
+    for (const Marginal &m : marginals)
+        by_size[static_cast<int>(m.qubits.size())].push_back(m);
+
+    Pmf output = global;
+    if (options.layerOrder == LayerOrder::TopDown) {
+        for (auto it = by_size.rbegin(); it != by_size.rend(); ++it)
+            output = referenceReconstruct(output, it->second, options);
+    } else {
+        for (auto it = by_size.begin(); it != by_size.end(); ++it)
+            output = referenceReconstruct(output, it->second, options);
+    }
+    return output;
+}
+
+} // namespace core
+} // namespace jigsaw

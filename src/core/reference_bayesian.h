@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Naive reference Bayesian reconstruction.
+ *
+ * The original per-round implementation: every round re-buckets the
+ * prior into fresh unordered_maps via bayesianUpdate and copies whole
+ * Pmfs around. Kept as an executable specification — the equivalence
+ * tests assert the indexed bayesianReconstruct matches it, and
+ * bench/perf_reconstruction times it as the "before" side of
+ * BENCH_perf.json. Deliberately slow; do not optimize.
+ */
+#ifndef JIGSAW_CORE_REFERENCE_BAYESIAN_H
+#define JIGSAW_CORE_REFERENCE_BAYESIAN_H
+
+#include <vector>
+
+#include "core/bayesian.h"
+
+namespace jigsaw {
+namespace core {
+
+/** Naive counterpart of bayesianReconstruct (same update math). */
+Pmf referenceReconstruct(const Pmf &global,
+                         const std::vector<Marginal> &marginals,
+                         const ReconstructionOptions &options = {});
+
+/** Naive counterpart of multiLayerReconstruct. */
+Pmf referenceMultiLayerReconstruct(const Pmf &global,
+                                   const std::vector<Marginal> &marginals,
+                                   const ReconstructionOptions &options = {});
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_REFERENCE_BAYESIAN_H

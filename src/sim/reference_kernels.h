@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Naive reference state-vector evolution.
+ *
+ * These are the original full-2^n scan-and-skip kernels, kept as an
+ * executable specification: the golden-equivalence tests assert the
+ * optimized StateVector matches them to ~1e-12 Hellinger distance,
+ * and bench/perf_reconstruction times them as the "before" side of
+ * BENCH_perf.json. They are deliberately slow and simple — do not
+ * optimize this file.
+ */
+#ifndef JIGSAW_SIM_REFERENCE_KERNELS_H
+#define JIGSAW_SIM_REFERENCE_KERNELS_H
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/histogram.h"
+
+namespace jigsaw {
+namespace sim {
+
+/**
+ * Evolve |0...0> through the unitary gates of @p qc (measurements
+ * skipped) with the naive kernels and return the final amplitudes.
+ */
+std::vector<std::complex<double>>
+referenceEvolve(const circuit::QuantumCircuit &qc);
+
+/**
+ * Measurement PMF over @p qubits of the naive evolution of @p qc;
+ * mirrors StateVector::measurementPmf on the reference amplitudes.
+ */
+Pmf referenceMeasurementPmf(const circuit::QuantumCircuit &qc,
+                            const std::vector<int> &qubits,
+                            double threshold = 1e-14);
+
+} // namespace sim
+} // namespace jigsaw
+
+#endif // JIGSAW_SIM_REFERENCE_KERNELS_H

@@ -66,53 +66,42 @@ exactOutputPmf(const QuantumCircuit &physical)
     return state.measurementPmf(dense_qubits);
 }
 
-/** Cumulative-distribution sampler over a sparse PMF. */
-class PmfSampler
-{
-  public:
-    explicit PmfSampler(const Pmf &pmf)
-    {
-        entries_.reserve(pmf.support());
-        double acc = 0.0;
-        for (const auto &[outcome, p] : pmf.probabilities()) {
-            acc += p;
-            entries_.emplace_back(acc, outcome);
-        }
-        total_ = acc;
-    }
-
-    BasisState
-    sample(Rng &rng) const
-    {
-        const double r = rng.uniform() * total_;
-        auto it = std::lower_bound(
-            entries_.begin(), entries_.end(), r,
-            [](const auto &e, double v) { return e.first < v; });
-        if (it == entries_.end())
-            --it;
-        return it->second;
-    }
-
-  private:
-    std::vector<std::pair<double, BasisState>> entries_;
-    double total_ = 0.0;
-};
-
 } // namespace
 
 IdealSimulator::IdealSimulator(std::uint64_t seed) : rng_(seed) {}
+
+const IdealSimulator::Cached &
+IdealSimulator::evolved(const QuantumCircuit &physical)
+{
+    const std::uint64_t key = physical.structuralHash();
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    ++cacheMisses_;
+    Pmf pmf = exactOutputPmf(physical);
+    AliasTable sampler(pmf);
+    return cache_
+        .emplace(key, Cached{std::move(pmf), std::move(sampler)})
+        .first->second;
+}
 
 Histogram
 IdealSimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots)
 {
-    return idealPmf(physical_circuit).sampleHistogram(shots, rng_);
+    const Cached &entry = evolved(physical_circuit);
+    Histogram hist(entry.pmf.nQubits());
+    for (std::uint64_t t = 0; t < shots; ++t)
+        hist.add(entry.sampler.sample(rng_));
+    return hist;
 }
 
 Pmf
 IdealSimulator::idealPmf(const QuantumCircuit &physical_circuit)
 {
-    return exactOutputPmf(physical_circuit);
+    return evolved(physical_circuit).pmf;
 }
 
 NoisySimulator::NoisySimulator(device::DeviceModel dev,
@@ -133,16 +122,35 @@ NoisySimulator::run(const QuantumCircuit &physical_circuit,
     return runChannelMode(physical_circuit, shots);
 }
 
+const NoisySimulator::Cached &
+NoisySimulator::evolved(const QuantumCircuit &physical)
+{
+    const std::uint64_t key = physical.structuralHash();
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    ++cacheMisses_;
+    Pmf pmf = exactOutputPmf(physical);
+    AliasTable sampler(pmf);
+    const double gate_ok =
+        options_.gateNoise ? gateSuccessProbability(physical, dev_) : 1.0;
+    auto channel = std::make_unique<MeasurementChannel>(physical, dev_);
+    return cache_
+        .emplace(key, Cached{std::move(pmf), std::move(sampler), gate_ok,
+                             std::move(channel)})
+        .first->second;
+}
+
 Histogram
 NoisySimulator::runChannelMode(const QuantumCircuit &physical,
                                std::uint64_t shots)
 {
-    const Pmf ideal = exactOutputPmf(physical);
-    const PmfSampler sampler(ideal);
-    const MeasurementChannel channel(physical, dev_);
-
-    const double gate_ok =
-        options_.gateNoise ? gateSuccessProbability(physical, dev_) : 1.0;
+    const Cached &entry = evolved(physical);
+    const AliasTable &sampler = entry.sampler;
+    const MeasurementChannel &channel = *entry.channel;
+    const double gate_ok = entry.gateOk;
     const int n_clbits = physical.nClbits();
 
     Histogram hist(n_clbits);
@@ -227,7 +235,7 @@ NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
         }
 
         const Pmf traj_pmf = state.measurementPmf(dense_qubits);
-        const PmfSampler sampler(traj_pmf);
+        const AliasTable sampler(traj_pmf);
         std::uint64_t traj_shots = base_shots;
         if (traj == n_traj - 1)
             traj_shots = shots - base_shots * static_cast<std::uint64_t>(

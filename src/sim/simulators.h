@@ -12,11 +12,15 @@
 #define JIGSAW_SIM_SIMULATORS_H
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 
 #include "circuit/circuit.h"
+#include "common/alias.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "device/device_model.h"
+#include "sim/noise_model.h"
 
 namespace jigsaw {
 namespace sim {
@@ -40,6 +44,11 @@ class Executor
 /**
  * Noise-free executor; also exposes the exact output PMF, which the
  * metrics use as the golden reference distribution.
+ *
+ * Exact PMFs (and their alias samplers) are memoized per structural
+ * circuit hash, so JigSaw's repeated runs of an identical circuit —
+ * the global circuit resampled, or CPMs sharing a compilation — skip
+ * state-vector evolution entirely and cost O(shots) draws.
  */
 class IdealSimulator : public Executor
 {
@@ -53,8 +62,25 @@ class IdealSimulator : public Executor
     /** Exact output distribution over the circuit's classical bits. */
     Pmf idealPmf(const circuit::QuantumCircuit &physical_circuit);
 
+    /** Simulations skipped because the PMF was already cached. */
+    std::uint64_t cacheHits() const { return cacheHits_; }
+
+    /** Simulations actually performed. */
+    std::uint64_t cacheMisses() const { return cacheMisses_; }
+
   private:
+    struct Cached
+    {
+        Pmf pmf;
+        AliasTable sampler;
+    };
+
+    const Cached &evolved(const circuit::QuantumCircuit &physical);
+
     Rng rng_;
+    std::unordered_map<std::uint64_t, Cached> cache_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
 };
 
 /** Tuning knobs for NoisySimulator. */
@@ -108,7 +134,28 @@ class NoisySimulator : public Executor
     /** Options in effect. */
     const NoisySimulatorOptions &options() const { return options_; }
 
+    /** Channel-mode evolutions skipped via the PMF cache. */
+    std::uint64_t cacheHits() const { return cacheHits_; }
+
+    /** Channel-mode evolutions actually performed. */
+    std::uint64_t cacheMisses() const { return cacheMisses_; }
+
   private:
+    /**
+     * Everything channel mode derives from the circuit alone: the
+     * exact PMF, its alias sampler, the gate-success probability, and
+     * the readout channel. Cached per structural hash.
+     */
+    struct Cached
+    {
+        Pmf pmf;
+        AliasTable sampler;
+        double gateOk = 1.0;
+        std::unique_ptr<MeasurementChannel> channel;
+    };
+
+    const Cached &evolved(const circuit::QuantumCircuit &physical);
+
     Histogram runChannelMode(const circuit::QuantumCircuit &physical,
                              std::uint64_t shots);
     Histogram runTrajectoryMode(const circuit::QuantumCircuit &physical,
@@ -117,6 +164,9 @@ class NoisySimulator : public Executor
     device::DeviceModel dev_;
     NoisySimulatorOptions options_;
     Rng rng_;
+    std::unordered_map<std::uint64_t, Cached> cache_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
 };
 
 /**

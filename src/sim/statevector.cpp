@@ -1,8 +1,10 @@
 #include "sim/statevector.h"
 
+#include <array>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace jigsaw {
 namespace sim {
@@ -16,7 +18,59 @@ constexpr double invSqrt2 = 0.70710678118654752440;
 
 using Amp = StateVector::Amplitude;
 
-/** Single-qubit matrix for a gate, filled into @p m. */
+/**
+ * Below this many loop iterations a kernel runs serially: the
+ * thread-pool handoff costs more than the loop itself.
+ */
+constexpr std::size_t kGrain = 1ULL << 14;
+
+/**
+ * Spread the low bits of @p x upward so bit position q (with
+ * @p stride = 1 << q) is zero: the enumeration primitive for visiting
+ * each strided pair exactly once.
+ */
+inline BasisState
+insertZero(BasisState x, BasisState stride)
+{
+    return ((x & ~(stride - 1)) << 1) | (x & (stride - 1));
+}
+
+inline bool
+isZero(const Amp &a)
+{
+    return a.real() == 0.0 && a.imag() == 0.0;
+}
+
+inline bool
+isOne(const Amp &a)
+{
+    return a.real() == 1.0 && a.imag() == 0.0;
+}
+
+/**
+ * Component-wise complex multiply. Amplitudes are finite by
+ * construction, so this skips the inf/NaN fixup path std::complex's
+ * operator* routes through (__muldc3) — about a 1.5x kernel win.
+ */
+inline Amp
+cmul(const Amp &x, const Amp &y)
+{
+    return Amp(x.real() * y.real() - x.imag() * y.imag(),
+               x.real() * y.imag() + x.imag() * y.real());
+}
+
+/** x * y0 + z * y1 without __muldc3. */
+inline Amp
+cfma2(const Amp &x, const Amp &y0, const Amp &z, const Amp &y1)
+{
+    return Amp(x.real() * y0.real() - x.imag() * y0.imag() +
+                   z.real() * y1.real() - z.imag() * y1.imag(),
+               x.real() * y0.imag() + x.imag() * y0.real() +
+                   z.real() * y1.imag() + z.imag() * y1.real());
+}
+
+} // namespace
+
 void
 gateMatrix1q(const Gate &gate, Amp m[2][2])
 {
@@ -109,8 +163,6 @@ gateMatrix1q(const Gate &gate, Amp m[2][2])
     }
 }
 
-} // namespace
-
 StateVector::StateVector(int n_qubits) : nQubits_(n_qubits)
 {
     fatalIf(n_qubits < 1 || n_qubits > 28,
@@ -122,16 +174,72 @@ StateVector::StateVector(int n_qubits) : nQubits_(n_qubits)
 void
 StateVector::apply1q(const Amplitude m[2][2], int q)
 {
-    const BasisState mask = 1ULL << q;
-    const BasisState dim = amps_.size();
-    for (BasisState base = 0; base < dim; ++base) {
-        if (base & mask)
-            continue;
-        const Amplitude a0 = amps_[base];
-        const Amplitude a1 = amps_[base | mask];
-        amps_[base] = m[0][0] * a0 + m[0][1] * a1;
-        amps_[base | mask] = m[1][0] * a0 + m[1][1] * a1;
+    const BasisState stride = 1ULL << q;
+    const std::size_t pairs = amps_.size() >> 1;
+    Amplitude *a = amps_.data();
+
+    if (isZero(m[0][1]) && isZero(m[1][0])) {
+        // Diagonal gate: in-place phase multiply, no pair traffic.
+        const Amplitude d0 = m[0][0];
+        const Amplitude d1 = m[1][1];
+        if (isOne(d0)) {
+            // Z/S/T/RZ-like: only the |1> stratum moves.
+            parallelFor(0, pairs, kGrain, [=](std::size_t lo,
+                                              std::size_t hi) {
+                for (std::size_t k = lo; k < hi; ++k) {
+                    Amplitude &a1 = a[insertZero(k, stride) | stride];
+                    a1 = cmul(a1, d1);
+                }
+            });
+            return;
+        }
+        parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+                const BasisState i0 = insertZero(k, stride);
+                a[i0] = cmul(a[i0], d0);
+                a[i0 | stride] = cmul(a[i0 | stride], d1);
+            }
+        });
+        return;
     }
+
+    if (isZero(m[0][0]) && isZero(m[1][1])) {
+        // Anti-diagonal gate (X/Y): an index-mapped swap with phases.
+        const Amplitude o01 = m[0][1];
+        const Amplitude o10 = m[1][0];
+        if (isOne(o01) && isOne(o10)) {
+            parallelFor(0, pairs, kGrain, [=](std::size_t lo,
+                                              std::size_t hi) {
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const BasisState i0 = insertZero(k, stride);
+                    std::swap(a[i0], a[i0 | stride]);
+                }
+            });
+            return;
+        }
+        parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+                const BasisState i0 = insertZero(k, stride);
+                const Amplitude a0 = a[i0];
+                a[i0] = cmul(o01, a[i0 | stride]);
+                a[i0 | stride] = cmul(o10, a0);
+            }
+        });
+        return;
+    }
+
+    const Amplitude m00 = m[0][0], m01 = m[0][1];
+    const Amplitude m10 = m[1][0], m11 = m[1][1];
+    parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const BasisState i0 = insertZero(k, stride);
+            const BasisState i1 = i0 | stride;
+            const Amplitude a0 = a[i0];
+            const Amplitude a1 = a[i1];
+            a[i0] = cfma2(m00, a0, m01, a1);
+            a[i1] = cfma2(m10, a0, m11, a1);
+        }
+    });
 }
 
 void
@@ -141,52 +249,103 @@ StateVector::apply2q(const Amplitude m[4][4], int q0, int q1)
     // bit q0, i.e. q0 is the low bit.
     const BasisState mask0 = 1ULL << q0;
     const BasisState mask1 = 1ULL << q1;
-    const BasisState dim = amps_.size();
-    for (BasisState base = 0; base < dim; ++base) {
-        if ((base & mask0) || (base & mask1))
-            continue;
-        BasisState idx[4];
-        idx[0] = base;
-        idx[1] = base | mask0;
-        idx[2] = base | mask1;
-        idx[3] = base | mask0 | mask1;
-        Amplitude in[4];
-        for (int k = 0; k < 4; ++k)
-            in[k] = amps_[idx[k]];
-        for (int r = 0; r < 4; ++r) {
-            Amplitude acc(0.0, 0.0);
-            for (int c = 0; c < 4; ++c)
-                acc += m[r][c] * in[c];
-            amps_[idx[r]] = acc;
+    const BasisState s_lo = q0 < q1 ? mask0 : mask1;
+    const BasisState s_hi = q0 < q1 ? mask1 : mask0;
+    const std::size_t quads = amps_.size() >> 2;
+    Amplitude *a = amps_.data();
+
+    std::array<Amplitude, 16> flat;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            flat[static_cast<std::size_t>(4 * r + c)] = m[r][c];
+
+    parallelFor(0, quads, kGrain / 2, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const BasisState base =
+                insertZero(insertZero(k, s_lo), s_hi);
+            const BasisState idx[4] = {base, base | mask0, base | mask1,
+                                       base | mask0 | mask1};
+            const Amplitude in[4] = {a[idx[0]], a[idx[1]], a[idx[2]],
+                                     a[idx[3]]};
+            for (int r = 0; r < 4; ++r) {
+                const auto *row = flat.data() + 4 * r;
+                a[idx[r]] = cfma2(row[0], in[0], row[1], in[1]) +
+                            cfma2(row[2], in[2], row[3], in[3]);
+            }
         }
-    }
+    });
 }
 
 void
 StateVector::applyCx(int control, int target)
 {
+    // Permutation gate: swap the (control=1, target=0) stratum with
+    // its target-flipped partner; one touch per moved amplitude.
     const BasisState cmask = 1ULL << control;
     const BasisState tmask = 1ULL << target;
-    const BasisState dim = amps_.size();
-    for (BasisState base = 0; base < dim; ++base) {
-        if ((base & cmask) && !(base & tmask))
-            std::swap(amps_[base], amps_[base | tmask]);
-    }
+    const BasisState s_lo = control < target ? cmask : tmask;
+    const BasisState s_hi = control < target ? tmask : cmask;
+    const std::size_t quads = amps_.size() >> 2;
+    Amplitude *a = amps_.data();
+    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const BasisState base =
+                insertZero(insertZero(k, s_lo), s_hi) | cmask;
+            std::swap(a[base], a[base | tmask]);
+        }
+    });
+}
+
+void
+StateVector::applyControlledPhase(Amplitude phase, int qa, int qb)
+{
+    // Diagonal: multiply only the both-bits-set stratum.
+    const BasisState ma = 1ULL << qa;
+    const BasisState mb = 1ULL << qb;
+    const BasisState s_lo = qa < qb ? ma : mb;
+    const BasisState s_hi = qa < qb ? mb : ma;
+    const std::size_t quads = amps_.size() >> 2;
+    Amplitude *a = amps_.data();
+    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            Amplitude &amp =
+                a[insertZero(insertZero(k, s_lo), s_hi) | ma | mb];
+            amp = cmul(amp, phase);
+        }
+    });
+}
+
+void
+StateVector::applySwap(int qa, int qb)
+{
+    const BasisState ma = 1ULL << qa;
+    const BasisState mb = 1ULL << qb;
+    const BasisState s_lo = qa < qb ? ma : mb;
+    const BasisState s_hi = qa < qb ? mb : ma;
+    const std::size_t quads = amps_.size() >> 2;
+    Amplitude *a = amps_.data();
+    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const BasisState base = insertZero(insertZero(k, s_lo), s_hi);
+            std::swap(a[base | ma], a[base | mb]);
+        }
+    });
 }
 
 void
 StateVector::applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1)
 {
     // Diagonal two-qubit phase: "even" applies where bits agree,
-    // "odd" where they differ (the RZZ structure).
-    const BasisState mask0 = 1ULL << q0;
-    const BasisState mask1 = 1ULL << q1;
-    const BasisState dim = amps_.size();
-    for (BasisState base = 0; base < dim; ++base) {
-        const bool b0 = base & mask0;
-        const bool b1 = base & mask1;
-        amps_[base] *= (b0 == b1) ? even : odd;
-    }
+    // "odd" where they differ (the RZZ structure). Branch-free via a
+    // two-entry phase table indexed by the XOR of the two bits.
+    const Amplitude table[2] = {even, odd};
+    const std::size_t dim = amps_.size();
+    Amplitude *a = amps_.data();
+    parallelFor(0, dim, kGrain, [=, &table](std::size_t lo,
+                                            std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k)
+            a[k] = cmul(a[k], table[((k >> q0) ^ (k >> q1)) & 1ULL]);
+    });
 }
 
 void
@@ -209,33 +368,17 @@ StateVector::applyGate(const Gate &gate)
       case GateType::CX:
         applyCx(a, b);
         return;
-      case GateType::CZ: {
-        const BasisState mask = (1ULL << a) | (1ULL << b);
-        for (BasisState base = 0; base < amps_.size(); ++base) {
-            if ((base & mask) == mask)
-                amps_[base] = -amps_[base];
-        }
+      case GateType::CZ:
+        applyControlledPhase(Amplitude(-1.0, 0.0), a, b);
         return;
-      }
       case GateType::CP: {
         const Amplitude i(0.0, 1.0);
-        const Amplitude phase = std::exp(i * gate.params.at(0));
-        const BasisState mask = (1ULL << a) | (1ULL << b);
-        for (BasisState base = 0; base < amps_.size(); ++base) {
-            if ((base & mask) == mask)
-                amps_[base] *= phase;
-        }
+        applyControlledPhase(std::exp(i * gate.params.at(0)), a, b);
         return;
       }
-      case GateType::SWAP: {
-        const BasisState ma = 1ULL << a;
-        const BasisState mb = 1ULL << b;
-        for (BasisState base = 0; base < amps_.size(); ++base) {
-            if ((base & ma) && !(base & mb))
-                std::swap(amps_[base], amps_[(base ^ ma) | mb]);
-        }
+      case GateType::SWAP:
+        applySwap(a, b);
         return;
-      }
       case GateType::RZZ: {
         const Amplitude i(0.0, 1.0);
         const double half = gate.params.at(0) / 2.0;
@@ -252,10 +395,56 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
 {
     fatalIf(qc.nQubits() != nQubits_,
             "StateVector: circuit qubit count mismatch");
+
+    // Fuse pending single-qubit gates per qubit: consecutive 1q gates
+    // on one qubit compose into a single 2x2 matrix (1q gates on
+    // distinct qubits commute, so per-qubit accumulation is exact),
+    // flushed only when a two-qubit gate touches the qubit or the
+    // circuit ends.
+    struct Mat2
+    {
+        Amplitude m[2][2];
+    };
+    std::vector<Mat2> pending(static_cast<std::size_t>(nQubits_));
+    std::vector<bool> has(static_cast<std::size_t>(nQubits_), false);
+
+    const auto flush = [&](int q) {
+        const auto uq = static_cast<std::size_t>(q);
+        if (!has[uq])
+            return;
+        apply1q(pending[uq].m, q);
+        has[uq] = false;
+    };
+
     for (const Gate &g : qc.gates()) {
-        if (!g.isMeasure())
-            applyGate(g);
+        if (g.isMeasure() || g.type == GateType::BARRIER)
+            continue;
+        if (g.isSingleQubit()) {
+            const auto uq = static_cast<std::size_t>(g.qubits[0]);
+            Amplitude m[2][2];
+            gateMatrix1q(g, m);
+            if (!has[uq]) {
+                for (int r = 0; r < 2; ++r)
+                    for (int c = 0; c < 2; ++c)
+                        pending[uq].m[r][c] = m[r][c];
+                has[uq] = true;
+                continue;
+            }
+            const Mat2 acc = pending[uq];
+            for (int r = 0; r < 2; ++r) {
+                for (int c = 0; c < 2; ++c) {
+                    pending[uq].m[r][c] = m[r][0] * acc.m[0][c] +
+                                          m[r][1] * acc.m[1][c];
+                }
+            }
+            continue;
+        }
+        for (int q : g.qubits)
+            flush(q);
+        applyGate(g);
     }
+    for (int q = 0; q < nQubits_; ++q)
+        flush(q);
 }
 
 StateVector::Amplitude
@@ -286,6 +475,28 @@ StateVector::measurementPmf(const std::vector<int> &qubits,
 {
     fatalIf(qubits.empty(), "measurementPmf: empty qubit list");
     Pmf pmf(static_cast<int>(qubits.size()));
+
+    // Full-register measurement (the exactOutputPmf case): every basis
+    // state is its own outcome, so skip the extractBits remap and the
+    // hash-accumulate — count the support, size the table once, and
+    // insert each entry exactly once.
+    bool identity = static_cast<int>(qubits.size()) == nQubits_;
+    for (std::size_t j = 0; identity && j < qubits.size(); ++j)
+        identity = qubits[j] == static_cast<int>(j);
+    if (identity) {
+        std::size_t support = 0;
+        for (const Amplitude &amp : amps_)
+            support += std::norm(amp) > 0.0;
+        pmf.reserve(support);
+        for (BasisState basis = 0; basis < amps_.size(); ++basis) {
+            const double p = std::norm(amps_[basis]);
+            if (p > 0.0)
+                pmf.set(basis, p);
+        }
+        pmf.prune(threshold);
+        return pmf;
+    }
+
     for (BasisState basis = 0; basis < amps_.size(); ++basis) {
         const double p = std::norm(amps_[basis]);
         if (p <= 0.0)

@@ -5,6 +5,14 @@
  * Holds 2^n complex amplitudes and applies gates in place. Practical
  * up to ~24 qubits, which covers every benchmark in the paper (the
  * largest is Graycode-18).
+ *
+ * The kernels iterate strided amplitude pairs/quads so each amplitude
+ * is touched exactly once per gate (no full-space scan-and-skip),
+ * dispatch diagonal gates (Z/S/T/RZ/CZ/CP/RZZ) to in-place phase
+ * multiplies and permutation gates (X/CX/SWAP) to index-mapped swaps,
+ * and split large amplitude ranges across the parallel.h thread pool.
+ * applyCircuit() additionally fuses runs of single-qubit gates on the
+ * same qubit into one 2x2 matrix before touching the state.
  */
 #ifndef JIGSAW_SIM_STATEVECTOR_H
 #define JIGSAW_SIM_STATEVECTOR_H
@@ -61,15 +69,25 @@ class StateVector
     /** Raw amplitude storage, indexed by basis state. */
     const std::vector<Amplitude> &amplitudes() const { return amps_; }
 
-  private:
+    /**
+     * Apply an arbitrary 2x2 unitary to qubit @p q. Public so circuit
+     * evolution can fuse gate runs into one matrix before applying.
+     */
     void apply1q(const Amplitude m[2][2], int q);
+
+  private:
     void apply2q(const Amplitude m[4][4], int q0, int q1);
     void applyCx(int control, int target);
     void applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1);
+    void applyControlledPhase(Amplitude phase, int a, int b);
+    void applySwap(int a, int b);
 
     int nQubits_;
     std::vector<Amplitude> amps_;
 };
+
+/** Fill @p m with the 2x2 unitary of the single-qubit @p gate. */
+void gateMatrix1q(const circuit::Gate &gate, StateVector::Amplitude m[2][2]);
 
 } // namespace sim
 } // namespace jigsaw

@@ -364,10 +364,13 @@ TEST(Jigsaw, TrialAccountingAndCpmCount)
         runJigsaw(ghz.circuit(), dev, executor, 8192);
     EXPECT_EQ(result.globalTrials, 4096u);
     EXPECT_EQ(result.cpms.size(), 6u); // sliding window, n subsets
-    EXPECT_LE(result.globalTrials + result.subsetTrials, 8192u);
-    for (const CpmRecord &cpm : result.cpms) {
+    // The subset budget must be spent exactly: 4096 = 6 * 682 + 4,
+    // with the remainder spread over the first CPMs one trial each.
+    EXPECT_EQ(result.globalTrials + result.subsetTrials, 8192u);
+    for (std::size_t i = 0; i < result.cpms.size(); ++i) {
+        const CpmRecord &cpm = result.cpms[i];
         EXPECT_EQ(cpm.subset.size(), 2u);
-        EXPECT_EQ(cpm.trials, 4096u / 6u);
+        EXPECT_EQ(cpm.trials, 4096u / 6u + (i < 4 ? 1 : 0));
         EXPECT_EQ(cpm.compiled.physical.countMeasurements(), 2);
         EXPECT_NEAR(cpm.localPmf.totalMass(), 1.0, 1e-9);
     }

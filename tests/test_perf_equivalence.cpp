@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Golden-equivalence tests for the fast-path execution engine: the
+ * strided/fused/parallel state-vector kernels and the indexed Bayesian
+ * reconstruction must reproduce the naive reference implementations to
+ * within 1e-12 Hellinger distance, the cached executor must be
+ * deterministic under a fixed seed, and the supporting primitives
+ * (structural hash, alias table, parallel-for) must behave.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/alias.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/bayesian.h"
+#include "core/reference_bayesian.h"
+#include "core/subsets.h"
+#include "device/library.h"
+#include "sim/reference_kernels.h"
+#include "sim/simulators.h"
+#include "sim/statevector.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/qft.h"
+
+namespace jigsaw {
+namespace {
+
+using circuit::QuantumCircuit;
+
+std::vector<int>
+allQubits(int n)
+{
+    std::vector<int> qs(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+        qs[static_cast<std::size_t>(q)] = q;
+    return qs;
+}
+
+/**
+ * Assert two PMFs are identical up to floating-point noise. Hellinger
+ * alone cannot certify this tighter than ~1e-8: for bit-identical
+ * inputs the Bhattacharyya sum rounds to 1 +/- 1e-16 and the outer
+ * sqrt amplifies that to sqrt(eps). So the Hellinger bound guards the
+ * distribution shape and the total-variation bound (no sqrt
+ * amplification) pins the per-outcome agreement.
+ */
+void
+expectIdenticalPmf(const Pmf &reference, const Pmf &actual)
+{
+    EXPECT_LT(hellingerDistance(reference, actual), 1e-6);
+    EXPECT_LT(totalVariationDistance(reference, actual), 1e-10);
+}
+
+/** Optimized-vs-reference PMF agreement over all qubits of @p qc. */
+void
+expectKernelEquivalence(const QuantumCircuit &qc)
+{
+    const std::vector<int> qubits = allQubits(qc.nQubits());
+    const Pmf reference = sim::referenceMeasurementPmf(qc, qubits);
+
+    sim::StateVector state(qc.nQubits());
+    state.applyCircuit(qc);
+    const Pmf optimized = state.measurementPmf(qubits);
+
+    expectIdenticalPmf(reference, optimized);
+    EXPECT_NEAR(state.norm(), 1.0, 1e-10);
+}
+
+QuantumCircuit
+randomU3CxCircuit(int n_qubits, int depth, std::uint64_t seed)
+{
+    Rng rng(seed);
+    QuantumCircuit qc(n_qubits, n_qubits);
+    for (int layer = 0; layer < depth; ++layer) {
+        for (int q = 0; q < n_qubits; ++q) {
+            qc.u3(rng.uniform(0.0, M_PI), rng.uniform(0.0, 2 * M_PI),
+                  rng.uniform(0.0, 2 * M_PI), q);
+        }
+        for (int q = layer % 2; q + 1 < n_qubits; q += 2)
+            qc.cx(q, q + 1);
+    }
+    return qc;
+}
+
+// ------------------------------------------------- kernel equivalence
+
+TEST(KernelEquivalence, GhzUpTo12Qubits)
+{
+    for (int n = 2; n <= 12; n += 5)
+        expectKernelEquivalence(workloads::Ghz(n).circuit());
+}
+
+TEST(KernelEquivalence, BernsteinVazirani)
+{
+    expectKernelEquivalence(workloads::BernsteinVazirani(10).circuit());
+}
+
+TEST(KernelEquivalence, QftAdjoint)
+{
+    expectKernelEquivalence(workloads::QftAdjoint(10).circuit());
+}
+
+TEST(KernelEquivalence, RandomU3CxCircuits)
+{
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        expectKernelEquivalence(randomU3CxCircuit(12, 6, seed));
+}
+
+TEST(KernelEquivalence, EveryGateTypeOnce)
+{
+    QuantumCircuit qc(4, 4);
+    qc.h(0).x(1).y(2).z(3).s(0).sdg(1).t(2).tdg(3);
+    qc.rx(0.3, 0).ry(0.7, 1).rz(1.1, 2).u3(0.5, 0.2, 0.9, 3);
+    qc.cx(0, 1).cz(1, 2).cp(0.4, 2, 3).rzz(0.8, 0, 3).swap(1, 3);
+    // A run of same-qubit 1q gates to exercise fusion, including a
+    // diagonal-only run.
+    qc.h(2).t(2).h(2).rz(0.25, 0).s(0).z(0);
+    expectKernelEquivalence(qc);
+}
+
+TEST(KernelEquivalence, SingleGateApplyMatchesCircuitApply)
+{
+    // applyGate (unfused) and applyCircuit (fused) must agree.
+    const QuantumCircuit qc = randomU3CxCircuit(8, 4, 99);
+    sim::StateVector fused(8);
+    fused.applyCircuit(qc);
+    sim::StateVector unfused(8);
+    for (const circuit::Gate &g : qc.gates()) {
+        if (!g.isMeasure())
+            unfused.applyGate(g);
+    }
+    const std::vector<int> qs = allQubits(8);
+    expectIdenticalPmf(unfused.measurementPmf(qs),
+                       fused.measurementPmf(qs));
+}
+
+// ------------------------------------------- reconstruction equivalence
+
+std::vector<core::Marginal>
+randomMarginals(int n_qubits, const std::vector<int> &sizes, Rng &rng)
+{
+    std::vector<core::Marginal> marginals;
+    for (int size : sizes) {
+        for (const core::Subset &s :
+             core::slidingWindowSubsets(n_qubits, size)) {
+            Pmf local(size);
+            for (BasisState v = 0; v < (1ULL << size); ++v)
+                local.set(v, rng.uniform(0.05, 1.0));
+            local.normalize();
+            marginals.push_back({local, s});
+        }
+    }
+    return marginals;
+}
+
+Pmf
+randomGlobal(int n_qubits, std::size_t support, Rng &rng)
+{
+    const BasisState mask = (1ULL << n_qubits) - 1;
+    Pmf pmf(n_qubits);
+    while (pmf.support() < support)
+        pmf.set(static_cast<BasisState>(rng.word() & mask),
+                rng.uniform(0.01, 1.0));
+    pmf.normalize();
+    return pmf;
+}
+
+TEST(ReconstructionEquivalence, IndexedMatchesReference)
+{
+    Rng rng(11);
+    const Pmf global = randomGlobal(10, 300, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(10, {2}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 6;
+    options.tolerance = 0.0; // fixed rounds on both paths
+
+    const Pmf reference =
+        core::referenceReconstruct(global, marginals, options);
+    const Pmf indexed =
+        core::bayesianReconstruct(global, marginals, options);
+    expectIdenticalPmf(reference, indexed);
+}
+
+TEST(ReconstructionEquivalence, MultiLayerMatchesReference)
+{
+    Rng rng(12);
+    const Pmf global = randomGlobal(12, 800, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(12, {2, 3, 4, 5}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 4;
+    options.tolerance = 0.0;
+
+    const Pmf reference =
+        core::referenceMultiLayerReconstruct(global, marginals, options);
+    const Pmf indexed =
+        core::multiLayerReconstruct(global, marginals, options);
+    expectIdenticalPmf(reference, indexed);
+}
+
+TEST(ReconstructionEquivalence, SparseLocalPmfKeepsPriorMass)
+{
+    // A marginal that never observed subset value 0b11 must leave the
+    // matching global outcomes at their prior probability.
+    Pmf global(2);
+    global.set(0b00, 0.4);
+    global.set(0b01, 0.3);
+    global.set(0b11, 0.3);
+    Pmf local(2);
+    local.set(0b00, 0.7);
+    local.set(0b01, 0.3);
+    const core::Marginal m{local, {0, 1}};
+
+    const Pmf posterior = core::bayesianUpdate(global, m);
+    EXPECT_GT(posterior.prob(0b11), 0.0);
+    // Below-threshold evidence is treated exactly like absent evidence.
+    Pmf local2 = local;
+    local2.set(0b11, 1e-15);
+    const Pmf posterior2 =
+        core::bayesianUpdate(global, {local2, {0, 1}});
+    EXPECT_NEAR(posterior.prob(0b11), posterior2.prob(0b11), 1e-12);
+}
+
+// ------------------------------------------------- executor determinism
+
+TEST(CachedExecutor, SamplingIsReproducibleAcrossCacheHits)
+{
+    QuantumCircuit qc(3, 3);
+    qc.h(0).cx(0, 1).cx(1, 2).measureAll();
+
+    sim::IdealSimulator a(42);
+    const Histogram a1 = a.run(qc, 2000); // miss
+    const Histogram a2 = a.run(qc, 2000); // hit
+    EXPECT_EQ(a.cacheMisses(), 1u);
+    EXPECT_EQ(a.cacheHits(), 1u);
+
+    // A fresh simulator with the same seed must reproduce both draws:
+    // cache hits may not perturb the RNG stream.
+    sim::IdealSimulator b(42);
+    const Histogram b1 = b.run(qc, 2000);
+    const Histogram b2 = b.run(qc, 2000);
+    for (const auto &[outcome, count] : a1.counts())
+        EXPECT_EQ(count, b1.count(outcome));
+    for (const auto &[outcome, count] : a2.counts())
+        EXPECT_EQ(count, b2.count(outcome));
+}
+
+TEST(CachedExecutor, NoisyCacheReusesEvolution)
+{
+    const device::DeviceModel dev = device::toronto();
+    QuantumCircuit qc(dev.nQubits(), 2);
+    qc.h(0).x(1).measure(0, 0).measure(1, 1);
+    sim::NoisySimulator noisy(dev, {.seed = 5});
+    noisy.run(qc, 1000);
+    noisy.run(qc, 1000);
+    noisy.run(qc, 1000);
+    EXPECT_EQ(noisy.cacheMisses(), 1u);
+    EXPECT_EQ(noisy.cacheHits(), 2u);
+}
+
+TEST(StructuralHash, DistinguishesCircuits)
+{
+    QuantumCircuit a(2, 2);
+    a.h(0).cx(0, 1).measureAll();
+    QuantumCircuit b(2, 2);
+    b.h(0).cx(0, 1).measureAll();
+    EXPECT_EQ(a.structuralHash(), b.structuralHash());
+
+    QuantumCircuit c(2, 2);
+    c.h(1).cx(0, 1).measureAll(); // different qubit
+    EXPECT_NE(a.structuralHash(), c.structuralHash());
+
+    QuantumCircuit d(2, 2);
+    d.rz(0.5, 0).cx(0, 1).measureAll(); // different type/params
+    QuantumCircuit e(2, 2);
+    e.rz(0.5000001, 0).cx(0, 1).measureAll();
+    EXPECT_NE(d.structuralHash(), e.structuralHash());
+}
+
+// ------------------------------------------------------------ primitives
+
+TEST(AliasTable, MatchesDistribution)
+{
+    Pmf p(2);
+    p.set(0b00, 0.1);
+    p.set(0b01, 0.2);
+    p.set(0b10, 0.3);
+    p.set(0b11, 0.4);
+    const AliasTable table(p);
+    Rng rng(3);
+    const int trials = 200000;
+    std::vector<int> counts(4, 0);
+    for (int t = 0; t < trials; ++t)
+        ++counts[static_cast<std::size_t>(table.sample(rng))];
+    for (BasisState v = 0; v < 4; ++v) {
+        EXPECT_NEAR(static_cast<double>(
+                        counts[static_cast<std::size_t>(v)]) /
+                        trials,
+                    p.prob(v), 0.01);
+    }
+}
+
+TEST(AliasTable, DeterministicGivenSeed)
+{
+    Pmf p(3);
+    Rng fill(9);
+    for (BasisState v = 0; v < 8; ++v)
+        p.set(v, fill.uniform(0.01, 1.0));
+    p.normalize();
+    const AliasTable t1(p);
+    const AliasTable t2(p);
+    Rng r1(77), r2(77);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(t1.sample(r1), t2.sample(r2));
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    std::vector<int> touched(10000, 0);
+    parallelFor(0, touched.size(), 64, [&](std::size_t lo,
+                                           std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            ++touched[i];
+    });
+    for (int v : touched)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges)
+{
+    int calls = 0;
+    parallelFor(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::vector<int> touched(3, 0);
+    parallelFor(0, 3, 1024, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            ++touched[i];
+    });
+    EXPECT_EQ(touched, (std::vector<int>{1, 1, 1}));
+}
+
+} // namespace
+} // namespace jigsaw
