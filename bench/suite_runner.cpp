@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/error.h"
+#include "compiler/transpiler.h"
 #include "core/jigsaw.h"
 #include "device/library.h"
 #include "mitigation/edm.h"
@@ -52,6 +53,9 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
     run.devices = device::evaluationDevices();
     run.workloads = qaoa_only ? workloads::qaoaBenchmarks()
                               : workloads::paperBenchmarks();
+    const std::uint64_t transpile_hits0 = compiler::transpileCacheHits();
+    const std::uint64_t transpile_misses0 =
+        compiler::transpileCacheMisses();
     const auto sweep_start = std::chrono::steady_clock::now();
 
     for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
@@ -99,11 +103,21 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
 
             run.cells.push_back({d, w, baseline, edm, jigsaw_no_recomp,
                                  jigsaw, jigsaw_m});
+            run.executorCacheHits += executor.cacheHits();
+            run.executorCacheMisses += executor.cacheMisses();
+            run.batchEvolutions += executor.batchStats().baseEvolutions;
+            run.marginalsServed += executor.batchStats().marginalsServed;
+            run.evolutionsSaved +=
+                executor.batchStats().evolutionsSaved();
         }
     }
     run.totalMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - sweep_start)
                       .count();
+    run.transpileCacheHits =
+        compiler::transpileCacheHits() - transpile_hits0;
+    run.transpileCacheMisses =
+        compiler::transpileCacheMisses() - transpile_misses0;
 
     if (const char *path = std::getenv("JIGSAW_SUITE_TIMINGS_JSON")) {
         if (path[0] != '\0' && !writeSuiteTimings(run, path) && !quiet)
@@ -126,6 +140,22 @@ writeSuiteTimings(const SuiteRun &run, const std::string &path)
     report.addTiming("suite/jigsaw", run.jigsawMs);
     report.addTiming("suite/jigsaw_m", run.jigsawMMs);
     report.addTiming("suite/total", run.totalMs);
+    // Counters, not milliseconds: cache and batch effectiveness of the
+    // sweep (see docs/performance.md).
+    report.addTiming("suite/executor_cache_hits",
+                     static_cast<double>(run.executorCacheHits));
+    report.addTiming("suite/executor_cache_misses",
+                     static_cast<double>(run.executorCacheMisses));
+    report.addTiming("suite/batch_evolutions",
+                     static_cast<double>(run.batchEvolutions));
+    report.addTiming("suite/batch_marginals_served",
+                     static_cast<double>(run.marginalsServed));
+    report.addTiming("suite/batch_evolutions_saved",
+                     static_cast<double>(run.evolutionsSaved));
+    report.addTiming("suite/transpile_cache_hits",
+                     static_cast<double>(run.transpileCacheHits));
+    report.addTiming("suite/transpile_cache_misses",
+                     static_cast<double>(run.transpileCacheMisses));
     return report.write(path);
 }
 

@@ -50,6 +50,17 @@ struct SuiteRun
     double jigsawMMs = 0.0;
     double totalMs = 0.0; ///< Whole-sweep wall time.
 
+    /** @name Executor and compilation cache counters, summed per cell.
+     *  @{ */
+    std::uint64_t executorCacheHits = 0;   ///< PMF-cache hits.
+    std::uint64_t executorCacheMisses = 0; ///< Full simulations run.
+    std::uint64_t batchEvolutions = 0;     ///< Shared-prefix evolutions.
+    std::uint64_t marginalsServed = 0;     ///< CPM PMFs off shared states.
+    std::uint64_t evolutionsSaved = 0;     ///< Evolutions batching avoided.
+    std::uint64_t transpileCacheHits = 0;  ///< Memoized compilations used.
+    std::uint64_t transpileCacheMisses = 0; ///< Full transpiles run.
+    /** @} */
+
     /** The cell for (device d, workload w). */
     const SuiteCell &cell(int d, int w) const;
 };

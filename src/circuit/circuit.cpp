@@ -278,31 +278,80 @@ QuantumCircuit::remapped(const std::vector<int> &mapping,
     return out;
 }
 
+namespace {
+
+/** FNV-1a over the bytes of one 64-bit word. */
+inline void
+mixWord(std::uint64_t &h, std::uint64_t v)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffULL;
+        h *= 1099511628211ULL;
+    }
+}
+
+/**
+ * Stream one gate into the structural hash. Barriers are scheduling
+ * hints with no effect on execution, so circuits differing only in
+ * barriers must share one hash: executors key caches on this, and
+ * withMeasurementSubset inserts a barrier that a routed circuit may
+ * not carry.
+ */
+inline void
+mixGate(std::uint64_t &h, const Gate &g)
+{
+    if (g.type == GateType::BARRIER)
+        return;
+    mixWord(h, static_cast<std::uint64_t>(g.type));
+    mixWord(h, g.qubits.size());
+    for (int q : g.qubits)
+        mixWord(h, static_cast<std::uint64_t>(q));
+    mixWord(h, g.params.size());
+    for (double p : g.params)
+        mixWord(h, std::bit_cast<std::uint64_t>(p));
+    mixWord(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(g.clbit)));
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+} // namespace
+
 std::uint64_t
 QuantumCircuit::structuralHash() const
 {
     // FNV-1a over the structural fields. 64 bits keeps accidental
     // collisions between the handful of circuits a process touches
     // out of practical reach.
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t v) {
-        for (int byte = 0; byte < 8; ++byte) {
-            h ^= (v >> (8 * byte)) & 0xffULL;
-            h *= 1099511628211ULL;
-        }
-    };
-    mix(static_cast<std::uint64_t>(nQubits_));
-    mix(static_cast<std::uint64_t>(nClbits_));
+    std::uint64_t h = kFnvOffset;
+    mixWord(h, static_cast<std::uint64_t>(nQubits_));
+    mixWord(h, static_cast<std::uint64_t>(nClbits_));
+    for (const Gate &g : gates_)
+        mixGate(h, g);
+    return h;
+}
+
+std::uint64_t
+QuantumCircuit::measurementSubsetHash(const std::vector<int> &qubits) const
+{
+    // Same stream withMeasurementSubset(qubits).structuralHash()
+    // would produce — non-measure gates, then one MEASURE per subset
+    // qubit into clbits 0..k-1 (the inserted barrier never hashes) —
+    // without materializing the circuit copy. Executors key their
+    // batched-CPM caches on this, once per spec per batch.
+    fatalIf(qubits.empty(),
+            "measurementSubsetHash: empty measurement subset");
+    std::uint64_t h = kFnvOffset;
+    mixWord(h, static_cast<std::uint64_t>(nQubits_));
+    mixWord(h, qubits.size());
     for (const Gate &g : gates_) {
-        mix(static_cast<std::uint64_t>(g.type));
-        mix(g.qubits.size());
-        for (int q : g.qubits)
-            mix(static_cast<std::uint64_t>(q));
-        mix(g.params.size());
-        for (double p : g.params)
-            mix(std::bit_cast<std::uint64_t>(p));
-        mix(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(g.clbit)));
+        if (!g.isMeasure())
+            mixGate(h, g);
+    }
+    for (std::size_t c = 0; c < qubits.size(); ++c) {
+        checkQubit(qubits[c]);
+        mixGate(h, {GateType::MEASURE, {qubits[c]}, {},
+                    static_cast<int>(c)});
     }
     return h;
 }

@@ -121,10 +121,20 @@ class QuantumCircuit
     /**
      * Structural 64-bit hash over register sizes and the exact gate
      * sequence (types, qubits, parameter bit patterns, classical
-     * bits). Two circuits with equal hashes execute identically, so
-     * executors use it as a memoization key for exact output PMFs.
+     * bits). Barriers are excluded: they do not affect execution, so
+     * circuits differing only in barriers hash equal. Two circuits
+     * with equal hashes execute identically, so executors use it as a
+     * memoization key for exact output PMFs.
      */
     std::uint64_t structuralHash() const;
+
+    /**
+     * structuralHash() of withMeasurementSubset(qubits), computed
+     * without building the circuit copy. Executors key batched-CPM
+     * cache lookups on this.
+     */
+    std::uint64_t
+    measurementSubsetHash(const std::vector<int> &qubits) const;
 
     /** Human-readable listing (one gate per line, OpenQASM-flavored). */
     std::string toString() const;

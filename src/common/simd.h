@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Split-complex (structure-of-arrays) amplitude kernels with SIMD
+ * dispatch.
+ *
+ * The state vector stores real and imaginary parts in two separate
+ * double arrays so 4-wide AVX2 lanes map directly onto amplitude
+ * components (no interleaved-complex shuffling in the inner loop).
+ * Every hot amplitude loop is expressed as a kernel over a pair/quad
+ * index range, with two interchangeable implementations:
+ *
+ *  - scalar (src/common/simd.cpp): portable C++, always compiled, the
+ *    golden fallback;
+ *  - AVX2+FMA (src/common/simd_avx2.cpp): compiled with -mavx2 -mfma
+ *    when the compiler supports it and the JIGSAW_NO_SIMD CMake
+ *    option is off.
+ *
+ * Selection happens once at process start: the AVX2 table is used when
+ * it was compiled in, the CPU reports AVX2 support, and the
+ * JIGSAW_NO_SIMD environment variable is not set to a non-zero value.
+ * Both tables produce identical distributions (asserted by
+ * test_perf_equivalence), so the choice is purely a speed matter.
+ */
+#ifndef JIGSAW_COMMON_SIMD_H
+#define JIGSAW_COMMON_SIMD_H
+
+#include <cstdint>
+
+namespace jigsaw {
+namespace simd {
+
+/**
+ * Spread the low bits of @p x upward so the bit at the position of
+ * @p stride (a power of two) is zero: the enumeration primitive for
+ * visiting each strided amplitude pair exactly once.
+ */
+inline std::uint64_t
+insertZero(std::uint64_t x, std::uint64_t stride)
+{
+    return ((x & ~(stride - 1)) << 1) | (x & (stride - 1));
+}
+
+/** A 2x2 complex matrix split into components, row-major m00..m11. */
+struct Mat2Split
+{
+    double re[4];
+    double im[4];
+};
+
+/**
+ * One implementation of every amplitude kernel. All kernels operate on
+ * split real/imaginary arrays and cover the half-open index range
+ * [k_lo, k_hi) so callers can shard them across the thread pool;
+ * disjoint ranges touch disjoint amplitudes.
+ */
+struct KernelTable
+{
+    /** Implementation name ("scalar" or "avx2") for diagnostics. */
+    const char *name;
+
+    /**
+     * General 2x2 unitary over amplitude pairs: for each pair index k,
+     * i0 = insertZero(k, stride), i1 = i0 | stride, and (a[i0], a[i1])
+     * is replaced by m * (a[i0], a[i1]).
+     */
+    void (*apply1q)(double *re, double *im, std::uint64_t stride,
+                    std::uint64_t k_lo, std::uint64_t k_hi,
+                    const Mat2Split &m);
+
+    /**
+     * Diagonal 2x2: multiply the 0-stratum by d0 and the 1-stratum by
+     * d1. When @p d0_is_one the 0-stratum is untouched (Z/S/T/RZ).
+     */
+    void (*apply1qDiag)(double *re, double *im, std::uint64_t stride,
+                        std::uint64_t k_lo, std::uint64_t k_hi,
+                        double d0_re, double d0_im, double d1_re,
+                        double d1_im, bool d0_is_one);
+
+    /**
+     * Multiply the quad stratum a[insertZero2(k) | set_mask] by the
+     * phase (p_re, p_im); insertZero2 spreads k over both strides.
+     */
+    void (*quadPhase)(double *re, double *im, std::uint64_t s_lo,
+                      std::uint64_t s_hi, std::uint64_t set_mask,
+                      std::uint64_t k_lo, std::uint64_t k_hi, double p_re,
+                      double p_im);
+
+    /** Swap a[insertZero2(k) | mask_a] with a[insertZero2(k) | mask_b]. */
+    void (*quadSwap)(double *re, double *im, std::uint64_t s_lo,
+                     std::uint64_t s_hi, std::uint64_t mask_a,
+                     std::uint64_t mask_b, std::uint64_t k_lo,
+                     std::uint64_t k_hi);
+
+    /**
+     * RZZ structure: multiply a[k] by `even` where bits q0 and q1 of k
+     * agree and by `odd` where they differ, over k in [k_lo, k_hi).
+     */
+    void (*phasePair)(double *re, double *im, int q0, int q1,
+                      std::uint64_t k_lo, std::uint64_t k_hi,
+                      double even_re, double even_im, double odd_re,
+                      double odd_im);
+
+    /**
+     * Fused controlled-phase run: for every stratum element index k in
+     * [k_lo, k_hi), i = insertZero(k, q_mask) | q_mask (the target-
+     * bit-set stratum) is multiplied by table[t] where t gathers the
+     * bits of i selected by @p control_mask (ascending bit order —
+     * the PEXT operation). The table has 2^popcount(control_mask)
+     * complex entries and encodes the tensor product of the fused
+     * gates' per-control phases. q_mask must not be in control_mask.
+     */
+    void (*stratumPhaseTable)(double *re, double *im,
+                              std::uint64_t q_mask,
+                              std::uint64_t control_mask,
+                              const double *tab_re, const double *tab_im,
+                              std::uint64_t k_lo, std::uint64_t k_hi);
+
+    /** Sum of re[i]^2 + im[i]^2 over [lo, hi). */
+    double (*norm2)(const double *re, const double *im, std::uint64_t lo,
+                    std::uint64_t hi);
+};
+
+/** The portable scalar kernels (always available). */
+const KernelTable &scalarKernels();
+
+/**
+ * The AVX2 kernels, or nullptr when this build has no AVX2 translation
+ * unit (JIGSAW_NO_SIMD build, or a compiler without -mavx2).
+ */
+const KernelTable *avx2Kernels();
+
+/**
+ * The table every StateVector uses, resolved once: AVX2 when compiled
+ * in, supported by this CPU, and not disabled via the JIGSAW_NO_SIMD
+ * environment variable; scalar otherwise.
+ */
+const KernelTable &activeKernels();
+
+} // namespace simd
+} // namespace jigsaw
+
+#endif // JIGSAW_COMMON_SIMD_H

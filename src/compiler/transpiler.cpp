@@ -1,6 +1,11 @@
 #include "compiler/transpiler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "compiler/placement.h"
@@ -64,7 +69,100 @@ compileCandidates(const circuit::QuantumCircuit &logical,
     return candidates;
 }
 
+// ------------------------------------------------ transpile memoization
+
+/** FNV-1a step over one 64-bit word. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    h *= 1099511628211ULL;
+    return h;
+}
+
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    for (char c : s)
+        h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    return h;
+}
+
+std::uint64_t
+transpileKey(const circuit::QuantumCircuit &logical,
+             const device::DeviceModel &dev,
+             const TranspileOptions &options)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    h = mix(h, logical.structuralHash());
+    h = mixString(h, dev.name());
+    h = mix(h, static_cast<std::uint64_t>(dev.nQubits()));
+    // The full edge list, not just its size: same-named devices with
+    // equally many but differently placed couplings must not collide.
+    for (const auto &[a, b] : dev.topology().edges()) {
+        h = mix(h, static_cast<std::uint64_t>(a));
+        h = mix(h, static_cast<std::uint64_t>(b));
+    }
+    h = mix(h, static_cast<std::uint64_t>(options.numCandidates));
+    h = mix(h, options.noiseAware ? 1 : 0);
+    h = mix(h, options.maxSwaps ? 1 : 0);
+    h = mix(h, options.maxSwaps
+                   ? static_cast<std::uint64_t>(*options.maxSwaps)
+                   : 0);
+    h = mix(h, std::bit_cast<std::uint64_t>(options.sabre.lookaheadWeight));
+    h = mix(h, static_cast<std::uint64_t>(options.sabre.lookaheadDepth));
+    h = mix(h, std::bit_cast<std::uint64_t>(options.sabre.decayStep));
+    h = mix(h, static_cast<std::uint64_t>(options.sabre.maxSwapsPerGate));
+    return h;
+}
+
+std::mutex transpileCacheMutex;
+std::unordered_map<std::uint64_t, CompiledCircuit> transpileCache;
+std::atomic<std::uint64_t> transpileHits{0};
+std::atomic<std::uint64_t> transpileMisses{0};
+
 } // namespace
+
+CompiledCircuit
+transpileCached(const circuit::QuantumCircuit &logical,
+                const device::DeviceModel &dev,
+                const TranspileOptions &options)
+{
+    const std::uint64_t key = transpileKey(logical, dev, options);
+    {
+        std::lock_guard<std::mutex> lock(transpileCacheMutex);
+        const auto it = transpileCache.find(key);
+        if (it != transpileCache.end()) {
+            ++transpileHits;
+            return it->second;
+        }
+    }
+    // Transpile outside the lock: deterministic, so two threads racing
+    // on one key produce identical entries.
+    ++transpileMisses;
+    CompiledCircuit compiled = transpile(logical, dev, options);
+    std::lock_guard<std::mutex> lock(transpileCacheMutex);
+    return transpileCache.emplace(key, std::move(compiled)).first->second;
+}
+
+std::uint64_t
+transpileCacheHits()
+{
+    return transpileHits.load();
+}
+
+std::uint64_t
+transpileCacheMisses()
+{
+    return transpileMisses.load();
+}
+
+void
+clearTranspileCache()
+{
+    std::lock_guard<std::mutex> lock(transpileCacheMutex);
+    transpileCache.clear();
+}
 
 CompiledCircuit
 transpile(const circuit::QuantumCircuit &logical,

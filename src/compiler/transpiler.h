@@ -52,6 +52,29 @@ CompiledCircuit transpile(const circuit::QuantumCircuit &logical,
                           const TranspileOptions &options = {});
 
 /**
+ * transpile() behind a process-wide memo keyed like the executor PMF
+ * caches: the logical circuit's structuralHash(), the device identity
+ * (name, qubit count, full edge list — calibrations are assumed
+ * stable per device name within a process), and every
+ * TranspileOptions field. Transpilation is deterministic for a fixed key, so repeated
+ * scheme/cell sweeps over the same circuits (the JigSaw evaluation
+ * suite re-transpiles each workload per scheme) pay the placement +
+ * SABRE cost once. Thread-safe.
+ */
+CompiledCircuit transpileCached(const circuit::QuantumCircuit &logical,
+                                const device::DeviceModel &dev,
+                                const TranspileOptions &options = {});
+
+/** Lifetime transpileCached() calls served from the memo. */
+std::uint64_t transpileCacheHits();
+
+/** Lifetime transpileCached() calls that ran the full transpile. */
+std::uint64_t transpileCacheMisses();
+
+/** Drop all memoized compilations (counters are kept). */
+void clearTranspileCache();
+
+/**
  * Compile an Ensemble of Diverse Mappings (Tannu & Qureshi, MICRO'19):
  * up to @p k compiled copies with distinct placements, best EPS first.
  */

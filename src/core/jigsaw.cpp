@@ -1,6 +1,7 @@
 #include "core/jigsaw.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "sim/eps.h"
@@ -96,7 +97,7 @@ runJigsaw(const circuit::QuantumCircuit &logical,
 
     // --- Global mode -----------------------------------------------
     compiler::CompiledCircuit global_compiled =
-        compiler::transpile(logical, dev, options.transpile);
+        compiler::transpileCached(logical, dev, options.transpile);
     const auto global_trials = static_cast<std::uint64_t>(
         static_cast<double>(total_trials) * options.globalFraction);
     const Pmf global_pmf =
@@ -121,6 +122,12 @@ runJigsaw(const circuit::QuantumCircuit &logical,
 
     JigsawResult result{global_pmf, global_pmf, global_compiled, {},
                         global_trials, 0};
+
+    // Pass 1: compile every CPM. Most CPMs keep the global mapping
+    // (cpmFromGlobal), so they share the global compilation's gate
+    // prefix and differ only in which qubits are measured.
+    std::vector<bool> from_global;
+    from_global.reserve(subsets.size());
     for (std::size_t s = 0; s < subsets.size(); ++s) {
         const Subset &subset = subsets[s];
         const std::uint64_t per_cpm = std::max<std::uint64_t>(
@@ -140,19 +147,65 @@ runJigsaw(const circuit::QuantumCircuit &logical,
         // probability of success than the global mapping would give.
         compiler::CompiledCircuit compiled =
             cpmFromGlobal(global_compiled, logical_qubits, dev);
+        bool reused_global = true;
         if (options.recompileCpms) {
-            compiler::CompiledCircuit recompiled = compiler::transpile(
-                logical.withMeasurementSubset(logical_qubits), dev,
-                cpm_options);
-            if (recompiled.eps > compiled.eps)
+            compiler::CompiledCircuit recompiled =
+                compiler::transpileCached(
+                    logical.withMeasurementSubset(logical_qubits), dev,
+                    cpm_options);
+            if (recompiled.eps > compiled.eps) {
                 compiled = std::move(recompiled);
+                reused_global = false;
+            }
         }
 
-        const Pmf local =
-            executor.run(compiled.physical, per_cpm).toPmf();
-        result.cpms.push_back({subset, std::move(compiled), local,
+        from_global.push_back(reused_global);
+        result.cpms.push_back({subset, std::move(compiled),
+                               Pmf(static_cast<int>(subset.size())),
                                per_cpm});
         result.subsetTrials += per_cpm;
+    }
+
+    // Pass 2: execute, grouped by shared gate prefix so a batching
+    // backend evolves each prefix once and serves every member's
+    // marginal off the single final state. All CPMs that kept the
+    // global mapping share one group (batched against the global
+    // physical circuit itself, which keeps the executor's PMF-cache
+    // keys identical to per-CPM execution); recompiled CPMs group
+    // together whenever recompilation chose the same layout/routing.
+    struct BatchGroup
+    {
+        const circuit::QuantumCircuit *base;
+        std::vector<sim::CpmSpec> specs;
+        std::vector<std::size_t> members;
+    };
+    std::vector<BatchGroup> groups;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (std::size_t i = 0; i < result.cpms.size(); ++i) {
+        const CpmRecord &cpm = result.cpms[i];
+        const std::uint64_t prefix_hash =
+            cpm.compiled.physical.withoutMeasurements().structuralHash();
+        const auto [it, inserted] =
+            group_of.emplace(prefix_hash, groups.size());
+        if (inserted) {
+            groups.push_back({from_global[i]
+                                  ? &global_compiled.physical
+                                  : &cpm.compiled.physical,
+                              {},
+                              {}});
+        }
+        std::vector<int> measured = cpm.compiled.physical.measuredQubits();
+        for (int q : measured)
+            fatalIf(q < 0, "runJigsaw: CPM with unused classical bit");
+        BatchGroup &group = groups[it->second];
+        group.specs.push_back({std::move(measured), cpm.trials});
+        group.members.push_back(i);
+    }
+    for (const BatchGroup &group : groups) {
+        const std::vector<Histogram> hists =
+            executor.runBatch(*group.base, group.specs);
+        for (std::size_t j = 0; j < group.members.size(); ++j)
+            result.cpms[group.members[j]].localPmf = hists[j].toPmf();
     }
 
     // --- Reconstruction --------------------------------------------
@@ -170,7 +223,7 @@ runBaseline(const circuit::QuantumCircuit &logical,
             const compiler::TranspileOptions &options)
 {
     const compiler::CompiledCircuit compiled =
-        compiler::transpile(logical, dev, options);
+        compiler::transpileCached(logical, dev, options);
     return executor.run(compiled.physical, total_trials).toPmf();
 }
 

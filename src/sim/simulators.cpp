@@ -40,7 +40,33 @@ checkTerminalMeasurements(const QuantumCircuit &qc)
     fatalIf(!any, "circuit has no measurements");
 }
 
+namespace detail {
+
+/**
+ * A shared-prefix evolution: the final state of a batch base circuit's
+ * unitary gates, compacted onto the qubits they touch. Every CPM
+ * marginal of that base is a measurementPmf over a subset of this one
+ * state.
+ */
+struct BatchState
+{
+    BatchState(StateVector s, std::vector<int> dense)
+        : state(std::move(s)), denseOf(std::move(dense))
+    {
+    }
+
+    StateVector state;
+    /** denseOf[physical] = compact index, or -1 when gate-untouched. */
+    std::vector<int> denseOf;
+};
+
+} // namespace detail
+
 namespace {
+
+using detail::BatchState;
+using BatchStateCache =
+    std::unordered_map<std::uint64_t, std::unique_ptr<BatchState>>;
 
 /**
  * Exact output PMF of a (physical) circuit over its classical bits,
@@ -66,9 +92,90 @@ exactOutputPmf(const QuantumCircuit &physical)
     return state.measurementPmf(dense_qubits);
 }
 
+/**
+ * The evolved shared-prefix state for @p base (measurements ignored),
+ * from @p cache when present. @p stats tracks evolutions vs reuses.
+ */
+const BatchState &
+evolvedBase(BatchStateCache &cache, const QuantumCircuit &base,
+            BatchStats &stats)
+{
+    const QuantumCircuit prefix = base.withoutMeasurements();
+    const std::uint64_t key = prefix.structuralHash();
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+        ++stats.baseStateHits;
+        return *it->second;
+    }
+    ++stats.baseEvolutions;
+    CompactCircuit compact = compactCircuit(prefix);
+    StateVector state(compact.circuit.nQubits());
+    state.applyCircuit(compact.circuit);
+    auto entry = std::make_unique<BatchState>(std::move(state),
+                                              std::move(compact.denseOf));
+    return *cache.emplace(key, std::move(entry)).first->second;
+}
+
+/**
+ * Marginal PMF of @p bs over @p qubits (physical indices, clbit
+ * order). Qubits outside the compacted register were never touched by
+ * a gate, so their bits are deterministically 0 and are re-inserted
+ * after the dense-space marginalization.
+ */
+Pmf
+marginalFromState(const BatchState &bs, const std::vector<int> &qubits)
+{
+    fatalIf(qubits.empty(), "runBatch: empty measurement subset");
+    std::vector<int> dense;
+    std::vector<int> present; // spec positions with a dense index
+    dense.reserve(qubits.size());
+    present.reserve(qubits.size());
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+        const int q = qubits[j];
+        fatalIf(q < 0, "runBatch: negative qubit index");
+        const int d = q < static_cast<int>(bs.denseOf.size())
+                          ? bs.denseOf[static_cast<std::size_t>(q)]
+                          : -1;
+        if (d >= 0) {
+            dense.push_back(d);
+            present.push_back(static_cast<int>(j));
+        }
+    }
+    if (present.empty()) {
+        // No measured qubit is ever touched: the outcome is all-zero.
+        Pmf pmf(static_cast<int>(qubits.size()));
+        pmf.set(0, 1.0);
+        return pmf;
+    }
+    const Pmf sub = bs.state.measurementPmf(dense);
+    if (present.size() == qubits.size())
+        return sub;
+    Pmf pmf(static_cast<int>(qubits.size()));
+    pmf.reserve(sub.support());
+    for (const auto &[key, p] : sub.probabilities())
+        pmf.set(depositBits(key, present), p);
+    return pmf;
+}
+
 } // namespace
 
+std::vector<Histogram>
+Executor::runBatch(const QuantumCircuit &base_circuit,
+                   const std::vector<CpmSpec> &specs)
+{
+    std::vector<Histogram> out;
+    out.reserve(specs.size());
+    for (const CpmSpec &spec : specs) {
+        out.push_back(
+            run(base_circuit.withMeasurementSubset(spec.qubits),
+                spec.shots));
+    }
+    return out;
+}
+
 IdealSimulator::IdealSimulator(std::uint64_t seed) : rng_(seed) {}
+
+IdealSimulator::~IdealSimulator() = default;
 
 const IdealSimulator::Cached &
 IdealSimulator::evolved(const QuantumCircuit &physical)
@@ -104,11 +211,69 @@ IdealSimulator::idealPmf(const QuantumCircuit &physical_circuit)
     return evolved(physical_circuit).pmf;
 }
 
+/**
+ * The cached entry for one CPM of @p base_circuit, computing its
+ * marginal off the shared-prefix state on a miss. @p bs carries the
+ * lazily resolved state across the specs of one batch (left null
+ * until a miss actually needs an evolution).
+ */
+const IdealSimulator::Cached &
+IdealSimulator::cpmEntry(const QuantumCircuit &base_circuit,
+                         const std::vector<int> &qubits,
+                         const BatchState *&bs)
+{
+    const std::uint64_t key = base_circuit.measurementSubsetHash(qubits);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    if (bs == nullptr)
+        bs = &evolvedBase(stateCache_, base_circuit, batchStats_);
+    ++batchStats_.marginalsServed;
+    Pmf pmf = marginalFromState(*bs, qubits);
+    AliasTable sampler(pmf);
+    return cache_
+        .emplace(key, Cached{std::move(pmf), std::move(sampler)})
+        .first->second;
+}
+
+std::vector<Pmf>
+IdealSimulator::marginalPmfs(const QuantumCircuit &base_circuit,
+                             const std::vector<std::vector<int>> &subsets)
+{
+    std::vector<Pmf> out;
+    out.reserve(subsets.size());
+    const BatchState *bs = nullptr;
+    for (const std::vector<int> &qubits : subsets)
+        out.push_back(cpmEntry(base_circuit, qubits, bs).pmf);
+    return out;
+}
+
+std::vector<Histogram>
+IdealSimulator::runBatch(const QuantumCircuit &base_circuit,
+                         const std::vector<CpmSpec> &specs)
+{
+    std::vector<Histogram> out;
+    out.reserve(specs.size());
+    const BatchState *bs = nullptr;
+    for (const CpmSpec &spec : specs) {
+        const Cached &entry = cpmEntry(base_circuit, spec.qubits, bs);
+        Histogram hist(entry.pmf.nQubits());
+        for (std::uint64_t t = 0; t < spec.shots; ++t)
+            hist.add(entry.sampler.sample(rng_));
+        out.push_back(std::move(hist));
+    }
+    return out;
+}
+
 NoisySimulator::NoisySimulator(device::DeviceModel dev,
                                NoisySimulatorOptions options)
     : dev_(std::move(dev)), options_(options), rng_(options.seed)
 {
 }
+
+NoisySimulator::~NoisySimulator() = default;
 
 Histogram
 NoisySimulator::run(const QuantumCircuit &physical_circuit,
@@ -144,14 +309,12 @@ NoisySimulator::evolved(const QuantumCircuit &physical)
 }
 
 Histogram
-NoisySimulator::runChannelMode(const QuantumCircuit &physical,
-                               std::uint64_t shots)
+NoisySimulator::sampleChannel(const Cached &entry, int n_clbits,
+                              std::uint64_t shots)
 {
-    const Cached &entry = evolved(physical);
     const AliasTable &sampler = entry.sampler;
     const MeasurementChannel &channel = *entry.channel;
     const double gate_ok = entry.gateOk;
-    const int n_clbits = physical.nClbits();
 
     Histogram hist(n_clbits);
     for (std::uint64_t t = 0; t < shots; ++t) {
@@ -169,6 +332,66 @@ NoisySimulator::runChannelMode(const QuantumCircuit &physical,
         hist.add(outcome);
     }
     return hist;
+}
+
+Histogram
+NoisySimulator::runChannelMode(const QuantumCircuit &physical,
+                               std::uint64_t shots)
+{
+    return sampleChannel(evolved(physical), physical.nClbits(), shots);
+}
+
+std::vector<Histogram>
+NoisySimulator::runBatch(const QuantumCircuit &base_circuit,
+                         const std::vector<CpmSpec> &specs)
+{
+    fatalIf(base_circuit.nQubits() != dev_.nQubits(),
+            "NoisySimulator: batch base circuit is not in this device's "
+            "physical qubit space");
+    if (options_.trajectories > 0)
+        return Executor::runBatch(base_circuit, specs);
+
+    std::vector<Histogram> out;
+    out.reserve(specs.size());
+    const BatchState *bs = nullptr;
+    for (const CpmSpec &spec : specs) {
+        const Cached &entry = cpmEntry(base_circuit, spec.qubits, bs);
+        out.push_back(sampleChannel(entry,
+                                    static_cast<int>(spec.qubits.size()),
+                                    spec.shots));
+    }
+    return out;
+}
+
+/** NoisySimulator flavor of IdealSimulator::cpmEntry (see there). */
+const NoisySimulator::Cached &
+NoisySimulator::cpmEntry(const QuantumCircuit &base_circuit,
+                         const std::vector<int> &qubits,
+                         const BatchState *&bs)
+{
+    const std::uint64_t key = base_circuit.measurementSubsetHash(qubits);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    if (bs == nullptr)
+        bs = &evolvedBase(stateCache_, base_circuit, batchStats_);
+    ++batchStats_.marginalsServed;
+    Pmf pmf = marginalFromState(*bs, qubits);
+    AliasTable sampler(pmf);
+    // The CPM circuit is only materialized on a miss, for the noise
+    // derivations. The gate-only success probability ignores
+    // measurements, so the CPM inherits the base circuit's value
+    // exactly; the readout channel is genuinely per-subset.
+    const QuantumCircuit cpm = base_circuit.withMeasurementSubset(qubits);
+    const double gate_ok =
+        options_.gateNoise ? gateSuccessProbability(cpm, dev_) : 1.0;
+    auto channel = std::make_unique<MeasurementChannel>(cpm, dev_);
+    return cache_
+        .emplace(key, Cached{std::move(pmf), std::move(sampler), gate_ok,
+                             std::move(channel)})
+        .first->second;
 }
 
 Histogram

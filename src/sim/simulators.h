@@ -11,9 +11,11 @@
 #ifndef JIGSAW_SIM_SIMULATORS_H
 #define JIGSAW_SIM_SIMULATORS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "circuit/circuit.h"
 #include "common/alias.h"
@@ -24,6 +26,40 @@
 
 namespace jigsaw {
 namespace sim {
+
+namespace detail {
+/** A cached shared-prefix evolution (defined in simulators.cpp). */
+struct BatchState;
+} // namespace detail
+
+/**
+ * One circuit-with-partial-measurements (CPM) inside a batch: measure
+ * @p qubits (physical indices, in classical-bit order 0..k-1) of the
+ * batch's shared base circuit for @p shots trials.
+ */
+struct CpmSpec
+{
+    std::vector<int> qubits;
+    std::uint64_t shots = 0;
+};
+
+/**
+ * Counters for the batched execution path: how many base evolutions
+ * actually ran, how many were reused, and how many CPM marginals were
+ * served off a shared final state instead of a per-CPM evolution.
+ */
+struct BatchStats
+{
+    std::uint64_t baseEvolutions = 0;  ///< Shared-prefix evolutions run.
+    std::uint64_t baseStateHits = 0;   ///< Batches reusing a cached state.
+    std::uint64_t marginalsServed = 0; ///< CPM PMFs taken from a state.
+
+    /** Full evolutions avoided vs the per-CPM path. */
+    std::uint64_t evolutionsSaved() const
+    {
+        return marginalsServed - std::min(marginalsServed, baseEvolutions);
+    }
+};
 
 /** Abstract quantum-program executor (the "NISQ machine"). */
 class Executor
@@ -39,6 +75,19 @@ class Executor
      */
     virtual Histogram run(const circuit::QuantumCircuit &physical_circuit,
                           std::uint64_t shots) = 0;
+
+    /**
+     * Run one measurement-subset variant of @p base_circuit per spec
+     * and return their histograms in spec order. All variants share
+     * the unitary gates of @p base_circuit (its own measurements, if
+     * any, are ignored — each spec defines its own), which is exactly
+     * JigSaw's CPM structure, so simulator backends override this to
+     * evolve the shared prefix once and read every marginal off the
+     * single final state. This default runs each CPM individually.
+     */
+    virtual std::vector<Histogram>
+    runBatch(const circuit::QuantumCircuit &base_circuit,
+             const std::vector<CpmSpec> &specs);
 };
 
 /**
@@ -55,18 +104,42 @@ class IdealSimulator : public Executor
   public:
     /** @p seed drives the multinomial shot sampling only. */
     explicit IdealSimulator(std::uint64_t seed = 1);
+    ~IdealSimulator() override;
 
     Histogram run(const circuit::QuantumCircuit &physical_circuit,
                   std::uint64_t shots) override;
 
+    /**
+     * Batched CPM execution: evolve the shared gate prefix once (per
+     * distinct prefix, cached across calls) and sample each spec from
+     * its marginal over the single final state. PMFs land in the same
+     * per-circuit cache run() uses, so mixing the two paths stays
+     * coherent and deterministic.
+     */
+    std::vector<Histogram>
+    runBatch(const circuit::QuantumCircuit &base_circuit,
+             const std::vector<CpmSpec> &specs) override;
+
     /** Exact output distribution over the circuit's classical bits. */
     Pmf idealPmf(const circuit::QuantumCircuit &physical_circuit);
+
+    /**
+     * Exact marginal PMFs of @p base_circuit over each subset of
+     * physical qubits (classical-bit order), all served from one
+     * evolution of the shared gate prefix.
+     */
+    std::vector<Pmf>
+    marginalPmfs(const circuit::QuantumCircuit &base_circuit,
+                 const std::vector<std::vector<int>> &subsets);
 
     /** Simulations skipped because the PMF was already cached. */
     std::uint64_t cacheHits() const { return cacheHits_; }
 
     /** Simulations actually performed. */
     std::uint64_t cacheMisses() const { return cacheMisses_; }
+
+    /** Batched-execution counters. */
+    const BatchStats &batchStats() const { return batchStats_; }
 
   private:
     struct Cached
@@ -76,11 +149,17 @@ class IdealSimulator : public Executor
     };
 
     const Cached &evolved(const circuit::QuantumCircuit &physical);
+    const Cached &cpmEntry(const circuit::QuantumCircuit &base_circuit,
+                           const std::vector<int> &qubits,
+                           const detail::BatchState *&bs);
 
     Rng rng_;
     std::unordered_map<std::uint64_t, Cached> cache_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
+        stateCache_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;
+    BatchStats batchStats_;
 };
 
 /** Tuning knobs for NoisySimulator. */
@@ -124,9 +203,21 @@ class NoisySimulator : public Executor
   public:
     /** The device model is copied so the executor owns its lifetime. */
     NoisySimulator(device::DeviceModel dev, NoisySimulatorOptions options = {});
+    ~NoisySimulator() override;
 
     Histogram run(const circuit::QuantumCircuit &physical_circuit,
                   std::uint64_t shots) override;
+
+    /**
+     * Batched CPM execution (channel mode): one shared-prefix
+     * evolution serves every spec's ideal marginal; the gate-noise
+     * corruption and the per-subset readout channel are then applied
+     * per sampled trial exactly as in run(). Trajectory mode falls
+     * back to the per-CPM default.
+     */
+    std::vector<Histogram>
+    runBatch(const circuit::QuantumCircuit &base_circuit,
+             const std::vector<CpmSpec> &specs) override;
 
     /** The device this executor models. */
     const device::DeviceModel &device() const { return dev_; }
@@ -139,6 +230,9 @@ class NoisySimulator : public Executor
 
     /** Channel-mode evolutions actually performed. */
     std::uint64_t cacheMisses() const { return cacheMisses_; }
+
+    /** Batched-execution counters. */
+    const BatchStats &batchStats() const { return batchStats_; }
 
   private:
     /**
@@ -155,18 +249,26 @@ class NoisySimulator : public Executor
     };
 
     const Cached &evolved(const circuit::QuantumCircuit &physical);
+    const Cached &cpmEntry(const circuit::QuantumCircuit &base_circuit,
+                           const std::vector<int> &qubits,
+                           const detail::BatchState *&bs);
 
     Histogram runChannelMode(const circuit::QuantumCircuit &physical,
                              std::uint64_t shots);
     Histogram runTrajectoryMode(const circuit::QuantumCircuit &physical,
                                 std::uint64_t shots);
+    Histogram sampleChannel(const Cached &entry, int n_clbits,
+                            std::uint64_t shots);
 
     device::DeviceModel dev_;
     NoisySimulatorOptions options_;
     Rng rng_;
     std::unordered_map<std::uint64_t, Cached> cache_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
+        stateCache_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;
+    BatchStats batchStats_;
 };
 
 /**

@@ -1,10 +1,11 @@
 #include "sim/statevector.h"
 
-#include <array>
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace jigsaw {
 namespace sim {
@@ -24,17 +25,6 @@ using Amp = StateVector::Amplitude;
  */
 constexpr std::size_t kGrain = 1ULL << 14;
 
-/**
- * Spread the low bits of @p x upward so bit position q (with
- * @p stride = 1 << q) is zero: the enumeration primitive for visiting
- * each strided pair exactly once.
- */
-inline BasisState
-insertZero(BasisState x, BasisState stride)
-{
-    return ((x & ~(stride - 1)) << 1) | (x & (stride - 1));
-}
-
 inline bool
 isZero(const Amp &a)
 {
@@ -45,28 +35,6 @@ inline bool
 isOne(const Amp &a)
 {
     return a.real() == 1.0 && a.imag() == 0.0;
-}
-
-/**
- * Component-wise complex multiply. Amplitudes are finite by
- * construction, so this skips the inf/NaN fixup path std::complex's
- * operator* routes through (__muldc3) — about a 1.5x kernel win.
- */
-inline Amp
-cmul(const Amp &x, const Amp &y)
-{
-    return Amp(x.real() * y.real() - x.imag() * y.imag(),
-               x.real() * y.imag() + x.imag() * y.real());
-}
-
-/** x * y0 + z * y1 without __muldc3. */
-inline Amp
-cfma2(const Amp &x, const Amp &y0, const Amp &z, const Amp &y1)
-{
-    return Amp(x.real() * y0.real() - x.imag() * y0.imag() +
-                   z.real() * y1.real() - z.imag() * y1.imag(),
-               x.real() * y0.imag() + x.imag() * y0.real() +
-                   z.real() * y1.imag() + z.imag() * y1.real());
 }
 
 } // namespace
@@ -167,112 +135,39 @@ StateVector::StateVector(int n_qubits) : nQubits_(n_qubits)
 {
     fatalIf(n_qubits < 1 || n_qubits > 28,
             "StateVector: qubit count must be in [1, 28]");
-    amps_.assign(1ULL << n_qubits, Amplitude(0.0, 0.0));
-    amps_[0] = Amplitude(1.0, 0.0);
+    re_.assign(1ULL << n_qubits, 0.0);
+    im_.assign(1ULL << n_qubits, 0.0);
+    re_[0] = 1.0;
 }
 
 void
 StateVector::apply1q(const Amplitude m[2][2], int q)
 {
     const BasisState stride = 1ULL << q;
-    const std::size_t pairs = amps_.size() >> 1;
-    Amplitude *a = amps_.data();
+    const std::size_t pairs = re_.size() >> 1;
+    double *re = re_.data();
+    double *im = im_.data();
+    const simd::KernelTable &K = simd::activeKernels();
 
     if (isZero(m[0][1]) && isZero(m[1][0])) {
         // Diagonal gate: in-place phase multiply, no pair traffic.
         const Amplitude d0 = m[0][0];
         const Amplitude d1 = m[1][1];
-        if (isOne(d0)) {
-            // Z/S/T/RZ-like: only the |1> stratum moves.
-            parallelFor(0, pairs, kGrain, [=](std::size_t lo,
+        const bool d0_is_one = isOne(d0);
+        parallelFor(0, pairs, kGrain, [=, &K](std::size_t lo,
                                               std::size_t hi) {
-                for (std::size_t k = lo; k < hi; ++k) {
-                    Amplitude &a1 = a[insertZero(k, stride) | stride];
-                    a1 = cmul(a1, d1);
-                }
-            });
-            return;
-        }
-        parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
-            for (std::size_t k = lo; k < hi; ++k) {
-                const BasisState i0 = insertZero(k, stride);
-                a[i0] = cmul(a[i0], d0);
-                a[i0 | stride] = cmul(a[i0 | stride], d1);
-            }
+            K.apply1qDiag(re, im, stride, lo, hi, d0.real(), d0.imag(),
+                          d1.real(), d1.imag(), d0_is_one);
         });
         return;
     }
 
-    if (isZero(m[0][0]) && isZero(m[1][1])) {
-        // Anti-diagonal gate (X/Y): an index-mapped swap with phases.
-        const Amplitude o01 = m[0][1];
-        const Amplitude o10 = m[1][0];
-        if (isOne(o01) && isOne(o10)) {
-            parallelFor(0, pairs, kGrain, [=](std::size_t lo,
-                                              std::size_t hi) {
-                for (std::size_t k = lo; k < hi; ++k) {
-                    const BasisState i0 = insertZero(k, stride);
-                    std::swap(a[i0], a[i0 | stride]);
-                }
-            });
-            return;
-        }
-        parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
-            for (std::size_t k = lo; k < hi; ++k) {
-                const BasisState i0 = insertZero(k, stride);
-                const Amplitude a0 = a[i0];
-                a[i0] = cmul(o01, a[i0 | stride]);
-                a[i0 | stride] = cmul(o10, a0);
-            }
-        });
-        return;
-    }
-
-    const Amplitude m00 = m[0][0], m01 = m[0][1];
-    const Amplitude m10 = m[1][0], m11 = m[1][1];
-    parallelFor(0, pairs, kGrain, [=](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            const BasisState i0 = insertZero(k, stride);
-            const BasisState i1 = i0 | stride;
-            const Amplitude a0 = a[i0];
-            const Amplitude a1 = a[i1];
-            a[i0] = cfma2(m00, a0, m01, a1);
-            a[i1] = cfma2(m10, a0, m11, a1);
-        }
-    });
-}
-
-void
-StateVector::apply2q(const Amplitude m[4][4], int q0, int q1)
-{
-    // Basis convention within the 4x4 block: index = (bit q1 << 1) |
-    // bit q0, i.e. q0 is the low bit.
-    const BasisState mask0 = 1ULL << q0;
-    const BasisState mask1 = 1ULL << q1;
-    const BasisState s_lo = q0 < q1 ? mask0 : mask1;
-    const BasisState s_hi = q0 < q1 ? mask1 : mask0;
-    const std::size_t quads = amps_.size() >> 2;
-    Amplitude *a = amps_.data();
-
-    std::array<Amplitude, 16> flat;
-    for (int r = 0; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            flat[static_cast<std::size_t>(4 * r + c)] = m[r][c];
-
-    parallelFor(0, quads, kGrain / 2, [=](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            const BasisState base =
-                insertZero(insertZero(k, s_lo), s_hi);
-            const BasisState idx[4] = {base, base | mask0, base | mask1,
-                                       base | mask0 | mask1};
-            const Amplitude in[4] = {a[idx[0]], a[idx[1]], a[idx[2]],
-                                     a[idx[3]]};
-            for (int r = 0; r < 4; ++r) {
-                const auto *row = flat.data() + 4 * r;
-                a[idx[r]] = cfma2(row[0], in[0], row[1], in[1]) +
-                            cfma2(row[2], in[2], row[3], in[3]);
-            }
-        }
+    const simd::Mat2Split ms = {
+        {m[0][0].real(), m[0][1].real(), m[1][0].real(), m[1][1].real()},
+        {m[0][0].imag(), m[0][1].imag(), m[1][0].imag(), m[1][1].imag()},
+    };
+    parallelFor(0, pairs, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.apply1q(re, im, stride, lo, hi, ms);
     });
 }
 
@@ -285,14 +180,12 @@ StateVector::applyCx(int control, int target)
     const BasisState tmask = 1ULL << target;
     const BasisState s_lo = control < target ? cmask : tmask;
     const BasisState s_hi = control < target ? tmask : cmask;
-    const std::size_t quads = amps_.size() >> 2;
-    Amplitude *a = amps_.data();
-    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            const BasisState base =
-                insertZero(insertZero(k, s_lo), s_hi) | cmask;
-            std::swap(a[base], a[base | tmask]);
-        }
+    const std::size_t quads = re_.size() >> 2;
+    double *re = re_.data();
+    double *im = im_.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, quads, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.quadSwap(re, im, s_lo, s_hi, cmask, cmask | tmask, lo, hi);
     });
 }
 
@@ -304,14 +197,13 @@ StateVector::applyControlledPhase(Amplitude phase, int qa, int qb)
     const BasisState mb = 1ULL << qb;
     const BasisState s_lo = qa < qb ? ma : mb;
     const BasisState s_hi = qa < qb ? mb : ma;
-    const std::size_t quads = amps_.size() >> 2;
-    Amplitude *a = amps_.data();
-    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            Amplitude &amp =
-                a[insertZero(insertZero(k, s_lo), s_hi) | ma | mb];
-            amp = cmul(amp, phase);
-        }
+    const std::size_t quads = re_.size() >> 2;
+    double *re = re_.data();
+    double *im = im_.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, quads, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.quadPhase(re, im, s_lo, s_hi, ma | mb, lo, hi, phase.real(),
+                    phase.imag());
     });
 }
 
@@ -322,13 +214,62 @@ StateVector::applySwap(int qa, int qb)
     const BasisState mb = 1ULL << qb;
     const BasisState s_lo = qa < qb ? ma : mb;
     const BasisState s_hi = qa < qb ? mb : ma;
-    const std::size_t quads = amps_.size() >> 2;
-    Amplitude *a = amps_.data();
-    parallelFor(0, quads, kGrain, [=](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            const BasisState base = insertZero(insertZero(k, s_lo), s_hi);
-            std::swap(a[base | ma], a[base | mb]);
+    const std::size_t quads = re_.size() >> 2;
+    double *re = re_.data();
+    double *im = im_.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, quads, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.quadSwap(re, im, s_lo, s_hi, ma, mb, lo, hi);
+    });
+}
+
+void
+StateVector::applyControlledPhaseRun(
+    int target, const std::vector<std::pair<int, Amplitude>> &controls)
+{
+    // A run of CP/CZ gates sharing one qubit is a tensor-product
+    // diagonal on the target's 1-stratum: the phase of an amplitude is
+    // the product of the per-control phases whose bit is set. Build
+    // that product as a table over the control bits (doubling once per
+    // control) and apply it in a single pass over the stratum.
+    std::vector<std::pair<int, Amplitude>> sorted = controls;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    // Duplicate controls multiply into one tensor factor.
+    std::vector<std::pair<int, Amplitude>> unique;
+    for (const auto &[q, phase] : sorted) {
+        if (!unique.empty() && unique.back().first == q) {
+            unique.back().second *= phase;
+            continue;
         }
+        unique.push_back({q, phase});
+    }
+
+    std::vector<double> tab_re(1, 1.0);
+    std::vector<double> tab_im(1, 0.0);
+    tab_re.reserve(1ULL << unique.size());
+    tab_im.reserve(1ULL << unique.size());
+    BasisState control_mask = 0;
+    for (const auto &[q, phase] : unique) {
+        control_mask |= 1ULL << q;
+        const std::size_t half = tab_re.size();
+        for (std::size_t t = 0; t < half; ++t) {
+            tab_re.push_back(tab_re[t] * phase.real() -
+                             tab_im[t] * phase.imag());
+            tab_im.push_back(tab_re[t] * phase.imag() +
+                             tab_im[t] * phase.real());
+        }
+    }
+
+    const BasisState q_mask = 1ULL << target;
+    const std::size_t pairs = re_.size() >> 1;
+    double *re = re_.data();
+    double *im = im_.data();
+    const double *tr = tab_re.data();
+    const double *ti = tab_im.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, pairs, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.stratumPhaseTable(re, im, q_mask, control_mask, tr, ti, lo, hi);
     });
 }
 
@@ -336,15 +277,14 @@ void
 StateVector::applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1)
 {
     // Diagonal two-qubit phase: "even" applies where bits agree,
-    // "odd" where they differ (the RZZ structure). Branch-free via a
-    // two-entry phase table indexed by the XOR of the two bits.
-    const Amplitude table[2] = {even, odd};
-    const std::size_t dim = amps_.size();
-    Amplitude *a = amps_.data();
-    parallelFor(0, dim, kGrain, [=, &table](std::size_t lo,
-                                            std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k)
-            a[k] = cmul(a[k], table[((k >> q0) ^ (k >> q1)) & 1ULL]);
+    // "odd" where they differ (the RZZ structure).
+    const std::size_t dim = re_.size();
+    double *re = re_.data();
+    double *im = im_.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, dim, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.phasePair(re, im, q0, q1, lo, hi, even.real(), even.imag(),
+                    odd.real(), odd.imag());
     });
 }
 
@@ -416,7 +356,23 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
         has[uq] = false;
     };
 
-    for (const Gate &g : qc.gates()) {
+    // Runs of CP/CZ gates sharing one qubit are all diagonal, so they
+    // commute and compose into a single tensor-product phase pass
+    // (applyControlledPhaseRun). Runs longer than this cap are split
+    // so the phase table stays cache-resident.
+    constexpr std::size_t kMaxFusedPhases = 12;
+    const auto isPhaseGate = [](const Gate &g) {
+        return g.type == GateType::CP || g.type == GateType::CZ;
+    };
+    const auto phaseOf = [](const Gate &g) {
+        if (g.type == GateType::CZ)
+            return Amplitude(-1.0, 0.0);
+        return std::exp(Amplitude(0.0, 1.0) * g.params.at(0));
+    };
+
+    const std::vector<Gate> &gs = qc.gates();
+    for (std::size_t gi = 0; gi < gs.size(); ++gi) {
+        const Gate &g = gs[gi];
         if (g.isMeasure() || g.type == GateType::BARRIER)
             continue;
         if (g.isSingleQubit()) {
@@ -439,6 +395,49 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
             }
             continue;
         }
+        if (isPhaseGate(g)) {
+            // Extend the run while every gate shares a surviving
+            // common qubit; barriers do not break it.
+            int cand0 = g.qubits[0];
+            int cand1 = g.qubits[1];
+            std::vector<std::size_t> run = {gi};
+            std::size_t gj = gi + 1;
+            for (; gj < gs.size() && run.size() < kMaxFusedPhases; ++gj) {
+                const Gate &h = gs[gj];
+                if (h.type == GateType::BARRIER)
+                    continue;
+                if (!isPhaseGate(h))
+                    break;
+                const bool has0 = cand0 >= 0 && (h.qubits[0] == cand0 ||
+                                                 h.qubits[1] == cand0);
+                const bool has1 = cand1 >= 0 && (h.qubits[0] == cand1 ||
+                                                 h.qubits[1] == cand1);
+                if (!has0 && !has1)
+                    break;
+                if (!has0)
+                    cand0 = -1;
+                if (!has1)
+                    cand1 = -1;
+                run.push_back(gj);
+            }
+            if (run.size() >= 2) {
+                const int target = cand0 >= 0 ? cand0 : cand1;
+                std::vector<std::pair<int, Amplitude>> controls;
+                controls.reserve(run.size());
+                for (std::size_t gk : run) {
+                    const Gate &h = gs[gk];
+                    const int other = h.qubits[0] == target
+                                          ? h.qubits[1]
+                                          : h.qubits[0];
+                    controls.push_back({other, phaseOf(h)});
+                    flush(other);
+                }
+                flush(target);
+                applyControlledPhaseRun(target, controls);
+                gi = run.back();
+                continue;
+            }
+        }
         for (int q : g.qubits)
             flush(q);
         applyGate(g);
@@ -450,8 +449,8 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
 StateVector::Amplitude
 StateVector::amplitude(BasisState basis) const
 {
-    fatalIf(basis >= amps_.size(), "StateVector: basis out of range");
-    return amps_[basis];
+    fatalIf(basis >= re_.size(), "StateVector: basis out of range");
+    return Amplitude(re_[basis], im_[basis]);
 }
 
 double
@@ -463,10 +462,8 @@ StateVector::probability(BasisState basis) const
 double
 StateVector::norm() const
 {
-    double total = 0.0;
-    for (const Amplitude &a : amps_)
-        total += std::norm(a);
-    return total;
+    return simd::activeKernels().norm2(re_.data(), im_.data(), 0,
+                                       re_.size());
 }
 
 Pmf
@@ -475,6 +472,9 @@ StateVector::measurementPmf(const std::vector<int> &qubits,
 {
     fatalIf(qubits.empty(), "measurementPmf: empty qubit list");
     Pmf pmf(static_cast<int>(qubits.size()));
+    const double *re = re_.data();
+    const double *im = im_.data();
+    const std::size_t dim = re_.size();
 
     // Full-register measurement (the exactOutputPmf case): every basis
     // state is its own outcome, so skip the extractBits remap and the
@@ -484,21 +484,29 @@ StateVector::measurementPmf(const std::vector<int> &qubits,
     for (std::size_t j = 0; identity && j < qubits.size(); ++j)
         identity = qubits[j] == static_cast<int>(j);
     if (identity) {
+        // Size the table for the exact surviving support (a GHZ state
+        // keeps 2 entries out of 2^n — reserving dim would zero-fill
+        // megabytes of buckets), and filter below threshold at insert
+        // time: entries cannot accumulate here because each basis
+        // state is its own outcome, so no prune() pass is needed.
         std::size_t support = 0;
-        for (const Amplitude &amp : amps_)
-            support += std::norm(amp) > 0.0;
+        for (BasisState basis = 0; basis < dim; ++basis) {
+            support +=
+                re[basis] * re[basis] + im[basis] * im[basis] >=
+                threshold;
+        }
         pmf.reserve(support);
-        for (BasisState basis = 0; basis < amps_.size(); ++basis) {
-            const double p = std::norm(amps_[basis]);
-            if (p > 0.0)
+        for (BasisState basis = 0; basis < dim; ++basis) {
+            const double p =
+                re[basis] * re[basis] + im[basis] * im[basis];
+            if (p >= threshold)
                 pmf.set(basis, p);
         }
-        pmf.prune(threshold);
         return pmf;
     }
 
-    for (BasisState basis = 0; basis < amps_.size(); ++basis) {
-        const double p = std::norm(amps_[basis]);
+    for (BasisState basis = 0; basis < dim; ++basis) {
+        const double p = re[basis] * re[basis] + im[basis] * im[basis];
         if (p <= 0.0)
             continue;
         pmf.accumulate(extractBits(basis, qubits), p);

@@ -6,11 +6,15 @@
  * up to ~24 qubits, which covers every benchmark in the paper (the
  * largest is Graycode-18).
  *
- * The kernels iterate strided amplitude pairs/quads so each amplitude
- * is touched exactly once per gate (no full-space scan-and-skip),
- * dispatch diagonal gates (Z/S/T/RZ/CZ/CP/RZZ) to in-place phase
- * multiplies and permutation gates (X/CX/SWAP) to index-mapped swaps,
- * and split large amplitude ranges across the parallel.h thread pool.
+ * Amplitudes are stored split (structure-of-arrays: one real and one
+ * imaginary double array) so the hot loops run through the SIMD
+ * kernel table in common/simd.h — AVX2+FMA when the build and CPU
+ * support it, a portable scalar fallback otherwise. The kernels
+ * iterate strided amplitude pairs/quads so each amplitude is touched
+ * exactly once per gate (no full-space scan-and-skip), dispatch
+ * diagonal gates (Z/S/T/RZ/CZ/CP/RZZ) to in-place phase multiplies
+ * and permutation gates (CX/SWAP) to index-mapped swaps, and split
+ * large amplitude ranges across the parallel.h thread pool.
  * applyCircuit() additionally fuses runs of single-qubit gates on the
  * same qubit into one 2x2 matrix before touching the state.
  */
@@ -18,6 +22,7 @@
 #define JIGSAW_SIM_STATEVECTOR_H
 
 #include <complex>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -66,8 +71,11 @@ class StateVector
     /** Apply a Pauli operator (X=1, Y=2, Z=3) to qubit @p q. */
     void applyPauli(int pauli, int q);
 
-    /** Raw amplitude storage, indexed by basis state. */
-    const std::vector<Amplitude> &amplitudes() const { return amps_; }
+    /** Real amplitude components, indexed by basis state. */
+    const std::vector<double> &reals() const { return re_; }
+
+    /** Imaginary amplitude components, indexed by basis state. */
+    const std::vector<double> &imags() const { return im_; }
 
     /**
      * Apply an arbitrary 2x2 unitary to qubit @p q. Public so circuit
@@ -76,14 +84,17 @@ class StateVector
     void apply1q(const Amplitude m[2][2], int q);
 
   private:
-    void apply2q(const Amplitude m[4][4], int q0, int q1);
     void applyCx(int control, int target);
     void applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1);
     void applyControlledPhase(Amplitude phase, int a, int b);
+    void applyControlledPhaseRun(
+        int target,
+        const std::vector<std::pair<int, Amplitude>> &controls);
     void applySwap(int a, int b);
 
     int nQubits_;
-    std::vector<Amplitude> amps_;
+    std::vector<double> re_;
+    std::vector<double> im_;
 };
 
 /** Fill @p m with the 2x2 unitary of the single-qubit @p gate. */

@@ -14,6 +14,7 @@
 #include "common/alias.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/bayesian.h"
 #include "core/reference_bayesian.h"
 #include "core/subsets.h"
@@ -118,6 +119,26 @@ TEST(KernelEquivalence, EveryGateTypeOnce)
     // A run of same-qubit 1q gates to exercise fusion, including a
     // diagonal-only run.
     qc.h(2).t(2).h(2).rz(0.25, 0).s(0).z(0);
+    expectKernelEquivalence(qc);
+}
+
+TEST(KernelEquivalence, ControlledPhaseRunFusion)
+{
+    // Runs of CP/CZ gates sharing one qubit fuse into a single
+    // phase-table pass; cover contiguous controls (the QFT shape),
+    // scattered controls (the PEXT path), duplicate controls, low
+    // targets, and runs split by the fusion cap.
+    QuantumCircuit qc(10, 10);
+    for (int q = 0; q < 10; ++q)
+        qc.h(q);
+    for (int c = 0; c < 9; ++c)
+        qc.cp(0.1 * (c + 1), c, 9); // contiguous controls, target 9
+    qc.cp(0.3, 1, 7).cz(3, 7).cp(0.7, 5, 7); // scattered controls
+    qc.cp(0.2, 4, 2).cp(0.4, 8, 2).cz(6, 2); // mid target
+    qc.cp(0.5, 7, 0).cz(3, 0).cp(0.9, 7, 0); // low target + duplicate
+    for (int r = 0; r < 16; ++r) // longer than the fusion cap
+        qc.cp(0.05 * (r + 1), r % 9, 9);
+    qc.cz(0, 1).cz(0, 1); // two-gate run, both candidates survive
     expectKernelEquivalence(qc);
 }
 
@@ -279,6 +300,334 @@ TEST(StructuralHash, DistinguishesCircuits)
     QuantumCircuit e(2, 2);
     e.rz(0.5000001, 0).cx(0, 1).measureAll();
     EXPECT_NE(d.structuralHash(), e.structuralHash());
+
+    // Barriers have no execution effect and must not perturb the key:
+    // withMeasurementSubset inserts one, routed circuits may not, and
+    // the run()/runBatch cache paths must still agree.
+    QuantumCircuit f(2, 2);
+    f.h(0).barrier().cx(0, 1).measureAll();
+    EXPECT_EQ(a.structuralHash(), f.structuralHash());
+}
+
+TEST(StructuralHash, MeasurementSubsetHashMatchesConstructedCircuit)
+{
+    // The copy-free batch cache key must equal the hash of the
+    // actually constructed CPM, whatever the base's measurements.
+    QuantumCircuit qc(5, 5);
+    qc.h(0).cx(0, 1).rz(0.4, 2).barrier().cp(0.2, 2, 3).measureAll();
+    QuantumCircuit unmeasured(5, 5);
+    unmeasured.h(0).cx(0, 1).rz(0.4, 2).barrier().cp(0.2, 2, 3);
+    for (const std::vector<int> &subset :
+         {std::vector<int>{0, 1}, {3, 2}, {4}, {0, 2, 4}}) {
+        EXPECT_EQ(qc.measurementSubsetHash(subset),
+                  qc.withMeasurementSubset(subset).structuralHash());
+        EXPECT_EQ(unmeasured.measurementSubsetHash(subset),
+                  unmeasured.withMeasurementSubset(subset)
+                      .structuralHash());
+    }
+}
+
+// ------------------------------------------------- batched CPM execution
+
+/** Sliding-window subsets of sizes 2 and 3 over @p n qubits. */
+std::vector<std::vector<int>>
+cpmSubsets(int n)
+{
+    std::vector<std::vector<int>> subsets;
+    for (int size : {2, 3}) {
+        for (const core::Subset &s : core::slidingWindowSubsets(n, size))
+            subsets.push_back(s);
+    }
+    return subsets;
+}
+
+TEST(BatchedExecution, MarginalsMatchPerCpmAndReference)
+{
+    // Every CPM marginal served off the one shared evolution must
+    // match both the per-circuit cached executor PMF and the naive
+    // reference evolution, within the golden-equivalence bounds.
+    const std::vector<QuantumCircuit> workloads = {
+        workloads::Ghz(8).circuit(),
+        workloads::BernsteinVazirani(8).circuit(),
+        workloads::QftAdjoint(7).circuit(),
+        randomU3CxCircuit(8, 4, 21),
+    };
+    for (const QuantumCircuit &qc : workloads) {
+        const std::vector<std::vector<int>> subsets =
+            cpmSubsets(qc.nQubits());
+
+        sim::IdealSimulator batched(5);
+        const std::vector<Pmf> marginals =
+            batched.marginalPmfs(qc, subsets);
+        ASSERT_EQ(marginals.size(), subsets.size());
+        EXPECT_EQ(batched.batchStats().baseEvolutions, 1u);
+        EXPECT_EQ(batched.batchStats().marginalsServed, subsets.size());
+
+        sim::IdealSimulator per_cpm(5);
+        for (std::size_t i = 0; i < subsets.size(); ++i) {
+            const Pmf cached = per_cpm.idealPmf(
+                qc.withMeasurementSubset(subsets[i]));
+            expectIdenticalPmf(cached, marginals[i]);
+            const Pmf reference =
+                sim::referenceMeasurementPmf(qc, subsets[i]);
+            expectIdenticalPmf(reference, marginals[i]);
+        }
+        // Per-CPM execution paid one evolution per subset; the batch
+        // paid exactly one in total.
+        EXPECT_EQ(per_cpm.cacheMisses(), subsets.size());
+        EXPECT_EQ(batched.batchStats().evolutionsSaved(),
+                  subsets.size() - 1);
+    }
+}
+
+TEST(BatchedExecution, RunBatchPopulatesTheRunCache)
+{
+    // After a batch, per-CPM run() of the same circuits must be all
+    // cache hits: the two paths share one keying scheme.
+    const QuantumCircuit qc = workloads::Ghz(8).circuit();
+    const std::vector<std::vector<int>> subsets = cpmSubsets(8);
+    std::vector<sim::CpmSpec> specs;
+    for (const std::vector<int> &s : subsets)
+        specs.push_back({s, 128});
+
+    sim::IdealSimulator ideal(9);
+    const std::vector<Histogram> hists = ideal.runBatch(qc, specs);
+    ASSERT_EQ(hists.size(), specs.size());
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        EXPECT_EQ(hists[i].totalCount(), specs[i].shots);
+        EXPECT_EQ(hists[i].nQubits(),
+                  static_cast<int>(subsets[i].size()));
+    }
+    EXPECT_EQ(ideal.cacheMisses(), 0u);
+    EXPECT_EQ(ideal.cacheHits(), 0u);
+
+    for (const std::vector<int> &s : subsets)
+        ideal.run(qc.withMeasurementSubset(s), 64);
+    EXPECT_EQ(ideal.cacheMisses(), 0u);
+    EXPECT_EQ(ideal.cacheHits(), subsets.size());
+
+    // A second identical batch reuses every PMF and evolves nothing.
+    ideal.runBatch(qc, specs);
+    EXPECT_EQ(ideal.batchStats().baseEvolutions, 1u);
+    EXPECT_EQ(ideal.cacheHits(), 2 * subsets.size());
+}
+
+TEST(BatchedExecution, CountersAndSamplesAreDeterministic)
+{
+    const QuantumCircuit qc = workloads::Ghz(6).circuit();
+    const std::vector<std::vector<int>> subsets = cpmSubsets(6);
+    std::vector<sim::CpmSpec> specs;
+    for (const std::vector<int> &s : subsets)
+        specs.push_back({s, 500});
+
+    sim::IdealSimulator a(123), b(123);
+    const std::vector<Histogram> ha = a.runBatch(qc, specs);
+    const std::vector<Histogram> hb = b.runBatch(qc, specs);
+    EXPECT_EQ(a.cacheHits(), b.cacheHits());
+    EXPECT_EQ(a.cacheMisses(), b.cacheMisses());
+    EXPECT_EQ(a.batchStats().baseEvolutions,
+              b.batchStats().baseEvolutions);
+    EXPECT_EQ(a.batchStats().baseStateHits,
+              b.batchStats().baseStateHits);
+    EXPECT_EQ(a.batchStats().marginalsServed,
+              b.batchStats().marginalsServed);
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+        for (const auto &[outcome, count] : ha[i].counts())
+            EXPECT_EQ(count, hb[i].count(outcome));
+    }
+}
+
+TEST(BatchedExecution, NoisyBatchSharesEvolutionAndKeying)
+{
+    const device::DeviceModel dev = device::toronto();
+    QuantumCircuit base(dev.nQubits(), 2);
+    base.h(0).cx(0, 1).cx(1, 2).x(3);
+    const std::vector<sim::CpmSpec> specs = {
+        {{0, 1}, 400}, {{1, 2}, 400}, {{2, 3}, 400}, {{0, 3}, 400}};
+
+    sim::NoisySimulator a(dev, {.seed = 77});
+    const std::vector<Histogram> ha = a.runBatch(base, specs);
+    EXPECT_EQ(a.batchStats().baseEvolutions, 1u);
+    EXPECT_EQ(a.batchStats().marginalsServed, specs.size());
+    EXPECT_EQ(a.cacheMisses(), 0u);
+
+    // Per-CPM run() of the same subsets: every PMF is already there.
+    for (const sim::CpmSpec &spec : specs)
+        a.run(base.withMeasurementSubset(spec.qubits), 100);
+    EXPECT_EQ(a.cacheMisses(), 0u);
+    EXPECT_EQ(a.cacheHits(), specs.size());
+
+    // Same seed, same batch: identical histograms.
+    sim::NoisySimulator b(dev, {.seed = 77});
+    const std::vector<Histogram> hb = b.runBatch(base, specs);
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+        EXPECT_EQ(ha[i].totalCount(), hb[i].totalCount());
+        for (const auto &[outcome, count] : ha[i].counts())
+            EXPECT_EQ(count, hb[i].count(outcome));
+    }
+}
+
+TEST(BatchedExecution, GateUntouchedQubitsReadZero)
+{
+    // A measured qubit no gate ever touches stays |0>: its marginal
+    // bit must be deterministically zero, matching per-CPM execution.
+    QuantumCircuit qc(4, 4);
+    qc.h(0).cx(0, 1); // qubits 2 and 3 untouched
+    qc.measureAll();
+    sim::IdealSimulator batched(2);
+    const std::vector<Pmf> ms =
+        batched.marginalPmfs(qc, {{0, 2}, {3, 1}, {2, 3}});
+    sim::IdealSimulator per_cpm(2);
+    expectIdenticalPmf(per_cpm.idealPmf(qc.withMeasurementSubset({0, 2})),
+                       ms[0]);
+    expectIdenticalPmf(per_cpm.idealPmf(qc.withMeasurementSubset({3, 1})),
+                       ms[1]);
+    for (const auto &[outcome, p] : ms[2].probabilities()) {
+        EXPECT_EQ(outcome, 0u);
+        EXPECT_NEAR(p, 1.0, 1e-12);
+    }
+}
+
+// --------------------------------------------------------- SIMD kernels
+
+/** Fill @p re / @p im with a reproducible random state. */
+void
+randomAmps(std::vector<double> &re, std::vector<double> &im,
+           std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    re.resize(dim);
+    im.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        re[i] = rng.uniform(-1.0, 1.0);
+        im[i] = rng.uniform(-1.0, 1.0);
+    }
+}
+
+void
+expectSameAmps(const std::vector<double> &a, const std::vector<double> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12) << "index " << i;
+}
+
+TEST(SimdKernels, ActiveMatchesScalarOnEveryKernel)
+{
+    // The active table (AVX2 when compiled in and supported, scalar
+    // otherwise) must agree with the scalar table on uneven ranges
+    // that exercise the unaligned heads and tails of every stride
+    // addressing mode.
+    const simd::KernelTable &active = simd::activeKernels();
+    const simd::KernelTable &scalar = simd::scalarKernels();
+    const std::size_t dim = 1ULL << 10;
+    const std::size_t pairs = dim / 2;
+    const std::size_t quads = dim / 4;
+    const simd::Mat2Split m = {{0.6, -0.8, 0.8, 0.6},
+                               {0.1, 0.2, -0.3, 0.4}};
+
+    for (std::uint64_t stride : {1ULL, 2ULL, 4ULL, 8ULL, 64ULL}) {
+        std::vector<double> re_a, im_a, re_s, im_s;
+        randomAmps(re_a, im_a, dim, 100 + stride);
+        re_s = re_a;
+        im_s = im_a;
+        active.apply1q(re_a.data(), im_a.data(), stride, 3, pairs - 5, m);
+        scalar.apply1q(re_s.data(), im_s.data(), stride, 3, pairs - 5, m);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+
+        for (bool d0_is_one : {false, true}) {
+            randomAmps(re_a, im_a, dim, 200 + stride);
+            re_s = re_a;
+            im_s = im_a;
+            active.apply1qDiag(re_a.data(), im_a.data(), stride, 1,
+                               pairs - 3, 0.6, 0.8, 0.28, -0.96,
+                               d0_is_one);
+            scalar.apply1qDiag(re_s.data(), im_s.data(), stride, 1,
+                               pairs - 3, 0.6, 0.8, 0.28, -0.96,
+                               d0_is_one);
+            expectSameAmps(re_s, re_a);
+            expectSameAmps(im_s, im_a);
+        }
+    }
+
+    const std::vector<std::pair<int, int>> qubit_pairs = {
+        {0, 1}, {1, 4}, {2, 5}, {5, 8}};
+    for (const auto &[qa, qb] : qubit_pairs) {
+        const std::uint64_t ma = 1ULL << qa;
+        const std::uint64_t mb = 1ULL << qb;
+        std::vector<double> re_a, im_a, re_s, im_s;
+        randomAmps(re_a, im_a, dim, 300 + static_cast<unsigned>(qa));
+        re_s = re_a;
+        im_s = im_a;
+        active.quadPhase(re_a.data(), im_a.data(), ma, mb, ma | mb, 2,
+                         quads - 3, 0.28, 0.96);
+        scalar.quadPhase(re_s.data(), im_s.data(), ma, mb, ma | mb, 2,
+                         quads - 3, 0.28, 0.96);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+
+        randomAmps(re_a, im_a, dim, 400 + static_cast<unsigned>(qb));
+        re_s = re_a;
+        im_s = im_a;
+        active.quadSwap(re_a.data(), im_a.data(), ma, mb, ma, mb, 1,
+                        quads - 2);
+        scalar.quadSwap(re_s.data(), im_s.data(), ma, mb, ma, mb, 1,
+                        quads - 2);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+
+        randomAmps(re_a, im_a, dim, 500 + static_cast<unsigned>(qa));
+        re_s = re_a;
+        im_s = im_a;
+        active.phasePair(re_a.data(), im_a.data(), qa, qb, 3, dim - 7,
+                         0.96, 0.28, 0.6, -0.8);
+        scalar.phasePair(re_s.data(), im_s.data(), qa, qb, 3, dim - 7,
+                         0.96, 0.28, 0.6, -0.8);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+    }
+
+    // stratumPhaseTable: contiguous-control fast path and the general
+    // bit-gather path, on uneven ranges.
+    struct PhaseTableCase
+    {
+        std::uint64_t qMask;
+        std::uint64_t controlMask;
+    };
+    const std::vector<PhaseTableCase> table_cases = {
+        {1ULL << 9, (1ULL << 4) - 1}, // contiguous low controls
+        {1ULL << 2, 3ULL},            // low target, contiguous
+        {1ULL << 6, (1ULL << 1) | (1ULL << 4) | (1ULL << 8)}, // gather
+    };
+    for (const PhaseTableCase &c : table_cases) {
+        const std::size_t tsize =
+            1ULL << static_cast<unsigned>(popcount(c.controlMask));
+        std::vector<double> tab_re(tsize), tab_im(tsize);
+        Rng trng(42);
+        for (std::size_t t = 0; t < tsize; ++t) {
+            const double ang = trng.uniform(0.0, 2 * M_PI);
+            tab_re[t] = std::cos(ang);
+            tab_im[t] = std::sin(ang);
+        }
+        std::vector<double> re_a, im_a, re_s, im_s;
+        randomAmps(re_a, im_a, dim, 700 + c.qMask);
+        re_s = re_a;
+        im_s = im_a;
+        active.stratumPhaseTable(re_a.data(), im_a.data(), c.qMask,
+                                 c.controlMask, tab_re.data(),
+                                 tab_im.data(), 3, pairs - 5);
+        scalar.stratumPhaseTable(re_s.data(), im_s.data(), c.qMask,
+                                 c.controlMask, tab_re.data(),
+                                 tab_im.data(), 3, pairs - 5);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+    }
+
+    std::vector<double> re, im;
+    randomAmps(re, im, dim, 600);
+    EXPECT_NEAR(active.norm2(re.data(), im.data(), 5, dim - 9),
+                scalar.norm2(re.data(), im.data(), 5, dim - 9), 1e-9);
 }
 
 // ------------------------------------------------------------ primitives
