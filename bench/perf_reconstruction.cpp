@@ -16,13 +16,19 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compiler/transpiler.h"
 #include "core/bayesian.h"
 #include "core/reference_bayesian.h"
+#include "core/service.h"
 #include "core/subsets.h"
+#include "device/library.h"
 #include "perf_json.h"
 #include "sim/reference_kernels.h"
 #include "sim/simulators.h"
 #include "sim/statevector.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/qft.h"
 
 namespace {
 
@@ -243,6 +249,72 @@ main(int argc, char **argv)
                   << batched.batchStats().evolutionsSaved()
                   << " evolutions saved over " << specs.size()
                   << " CPMs)\n";
+    }
+
+    // --- 2c. Service: concurrent multi-program throughput ---------
+    {
+        // The same batch of JigSaw programs run back-to-back through
+        // runJigsaw vs concurrently through JigsawService, each
+        // program with its own seeded executor so the outputs must be
+        // bitwise identical. The transpile memo is cleared before
+        // each phase so both pay cold compilation; the speedup is the
+        // thread-pool concurrency win (1x on a single-core box).
+        const device::DeviceModel dev = device::toronto();
+        const int n_programs = n_qubits >= 14 ? 8 : 6;
+        const std::uint64_t service_trials = 8192;
+        std::vector<core::ServiceProgram> programs;
+        for (int i = 0; i < n_programs; ++i) {
+            const int width = 8 + (i % 3);
+            circuit::QuantumCircuit qc(1);
+            switch (i % 3) {
+              case 0:
+                qc = workloads::Ghz(width).circuit();
+                break;
+              case 1:
+                qc = workloads::BernsteinVazirani(width).circuit();
+                break;
+              default:
+                qc = workloads::QftAdjoint(width).circuit();
+                break;
+            }
+            core::JigsawOptions options;
+            if (i % 2 == 1)
+                options = core::jigsawMOptions();
+            programs.emplace_back(std::move(qc), dev, service_trials,
+                                  options, 1000 + 17ULL * i);
+        }
+
+        compiler::clearTranspileCache();
+        auto start = std::chrono::steady_clock::now();
+        const std::vector<core::JigsawResult> sequential =
+            core::runProgramsSequentially(programs);
+        const double naive_ms = msSince(start);
+
+        compiler::clearTranspileCache();
+        core::JigsawService service;
+        start = std::chrono::steady_clock::now();
+        const std::vector<core::JigsawResult> concurrent =
+            service.run(programs);
+        const double opt_ms = msSince(start);
+
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const double drift = totalVariationDistance(
+                sequential[i].output, concurrent[i].output);
+            if (drift != 0.0) {
+                std::cerr << "ERROR: service output diverged from "
+                             "sequential runJigsaw on program "
+                          << i << " (total variation " << drift
+                          << ")\n";
+                return 1;
+            }
+        }
+        report.addComparison("service/concurrent_programs", naive_ms,
+                             opt_ms);
+        std::cerr << "  [perf] service/concurrent_programs: "
+                  << naive_ms << " ms -> " << opt_ms << " ms ("
+                  << n_programs << " programs, "
+                  << service.stats().programsPerSecond()
+                  << " programs/s)\n";
     }
 
     // --- 3. Bayesian reconstruction -------------------------------

@@ -1,30 +1,62 @@
 /**
  * @file
- * Minimal thread-pool parallel-for for the amplitude and
- * reconstruction hot loops.
+ * Minimal thread-pool parallelism for the amplitude and reconstruction
+ * hot loops, plus coarse-grained task submission for the multi-program
+ * JigsawService.
  *
  * The pool is lazily created on first use and sized from the
  * JIGSAW_THREADS environment variable (falling back to
- * std::thread::hardware_concurrency). On single-core machines, or for
- * ranges below the grain size, parallelFor degrades to a plain serial
- * loop with zero synchronization cost, so callers never need a
- * separate serial path.
+ * std::thread::hardware_concurrency). Two usage modes share the same
+ * workers:
+ *
+ *  - parallelFor: fork-join over an index range (chunk tasks). On
+ *    single-core machines, for ranges below the grain size, or when
+ *    called from inside a pool worker (nested parallelism), it
+ *    degrades to a plain serial loop with zero synchronization cost,
+ *    so callers never need a separate serial path.
+ *  - TaskGroup: submit independent closures (one per program/session)
+ *    and wait for all of them. The waiting thread helps drain the
+ *    queue, so submission works even with zero workers.
  */
 #ifndef JIGSAW_COMMON_PARALLEL_H
 #define JIGSAW_COMMON_PARALLEL_H
 
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace jigsaw {
 
 namespace detail {
 
-/** Fixed-size pool of worker threads executing range chunks. */
+/** True on threads owned by the shared pool (see workerLoop). */
+inline bool &
+inPoolWorkerFlag()
+{
+    static thread_local bool flag = false;
+    return flag;
+}
+
+/** True while this thread is inside runChunks (see parallelFor). */
+inline bool &
+inForkJoinFlag()
+{
+    static thread_local bool flag = false;
+    return flag;
+}
+
+/**
+ * Fixed-size pool of worker threads executing range chunks
+ * (parallelFor) and queued closures (TaskGroup). Chunks take priority:
+ * they are latency-sensitive inner loops, while tasks are long-running
+ * outer jobs.
+ */
 class ThreadPool
 {
   public:
@@ -50,50 +82,111 @@ class ThreadPool
 
     /**
      * Run @p task(chunk) for every chunk index in [0, n_chunks),
-     * blocking until all chunks finish. Chunk 0 runs on the calling
-     * thread so a pool of k workers executes k + 1 chunks at once.
+     * blocking until all chunks finish. The calling thread drains
+     * chunks alongside the workers, so progress never depends on a
+     * worker being free (workers may be busy with long TaskGroup
+     * jobs). There is one fork-join slot: concurrent callers
+     * serialize on forkJoinMutex_ (the second just waits its turn),
+     * and parallelFor never routes pool workers or nested calls here
+     * — it runs those serially instead.
      */
     void
     runChunks(std::size_t n_chunks,
               const std::function<void(std::size_t)> &task)
     {
+        std::lock_guard<std::mutex> fork_lock(forkJoinMutex_);
+        inForkJoinFlag() = true;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             task_ = &task;
-            nextChunk_ = 1; // chunk 0 is ours
+            nextChunk_ = 0;
             totalChunks_ = n_chunks;
             pendingChunks_ = n_chunks;
         }
         wake_.notify_all();
 
-        task(0);
-        finishChunks(1);
+        for (;;) {
+            std::size_t chunk;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (nextChunk_ >= totalChunks_)
+                    break;
+                chunk = nextChunk_++;
+            }
+            task(chunk);
+            finishChunks(1);
+        }
 
         std::unique_lock<std::mutex> lock(mutex_);
         done_.wait(lock, [this] { return pendingChunks_ == 0; });
         task_ = nullptr;
+        inForkJoinFlag() = false;
+    }
+
+    /** Queue @p task for execution by a worker (or a waiting helper). */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            tasks_.push_back(std::move(task));
+        }
+        wake_.notify_one();
+    }
+
+    /**
+     * Pop one queued task and run it on the calling thread. Returns
+     * false when the queue is empty (tasks may still be in flight on
+     * workers). Lets TaskGroup::wait make progress with zero workers.
+     */
+    bool
+    tryRunOneTask()
+    {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (tasks_.empty())
+                return false;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        return true;
     }
 
   private:
     void
     workerLoop()
     {
+        inPoolWorkerFlag() = true;
         for (;;) {
-            const std::function<void(std::size_t)> *task = nullptr;
+            const std::function<void(std::size_t)> *chunk_task = nullptr;
             std::size_t chunk = 0;
+            std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 wake_.wait(lock, [this] {
                     return stopping_ ||
-                           (task_ != nullptr && nextChunk_ < totalChunks_);
+                           (task_ != nullptr &&
+                            nextChunk_ < totalChunks_) ||
+                           !tasks_.empty();
                 });
                 if (stopping_)
                     return;
-                task = task_;
-                chunk = nextChunk_++;
+                if (task_ != nullptr && nextChunk_ < totalChunks_) {
+                    chunk_task = task_;
+                    chunk = nextChunk_++;
+                } else {
+                    task = std::move(tasks_.front());
+                    tasks_.pop_front();
+                }
             }
-            (*task)(chunk);
-            finishChunks(1);
+            if (chunk_task != nullptr) {
+                (*chunk_task)(chunk);
+                finishChunks(1);
+            } else {
+                task();
+            }
         }
     }
 
@@ -107,9 +200,11 @@ class ThreadPool
     }
 
     std::mutex mutex_;
+    std::mutex forkJoinMutex_; ///< Serializes runChunks invocations.
     std::condition_variable wake_;
     std::condition_variable done_;
     std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
     const std::function<void(std::size_t)> *task_ = nullptr;
     std::size_t nextChunk_ = 0;
     std::size_t totalChunks_ = 0;
@@ -143,9 +238,12 @@ parallelThreads()
 
 /**
  * Apply @p body(lo, hi) over half-open subranges that partition
- * [begin, end). Runs serially when the range is below @p grain or the
- * pool has no workers; otherwise splits into one chunk per thread.
- * @p body must be safe to call concurrently on disjoint ranges.
+ * [begin, end). Runs serially when the range is below @p grain, the
+ * pool has no workers, the caller is itself a pool worker (a
+ * TaskGroup job calling into the parallel kernels), or the caller is
+ * already inside a parallelFor on this thread (a nested call from a
+ * chunk body); otherwise splits into one chunk per thread. @p body
+ * must be safe to call concurrently on disjoint ranges.
  *
  * Templated on the callable so the serial path — and the per-chunk
  * loop body — inline fully; type erasure happens only once per call,
@@ -160,7 +258,8 @@ parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
         return;
     const std::size_t count = end - begin;
     const std::size_t threads = parallelThreads();
-    if (threads <= 1 || count <= grain) {
+    if (threads <= 1 || count <= grain || detail::inPoolWorkerFlag() ||
+        detail::inForkJoinFlag()) {
         body(begin, end);
         return;
     }
@@ -175,6 +274,95 @@ parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
         };
     detail::sharedPool().runChunks(n_chunks, chunk_task);
 }
+
+/**
+ * A set of independent closures executed on the shared pool.
+ *
+ * Submit with run(), block with wait(). The waiting thread drains the
+ * shared queue itself, so groups complete even on a single-core
+ * machine with zero workers. The first exception thrown by any task is
+ * captured and rethrown from wait(); remaining tasks still run.
+ *
+ * One thread owns a group: run() and wait() are not thread-safe
+ * against each other. Tasks may freely use parallelFor (it degrades to
+ * serial inside workers) but must not create nested TaskGroups that
+ * wait inside a worker for tasks the same worker would have to run.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** ~TaskGroup blocks until every submitted task finished. */
+    ~TaskGroup()
+    {
+        if (pendingCount() > 0) {
+            try {
+                wait();
+            } catch (...) {
+                // Destructors must not throw; wait() again rethrows
+                // nothing (the exception slot was consumed).
+            }
+        }
+    }
+
+    /** Submit @p fn for asynchronous execution. */
+    void
+    run(std::function<void()> fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++pending_;
+        }
+        detail::sharedPool().submit([this, fn = std::move(fn)] {
+            try {
+                fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_all();
+        });
+    }
+
+    /**
+     * Block until every submitted task completed, helping to execute
+     * queued tasks meanwhile. Rethrows the first task exception.
+     */
+    void
+    wait()
+    {
+        while (pendingCount() > 0 &&
+               detail::sharedPool().tryRunOneTask()) {
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        if (error_) {
+            const std::exception_ptr e = error_;
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    std::size_t
+    pendingCount()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pending_;
+    }
+
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;
+    std::exception_ptr error_;
+};
 
 } // namespace jigsaw
 

@@ -1,0 +1,134 @@
+#include "compiler/cpm_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "compiler/placement.h"
+#include "compiler/sabre.h"
+#include "sim/eps.h"
+
+namespace jigsaw {
+namespace compiler {
+
+CpmRecompiler::CpmRecompiler(const circuit::QuantumCircuit &logical,
+                             device::DeviceModel dev,
+                             TranspileOptions options)
+    : logical_(logical), logicalPrefix_(logical.withoutMeasurements()),
+      dev_(std::move(dev)), options_(std::move(options)),
+      starts_(rankedStartQubits(dev_, options_.noiseAware))
+{
+    const int n_candidates =
+        std::min<int>(options_.numCandidates,
+                      static_cast<int>(starts_.size()));
+    fatalIf(n_candidates < 1,
+            "CpmRecompiler: need at least one candidate");
+    starts_.resize(static_cast<std::size_t>(n_candidates));
+}
+
+const CpmRecompiler::RoutedPrefix &
+CpmRecompiler::routedFor(const Layout &initial)
+{
+    const auto it = routedByLayout_.find(initial.logicalToPhysical());
+    if (it != routedByLayout_.end()) {
+        ++routingsReused_;
+        return it->second;
+    }
+    ++routingsComputed_;
+    RoutedCircuit routed = sabreRoute(logicalPrefix_, dev_.topology(),
+                                      initial, options_.sabre);
+    RoutedPrefix prefix{std::move(routed.physical), routed.finalLayout,
+                        routed.swapCount, 0.0};
+    prefix.gateSuccess = sim::gateSuccessProbability(prefix.physical, dev_);
+    return routedByLayout_
+        .emplace(initial.logicalToPhysical(), std::move(prefix))
+        .first->second;
+}
+
+CompiledCircuit
+CpmRecompiler::finishCandidate(const Layout &initial,
+                               const std::vector<int> &logical_qubits)
+{
+    const RoutedPrefix &prefix = routedFor(initial);
+
+    // Materialize the CPM's physical circuit: the routed prefix with
+    // this subset's measurements appended against the final layout —
+    // exactly what sabreRoute emits for the CPM circuit, where the
+    // measurements are terminal and clbit j reads logical_qubits[j].
+    circuit::QuantumCircuit physical(
+        dev_.nQubits(), static_cast<int>(logical_qubits.size()));
+    for (const circuit::Gate &g : prefix.physical.gates())
+        physical.append(g);
+    for (std::size_t j = 0; j < logical_qubits.size(); ++j) {
+        physical.measure(prefix.finalLayout.physicalOf(logical_qubits[j]),
+                         static_cast<int>(j));
+    }
+
+    CompiledCircuit out{std::move(physical), initial, prefix.finalLayout,
+                        prefix.swapCount, 0.0, 0.0, 0.0};
+    // The gate prefix is measurement-independent, so its success
+    // probability is shared by every subset routed through this
+    // layout; only the readout term is per-subset.
+    out.gateSuccess = prefix.gateSuccess;
+    out.measurementSuccess =
+        sim::measurementSuccessProbability(out.physical, dev_);
+    out.eps = out.gateSuccess * out.measurementSuccess;
+    return out;
+}
+
+CompiledCircuit
+CpmRecompiler::recompile(const std::vector<int> &logical_qubits)
+{
+    const circuit::QuantumCircuit cpm_logical =
+        logical_.withMeasurementSubset(logical_qubits);
+
+    // Candidate generation mirrors transpile()'s compileCandidates:
+    // both greedy placement families per start, the distance-only one
+    // added only when it differs from the noise-aware one. Candidate
+    // order is preserved so tie-breaking matches transpile() exactly.
+    std::vector<CompiledCircuit> candidates;
+    candidates.reserve(2 * starts_.size());
+    for (int start : starts_) {
+        const Layout aware = greedyPlacement(cpm_logical, dev_, start,
+                                             options_.noiseAware);
+        candidates.push_back(finishCandidate(aware, logical_qubits));
+        if (options_.noiseAware) {
+            const Layout tight =
+                greedyPlacement(cpm_logical, dev_, start, false);
+            if (tight.logicalToPhysical() != aware.logicalToPhysical()) {
+                candidates.push_back(
+                    finishCandidate(tight, logical_qubits));
+            }
+        }
+    }
+
+    // Selection is copied verbatim from transpile(): prefer candidates
+    // within the SWAP budget (CPM recompilation rule), best EPS wins.
+    auto better = [this](const CompiledCircuit &a,
+                         const CompiledCircuit &b) {
+        if (options_.noiseAware)
+            return a.eps > b.eps;
+        if (a.swapCount != b.swapCount)
+            return a.swapCount < b.swapCount;
+        return a.eps > b.eps;
+    };
+    const CompiledCircuit *best = nullptr;
+    if (options_.maxSwaps) {
+        for (const CompiledCircuit &c : candidates) {
+            if (c.swapCount <= *options_.maxSwaps &&
+                (!best || better(c, *best))) {
+                best = &c;
+            }
+        }
+    }
+    if (!best) {
+        for (const CompiledCircuit &c : candidates) {
+            if (!best || better(c, *best))
+                best = &c;
+        }
+    }
+    return *best;
+}
+
+} // namespace compiler
+} // namespace jigsaw

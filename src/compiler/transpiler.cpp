@@ -124,9 +124,10 @@ std::atomic<std::uint64_t> transpileMisses{0};
 } // namespace
 
 CompiledCircuit
-transpileCached(const circuit::QuantumCircuit &logical,
-                const device::DeviceModel &dev,
-                const TranspileOptions &options)
+transpileCachedVia(const circuit::QuantumCircuit &logical,
+                   const device::DeviceModel &dev,
+                   const TranspileOptions &options,
+                   const std::function<CompiledCircuit()> &compute)
 {
     const std::uint64_t key = transpileKey(logical, dev, options);
     {
@@ -137,12 +138,22 @@ transpileCached(const circuit::QuantumCircuit &logical,
             return it->second;
         }
     }
-    // Transpile outside the lock: deterministic, so two threads racing
+    // Compile outside the lock: deterministic, so two threads racing
     // on one key produce identical entries.
     ++transpileMisses;
-    CompiledCircuit compiled = transpile(logical, dev, options);
+    CompiledCircuit compiled = compute();
     std::lock_guard<std::mutex> lock(transpileCacheMutex);
     return transpileCache.emplace(key, std::move(compiled)).first->second;
+}
+
+CompiledCircuit
+transpileCached(const circuit::QuantumCircuit &logical,
+                const device::DeviceModel &dev,
+                const TranspileOptions &options)
+{
+    return transpileCachedVia(logical, dev, options, [&] {
+        return transpile(logical, dev, options);
+    });
 }
 
 std::uint64_t

@@ -12,6 +12,7 @@
 #ifndef JIGSAW_COMPILER_TRANSPILER_H
 #define JIGSAW_COMPILER_TRANSPILER_H
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -64,6 +65,19 @@ CompiledCircuit transpile(const circuit::QuantumCircuit &logical,
 CompiledCircuit transpileCached(const circuit::QuantumCircuit &logical,
                                 const device::DeviceModel &dev,
                                 const TranspileOptions &options = {});
+
+/**
+ * The transpileCached() memo with a caller-supplied compiler: on a
+ * miss, @p compute() produces the entry instead of transpile(). The
+ * caller guarantees compute() returns exactly what transpile(logical,
+ * dev, options) would (the batched CPM recompiler does), so mixing
+ * both entry points on one key stays coherent. Hit/miss counters are
+ * shared with transpileCached().
+ */
+CompiledCircuit transpileCachedVia(
+    const circuit::QuantumCircuit &logical, const device::DeviceModel &dev,
+    const TranspileOptions &options,
+    const std::function<CompiledCircuit()> &compute);
 
 /** Lifetime transpileCached() calls served from the memo. */
 std::uint64_t transpileCacheHits();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/parallel.h"
@@ -85,6 +86,232 @@ flatHellinger(const std::vector<double> &p, const std::vector<double> &q)
     return std::sqrt(std::max(0.0, 1.0 - bc));
 }
 
+/** Outcomes per shard in the sharded round path. Fixed (independent
+ *  of the thread count) so shard boundaries — and therefore every
+ *  reduction's grouping — are deterministic. */
+constexpr std::size_t kShardSize = 1ULL << 14;
+
+/** Supports at least this large take the sharded path under Auto. */
+constexpr std::size_t kShardAutoThreshold = 1ULL << 17;
+
+/**
+ * The per-marginal round loop: one posterior vector per thread, the
+ * posterior sum into the prior done serially in marginal order.
+ */
+void
+perMarginalRounds(std::vector<double> &cur,
+                  const std::vector<IndexedMarginal> &indexed,
+                  const ReconstructionOptions &options)
+{
+    const std::size_t n = cur.size();
+    const std::size_t n_m = indexed.size();
+    std::vector<std::vector<double>> posts(
+        n_m, std::vector<double>(n, 0.0));
+
+    std::vector<double> accum(n);
+    for (int round = 0; round < options.maxRounds; ++round) {
+        // One Bayesian_Reconstruction call: all marginals update the
+        // same prior (the previous round's output) independently —
+        // computed in parallel — and the normalized posteriors are
+        // summed into it in marginal order, so the result is
+        // identical however many threads ran.
+        parallelFor(0, n_m, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t mi = lo; mi < hi; ++mi) {
+                const IndexedMarginal &im = indexed[mi];
+                std::vector<double> &post = posts[mi];
+                std::vector<double> mass(im.nBuckets, 0.0);
+                for (std::size_t i = 0; i < n; ++i)
+                    mass[im.bucketOf[i]] += cur[i];
+                double post_sum = 0.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::uint32_t b = im.bucketOf[i];
+                    const double odds = im.odds[b];
+                    double v;
+                    if (odds < 0.0 || mass[b] <= 0.0)
+                        v = cur[i];
+                    else
+                        v = (cur[i] / mass[b]) * odds;
+                    post[i] = v;
+                    post_sum += v;
+                }
+                if (post_sum > 0.0) {
+                    const double inv = 1.0 / post_sum;
+                    for (std::size_t i = 0; i < n; ++i)
+                        post[i] *= inv;
+                }
+            }
+        });
+
+        accum = cur;
+        for (std::size_t mi = 0; mi < n_m; ++mi) {
+            const std::vector<double> &post = posts[mi];
+            for (std::size_t i = 0; i < n; ++i)
+                accum[i] += post[i];
+        }
+        double total = 0.0;
+        for (double v : accum)
+            total += v;
+        if (total > 0.0) {
+            const double inv = 1.0 / total;
+            for (double &v : accum)
+                v *= inv;
+        }
+
+        const double moved = flatHellinger(cur, accum);
+        cur.swap(accum);
+        if (moved < options.tolerance)
+            break;
+    }
+}
+
+/**
+ * The sharded round loop: the flat outcome vector is split into
+ * fixed-size shards; each phase runs shards in parallel and reduces
+ * per-shard partials (bucket masses, posterior sums, totals, the
+ * Bhattacharyya sum) serially in shard order. Scales rounds on large
+ * supports, where the marginal count no longer provides parallelism
+ * relative to the per-outcome work.
+ */
+void
+shardedRounds(std::vector<double> &cur,
+              const std::vector<IndexedMarginal> &indexed,
+              const ReconstructionOptions &options)
+{
+    const std::size_t n = cur.size();
+    const std::size_t n_m = indexed.size();
+    const std::size_t n_shards = (n + kShardSize - 1) / kShardSize;
+    const auto shard_range = [n](std::size_t s) {
+        const std::size_t lo = s * kShardSize;
+        return std::pair<std::size_t, std::size_t>(
+            lo, std::min(n, lo + kShardSize));
+    };
+
+    std::vector<std::vector<double>> posts(
+        n_m, std::vector<double>(n, 0.0));
+    // Per-shard partial bucket masses, one flat [shard][bucket] array
+    // per marginal, plus the reduced per-bucket masses.
+    std::vector<std::vector<double>> partial_mass(n_m);
+    std::vector<std::vector<double>> mass(n_m);
+    for (std::size_t mi = 0; mi < n_m; ++mi) {
+        partial_mass[mi].resize(n_shards * indexed[mi].nBuckets);
+        mass[mi].resize(indexed[mi].nBuckets);
+    }
+    std::vector<double> post_scale(n_m);
+    std::vector<double> partial_post_sum(n_m * n_shards);
+    std::vector<double> shard_total(n_shards);
+    std::vector<double> shard_bc(n_shards);
+    std::vector<double> accum(n);
+
+    for (int round = 0; round < options.maxRounds; ++round) {
+        // Phase 1: per-shard partial bucket masses, reduced in shard
+        // order so the grouping is independent of the thread count.
+        parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                const auto [i0, i1] = shard_range(s);
+                for (std::size_t mi = 0; mi < n_m; ++mi) {
+                    const IndexedMarginal &im = indexed[mi];
+                    double *pm =
+                        partial_mass[mi].data() + s * im.nBuckets;
+                    std::fill(pm, pm + im.nBuckets, 0.0);
+                    for (std::size_t i = i0; i < i1; ++i)
+                        pm[im.bucketOf[i]] += cur[i];
+                }
+            }
+        });
+        parallelFor(0, n_m, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t mi = lo; mi < hi; ++mi) {
+                const std::size_t n_b = indexed[mi].nBuckets;
+                for (std::size_t b = 0; b < n_b; ++b) {
+                    double m = 0.0;
+                    for (std::size_t s = 0; s < n_shards; ++s)
+                        m += partial_mass[mi][s * n_b + b];
+                    mass[mi][b] = m;
+                }
+            }
+        });
+
+        // Phase 2: unnormalized posteriors with per-shard partial
+        // sums; each marginal's normalizer reduces in shard order.
+        parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                const auto [i0, i1] = shard_range(s);
+                for (std::size_t mi = 0; mi < n_m; ++mi) {
+                    const IndexedMarginal &im = indexed[mi];
+                    double *post = posts[mi].data();
+                    double sum = 0.0;
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        const std::uint32_t b = im.bucketOf[i];
+                        const double odds = im.odds[b];
+                        double v;
+                        if (odds < 0.0 || mass[mi][b] <= 0.0)
+                            v = cur[i];
+                        else
+                            v = (cur[i] / mass[mi][b]) * odds;
+                        post[i] = v;
+                        sum += v;
+                    }
+                    partial_post_sum[mi * n_shards + s] = sum;
+                }
+            }
+        });
+        for (std::size_t mi = 0; mi < n_m; ++mi) {
+            double post_sum = 0.0;
+            for (std::size_t s = 0; s < n_shards; ++s)
+                post_sum += partial_post_sum[mi * n_shards + s];
+            post_scale[mi] = post_sum > 0.0 ? 1.0 / post_sum : 0.0;
+        }
+
+        // Phase 3: sum the scaled posteriors into the prior. The
+        // per-outcome addition order (prior, then marginal 0, 1, ...)
+        // matches the per-marginal path exactly; only the totals
+        // reduce per shard.
+        parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                const auto [i0, i1] = shard_range(s);
+                double total = 0.0;
+                for (std::size_t i = i0; i < i1; ++i) {
+                    double a = cur[i];
+                    for (std::size_t mi = 0; mi < n_m; ++mi) {
+                        const double scale = post_scale[mi];
+                        a += scale > 0.0 ? posts[mi][i] * scale
+                                         : posts[mi][i];
+                    }
+                    accum[i] = a;
+                    total += a;
+                }
+                shard_total[s] = total;
+            }
+        });
+        double total = 0.0;
+        for (std::size_t s = 0; s < n_shards; ++s)
+            total += shard_total[s];
+
+        // Phase 4: normalize and measure the move in one sharded pass.
+        const double inv_total = total > 0.0 ? 1.0 / total : 1.0;
+        parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                const auto [i0, i1] = shard_range(s);
+                double bc = 0.0;
+                for (std::size_t i = i0; i < i1; ++i) {
+                    const double v = accum[i] * inv_total;
+                    accum[i] = v;
+                    if (cur[i] > 0.0 && v > 0.0)
+                        bc += std::sqrt(cur[i] * v);
+                }
+                shard_bc[s] = bc;
+            }
+        });
+        double bc = 0.0;
+        for (std::size_t s = 0; s < n_shards; ++s)
+            bc += shard_bc[s];
+
+        const double moved = std::sqrt(std::max(0.0, 1.0 - bc));
+        cur.swap(accum);
+        if (moved < options.tolerance)
+            break;
+    }
+}
+
 } // namespace
 
 Pmf
@@ -152,71 +379,20 @@ bayesianReconstruct(const Pmf &global,
     for (std::size_t i = 0; i < n; ++i)
         cur[i] = global.prob(outcomes[i]);
 
-    const std::size_t n_m = marginals.size();
     std::vector<IndexedMarginal> indexed;
-    indexed.reserve(n_m);
+    indexed.reserve(marginals.size());
     for (const Marginal &m : marginals)
         indexed.push_back(
             indexMarginal(outcomes, m, options.evidenceThreshold));
 
-    // Per-marginal posterior buffers, reused across rounds.
-    std::vector<std::vector<double>> posts(
-        n_m, std::vector<double>(n, 0.0));
-
-    std::vector<double> accum(n);
-    for (int round = 0; round < options.maxRounds; ++round) {
-        // One Bayesian_Reconstruction call: all marginals update the
-        // same prior (the previous round's output) independently —
-        // computed in parallel — and the normalized posteriors are
-        // summed into it in marginal order, so the result is
-        // identical however many threads ran.
-        parallelFor(0, n_m, 1, [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t mi = lo; mi < hi; ++mi) {
-                const IndexedMarginal &im = indexed[mi];
-                std::vector<double> &post = posts[mi];
-                std::vector<double> mass(im.nBuckets, 0.0);
-                for (std::size_t i = 0; i < n; ++i)
-                    mass[im.bucketOf[i]] += cur[i];
-                double post_sum = 0.0;
-                for (std::size_t i = 0; i < n; ++i) {
-                    const std::uint32_t b = im.bucketOf[i];
-                    const double odds = im.odds[b];
-                    double v;
-                    if (odds < 0.0 || mass[b] <= 0.0)
-                        v = cur[i];
-                    else
-                        v = (cur[i] / mass[b]) * odds;
-                    post[i] = v;
-                    post_sum += v;
-                }
-                if (post_sum > 0.0) {
-                    const double inv = 1.0 / post_sum;
-                    for (std::size_t i = 0; i < n; ++i)
-                        post[i] *= inv;
-                }
-            }
-        });
-
-        accum = cur;
-        for (std::size_t mi = 0; mi < n_m; ++mi) {
-            const std::vector<double> &post = posts[mi];
-            for (std::size_t i = 0; i < n; ++i)
-                accum[i] += post[i];
-        }
-        double total = 0.0;
-        for (double v : accum)
-            total += v;
-        if (total > 0.0) {
-            const double inv = 1.0 / total;
-            for (double &v : accum)
-                v *= inv;
-        }
-
-        const double moved = flatHellinger(cur, accum);
-        cur.swap(accum);
-        if (moved < options.tolerance)
-            break;
-    }
+    const bool sharded =
+        options.shardMode == ShardMode::Always ||
+        (options.shardMode == ShardMode::Auto &&
+         n >= kShardAutoThreshold);
+    if (sharded)
+        shardedRounds(cur, indexed, options);
+    else
+        perMarginalRounds(cur, indexed, options);
 
     Pmf output(global.nQubits());
     for (std::size_t i = 0; i < n; ++i)

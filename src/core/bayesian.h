@@ -40,12 +40,31 @@ enum class LayerOrder
     BottomUp,
 };
 
+/**
+ * How one reconstruction round is split across the thread pool.
+ *
+ * Both paths are deterministic for a fixed input whatever the thread
+ * count (shard boundaries depend only on the support size, and every
+ * floating-point reduction runs in fixed shard order), but the two
+ * paths group their sums differently, so they agree only to golden
+ * equivalence (~1e-12), not bitwise.
+ */
+enum class ShardMode
+{
+    /** Shard the flat outcome vector on large supports (the marginal
+     *  count no longer bounds scaling there), per-marginal otherwise. */
+    Auto,
+    Always, ///< Force outcome sharding (tests, large-support benches).
+    Never,  ///< Force the per-marginal path.
+};
+
 /** Convergence controls for the iterated reconstruction. */
 struct ReconstructionOptions
 {
     int maxRounds = 16;       ///< Hard cap on update rounds.
     double tolerance = 1e-4;  ///< Hellinger-distance convergence bound.
     LayerOrder layerOrder = LayerOrder::TopDown; ///< JigSaw-M ordering.
+    ShardMode shardMode = ShardMode::Auto; ///< Round parallelization.
     /**
      * Local-PMF mass at or below this is treated as unobserved — the
      * matching global outcomes keep their prior probability, exactly
@@ -74,8 +93,12 @@ Pmf bayesianUpdate(const Pmf &prior, const Marginal &m,
  * Implementation note: because the support is invariant across
  * rounds, the subset keys and bucket assignments of every marginal
  * are precomputed once into flat indexed arrays; each round then
- * iterates dense vectors (no per-round hash-map rebuilds) and
- * computes the per-marginal posteriors in parallel.
+ * iterates dense vectors (no per-round hash-map rebuilds). Rounds
+ * parallelize per ShardMode: one posterior per thread (per-marginal),
+ * or — on large supports — the flat outcome vector is split into
+ * fixed-size shards, each thread accumulating per-shard partial
+ * bucket masses that are reduced in shard order, so the result is
+ * identical however many threads ran.
  */
 Pmf bayesianReconstruct(const Pmf &global,
                         const std::vector<Marginal> &marginals,

@@ -1,10 +1,6 @@
 #include "core/jigsaw.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "common/error.h"
-#include "sim/eps.h"
+#include "core/session.h"
 
 namespace jigsaw {
 namespace core {
@@ -19,201 +15,15 @@ JigsawResult::marginals() const
     return ms;
 }
 
-namespace {
-
-/** Generate the run's subsets over @p n measured bit positions. */
-std::vector<Subset>
-generateSubsets(int n, const JigsawOptions &options)
-{
-    if (options.customSubsets)
-        return *options.customSubsets;
-
-    std::vector<Subset> subsets;
-    Rng rng(options.seed);
-    for (int size : options.subsetSizes) {
-        fatalIf(size < 1 || size > n,
-                "runJigsaw: subset size out of range");
-        std::vector<Subset> layer;
-        switch (options.subsetMethod) {
-          case SubsetMethod::SlidingWindow:
-            layer = slidingWindowSubsets(n, size);
-            break;
-          case SubsetMethod::RandomCovering:
-            layer = coveringRandomSubsets(n, size, rng);
-            break;
-        }
-        subsets.insert(subsets.end(), layer.begin(), layer.end());
-    }
-    return subsets;
-}
-
-/**
- * Build the CPM for @p subset without recompilation: the global
- * compilation's physical circuit, measuring only the subset's
- * physical qubits (via the final layout).
- */
-compiler::CompiledCircuit
-cpmFromGlobal(const compiler::CompiledCircuit &global,
-              const std::vector<int> &logical_qubits,
-              const device::DeviceModel &dev)
-{
-    std::vector<int> physical_qubits;
-    physical_qubits.reserve(logical_qubits.size());
-    for (int lq : logical_qubits)
-        physical_qubits.push_back(global.finalLayout.physicalOf(lq));
-
-    compiler::CompiledCircuit cpm{
-        global.physical.withMeasurementSubset(physical_qubits),
-        global.initialLayout,
-        global.finalLayout,
-        global.swapCount,
-        0.0,
-        0.0,
-        0.0,
-    };
-    cpm.gateSuccess = sim::gateSuccessProbability(cpm.physical, dev);
-    cpm.measurementSuccess =
-        sim::measurementSuccessProbability(cpm.physical, dev);
-    cpm.eps = cpm.gateSuccess * cpm.measurementSuccess;
-    return cpm;
-}
-
-} // namespace
-
 JigsawResult
 runJigsaw(const circuit::QuantumCircuit &logical,
           const device::DeviceModel &dev, sim::Executor &executor,
           std::uint64_t total_trials, const JigsawOptions &options)
 {
-    fatalIf(total_trials < 2, "runJigsaw: need at least two trials");
-    fatalIf(options.globalFraction <= 0.0 || options.globalFraction >= 1.0,
-            "runJigsaw: globalFraction must be in (0, 1)");
-
-    const int n_measured = logical.countMeasurements();
-    fatalIf(n_measured < 2, "runJigsaw: program must measure >= 2 qubits");
-
-    // Map classical bit -> logical qubit for CPM construction.
-    const std::vector<int> qubit_of_clbit = logical.measuredQubits();
-
-    // --- Global mode -----------------------------------------------
-    compiler::CompiledCircuit global_compiled =
-        compiler::transpileCached(logical, dev, options.transpile);
-    const auto global_trials = static_cast<std::uint64_t>(
-        static_cast<double>(total_trials) * options.globalFraction);
-    const Pmf global_pmf =
-        executor.run(global_compiled.physical, global_trials).toPmf();
-
-    // --- Subset mode -----------------------------------------------
-    const std::vector<Subset> subsets =
-        generateSubsets(n_measured, options);
-    fatalIf(subsets.empty(), "runJigsaw: no subsets generated");
-    // Split the subset budget evenly, handing the integer-division
-    // remainder to the first CPMs one trial each, so the run spends
-    // exactly the budget it was given (globalTrials + subsetTrials ==
-    // total_trials whenever the budget covers one trial per CPM).
-    const std::uint64_t subset_budget = total_trials - global_trials;
-    const std::uint64_t per_cpm_base = subset_budget / subsets.size();
-    const std::uint64_t remainder = subset_budget % subsets.size();
-
-    // CPM recompilation must not add SWAPs over the global schedule
-    // (Section 4.2.2's "avoid extra SWAPs" rule).
-    compiler::TranspileOptions cpm_options = options.transpile;
-    cpm_options.maxSwaps = global_compiled.swapCount;
-
-    JigsawResult result{global_pmf, global_pmf, global_compiled, {},
-                        global_trials, 0};
-
-    // Pass 1: compile every CPM. Most CPMs keep the global mapping
-    // (cpmFromGlobal), so they share the global compilation's gate
-    // prefix and differ only in which qubits are measured.
-    std::vector<bool> from_global;
-    from_global.reserve(subsets.size());
-    for (std::size_t s = 0; s < subsets.size(); ++s) {
-        const Subset &subset = subsets[s];
-        const std::uint64_t per_cpm = std::max<std::uint64_t>(
-            1, per_cpm_base + (s < remainder ? 1 : 0));
-        std::vector<int> logical_qubits;
-        logical_qubits.reserve(subset.size());
-        for (int c : subset) {
-            fatalIf(c < 0 || c >= n_measured,
-                    "runJigsaw: subset bit out of range");
-            logical_qubits.push_back(
-                qubit_of_clbit[static_cast<std::size_t>(c)]);
-        }
-
-        // Recompilation considers the global allocation as a candidate
-        // too (the paper notes most CPMs can reuse existing
-        // allocations), so a recompiled CPM never has a lower expected
-        // probability of success than the global mapping would give.
-        compiler::CompiledCircuit compiled =
-            cpmFromGlobal(global_compiled, logical_qubits, dev);
-        bool reused_global = true;
-        if (options.recompileCpms) {
-            compiler::CompiledCircuit recompiled =
-                compiler::transpileCached(
-                    logical.withMeasurementSubset(logical_qubits), dev,
-                    cpm_options);
-            if (recompiled.eps > compiled.eps) {
-                compiled = std::move(recompiled);
-                reused_global = false;
-            }
-        }
-
-        from_global.push_back(reused_global);
-        result.cpms.push_back({subset, std::move(compiled),
-                               Pmf(static_cast<int>(subset.size())),
-                               per_cpm});
-        result.subsetTrials += per_cpm;
-    }
-
-    // Pass 2: execute, grouped by shared gate prefix so a batching
-    // backend evolves each prefix once and serves every member's
-    // marginal off the single final state. All CPMs that kept the
-    // global mapping share one group (batched against the global
-    // physical circuit itself, which keeps the executor's PMF-cache
-    // keys identical to per-CPM execution); recompiled CPMs group
-    // together whenever recompilation chose the same layout/routing.
-    struct BatchGroup
-    {
-        const circuit::QuantumCircuit *base;
-        std::vector<sim::CpmSpec> specs;
-        std::vector<std::size_t> members;
-    };
-    std::vector<BatchGroup> groups;
-    std::unordered_map<std::uint64_t, std::size_t> group_of;
-    for (std::size_t i = 0; i < result.cpms.size(); ++i) {
-        const CpmRecord &cpm = result.cpms[i];
-        const std::uint64_t prefix_hash =
-            cpm.compiled.physical.withoutMeasurements().structuralHash();
-        const auto [it, inserted] =
-            group_of.emplace(prefix_hash, groups.size());
-        if (inserted) {
-            groups.push_back({from_global[i]
-                                  ? &global_compiled.physical
-                                  : &cpm.compiled.physical,
-                              {},
-                              {}});
-        }
-        std::vector<int> measured = cpm.compiled.physical.measuredQubits();
-        for (int q : measured)
-            fatalIf(q < 0, "runJigsaw: CPM with unused classical bit");
-        BatchGroup &group = groups[it->second];
-        group.specs.push_back({std::move(measured), cpm.trials});
-        group.members.push_back(i);
-    }
-    for (const BatchGroup &group : groups) {
-        const std::vector<Histogram> hists =
-            executor.runBatch(*group.base, group.specs);
-        for (std::size_t j = 0; j < group.members.size(); ++j)
-            result.cpms[group.members[j]].localPmf = hists[j].toPmf();
-    }
-
-    // --- Reconstruction --------------------------------------------
-    // multiLayerReconstruct applies marginals grouped by size, top
-    // down; with a single size it reduces to plain reconstruction.
-    result.output = multiLayerReconstruct(global_pmf, result.marginals(),
-                                          options.reconstruction);
-    return result;
+    // The staged pipeline (core/pipeline.h) does the actual work; the
+    // classic entry point is one session run start to finish.
+    return JigsawSession(logical, dev, executor, total_trials, options)
+        .run();
 }
 
 Pmf

@@ -13,6 +13,11 @@
  * and reconstructs the output PMF with Bayesian updates. Subset sizes
  * {2} give the default JigSaw; {2,3,4,5} give the default JigSaw-M
  * with top-down (largest-size-first) reconstruction.
+ *
+ * runJigsaw() is a thin wrapper over the staged pipeline: see
+ * core/pipeline.h for the per-stage artifacts, core/session.h for the
+ * resumable single-program driver, and core/service.h for running
+ * many programs concurrently.
  */
 #ifndef JIGSAW_CORE_JIGSAW_H
 #define JIGSAW_CORE_JIGSAW_H

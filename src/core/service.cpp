@@ -1,0 +1,79 @@
+#include "core/service.h"
+
+#include <chrono>
+#include <optional>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace jigsaw {
+namespace core {
+
+namespace {
+
+/** The executor a program runs against: its own, or a fresh seeded
+ *  default — the one definition shared by the concurrent service and
+ *  the sequential reference. */
+std::shared_ptr<sim::Executor>
+programExecutor(const ServiceProgram &program)
+{
+    if (program.executor)
+        return program.executor;
+    return std::make_shared<sim::NoisySimulator>(
+        program.device,
+        sim::NoisySimulatorOptions{.seed = program.executorSeed});
+}
+
+} // namespace
+
+std::vector<JigsawResult>
+runProgramsSequentially(const std::vector<ServiceProgram> &programs)
+{
+    std::vector<JigsawResult> results;
+    results.reserve(programs.size());
+    for (const ServiceProgram &program : programs) {
+        const std::shared_ptr<sim::Executor> executor =
+            programExecutor(program);
+        results.push_back(runJigsaw(program.circuit, program.device,
+                                    *executor, program.trials,
+                                    program.options));
+    }
+    return results;
+}
+
+std::vector<JigsawResult>
+JigsawService::run(const std::vector<ServiceProgram> &programs)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::optional<JigsawResult>> slots(programs.size());
+
+    TaskGroup group;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        group.run([&programs, &slots, i] {
+            const ServiceProgram &program = programs[i];
+            const std::shared_ptr<sim::Executor> executor =
+                programExecutor(program);
+            JigsawSession session(program.circuit, program.device,
+                                  *executor, program.trials,
+                                  program.options);
+            slots[i] = session.run();
+        });
+    }
+    group.wait();
+
+    stats_.programs = programs.size();
+    stats_.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+    std::vector<JigsawResult> results;
+    results.reserve(slots.size());
+    for (std::optional<JigsawResult> &slot : slots) {
+        panicIf(!slot, "JigsawService: program finished without result");
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+} // namespace core
+} // namespace jigsaw

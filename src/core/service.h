@@ -1,0 +1,108 @@
+/**
+ * @file
+ * JigsawService: many programs through the pipeline, concurrently.
+ *
+ * The service accepts N programs and schedules one JigsawSession per
+ * program over the shared thread pool (common/parallel.h TaskGroup).
+ * Sessions share the process-wide transpile memo and, when programs
+ * share an executor, its PMF/state caches — both thread-safe — so
+ * concurrent programs deduplicate compilation and evolution work
+ * exactly like sequential runs do.
+ *
+ * Determinism: each program that brings (or is given) its own seeded
+ * executor produces a result bitwise-identical to a sequential
+ * runJigsaw() with the same inputs, whatever the pool size or
+ * completion order — every parallel reduction in the pipeline runs in
+ * a fixed order, and results are returned in submission order.
+ * Programs sharing one executor stay data-race-free but interleave
+ * its RNG stream nondeterministically.
+ */
+#ifndef JIGSAW_CORE_SERVICE_H
+#define JIGSAW_CORE_SERVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+
+namespace jigsaw {
+namespace core {
+
+/** One program submitted to the service. */
+struct ServiceProgram
+{
+    ServiceProgram(circuit::QuantumCircuit circuit_,
+                   device::DeviceModel device_, std::uint64_t trials_,
+                   JigsawOptions options_ = {},
+                   std::uint64_t executor_seed = 1234,
+                   std::shared_ptr<sim::Executor> executor_ = nullptr)
+        : circuit(std::move(circuit_)), device(std::move(device_)),
+          trials(trials_), options(std::move(options_)),
+          executor(std::move(executor_)), executorSeed(executor_seed)
+    {
+    }
+
+    circuit::QuantumCircuit circuit;
+    device::DeviceModel device;
+    std::uint64_t trials;
+    JigsawOptions options;
+    /**
+     * Executor for this program. When null, the service builds a
+     * NoisySimulator(device, {.seed = executorSeed}) — giving every
+     * program a private, deterministic draw stream. Programs may share
+     * one executor (the caches are thread-safe) at the cost of a
+     * nondeterministic interleaving of its RNG.
+     */
+    std::shared_ptr<sim::Executor> executor;
+    std::uint64_t executorSeed; ///< Seed for the default executor.
+};
+
+/** What one service run did, beyond the per-program results. */
+struct ServiceStats
+{
+    std::size_t programs = 0; ///< Programs completed.
+    double wallMs = 0.0;      ///< Wall time of the whole batch.
+
+    /** Throughput of the batch. */
+    double programsPerSecond() const
+    {
+        return wallMs > 0.0
+                   ? 1000.0 * static_cast<double>(programs) / wallMs
+                   : 0.0;
+    }
+};
+
+/**
+ * Sequential reference for the service: the same programs, one
+ * runJigsaw after another, each with the executor the service would
+ * use (the caller-supplied one, else a fresh default-seeded
+ * NoisySimulator). This single definition is what the service's
+ * bitwise-equivalence tests and benches compare against.
+ */
+std::vector<JigsawResult>
+runProgramsSequentially(const std::vector<ServiceProgram> &programs);
+
+class JigsawService
+{
+  public:
+    /**
+     * Run every program to completion, concurrently, and return their
+     * results in submission order. Rethrows the first per-program
+     * failure after all programs finished. Stats of the last run are
+     * available from stats().
+     */
+    std::vector<JigsawResult> run(const std::vector<ServiceProgram> &programs);
+
+    /** Stats of the most recent run(). */
+    const ServiceStats &stats() const { return stats_; }
+
+  private:
+    ServiceStats stats_;
+};
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_SERVICE_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * JigsawSession: one program driven through the staged pipeline.
+ *
+ * A session owns the per-program pipeline state and advances lazily,
+ * stage by stage — plan() -> compiled() -> schedule() -> executed() ->
+ * output() — each accessor running every missing predecessor first.
+ * Benches and ablations can stop at any stage and inspect the typed
+ * artifact (e.g. time compilation alone, or swap the reconstruction
+ * options after execution); runJigsaw() is simply run() on a fresh
+ * session. Sessions are single-threaded objects; concurrency across
+ * programs lives in core::JigsawService.
+ */
+#ifndef JIGSAW_CORE_SESSION_H
+#define JIGSAW_CORE_SESSION_H
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pipeline.h"
+
+namespace jigsaw {
+namespace core {
+
+class JigsawSession
+{
+  public:
+    /** The pipeline stages, in order. */
+    enum class Stage
+    {
+        Created,       ///< Nothing run yet.
+        Planned,       ///< SubsetPlan ready.
+        Compiled,      ///< CompiledJobs ready.
+        Scheduled,     ///< ExecutionSchedule ready.
+        Executed,      ///< ExecutionResult ready.
+        Reconstructed, ///< Output PMF ready.
+    };
+
+    /**
+     * The circuit, device, and options are copied so the session can
+     * run asynchronously; @p executor is borrowed and must outlive the
+     * session. Validation happens in the planning stage, not here.
+     */
+    JigsawSession(circuit::QuantumCircuit logical,
+                  device::DeviceModel dev, sim::Executor &executor,
+                  std::uint64_t total_trials, JigsawOptions options = {});
+
+    /** Last completed stage. */
+    Stage stage() const;
+
+    /** @name Stage accessors (each runs missing predecessors).
+     *  @{ */
+    const SubsetPlan &plan();
+    const CompiledJobs &compiled();
+    const ExecutionSchedule &schedule();
+    const ExecutionResult &executed();
+    const Pmf &output();
+    /** @} */
+
+    /** Run every remaining stage and assemble the JigsawResult. */
+    JigsawResult run();
+
+    /** The program this session runs. */
+    const circuit::QuantumCircuit &logical() const { return logical_; }
+
+    /** The device this session compiles for. */
+    const device::DeviceModel &device() const { return dev_; }
+
+  private:
+    circuit::QuantumCircuit logical_;
+    device::DeviceModel dev_;
+    sim::Executor &executor_;
+    std::uint64_t totalTrials_;
+    JigsawOptions options_;
+
+    std::optional<SubsetPlan> plan_;
+    std::optional<CompiledJobs> jobs_;
+    std::optional<ExecutionSchedule> schedule_;
+    std::optional<ExecutionResult> execution_;
+    std::optional<Pmf> output_;
+};
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_SESSION_H

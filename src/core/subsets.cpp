@@ -8,6 +8,26 @@
 namespace jigsaw {
 namespace core {
 
+void
+validateSubsets(int n_bits, const std::vector<Subset> &subsets)
+{
+    fatalIf(subsets.empty(), "validateSubsets: no subsets given");
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+        const Subset &subset = subsets[s];
+        const std::string where =
+            "validateSubsets: subset " + std::to_string(s);
+        fatalIf(subset.empty(), where + " is empty");
+        std::set<int> seen;
+        for (int bit : subset) {
+            fatalIf(bit < 0 || bit >= n_bits,
+                    where + " has bit " + std::to_string(bit) +
+                        " outside [0, " + std::to_string(n_bits) + ")");
+            fatalIf(!seen.insert(bit).second,
+                    where + " repeats bit " + std::to_string(bit));
+        }
+    }
+}
+
 std::vector<Subset>
 slidingWindowSubsets(int n_qubits, int subset_size)
 {

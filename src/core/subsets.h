@@ -22,6 +22,15 @@ namespace core {
 using Subset = std::vector<int>;
 
 /**
+ * Validate explicit (user-supplied) subsets over @p n_bits measured
+ * bit positions: every subset must be non-empty, contain only bits in
+ * [0, n_bits), and have no duplicate bit positions. The subset list
+ * itself must be non-empty. Throws std::invalid_argument with the
+ * offending subset index otherwise.
+ */
+void validateSubsets(int n_bits, const std::vector<Subset> &subsets);
+
+/**
  * Sliding-window subsets: for n = 4, size = 2 this yields (0,1),
  * (1,2), (2,3), (0,3) — one window per qubit, wrapping around.
  */

@@ -1,6 +1,7 @@
 #include "sim/simulators.h"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "common/error.h"
@@ -95,25 +96,36 @@ exactOutputPmf(const QuantumCircuit &physical)
 /**
  * The evolved shared-prefix state for @p base (measurements ignored),
  * from @p cache when present. @p stats tracks evolutions vs reuses.
+ * @p mutex guards both the cache and the stats; the evolution itself
+ * runs unlocked (a lost insert race wastes one evolution, the first
+ * inserted entry wins and stays pointer-stable).
  */
 const BatchState &
-evolvedBase(BatchStateCache &cache, const QuantumCircuit &base,
-            BatchStats &stats)
+evolvedBase(BatchStateCache &cache, std::mutex &mutex,
+            const QuantumCircuit &base, BatchStats &stats)
 {
     const QuantumCircuit prefix = base.withoutMeasurements();
     const std::uint64_t key = prefix.structuralHash();
-    const auto it = cache.find(key);
-    if (it != cache.end()) {
-        ++stats.baseStateHits;
-        return *it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end()) {
+            ++stats.baseStateHits;
+            return *it->second;
+        }
     }
-    ++stats.baseEvolutions;
     CompactCircuit compact = compactCircuit(prefix);
     StateVector state(compact.circuit.nQubits());
     state.applyCircuit(compact.circuit);
     auto entry = std::make_unique<BatchState>(std::move(state),
                                               std::move(compact.denseOf));
-    return *cache.emplace(key, std::move(entry)).first->second;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto [it, inserted] = cache.emplace(key, std::move(entry));
+    if (inserted)
+        ++stats.baseEvolutions;
+    else
+        ++stats.baseStateHits;
+    return *it->second;
 }
 
 /**
@@ -181,14 +193,20 @@ const IdealSimulator::Cached &
 IdealSimulator::evolved(const QuantumCircuit &physical)
 {
     const std::uint64_t key = physical.structuralHash();
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
     }
+    // Evolve outside the lock: deterministic, so racing threads build
+    // identical entries and the first emplace wins.
     ++cacheMisses_;
     Pmf pmf = exactOutputPmf(physical);
     AliasTable sampler(pmf);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_
         .emplace(key, Cached{std::move(pmf), std::move(sampler)})
         .first->second;
@@ -200,6 +218,7 @@ IdealSimulator::run(const QuantumCircuit &physical_circuit,
 {
     const Cached &entry = evolved(physical_circuit);
     Histogram hist(entry.pmf.nQubits());
+    std::lock_guard<std::mutex> lock(rngMutex_);
     for (std::uint64_t t = 0; t < shots; ++t)
         hist.add(entry.sampler.sample(rng_));
     return hist;
@@ -223,16 +242,24 @@ IdealSimulator::cpmEntry(const QuantumCircuit &base_circuit,
                          const BatchState *&bs)
 {
     const std::uint64_t key = base_circuit.measurementSubsetHash(qubits);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
     }
     if (bs == nullptr)
-        bs = &evolvedBase(stateCache_, base_circuit, batchStats_);
-    ++batchStats_.marginalsServed;
+        bs = &evolvedBase(stateCache_, cacheMutex_, base_circuit,
+                          batchStats_);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++batchStats_.marginalsServed;
+    }
     Pmf pmf = marginalFromState(*bs, qubits);
     AliasTable sampler(pmf);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_
         .emplace(key, Cached{std::move(pmf), std::move(sampler)})
         .first->second;
@@ -260,6 +287,7 @@ IdealSimulator::runBatch(const QuantumCircuit &base_circuit,
     for (const CpmSpec &spec : specs) {
         const Cached &entry = cpmEntry(base_circuit, spec.qubits, bs);
         Histogram hist(entry.pmf.nQubits());
+        std::lock_guard<std::mutex> lock(rngMutex_);
         for (std::uint64_t t = 0; t < spec.shots; ++t)
             hist.add(entry.sampler.sample(rng_));
         out.push_back(std::move(hist));
@@ -291,10 +319,13 @@ const NoisySimulator::Cached &
 NoisySimulator::evolved(const QuantumCircuit &physical)
 {
     const std::uint64_t key = physical.structuralHash();
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
     }
     ++cacheMisses_;
     Pmf pmf = exactOutputPmf(physical);
@@ -302,6 +333,7 @@ NoisySimulator::evolved(const QuantumCircuit &physical)
     const double gate_ok =
         options_.gateNoise ? gateSuccessProbability(physical, dev_) : 1.0;
     auto channel = std::make_unique<MeasurementChannel>(physical, dev_);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_
         .emplace(key, Cached{std::move(pmf), std::move(sampler), gate_ok,
                              std::move(channel)})
@@ -317,6 +349,7 @@ NoisySimulator::sampleChannel(const Cached &entry, int n_clbits,
     const double gate_ok = entry.gateOk;
 
     Histogram hist(n_clbits);
+    std::lock_guard<std::mutex> lock(rngMutex_);
     for (std::uint64_t t = 0; t < shots; ++t) {
         BasisState outcome = sampler.sample(rng_);
         if (!rng_.bernoulli(gate_ok)) {
@@ -370,14 +403,21 @@ NoisySimulator::cpmEntry(const QuantumCircuit &base_circuit,
                          const BatchState *&bs)
 {
     const std::uint64_t key = base_circuit.measurementSubsetHash(qubits);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
     }
     if (bs == nullptr)
-        bs = &evolvedBase(stateCache_, base_circuit, batchStats_);
-    ++batchStats_.marginalsServed;
+        bs = &evolvedBase(stateCache_, cacheMutex_, base_circuit,
+                          batchStats_);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++batchStats_.marginalsServed;
+    }
     Pmf pmf = marginalFromState(*bs, qubits);
     AliasTable sampler(pmf);
     // The CPM circuit is only materialized on a miss, for the noise
@@ -388,6 +428,7 @@ NoisySimulator::cpmEntry(const QuantumCircuit &base_circuit,
     const double gate_ok =
         options_.gateNoise ? gateSuccessProbability(cpm, dev_) : 1.0;
     auto channel = std::make_unique<MeasurementChannel>(cpm, dev_);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_
         .emplace(key, Cached{std::move(pmf), std::move(sampler), gate_ok,
                              std::move(channel)})
@@ -398,6 +439,9 @@ Histogram
 NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
                                   std::uint64_t shots)
 {
+    // Trajectory mode draws from rng_ throughout; hold the RNG lock
+    // for the whole simulation (it is the slow validation path).
+    std::lock_guard<std::mutex> lock(rngMutex_);
     checkTerminalMeasurements(physical);
     const CompactCircuit compact = compactCircuit(physical);
     const device::Calibration &cal = dev_.calibration();

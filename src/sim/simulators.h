@@ -12,8 +12,10 @@
 #define JIGSAW_SIM_SIMULATORS_H
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -98,6 +100,16 @@ class Executor
  * circuit hash, so JigSaw's repeated runs of an identical circuit —
  * the global circuit resampled, or CPMs sharing a compilation — skip
  * state-vector evolution entirely and cost O(shots) draws.
+ *
+ * Thread-safety: run()/runBatch()/idealPmf() may be called from
+ * concurrent sessions sharing one executor. The PMF/state caches are
+ * mutex-guarded (evolutions happen outside the lock; a lost insert
+ * race wastes one evolution but stays correct), counters are atomic,
+ * and sampling serializes on the RNG mutex so the draw stream stays
+ * well-defined. Deterministic per-program results require one
+ * executor per program — a shared executor interleaves the RNG stream
+ * in completion order. batchStats() is safe to read once concurrent
+ * runs have completed.
  */
 class IdealSimulator : public Executor
 {
@@ -133,12 +145,12 @@ class IdealSimulator : public Executor
                  const std::vector<std::vector<int>> &subsets);
 
     /** Simulations skipped because the PMF was already cached. */
-    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t cacheHits() const { return cacheHits_.load(); }
 
     /** Simulations actually performed. */
-    std::uint64_t cacheMisses() const { return cacheMisses_; }
+    std::uint64_t cacheMisses() const { return cacheMisses_.load(); }
 
-    /** Batched-execution counters. */
+    /** Batched-execution counters (quiescent reads only). */
     const BatchStats &batchStats() const { return batchStats_; }
 
   private:
@@ -154,11 +166,13 @@ class IdealSimulator : public Executor
                            const detail::BatchState *&bs);
 
     Rng rng_;
+    std::mutex rngMutex_;   ///< Serializes draws from rng_.
+    std::mutex cacheMutex_; ///< Guards cache_, stateCache_, batchStats_.
     std::unordered_map<std::uint64_t, Cached> cache_;
     std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
         stateCache_;
-    std::uint64_t cacheHits_ = 0;
-    std::uint64_t cacheMisses_ = 0;
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> cacheMisses_{0};
     BatchStats batchStats_;
 };
 
@@ -226,12 +240,12 @@ class NoisySimulator : public Executor
     const NoisySimulatorOptions &options() const { return options_; }
 
     /** Channel-mode evolutions skipped via the PMF cache. */
-    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t cacheHits() const { return cacheHits_.load(); }
 
     /** Channel-mode evolutions actually performed. */
-    std::uint64_t cacheMisses() const { return cacheMisses_; }
+    std::uint64_t cacheMisses() const { return cacheMisses_.load(); }
 
-    /** Batched-execution counters. */
+    /** Batched-execution counters (quiescent reads only). */
     const BatchStats &batchStats() const { return batchStats_; }
 
   private:
@@ -263,11 +277,13 @@ class NoisySimulator : public Executor
     device::DeviceModel dev_;
     NoisySimulatorOptions options_;
     Rng rng_;
+    std::mutex rngMutex_;   ///< Serializes draws from rng_.
+    std::mutex cacheMutex_; ///< Guards cache_, stateCache_, batchStats_.
     std::unordered_map<std::uint64_t, Cached> cache_;
     std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
         stateCache_;
-    std::uint64_t cacheHits_ = 0;
-    std::uint64_t cacheMisses_ = 0;
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> cacheMisses_{0};
     BatchStats batchStats_;
 };
 

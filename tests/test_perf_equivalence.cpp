@@ -223,6 +223,79 @@ TEST(ReconstructionEquivalence, MultiLayerMatchesReference)
     expectIdenticalPmf(reference, indexed);
 }
 
+TEST(ReconstructionEquivalence, ShardedMatchesPerMarginal)
+{
+    // The sharded round loop (flat outcome vector split across
+    // fixed-size shards, per-shard partial bucket masses reduced in
+    // shard order) must golden-match the per-marginal path; the two
+    // group their floating-point sums differently, so the bound is
+    // the usual golden-equivalence tolerance, not bitwise.
+    Rng rng(13);
+    const Pmf global = randomGlobal(12, 1500, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(12, {2, 3}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 5;
+    options.tolerance = 0.0;
+
+    options.shardMode = core::ShardMode::Never;
+    const Pmf per_marginal =
+        core::bayesianReconstruct(global, marginals, options);
+    options.shardMode = core::ShardMode::Always;
+    const Pmf sharded =
+        core::bayesianReconstruct(global, marginals, options);
+    expectIdenticalPmf(per_marginal, sharded);
+
+    // And against the naive reference, like every other path.
+    options.shardMode = core::ShardMode::Always;
+    const Pmf reference =
+        core::referenceReconstruct(global, marginals,
+                                   core::ReconstructionOptions{
+                                       .maxRounds = 5,
+                                       .tolerance = 0.0});
+    expectIdenticalPmf(reference, sharded);
+}
+
+TEST(ReconstructionEquivalence, ShardedMultiShardSupport)
+{
+    // A support spanning several 16384-outcome shards, with
+    // convergence enabled: both paths must stop at the same shape.
+    Rng rng(14);
+    const Pmf global = randomGlobal(16, 40000, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(16, {2}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 4;
+    options.tolerance = 0.0;
+
+    options.shardMode = core::ShardMode::Never;
+    const Pmf per_marginal =
+        core::bayesianReconstruct(global, marginals, options);
+    options.shardMode = core::ShardMode::Always;
+    const Pmf sharded =
+        core::bayesianReconstruct(global, marginals, options);
+    expectIdenticalPmf(per_marginal, sharded);
+}
+
+TEST(ReconstructionEquivalence, ShardedIsDeterministic)
+{
+    // Fixed shard boundaries: two identical sharded runs are bitwise
+    // equal whatever the pool did.
+    Rng rng(15);
+    const Pmf global = randomGlobal(12, 2000, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(12, {2, 3}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 6;
+    options.shardMode = core::ShardMode::Always;
+
+    const Pmf a = core::bayesianReconstruct(global, marginals, options);
+    const Pmf b = core::bayesianReconstruct(global, marginals, options);
+    ASSERT_EQ(a.support(), b.support());
+    for (const auto &[outcome, p] : a.probabilities())
+        EXPECT_EQ(p, b.prob(outcome));
+}
+
 TEST(ReconstructionEquivalence, SparseLocalPmfKeepsPriorMass)
 {
     // A marginal that never observed subset value 0b11 must leave the

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the staged pipeline: planning validation, per-stage
+ * artifacts, the batched CPM recompiler's equivalence to the full
+ * transpiler, and stage-by-stage session runs matching the runJigsaw
+ * wrapper bitwise.
+ */
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "compiler/cpm_batch.h"
+#include "compiler/transpiler.h"
+#include "core/jigsaw.h"
+#include "core/pipeline.h"
+#include "core/session.h"
+#include "core/subsets.h"
+#include "device/library.h"
+#include "sim/eps.h"
+#include "sim/simulators.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+
+namespace jigsaw {
+namespace {
+
+using core::JigsawOptions;
+using core::JigsawResult;
+using core::Subset;
+
+/** Exact equality: the two PMFs store identical doubles. */
+void
+expectBitwisePmf(const Pmf &a, const Pmf &b)
+{
+    ASSERT_EQ(a.nQubits(), b.nQubits());
+    ASSERT_EQ(a.support(), b.support());
+    for (const auto &[outcome, p] : a.probabilities())
+        EXPECT_EQ(p, b.prob(outcome)) << "outcome " << outcome;
+}
+
+// ------------------------------------------------------------ planning
+
+TEST(SubsetValidation, RejectsBadCustomSubsets)
+{
+    EXPECT_THROW(core::validateSubsets(5, {}), std::invalid_argument);
+    EXPECT_THROW(core::validateSubsets(5, {Subset{}}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::validateSubsets(5, {Subset{0, 5}}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::validateSubsets(5, {Subset{-1, 2}}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::validateSubsets(5, {Subset{1, 1}}),
+                 std::invalid_argument);
+    // A bad subset anywhere in the list is caught.
+    EXPECT_THROW(core::validateSubsets(5, {Subset{0, 1}, Subset{2, 2}}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(
+        core::validateSubsets(5, {Subset{0, 1}, Subset{2, 4}}));
+}
+
+TEST(SubsetValidation, PlanRejectsBadCustomSubsetsUpFront)
+{
+    const workloads::Ghz ghz(5);
+    JigsawOptions options;
+
+    options.customSubsets = std::vector<Subset>{{0, 7}};
+    EXPECT_THROW(core::planSubsets(ghz.circuit(), 4096, options),
+                 std::invalid_argument);
+
+    options.customSubsets = std::vector<Subset>{{2, 2}};
+    EXPECT_THROW(core::planSubsets(ghz.circuit(), 4096, options),
+                 std::invalid_argument);
+
+    options.customSubsets = std::vector<Subset>{{}};
+    EXPECT_THROW(core::planSubsets(ghz.circuit(), 4096, options),
+                 std::invalid_argument);
+
+    options.customSubsets = std::vector<Subset>{{0, 2}, {1, 4}};
+    EXPECT_NO_THROW(core::planSubsets(ghz.circuit(), 4096, options));
+}
+
+TEST(Pipeline, PlanSpendsTheExactBudget)
+{
+    const workloads::Ghz ghz(6);
+    const core::SubsetPlan plan =
+        core::planSubsets(ghz.circuit(), 8192, JigsawOptions{});
+    EXPECT_EQ(plan.nMeasured, 6);
+    EXPECT_EQ(plan.globalTrials, 4096u);
+    EXPECT_EQ(plan.subsets.size(), 6u);
+    EXPECT_EQ(plan.perCpmTrials.size(), plan.subsets.size());
+    std::uint64_t total = 0;
+    for (std::uint64_t t : plan.perCpmTrials)
+        total += t;
+    EXPECT_EQ(total, plan.subsetTrials);
+    EXPECT_EQ(plan.globalTrials + plan.subsetTrials, plan.totalTrials);
+}
+
+// ----------------------------------------------------------- artifacts
+
+TEST(Pipeline, ScheduleGroupsGlobalMappedCpmsTogether)
+{
+    const device::DeviceModel dev = device::toronto();
+    const workloads::Ghz ghz(6);
+    JigsawOptions options;
+    options.recompileCpms = false; // every CPM keeps the global mapping
+
+    const core::SubsetPlan plan =
+        core::planSubsets(ghz.circuit(), 8192, options);
+    const core::CompiledJobs jobs =
+        core::compileJobs(ghz.circuit(), dev, plan, options);
+    ASSERT_EQ(jobs.cpms.size(), plan.subsets.size());
+    for (const core::CpmJob &job : jobs.cpms)
+        EXPECT_TRUE(job.fromGlobal);
+
+    const core::ExecutionSchedule schedule = core::buildSchedule(jobs);
+    ASSERT_EQ(schedule.groups.size(), 1u);
+    EXPECT_TRUE(schedule.groups[0].usesGlobal);
+    EXPECT_EQ(schedule.groups[0].members.size(), jobs.cpms.size());
+    EXPECT_EQ(schedule.groups[0].specs.size(), jobs.cpms.size());
+}
+
+TEST(Pipeline, ScheduleCoversEveryCpmExactlyOnce)
+{
+    const device::DeviceModel dev = device::toronto();
+    const workloads::BernsteinVazirani bv(7);
+    const core::SubsetPlan plan =
+        core::planSubsets(bv.circuit(), 8192, JigsawOptions{});
+    const core::CompiledJobs jobs =
+        core::compileJobs(bv.circuit(), dev, plan, JigsawOptions{});
+    const core::ExecutionSchedule schedule = core::buildSchedule(jobs);
+
+    std::vector<int> seen(jobs.cpms.size(), 0);
+    for (const auto &group : schedule.groups) {
+        ASSERT_EQ(group.specs.size(), group.members.size());
+        for (std::size_t j = 0; j < group.members.size(); ++j) {
+            const std::size_t i = group.members[j];
+            ASSERT_LT(i, seen.size());
+            ++seen[i];
+            EXPECT_EQ(group.specs[j].shots, jobs.cpms[i].trials);
+        }
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Pipeline, FromGlobalCpmsReuseTheGlobalGateSuccess)
+{
+    // Satellite: cpmFromGlobal must not recompute the gate-success
+    // probability per subset — and the reused value must equal what a
+    // fresh computation on the CPM circuit gives, since the gate
+    // prefix is identical.
+    const device::DeviceModel dev = device::toronto();
+    const workloads::Ghz ghz(6);
+    JigsawOptions options;
+    options.recompileCpms = false;
+    const core::SubsetPlan plan =
+        core::planSubsets(ghz.circuit(), 8192, options);
+    const core::CompiledJobs jobs =
+        core::compileJobs(ghz.circuit(), dev, plan, options);
+    for (const core::CpmJob &job : jobs.cpms) {
+        EXPECT_EQ(job.compiled.gateSuccess, jobs.global.gateSuccess);
+        EXPECT_EQ(job.compiled.gateSuccess,
+                  sim::gateSuccessProbability(job.compiled.physical,
+                                              dev));
+    }
+}
+
+// ------------------------------------------- batched CPM recompilation
+
+TEST(CpmRecompiler, MatchesFullTranspilePerSubset)
+{
+    const device::DeviceModel dev = device::toronto();
+    for (const circuit::QuantumCircuit &logical :
+         {workloads::Ghz(6).circuit(),
+          workloads::BernsteinVazirani(6).circuit()}) {
+        const compiler::CompiledCircuit global =
+            compiler::transpile(logical, dev);
+        compiler::TranspileOptions cpm_options;
+        cpm_options.maxSwaps = global.swapCount;
+
+        compiler::CpmRecompiler recompiler(logical, dev, cpm_options);
+        const std::vector<int> qubit_of_clbit = logical.measuredQubits();
+        for (const Subset &subset :
+             core::slidingWindowSubsets(logical.countMeasurements(), 2)) {
+            std::vector<int> lqs;
+            for (int c : subset)
+                lqs.push_back(qubit_of_clbit[static_cast<std::size_t>(c)]);
+
+            const compiler::CompiledCircuit batched =
+                recompiler.recompile(lqs);
+            const compiler::CompiledCircuit reference =
+                compiler::transpile(logical.withMeasurementSubset(lqs),
+                                    dev, cpm_options);
+            EXPECT_EQ(batched.physical.structuralHash(),
+                      reference.physical.structuralHash());
+            EXPECT_EQ(batched.initialLayout.logicalToPhysical(),
+                      reference.initialLayout.logicalToPhysical());
+            EXPECT_EQ(batched.finalLayout.logicalToPhysical(),
+                      reference.finalLayout.logicalToPhysical());
+            EXPECT_EQ(batched.swapCount, reference.swapCount);
+            EXPECT_EQ(batched.gateSuccess, reference.gateSuccess);
+            EXPECT_EQ(batched.measurementSuccess,
+                      reference.measurementSuccess);
+            EXPECT_EQ(batched.eps, reference.eps);
+        }
+        // Sharing must actually happen: the distance-only placement
+        // family is measurement-independent, so across a whole
+        // sliding-window sweep the routing memo gets reused.
+        EXPECT_GT(recompiler.routingsReused(), 0u);
+        EXPECT_LT(recompiler.routingsComputed(),
+                  recompiler.routingsComputed() +
+                      recompiler.routingsReused());
+    }
+}
+
+// ---------------------------------------------------- stage equivalence
+
+TEST(StageEquivalence, SessionStagesMatchWrapperBitwise)
+{
+    const device::DeviceModel dev = device::toronto();
+    const workloads::Ghz ghz(6);
+
+    sim::NoisySimulator wrapper_exec(dev, {.seed = 11});
+    const JigsawResult wrapper = core::runJigsaw(
+        ghz.circuit(), dev, wrapper_exec, 8192, JigsawOptions{});
+
+    // Same program, staged by hand with explicit artifact inspection
+    // between stages; a fresh executor with the same seed must
+    // reproduce every PMF bit for bit.
+    sim::NoisySimulator staged_exec(dev, {.seed = 11});
+    core::JigsawSession session(ghz.circuit(), dev, staged_exec, 8192,
+                                JigsawOptions{});
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Created);
+    const core::SubsetPlan &plan = session.plan();
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Planned);
+    EXPECT_EQ(plan.globalTrials, wrapper.globalTrials);
+    const core::CompiledJobs &jobs = session.compiled();
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Compiled);
+    EXPECT_EQ(jobs.global.physical.structuralHash(),
+              wrapper.globalCompiled.physical.structuralHash());
+    const core::ExecutionSchedule &schedule = session.schedule();
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Scheduled);
+    EXPECT_GE(schedule.groups.size(), 1u);
+    const core::ExecutionResult &execution = session.executed();
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Executed);
+    expectBitwisePmf(wrapper.globalPmf, execution.globalPmf);
+    session.output();
+    EXPECT_EQ(session.stage(),
+              core::JigsawSession::Stage::Reconstructed);
+
+    const JigsawResult staged = session.run();
+    expectBitwisePmf(wrapper.output, staged.output);
+    ASSERT_EQ(wrapper.cpms.size(), staged.cpms.size());
+    for (std::size_t i = 0; i < wrapper.cpms.size(); ++i) {
+        EXPECT_EQ(wrapper.cpms[i].subset, staged.cpms[i].subset);
+        EXPECT_EQ(wrapper.cpms[i].trials, staged.cpms[i].trials);
+        expectBitwisePmf(wrapper.cpms[i].localPmf,
+                         staged.cpms[i].localPmf);
+    }
+    EXPECT_EQ(wrapper.subsetTrials, staged.subsetTrials);
+}
+
+TEST(StageEquivalence, JigsawMSessionMatchesWrapper)
+{
+    const device::DeviceModel dev = device::toronto();
+    const workloads::BernsteinVazirani bv(6);
+
+    sim::NoisySimulator a(dev, {.seed = 21});
+    const JigsawResult wrapper = core::runJigsaw(
+        bv.circuit(), dev, a, 8192, core::jigsawMOptions());
+
+    sim::NoisySimulator b(dev, {.seed = 21});
+    core::JigsawSession session(bv.circuit(), dev, b, 8192,
+                                core::jigsawMOptions());
+    const JigsawResult staged = session.run();
+    expectBitwisePmf(wrapper.output, staged.output);
+    expectBitwisePmf(wrapper.globalPmf, staged.globalPmf);
+}
+
+} // namespace
+} // namespace jigsaw

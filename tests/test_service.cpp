@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Concurrency tests: the multi-program JigsawService must reproduce
+ * sequential runJigsaw bitwise, the TaskGroup primitive must execute
+ * and propagate errors, and the shared caches (executor PMF/state,
+ * process-wide transpile memo) must survive concurrent hammering —
+ * this file is the target of the CI ThreadSanitizer leg (run it with
+ * JIGSAW_THREADS=4 or more to actually exercise the pool).
+ */
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "compiler/transpiler.h"
+#include "core/service.h"
+#include "device/library.h"
+#include "sim/simulators.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/qft.h"
+
+namespace jigsaw {
+namespace {
+
+using core::JigsawResult;
+using core::ServiceProgram;
+
+/** Exact equality: the two PMFs store identical doubles. */
+void
+expectBitwisePmf(const Pmf &a, const Pmf &b)
+{
+    ASSERT_EQ(a.nQubits(), b.nQubits());
+    ASSERT_EQ(a.support(), b.support());
+    for (const auto &[outcome, p] : a.probabilities())
+        EXPECT_EQ(p, b.prob(outcome)) << "outcome " << outcome;
+}
+
+// ------------------------------------------------------------ TaskGroup
+
+TEST(TaskGroup, RunsEveryTask)
+{
+    std::atomic<int> count{0};
+    TaskGroup group;
+    for (int i = 0; i < 64; ++i)
+        group.run([&count] { ++count; });
+    group.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(TaskGroup, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    TaskGroup group;
+    group.run([&count] { ++count; });
+    group.wait();
+    group.run([&count] { ++count; });
+    group.run([&count] { ++count; });
+    group.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TaskGroup, PropagatesTheFirstException)
+{
+    std::atomic<int> completed{0};
+    TaskGroup group;
+    for (int i = 0; i < 8; ++i) {
+        group.run([&completed, i] {
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The failure does not cancel the other tasks.
+    EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(TaskGroup, TasksMayUseParallelFor)
+{
+    // Nested parallelFor inside pool workers degrades to serial
+    // instead of corrupting the chunk state.
+    std::vector<std::vector<int>> touched(8, std::vector<int>(2048, 0));
+    TaskGroup group;
+    for (std::size_t t = 0; t < touched.size(); ++t) {
+        group.run([&touched, t] {
+            parallelFor(0, touched[t].size(), 64,
+                        [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i)
+                                ++touched[t][i];
+                        });
+        });
+    }
+    group.wait();
+    for (const std::vector<int> &row : touched) {
+        for (int v : row)
+            EXPECT_EQ(v, 1);
+    }
+}
+
+// ----------------------------------------------------- shared-cache races
+
+TEST(ConcurrentCaches, TranspileCacheSurvivesHammering)
+{
+    // Many tasks transpile the same circuits through the process-wide
+    // memo; every result must be identical and the memo coherent.
+    const device::DeviceModel dev = device::toronto();
+    const circuit::QuantumCircuit ghz = workloads::Ghz(6).circuit();
+    const circuit::QuantumCircuit bv =
+        workloads::BernsteinVazirani(5).circuit();
+    compiler::clearTranspileCache();
+
+    std::vector<std::uint64_t> hashes(32, 0);
+    TaskGroup group;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        group.run([&, i] {
+            const circuit::QuantumCircuit &qc = i % 2 ? ghz : bv;
+            hashes[i] = compiler::transpileCached(qc, dev)
+                            .physical.structuralHash();
+        });
+    }
+    group.wait();
+    for (std::size_t i = 2; i < hashes.size(); ++i)
+        EXPECT_EQ(hashes[i], hashes[i % 2]);
+}
+
+TEST(ConcurrentCaches, SharedExecutorSurvivesConcurrentRuns)
+{
+    // One executor hammered from many tasks: the PMF/state caches and
+    // counters must stay coherent (results are nondeterministic in
+    // the draw stream but every histogram must be well-formed).
+    const circuit::QuantumCircuit qc = workloads::Ghz(7).circuit();
+    const std::vector<std::vector<int>> subsets = {
+        {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {0, 6}};
+    sim::IdealSimulator shared(33);
+
+    TaskGroup group;
+    std::vector<std::uint64_t> totals(24, 0);
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        group.run([&, i] {
+            if (i % 3 == 0) {
+                totals[i] = shared.run(qc, 500).totalCount();
+            } else {
+                std::vector<sim::CpmSpec> specs;
+                for (const std::vector<int> &s : subsets)
+                    specs.push_back({s, 200});
+                std::uint64_t total = 0;
+                for (const Histogram &h : shared.runBatch(qc, specs))
+                    total += h.totalCount();
+                totals[i] = total;
+            }
+        });
+    }
+    group.wait();
+    for (std::size_t i = 0; i < totals.size(); ++i)
+        EXPECT_EQ(totals[i], i % 3 == 0 ? 500u : 200u * subsets.size());
+    // Exactly one evolution of the shared prefix ever ran.
+    EXPECT_EQ(shared.batchStats().baseEvolutions, 1u);
+}
+
+// ------------------------------------------------------- JigsawService
+
+std::vector<ServiceProgram>
+mixedPrograms(const device::DeviceModel &dev)
+{
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 101);
+    programs.emplace_back(workloads::BernsteinVazirani(6).circuit(), dev,
+                          8192, core::jigsawMOptions(), 202);
+    programs.emplace_back(workloads::QftAdjoint(5).circuit(), dev, 4096,
+                          core::JigsawOptions{}, 303);
+    core::JigsawOptions no_recomp;
+    no_recomp.recompileCpms = false;
+    programs.emplace_back(workloads::Ghz(7).circuit(), dev, 6144,
+                          no_recomp, 404);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::jigsawMOptions(), 505);
+    return programs;
+}
+
+TEST(JigsawService, ConcurrentProgramsMatchSequentialBitwise)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = mixedPrograms(dev);
+    ASSERT_GE(programs.size(), 4u);
+
+    // Sequential reference: one runJigsaw per program, each with a
+    // fresh executor seeded exactly like the service's default
+    // (core::runProgramsSequentially is that contract's single
+    // definition).
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    core::JigsawService service;
+    const std::vector<JigsawResult> concurrent = service.run(programs);
+    ASSERT_EQ(concurrent.size(), programs.size());
+    EXPECT_EQ(service.stats().programs, programs.size());
+    EXPECT_GT(service.stats().wallMs, 0.0);
+
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        expectBitwisePmf(sequential[i].output, concurrent[i].output);
+        expectBitwisePmf(sequential[i].globalPmf,
+                         concurrent[i].globalPmf);
+        ASSERT_EQ(sequential[i].cpms.size(), concurrent[i].cpms.size());
+        for (std::size_t c = 0; c < sequential[i].cpms.size(); ++c) {
+            EXPECT_EQ(sequential[i].cpms[c].subset,
+                      concurrent[i].cpms[c].subset);
+            expectBitwisePmf(sequential[i].cpms[c].localPmf,
+                             concurrent[i].cpms[c].localPmf);
+        }
+        EXPECT_EQ(sequential[i].globalTrials,
+                  concurrent[i].globalTrials);
+        EXPECT_EQ(sequential[i].subsetTrials,
+                  concurrent[i].subsetTrials);
+    }
+}
+
+TEST(JigsawService, RepeatedRunsAreDeterministic)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = mixedPrograms(dev);
+    core::JigsawService service;
+    const std::vector<JigsawResult> first = service.run(programs);
+    const std::vector<JigsawResult> second = service.run(programs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectBitwisePmf(first[i].output, second[i].output);
+}
+
+TEST(JigsawService, CallerSuppliedExecutorIsUsed)
+{
+    const device::DeviceModel dev = device::toronto();
+    auto executor = std::make_shared<sim::NoisySimulator>(
+        dev, sim::NoisySimulatorOptions{.seed = 77});
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(5).circuit(), dev, 4096,
+                          core::JigsawOptions{}, 0, executor);
+    core::JigsawService service;
+    const std::vector<JigsawResult> results = service.run(programs);
+    ASSERT_EQ(results.size(), 1u);
+    // The caller's executor did the work: its caches are populated.
+    EXPECT_GT(executor->cacheMisses(), 0u);
+}
+
+TEST(JigsawService, PropagatesProgramFailures)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(5).circuit(), dev, 4096);
+    // Second program is invalid: a one-trial budget must throw.
+    programs.emplace_back(workloads::Ghz(5).circuit(), dev, 1);
+    core::JigsawService service;
+    EXPECT_THROW(service.run(programs), std::invalid_argument);
+}
+
+} // namespace
+} // namespace jigsaw
