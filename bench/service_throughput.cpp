@@ -2,9 +2,11 @@
  * @file
  * Service-mode throughput: the evaluation sweep's JigSaw runs (three
  * schemes per device x workload cell) pushed through the concurrent
- * JigsawService, against the same programs run sequentially. Verifies
- * the outputs match bitwise and reports the concurrency speedup and
- * programs/second (see docs/performance.md).
+ * JigsawService — cross-program batching merges the schemes sharing a
+ * (circuit, device) pair — against the same programs run
+ * sequentially. Verifies the outputs match bitwise and reports the
+ * service speedup, programs/second, and per-program latency
+ * percentiles (see docs/performance.md).
  *
  * Usage: bench_service_throughput [--trials N] [--seed S] [--qaoa]
  *                                 [--no-compare] [--quick]
@@ -52,10 +54,15 @@ main(int argc, char **argv)
     }
     std::cout << "service wall ms:     " << run.serviceMs << "\n";
     if (compare) {
-        std::cout << "concurrency speedup: " << run.speedup() << "x\n";
+        std::cout << "service speedup:     " << run.speedup() << "x\n";
     }
     std::cout << "throughput:          " << run.programsPerSecond()
               << " programs/s\n";
+    std::cout << "latency p50:         " << run.latencyP50Ms << " ms\n";
+    std::cout << "latency p95:         " << run.latencyP95Ms << " ms\n";
+    std::cout << "merged programs:     " << run.mergedPrograms << "\n";
+    std::cout << "cross-program groups: " << run.crossProgramGroups
+              << "\n";
     if (compare) {
         std::cout << "outputs match:       "
                   << (run.outputsMatch ? "yes (bitwise)" : "NO") << "\n";

@@ -233,11 +233,19 @@ runEvaluationSuiteService(std::uint64_t trials, std::uint64_t seed,
     core::JigsawService service;
     const std::vector<core::JigsawResult> results = service.run(programs);
     run.serviceMs = service.stats().wallMs;
+    run.latencyP50Ms = service.stats().latencyPercentileMs(0.5);
+    run.latencyP95Ms = service.stats().latencyPercentileMs(0.95);
+    run.mergedPrograms = service.stats().mergedPrograms;
+    run.crossProgramGroups = service.stats().crossProgramGroups;
     if (!quiet) {
         std::cerr << "  [suite] service mode: " << programs.size()
                   << " programs concurrent in " << run.serviceMs
                   << " ms (" << run.programsPerSecond()
-                  << " programs/s)\n";
+                  << " programs/s, latency p50 " << run.latencyP50Ms
+                  << " ms / p95 " << run.latencyP95Ms << " ms, "
+                  << run.mergedPrograms << " merged over "
+                  << run.crossProgramGroups
+                  << " cross-program groups)\n";
     }
 
     if (compare_sequential) {

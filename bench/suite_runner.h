@@ -91,6 +91,10 @@ struct ServiceSuiteRun
     std::size_t programs = 0;  ///< Programs submitted (cells x schemes).
     double serviceMs = 0.0;    ///< Wall ms through JigsawService.
     double sequentialMs = 0.0; ///< Same jobs serially (0 when skipped).
+    double latencyP50Ms = 0.0; ///< Median per-program service latency.
+    double latencyP95Ms = 0.0; ///< Tail per-program service latency.
+    std::size_t mergedPrograms = 0; ///< Programs on the merged path.
+    std::size_t crossProgramGroups = 0; ///< Merged groups spanning programs.
     /** Every service PMF bitwise-matched its sequential run. */
     bool outputsMatch = true;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fnv.h"
 
 namespace jigsaw {
 namespace circuit {
@@ -280,16 +281,6 @@ QuantumCircuit::remapped(const std::vector<int> &mapping,
 
 namespace {
 
-/** FNV-1a over the bytes of one 64-bit word. */
-inline void
-mixWord(std::uint64_t &h, std::uint64_t v)
-{
-    for (int byte = 0; byte < 8; ++byte) {
-        h ^= (v >> (8 * byte)) & 0xffULL;
-        h *= 1099511628211ULL;
-    }
-}
-
 /**
  * Stream one gate into the structural hash. Barriers are scheduling
  * hints with no effect on execution, so circuits differing only in
@@ -302,18 +293,16 @@ mixGate(std::uint64_t &h, const Gate &g)
 {
     if (g.type == GateType::BARRIER)
         return;
-    mixWord(h, static_cast<std::uint64_t>(g.type));
-    mixWord(h, g.qubits.size());
+    fnvMixWord(h, static_cast<std::uint64_t>(g.type));
+    fnvMixWord(h, g.qubits.size());
     for (int q : g.qubits)
-        mixWord(h, static_cast<std::uint64_t>(q));
-    mixWord(h, g.params.size());
+        fnvMixWord(h, static_cast<std::uint64_t>(q));
+    fnvMixWord(h, g.params.size());
     for (double p : g.params)
-        mixWord(h, std::bit_cast<std::uint64_t>(p));
-    mixWord(h, static_cast<std::uint64_t>(
-                   static_cast<std::int64_t>(g.clbit)));
+        fnvMixDouble(h, p);
+    fnvMixWord(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(g.clbit)));
 }
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 
 } // namespace
 
@@ -323,9 +312,9 @@ QuantumCircuit::structuralHash() const
     // FNV-1a over the structural fields. 64 bits keeps accidental
     // collisions between the handful of circuits a process touches
     // out of practical reach.
-    std::uint64_t h = kFnvOffset;
-    mixWord(h, static_cast<std::uint64_t>(nQubits_));
-    mixWord(h, static_cast<std::uint64_t>(nClbits_));
+    std::uint64_t h = kFnvOffsetBasis;
+    fnvMixWord(h, static_cast<std::uint64_t>(nQubits_));
+    fnvMixWord(h, static_cast<std::uint64_t>(nClbits_));
     for (const Gate &g : gates_)
         mixGate(h, g);
     return h;
@@ -341,9 +330,9 @@ QuantumCircuit::measurementSubsetHash(const std::vector<int> &qubits) const
     // batched-CPM caches on this, once per spec per batch.
     fatalIf(qubits.empty(),
             "measurementSubsetHash: empty measurement subset");
-    std::uint64_t h = kFnvOffset;
-    mixWord(h, static_cast<std::uint64_t>(nQubits_));
-    mixWord(h, qubits.size());
+    std::uint64_t h = kFnvOffsetBasis;
+    fnvMixWord(h, static_cast<std::uint64_t>(nQubits_));
+    fnvMixWord(h, qubits.size());
     for (const Gate &g : gates_) {
         if (!g.isMeasure())
             mixGate(h, g);

@@ -145,6 +145,29 @@ scalarStratumPhaseTable(double *re, double *im, U64 q_mask,
     }
 }
 
+void
+scalarPhaseTable(double *re, double *im, U64 mask, const double *tab_re,
+                 const double *tab_im, U64 k_lo, U64 k_hi)
+{
+    if ((mask & (mask + 1)) == 0) {
+        // Contiguous low mask: the table index is just the low bits
+        // of the amplitude index, so the table is walked in order.
+        for (U64 k = k_lo; k < k_hi; ++k) {
+            const U64 t = k & mask;
+            const double ar = re[k], ai = im[k];
+            re[k] = tab_re[t] * ar - tab_im[t] * ai;
+            im[k] = tab_re[t] * ai + tab_im[t] * ar;
+        }
+        return;
+    }
+    for (U64 k = k_lo; k < k_hi; ++k) {
+        const U64 t = extractByMask(k, mask);
+        const double ar = re[k], ai = im[k];
+        re[k] = tab_re[t] * ar - tab_im[t] * ai;
+        im[k] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+}
+
 double
 scalarNorm2(const double *re, const double *im, U64 lo, U64 hi)
 {
@@ -162,6 +185,7 @@ const KernelTable scalarTable = {
     scalarQuadSwap,
     scalarPhasePair,
     scalarStratumPhaseTable,
+    scalarPhaseTable,
     scalarNorm2,
 };
 
@@ -189,19 +213,35 @@ avx2Kernels()
 }
 #endif
 
+#ifndef JIGSAW_HAVE_AVX512
+const KernelTable *
+avx512Kernels()
+{
+    return nullptr;
+}
+#endif
+
 const KernelTable &
 activeKernels()
 {
     static const KernelTable *active = [] {
-        const KernelTable *avx2 = avx2Kernels();
-        if (avx2 != nullptr && !simdDisabledByEnv()
+        if (simdDisabledByEnv())
+            return &scalarTable;
 #if defined(__GNUC__) || defined(__clang__)
-            && __builtin_cpu_supports("avx2") &&
-            __builtin_cpu_supports("bmi2")
-#endif
-        ) {
+        // The AVX-512 table also executes PEXT (and may defer to the
+        // AVX2 table), so BMI2 must be present too.
+        const KernelTable *avx512 = avx512Kernels();
+        if (avx512 != nullptr && __builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512dq") &&
+            __builtin_cpu_supports("bmi2")) {
+            return avx512;
+        }
+        const KernelTable *avx2 = avx2Kernels();
+        if (avx2 != nullptr && __builtin_cpu_supports("avx2") &&
+            __builtin_cpu_supports("bmi2")) {
             return avx2;
         }
+#endif
         return &scalarTable;
     }();
     return *active;

@@ -13,13 +13,18 @@
  *    golden fallback;
  *  - AVX2+FMA (src/common/simd_avx2.cpp): compiled with -mavx2 -mfma
  *    when the compiler supports it and the JIGSAW_NO_SIMD CMake
- *    option is off.
+ *    option is off;
+ *  - AVX-512 (src/common/simd_avx512.cpp): 8-lane kernels compiled
+ *    with -mavx512f -mavx512dq under the same CMake gate, deferring
+ *    to the AVX2 (or scalar) table for strides too short for a full
+ *    512-bit lane.
  *
- * Selection happens once at process start: the AVX2 table is used when
- * it was compiled in, the CPU reports AVX2 support, and the
- * JIGSAW_NO_SIMD environment variable is not set to a non-zero value.
- * Both tables produce identical distributions (asserted by
- * test_perf_equivalence), so the choice is purely a speed matter.
+ * Selection happens once at process start: the widest table that was
+ * compiled in and that the CPU reports support for wins (AVX-512 over
+ * AVX2 over scalar), unless the JIGSAW_NO_SIMD environment variable
+ * is set to a non-zero value, which forces scalar. All tables produce
+ * identical distributions (asserted by test_perf_equivalence), so the
+ * choice is purely a speed matter.
  */
 #ifndef JIGSAW_COMMON_SIMD_H
 #define JIGSAW_COMMON_SIMD_H
@@ -115,6 +120,21 @@ struct KernelTable
                               const double *tab_re, const double *tab_im,
                               std::uint64_t k_lo, std::uint64_t k_hi);
 
+    /**
+     * Full-register diagonal phase table: every amplitude index k in
+     * [k_lo, k_hi) is multiplied by table[t] where t gathers the bits
+     * of k selected by @p mask (ascending bit order — PEXT). The
+     * table has 2^popcount(mask) complex entries and encodes the
+     * product of the phases of a fused run of diagonal gates (RZ/RZZ/
+     * CP/CZ/Z/S/T...) over the masked qubits — the stratumPhaseTable
+     * structure without the target-stratum restriction, which a run
+     * containing RZ or RZZ needs because those gates phase *every*
+     * stratum of their qubits.
+     */
+    void (*phaseTable)(double *re, double *im, std::uint64_t mask,
+                       const double *tab_re, const double *tab_im,
+                       std::uint64_t k_lo, std::uint64_t k_hi);
+
     /** Sum of re[i]^2 + im[i]^2 over [lo, hi). */
     double (*norm2)(const double *re, const double *im, std::uint64_t lo,
                     std::uint64_t hi);
@@ -130,9 +150,18 @@ const KernelTable &scalarKernels();
 const KernelTable *avx2Kernels();
 
 /**
- * The table every StateVector uses, resolved once: AVX2 when compiled
- * in, supported by this CPU, and not disabled via the JIGSAW_NO_SIMD
- * environment variable; scalar otherwise.
+ * The AVX-512 kernels, or nullptr when this build has no AVX-512
+ * translation unit (JIGSAW_NO_SIMD build, or a compiler without
+ * -mavx512f -mavx512dq). Callers must still check cpuid before
+ * routing work here — activeKernels() does.
+ */
+const KernelTable *avx512Kernels();
+
+/**
+ * The table every StateVector uses, resolved once: the widest of
+ * AVX-512 / AVX2 that was compiled in and that this CPU supports, and
+ * scalar otherwise or when the JIGSAW_NO_SIMD environment variable is
+ * set.
  */
 const KernelTable &activeKernels();
 

@@ -514,6 +514,61 @@ avx2StratumPhaseTable(double *re, double *im, U64 q_mask,
     }
 }
 
+void
+avx2PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
+               const double *tab_im, U64 k_lo, U64 k_hi)
+{
+    if ((mask & (mask + 1)) == 0) {
+        // Contiguous low mask: the table index is the low bits of the
+        // amplitude index, so amplitudes multiply element-wise against
+        // contiguous table slices — pure vector loads.
+        const U64 tsize = mask + 1;
+        U64 k = k_lo;
+        while (k < k_hi) {
+            const U64 t0 = k & mask;
+            const U64 chunk = std::min(k_hi - k, tsize - t0);
+            U64 v = 0;
+            for (; v + 4 <= chunk; v += 4) {
+                __m256d ar = _mm256_loadu_pd(re + k + v);
+                __m256d ai = _mm256_loadu_pd(im + k + v);
+                const __m256d cr = _mm256_loadu_pd(tab_re + t0 + v);
+                const __m256d ci = _mm256_loadu_pd(tab_im + t0 + v);
+                complexScale4(ar, ai, cr, ci);
+                _mm256_storeu_pd(re + k + v, ar);
+                _mm256_storeu_pd(im + k + v, ai);
+            }
+            for (; v < chunk; ++v) {
+                const double xr = re[k + v], xi = im[k + v];
+                re[k + v] = tab_re[t0 + v] * xr - tab_im[t0 + v] * xi;
+                im[k + v] = tab_re[t0 + v] * xi + tab_im[t0 + v] * xr;
+            }
+            k += chunk;
+        }
+        return;
+    }
+    const U64 low = mask & (~mask + 1);
+    if (low >= 4) {
+        // The table index is constant over each low-aligned run of
+        // `low` amplitudes: one broadcast phase multiply per run.
+        U64 k = k_lo;
+        while (k < k_hi) {
+            const U64 run_end = std::min(k_hi, (k & ~(low - 1)) + low);
+            const U64 t = _pext_u64(k, mask);
+            scaleRun(re + k, im + k, run_end - k,
+                     _mm256_set1_pd(tab_re[t]), _mm256_set1_pd(tab_im[t]),
+                     tab_re[t], tab_im[t]);
+            k = run_end;
+        }
+        return;
+    }
+    for (U64 k = k_lo; k < k_hi; ++k) {
+        const U64 t = _pext_u64(k, mask);
+        const double ar = re[k], ai = im[k];
+        re[k] = tab_re[t] * ar - tab_im[t] * ai;
+        im[k] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+}
+
 double
 avx2Norm2(const double *re, const double *im, U64 lo, U64 hi)
 {
@@ -541,6 +596,7 @@ const KernelTable avx2Table = {
     avx2QuadSwap,
     avx2PhasePair,
     avx2StratumPhaseTable,
+    avx2PhaseTable,
     avx2Norm2,
 };
 

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * AVX-512 amplitude kernels over split real/imaginary arrays.
+ *
+ * This translation unit is compiled with -mavx512f -mavx512dq (see the
+ * top-level CMakeLists.txt) and is excluded entirely when the
+ * JIGSAW_NO_SIMD option is on; activeKernels() only routes here after
+ * a runtime cpuid check for avx512f + avx512dq.
+ *
+ * Addressing: pair/quad strides >= 8 give contiguous 8-lane runs
+ * inside each stride block, which is where 512-bit lanes pay off.
+ * Shorter strides would need in-register deinterleave shuffles that
+ * cost more than they save at this width, so those cases defer to the
+ * next-widest compiled table (AVX2 when present, scalar otherwise) —
+ * legal because any CPU reporting avx512f also reports avx2.
+ */
+#include "common/simd.h"
+
+#ifdef JIGSAW_HAVE_AVX512
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace jigsaw {
+namespace simd {
+
+namespace {
+
+using U64 = std::uint64_t;
+
+inline U64
+insertZero2(U64 k, U64 s_lo, U64 s_hi)
+{
+    return insertZero(insertZero(k, s_lo), s_hi);
+}
+
+/** The table short-stride cases defer to (resolved once). */
+inline const KernelTable &
+narrowFallback()
+{
+    static const KernelTable &table =
+        avx2Kernels() != nullptr ? *avx2Kernels() : scalarKernels();
+    return table;
+}
+
+/** (ar, ai) *= (cr, ci), 8 complex values per call. */
+inline void
+complexScale8(__m512d &ar, __m512d &ai, __m512d cr, __m512d ci)
+{
+    const __m512d nr = _mm512_fnmadd_pd(ci, ai, _mm512_mul_pd(cr, ar));
+    const __m512d ni = _mm512_fmadd_pd(ci, ar, _mm512_mul_pd(cr, ai));
+    ar = nr;
+    ai = ni;
+}
+
+/** Multiply the @p n complex values at (re, im) by (cr, ci). */
+inline void
+scaleRun(double *re, double *im, U64 n, __m512d cr, __m512d ci, double sr,
+         double si)
+{
+    U64 v = 0;
+    for (; v + 8 <= n; v += 8) {
+        __m512d ar = _mm512_loadu_pd(re + v);
+        __m512d ai = _mm512_loadu_pd(im + v);
+        complexScale8(ar, ai, cr, ci);
+        _mm512_storeu_pd(re + v, ar);
+        _mm512_storeu_pd(im + v, ai);
+    }
+    for (; v < n; ++v) {
+        const double r = re[v], i = im[v];
+        re[v] = sr * r - si * i;
+        im[v] = sr * i + si * r;
+    }
+}
+
+void
+avx512Apply1q(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
+              const Mat2Split &m)
+{
+    if (stride < 8) {
+        narrowFallback().apply1q(re, im, stride, k_lo, k_hi, m);
+        return;
+    }
+    const __m512d m00r = _mm512_set1_pd(m.re[0]);
+    const __m512d m00i = _mm512_set1_pd(m.im[0]);
+    const __m512d m01r = _mm512_set1_pd(m.re[1]);
+    const __m512d m01i = _mm512_set1_pd(m.im[1]);
+    const __m512d m10r = _mm512_set1_pd(m.re[2]);
+    const __m512d m10i = _mm512_set1_pd(m.im[2]);
+    const __m512d m11r = _mm512_set1_pd(m.re[3]);
+    const __m512d m11i = _mm512_set1_pd(m.im[3]);
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(stride - 1)) + stride);
+        U64 i0 = insertZero(k, stride);
+        for (; k + 8 <= block_end; k += 8, i0 += 8) {
+            __m512d a0r = _mm512_loadu_pd(re + i0);
+            __m512d a1r = _mm512_loadu_pd(re + i0 + stride);
+            __m512d a0i = _mm512_loadu_pd(im + i0);
+            __m512d a1i = _mm512_loadu_pd(im + i0 + stride);
+            __m512d n0r = _mm512_mul_pd(m00r, a0r);
+            n0r = _mm512_fnmadd_pd(m00i, a0i, n0r);
+            n0r = _mm512_fmadd_pd(m01r, a1r, n0r);
+            n0r = _mm512_fnmadd_pd(m01i, a1i, n0r);
+            __m512d n0i = _mm512_mul_pd(m00r, a0i);
+            n0i = _mm512_fmadd_pd(m00i, a0r, n0i);
+            n0i = _mm512_fmadd_pd(m01r, a1i, n0i);
+            n0i = _mm512_fmadd_pd(m01i, a1r, n0i);
+            __m512d n1r = _mm512_mul_pd(m10r, a0r);
+            n1r = _mm512_fnmadd_pd(m10i, a0i, n1r);
+            n1r = _mm512_fmadd_pd(m11r, a1r, n1r);
+            n1r = _mm512_fnmadd_pd(m11i, a1i, n1r);
+            __m512d n1i = _mm512_mul_pd(m10r, a0i);
+            n1i = _mm512_fmadd_pd(m10i, a0r, n1i);
+            n1i = _mm512_fmadd_pd(m11r, a1i, n1i);
+            n1i = _mm512_fmadd_pd(m11i, a1r, n1i);
+            _mm512_storeu_pd(re + i0, n0r);
+            _mm512_storeu_pd(re + i0 + stride, n1r);
+            _mm512_storeu_pd(im + i0, n0i);
+            _mm512_storeu_pd(im + i0 + stride, n1i);
+        }
+        for (; k < block_end; ++k, ++i0) {
+            const U64 i1 = i0 | stride;
+            const double a0r = re[i0], a0i = im[i0];
+            const double a1r = re[i1], a1i = im[i1];
+            re[i0] = m.re[0] * a0r - m.im[0] * a0i + m.re[1] * a1r -
+                     m.im[1] * a1i;
+            im[i0] = m.re[0] * a0i + m.im[0] * a0r + m.re[1] * a1i +
+                     m.im[1] * a1r;
+            re[i1] = m.re[2] * a0r - m.im[2] * a0i + m.re[3] * a1r -
+                     m.im[3] * a1i;
+            im[i1] = m.re[2] * a0i + m.im[2] * a0r + m.re[3] * a1i +
+                     m.im[3] * a1r;
+        }
+    }
+}
+
+void
+avx512Apply1qDiag(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
+                  double d0r, double d0i, double d1r, double d1i,
+                  bool d0_is_one)
+{
+    if (stride < 8) {
+        narrowFallback().apply1qDiag(re, im, stride, k_lo, k_hi, d0r, d0i,
+                                     d1r, d1i, d0_is_one);
+        return;
+    }
+    const __m512d v0r = _mm512_set1_pd(d0r);
+    const __m512d v0i = _mm512_set1_pd(d0i);
+    const __m512d v1r = _mm512_set1_pd(d1r);
+    const __m512d v1i = _mm512_set1_pd(d1i);
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(stride - 1)) + stride);
+        const U64 i0 = insertZero(k, stride);
+        const U64 n = block_end - k;
+        if (!d0_is_one)
+            scaleRun(re + i0, im + i0, n, v0r, v0i, d0r, d0i);
+        scaleRun(re + (i0 | stride), im + (i0 | stride), n, v1r, v1i, d1r,
+                 d1i);
+        k = block_end;
+    }
+}
+
+void
+avx512QuadPhase(double *re, double *im, U64 s_lo, U64 s_hi, U64 set_mask,
+                U64 k_lo, U64 k_hi, double p_re, double p_im)
+{
+    if (s_lo < 8) {
+        narrowFallback().quadPhase(re, im, s_lo, s_hi, set_mask, k_lo,
+                                   k_hi, p_re, p_im);
+        return;
+    }
+    const __m512d cr = _mm512_set1_pd(p_re);
+    const __m512d ci = _mm512_set1_pd(p_im);
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(s_lo - 1)) + s_lo);
+        const U64 i = insertZero2(k, s_lo, s_hi) | set_mask;
+        scaleRun(re + i, im + i, block_end - k, cr, ci, p_re, p_im);
+        k = block_end;
+    }
+}
+
+void
+avx512QuadSwap(double *re, double *im, U64 s_lo, U64 s_hi, U64 mask_a,
+               U64 mask_b, U64 k_lo, U64 k_hi)
+{
+    if (s_lo < 8) {
+        narrowFallback().quadSwap(re, im, s_lo, s_hi, mask_a, mask_b,
+                                  k_lo, k_hi);
+        return;
+    }
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(s_lo - 1)) + s_lo);
+        const U64 base = insertZero2(k, s_lo, s_hi);
+        const U64 n = block_end - k;
+        for (double *arr : {re, im}) {
+            double *pa = arr + (base | mask_a);
+            double *pb = arr + (base | mask_b);
+            U64 v = 0;
+            for (; v + 8 <= n; v += 8) {
+                const __m512d va = _mm512_loadu_pd(pa + v);
+                const __m512d vb = _mm512_loadu_pd(pb + v);
+                _mm512_storeu_pd(pa + v, vb);
+                _mm512_storeu_pd(pb + v, va);
+            }
+            for (; v < n; ++v)
+                std::swap(pa[v], pb[v]);
+        }
+        k = block_end;
+    }
+}
+
+void
+avx512PhasePair(double *re, double *im, int q0, int q1, U64 k_lo, U64 k_hi,
+                double even_re, double even_im, double odd_re,
+                double odd_im)
+{
+    if (q0 < 3 || q1 < 3) {
+        narrowFallback().phasePair(re, im, q0, q1, k_lo, k_hi, even_re,
+                                   even_im, odd_re, odd_im);
+        return;
+    }
+    // The XOR of bits q0 and q1 is constant over runs of length
+    // 2^min(q0, q1) >= 8, so each run is one phase multiply.
+    const U64 run = 1ULL << std::min(q0, q1);
+    const __m512d cr[2] = {_mm512_set1_pd(even_re),
+                           _mm512_set1_pd(odd_re)};
+    const __m512d ci[2] = {_mm512_set1_pd(even_im),
+                           _mm512_set1_pd(odd_im)};
+    const double sr[2] = {even_re, odd_re};
+    const double si[2] = {even_im, odd_im};
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 run_end = std::min(k_hi, (k & ~(run - 1)) + run);
+        const U64 bit = ((k >> q0) ^ (k >> q1)) & 1ULL;
+        scaleRun(re + k, im + k, run_end - k, cr[bit], ci[bit], sr[bit],
+                 si[bit]);
+        k = run_end;
+    }
+}
+
+void
+avx512StratumPhaseTable(double *re, double *im, U64 q_mask,
+                        U64 control_mask, const double *tab_re,
+                        const double *tab_im, U64 k_lo, U64 k_hi)
+{
+    if (control_mask < q_mask &&
+        (control_mask & (control_mask + 1)) == 0) {
+        // Contiguous low controls (the QFT shape): within each
+        // q_mask-aligned stratum block the table index equals the low
+        // bits of the amplitude index, so runs multiply element-wise
+        // against contiguous table slices — pure vector loads.
+        U64 k = k_lo;
+        const U64 tsize = control_mask + 1;
+        while (k < k_hi) {
+            const U64 block_end =
+                q_mask >= 8 ? std::min(k_hi, (k & ~(q_mask - 1)) + q_mask)
+                            : k + 1;
+            U64 i = insertZero(k, q_mask) | q_mask;
+            U64 n = block_end - k;
+            while (n > 0) {
+                const U64 t0 = i & control_mask;
+                const U64 chunk = std::min(n, tsize - t0);
+                U64 v = 0;
+                for (; v + 8 <= chunk; v += 8) {
+                    __m512d ar = _mm512_loadu_pd(re + i + v);
+                    __m512d ai = _mm512_loadu_pd(im + i + v);
+                    const __m512d cr = _mm512_loadu_pd(tab_re + t0 + v);
+                    const __m512d ci = _mm512_loadu_pd(tab_im + t0 + v);
+                    complexScale8(ar, ai, cr, ci);
+                    _mm512_storeu_pd(re + i + v, ar);
+                    _mm512_storeu_pd(im + i + v, ai);
+                }
+                for (; v < chunk; ++v) {
+                    const double xr = re[i + v], xi = im[i + v];
+                    re[i + v] = tab_re[t0 + v] * xr - tab_im[t0 + v] * xi;
+                    im[i + v] = tab_re[t0 + v] * xi + tab_im[t0 + v] * xr;
+                }
+                i += chunk;
+                n -= chunk;
+            }
+            k = block_end;
+        }
+        return;
+    }
+    for (U64 k = k_lo; k < k_hi; ++k) {
+        const U64 i = insertZero(k, q_mask) | q_mask;
+        const U64 t = _pext_u64(i, control_mask);
+        const double ar = re[i], ai = im[i];
+        re[i] = tab_re[t] * ar - tab_im[t] * ai;
+        im[i] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+}
+
+void
+avx512PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
+                 const double *tab_im, U64 k_lo, U64 k_hi)
+{
+    if ((mask & (mask + 1)) == 0) {
+        // Contiguous low mask: amplitudes multiply element-wise
+        // against contiguous table slices.
+        const U64 tsize = mask + 1;
+        U64 k = k_lo;
+        while (k < k_hi) {
+            const U64 t0 = k & mask;
+            const U64 chunk = std::min(k_hi - k, tsize - t0);
+            U64 v = 0;
+            for (; v + 8 <= chunk; v += 8) {
+                __m512d ar = _mm512_loadu_pd(re + k + v);
+                __m512d ai = _mm512_loadu_pd(im + k + v);
+                const __m512d cr = _mm512_loadu_pd(tab_re + t0 + v);
+                const __m512d ci = _mm512_loadu_pd(tab_im + t0 + v);
+                complexScale8(ar, ai, cr, ci);
+                _mm512_storeu_pd(re + k + v, ar);
+                _mm512_storeu_pd(im + k + v, ai);
+            }
+            for (; v < chunk; ++v) {
+                const double xr = re[k + v], xi = im[k + v];
+                re[k + v] = tab_re[t0 + v] * xr - tab_im[t0 + v] * xi;
+                im[k + v] = tab_re[t0 + v] * xi + tab_im[t0 + v] * xr;
+            }
+            k += chunk;
+        }
+        return;
+    }
+    const U64 low = mask & (~mask + 1);
+    if (low >= 8) {
+        // The table index is constant over each low-aligned run of
+        // `low` amplitudes: one broadcast phase multiply per run.
+        U64 k = k_lo;
+        while (k < k_hi) {
+            const U64 run_end = std::min(k_hi, (k & ~(low - 1)) + low);
+            const U64 t = _pext_u64(k, mask);
+            scaleRun(re + k, im + k, run_end - k,
+                     _mm512_set1_pd(tab_re[t]), _mm512_set1_pd(tab_im[t]),
+                     tab_re[t], tab_im[t]);
+            k = run_end;
+        }
+        return;
+    }
+    for (U64 k = k_lo; k < k_hi; ++k) {
+        const U64 t = _pext_u64(k, mask);
+        const double ar = re[k], ai = im[k];
+        re[k] = tab_re[t] * ar - tab_im[t] * ai;
+        im[k] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+}
+
+double
+avx512Norm2(const double *re, const double *im, U64 lo, U64 hi)
+{
+    __m512d acc = _mm512_setzero_pd();
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8) {
+        const __m512d r = _mm512_loadu_pd(re + i);
+        const __m512d m = _mm512_loadu_pd(im + i);
+        acc = _mm512_fmadd_pd(r, r, acc);
+        acc = _mm512_fmadd_pd(m, m, acc);
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    double total = 0.0;
+    for (double lane : lanes)
+        total += lane;
+    for (; i < hi; ++i)
+        total += re[i] * re[i] + im[i] * im[i];
+    return total;
+}
+
+const KernelTable avx512Table = {
+    "avx512",
+    avx512Apply1q,
+    avx512Apply1qDiag,
+    avx512QuadPhase,
+    avx512QuadSwap,
+    avx512PhasePair,
+    avx512StratumPhaseTable,
+    avx512PhaseTable,
+    avx512Norm2,
+};
+
+} // namespace
+
+const KernelTable *
+avx512Kernels()
+{
+    return &avx512Table;
+}
+
+} // namespace simd
+} // namespace jigsaw
+
+#endif // JIGSAW_HAVE_AVX512

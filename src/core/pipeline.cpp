@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "compiler/cpm_batch.h"
 #include "sim/eps.h"
 
@@ -201,7 +202,8 @@ buildSchedule(const CompiledJobs &jobs)
         const auto [it, inserted] =
             group_of.emplace(prefix_hash, schedule.groups.size());
         if (inserted)
-            schedule.groups.push_back({cpm.fromGlobal, i, {}, {}});
+            schedule.groups.push_back(
+                {cpm.fromGlobal, i, prefix_hash, {}, {}});
         std::vector<int> measured = cpm.compiled.physical.measuredQubits();
         for (int q : measured)
             fatalIf(q < 0, "buildSchedule: CPM with unused classical bit");
@@ -231,6 +233,244 @@ executeSchedule(sim::Executor &executor, const CompiledJobs &jobs,
             result.cpmPmfs[group.members[j]] = hists[j].toPmf();
     }
     return result;
+}
+
+namespace {
+
+/** Mix two 64-bit keys into one (order-sensitive). */
+inline std::uint64_t
+combineKeys(std::uint64_t a, std::uint64_t b)
+{
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/** The base circuit a schedule group batches against. */
+const circuit::QuantumCircuit &
+groupBase(const MergeSource &src, const ExecutionSchedule::Group &group)
+{
+    return group.usesGlobal ? src.jobs->global.physical
+                            : src.jobs->cpms[group.baseCpm].compiled.physical;
+}
+
+/**
+ * One merged group flattened into a single runBatch call: the base
+ * circuit, the shared executor, every member spec tagged with its
+ * source's program and rng, and per-spec (source, CPM index) origins
+ * for splitting the histograms back.
+ */
+struct MergedDispatch
+{
+    const circuit::QuantumCircuit *base = nullptr;
+    sim::Executor *executor = nullptr;
+    std::vector<sim::CpmSpec> specs;
+    /** (source index, CPM index) per spec. */
+    std::vector<std::pair<std::size_t, std::size_t>> origin;
+};
+
+MergedDispatch
+buildMergedDispatch(const std::vector<MergeSource> &sources,
+                    const std::vector<MergedSchedule::Member> &members)
+{
+    panicIf(members.empty(), "merged group without members");
+    MergedDispatch dispatch;
+    const MergeSource &first = sources[members.front().source];
+    dispatch.base =
+        &groupBase(first, first.schedule->groups[members.front().group]);
+    dispatch.executor = first.executor;
+    for (const MergedSchedule::Member &member : members) {
+        const MergeSource &src = sources[member.source];
+        panicIf(src.executor != dispatch.executor,
+                "merged group spans executors");
+        const ExecutionSchedule::Group &group =
+            src.schedule->groups[member.group];
+        for (std::size_t j = 0; j < group.specs.size(); ++j) {
+            sim::CpmSpec spec = group.specs[j];
+            spec.rng = src.rng;
+            spec.program = static_cast<std::int64_t>(src.program);
+            dispatch.specs.push_back(std::move(spec));
+            dispatch.origin.push_back({member.source, group.members[j]});
+        }
+    }
+    return dispatch;
+}
+
+} // namespace
+
+std::size_t
+MergedSchedule::crossProgramGroups() const
+{
+    std::size_t count = 0;
+    for (const Group &group : groups) {
+        for (std::size_t m = 1; m < group.members.size(); ++m) {
+            if (group.members[m].source != group.members[0].source) {
+                ++count;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+MergedSchedule
+mergeSchedules(const std::vector<MergeSource> &sources)
+{
+    MergedSchedule merged;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        const MergeSource &src = sources[s];
+        panicIf(src.jobs == nullptr || src.schedule == nullptr ||
+                    src.plan == nullptr || src.executor == nullptr ||
+                    src.rng == nullptr,
+                "mergeSchedules: incomplete source");
+        fatalIf(!src.executor->supportsExternalSampling(),
+                "mergeSchedules: executor does not support external "
+                "sampling streams");
+        for (std::size_t g = 0; g < src.schedule->groups.size(); ++g) {
+            const ExecutionSchedule::Group &group =
+                src.schedule->groups[g];
+            const std::uint64_t key =
+                combineKeys(src.deviceKey, group.prefixHash);
+            const auto [it, inserted] =
+                group_of.emplace(key, merged.groups.size());
+            std::size_t idx = it->second;
+            if (inserted) {
+                merged.groups.push_back(
+                    {src.deviceKey, group.prefixHash, {}});
+            } else if (merged.groups[idx].deviceKey != src.deviceKey ||
+                       merged.groups[idx].prefixHash !=
+                           group.prefixHash) {
+                // Combined-key collision between distinct
+                // (device, prefix) pairs: give up on sharing this
+                // group rather than batching it against a foreign
+                // evolution.
+                idx = merged.groups.size();
+                merged.groups.push_back(
+                    {src.deviceKey, group.prefixHash, {}});
+            }
+            merged.groups[idx].members.push_back({s, g});
+        }
+    }
+    return merged;
+}
+
+std::vector<ExecutionResult>
+executeMergedSchedules(const std::vector<MergeSource> &sources,
+                       const MergedSchedule &merged)
+{
+    std::vector<ExecutionResult> results(sources.size());
+
+    // Warm-up: prepare each distinct global circuit and each merged
+    // group's shared evolution concurrently. All of it is
+    // deterministic, shot-independent cache population; no randomness
+    // is consumed, so the ordered sampling pass below stays exact.
+    {
+        TaskGroup warm;
+        std::unordered_map<std::uint64_t, char> seen;
+        for (const MergeSource &src : sources) {
+            const std::uint64_t key = combineKeys(
+                src.deviceKey,
+                src.jobs->global.physical.structuralHash());
+            if (!seen.emplace(key, 1).second)
+                continue;
+            warm.run([source = &src] {
+                source->executor->prepare(source->jobs->global.physical);
+            });
+        }
+        for (const MergedSchedule::Group &group : merged.groups) {
+            warm.run([&sources, members = &group.members] {
+                const MergedDispatch dispatch =
+                    buildMergedDispatch(sources, *members);
+                dispatch.executor->prepareBatch(*dispatch.base,
+                                                dispatch.specs);
+            });
+        }
+        warm.wait();
+    }
+
+    // Sampling pass 1: globals, in source order. Every draw comes
+    // from the source's private stream, so cross-source order is
+    // immaterial; within a source this is its first sampling, exactly
+    // as in executeSchedule.
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        const MergeSource &src = sources[s];
+        results[s].globalPmf =
+            src.executor
+                ->run(src.jobs->global.physical, src.plan->globalTrials,
+                      *src.rng)
+                .toPmf();
+        results[s].cpmPmfs.assign(src.jobs->cpms.size(), Pmf(1));
+    }
+
+    // Sampling pass 2: merged groups, each one runBatch, in an order
+    // that preserves every source's own group order (a source's draws
+    // must land in its stream exactly as executeSchedule would issue
+    // them). Greedy sweeps dispatch any group whose members are all
+    // their source's next unexecuted group; when sources disagree on
+    // prefix order (possible with differing subset options), a sweep
+    // can stall — then the first group with ready members dispatches
+    // just those, preserving per-source order at the cost of one
+    // extra batch.
+    std::vector<std::size_t> next(sources.size(), 0);
+    std::vector<std::vector<MergedSchedule::Member>> pending;
+    pending.reserve(merged.groups.size());
+    std::size_t remaining = 0;
+    for (const MergedSchedule::Group &group : merged.groups) {
+        pending.push_back(group.members);
+        remaining += group.members.size();
+    }
+    const auto dispatchMembers =
+        [&](const std::vector<MergedSchedule::Member> &members) {
+            const MergedDispatch dispatch =
+                buildMergedDispatch(sources, members);
+            const std::vector<Histogram> hists =
+                dispatch.executor->runBatch(*dispatch.base,
+                                            dispatch.specs);
+            for (std::size_t k = 0; k < hists.size(); ++k) {
+                results[dispatch.origin[k].first]
+                    .cpmPmfs[dispatch.origin[k].second] =
+                    hists[k].toPmf();
+            }
+            for (const MergedSchedule::Member &member : members)
+                next[member.source] = member.group + 1;
+            remaining -= members.size();
+        };
+    const auto isReady = [&](const MergedSchedule::Member &member) {
+        return next[member.source] == member.group;
+    };
+    while (remaining > 0) {
+        bool progress = false;
+        for (std::vector<MergedSchedule::Member> &members : pending) {
+            if (members.empty())
+                continue;
+            if (!std::all_of(members.begin(), members.end(), isReady))
+                continue;
+            dispatchMembers(members);
+            members.clear();
+            progress = true;
+        }
+        if (progress)
+            continue;
+        // Order conflict: dispatch the ready members of the first
+        // blocked group. At least one pending member is ready (every
+        // source's next group is pending somewhere).
+        for (std::vector<MergedSchedule::Member> &members : pending) {
+            std::vector<MergedSchedule::Member> ready;
+            for (const MergedSchedule::Member &member : members) {
+                if (isReady(member))
+                    ready.push_back(member);
+            }
+            if (ready.empty())
+                continue;
+            std::erase_if(members, [&](const auto &member) {
+                return isReady(member);
+            });
+            dispatchMembers(ready);
+            progress = true;
+            break;
+        }
+        panicIf(!progress, "executeMergedSchedules: dispatch stalled");
+    }
+    return results;
 }
 
 ReconstructionInput

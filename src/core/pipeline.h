@@ -111,6 +111,14 @@ struct ExecutionSchedule
         bool usesGlobal = false;
         /** When !usesGlobal: CPM index whose compilation is the base. */
         std::size_t baseCpm = 0;
+        /**
+         * Structural hash of the shared gate prefix (the base
+         * circuit without its measurements) — the provenance tag the
+         * cross-program merge pass keys on: two groups from different
+         * programs with equal prefix hashes (on equal devices) batch
+         * against one shared evolution.
+         */
+        std::uint64_t prefixHash = 0;
         std::vector<sim::CpmSpec> specs; ///< Parallel to members.
         std::vector<std::size_t> members; ///< CPM indices, plan order.
     };
@@ -137,6 +145,76 @@ ExecutionResult executeSchedule(sim::Executor &executor,
                                 const CompiledJobs &jobs,
                                 const ExecutionSchedule &schedule,
                                 const SubsetPlan &plan);
+
+/**
+ * One program's artifacts offered to the cross-program merge pass.
+ * The executor is shared by every source with the same deviceKey and
+ * must support external sampling; the rng is this program's private
+ * draw stream, seeded exactly like the private executor a sequential
+ * run would use, so merged results stay bitwise-identical to
+ * sequential runJigsaw.
+ */
+struct MergeSource
+{
+    std::size_t program = 0; ///< Caller-assigned provenance tag.
+    const CompiledJobs *jobs = nullptr;
+    const ExecutionSchedule *schedule = nullptr;
+    const SubsetPlan *plan = nullptr;
+    std::uint64_t deviceKey = 0; ///< device::DeviceModel::fingerprint().
+    sim::Executor *executor = nullptr; ///< Shared per deviceKey.
+    Rng *rng = nullptr;                ///< Per-program stream.
+};
+
+/**
+ * Schedule groups from all in-flight sources merged by
+ * (deviceKey, shared CPM gate prefix): each merged group is executed
+ * as one multi-program Executor::runBatch against the shared
+ * executor, so a prefix shared by N programs is evolved once instead
+ * of N times. Within one source, prefix hashes are unique (that is
+ * what buildSchedule groups by), so a merged group holds at most one
+ * group per source.
+ */
+struct MergedSchedule
+{
+    /** One source group inside a merged group. */
+    struct Member
+    {
+        std::size_t source = 0; ///< Index into the sources vector.
+        std::size_t group = 0;  ///< Index into that source's schedule.
+    };
+    struct Group
+    {
+        std::uint64_t deviceKey = 0;
+        std::uint64_t prefixHash = 0;
+        std::vector<Member> members; ///< In source-index order.
+    };
+    std::vector<Group> groups;
+
+    /** Merged groups with members from more than one source. */
+    std::size_t crossProgramGroups() const;
+};
+
+/** Merge every source's schedule by (deviceKey, prefix hash). */
+MergedSchedule mergeSchedules(const std::vector<MergeSource> &sources);
+
+/**
+ * Execute every source's schedule through @p merged and split the
+ * results back per source (parallel to @p sources).
+ *
+ * Two phases: a warm-up pass prepares each merged group's shared
+ * evolution (and each distinct global circuit) concurrently over the
+ * thread pool — deterministic work, no randomness — then globals and
+ * merged groups are sampled in an order that preserves every source's
+ * sequential dispatch order (global first, groups in schedule order),
+ * each spec drawing from its own source's rng. Because each source's
+ * draws come from its private stream in its sequential order, and
+ * every cached entry is a deterministic function of (circuit,
+ * device), the per-source results are bitwise-identical to running
+ * executeSchedule against a private executor seeded the same way.
+ */
+std::vector<ExecutionResult>
+executeMergedSchedules(const std::vector<MergeSource> &sources,
+                       const MergedSchedule &merged);
 
 /** Stage 4 input: the prior and the evidence, nothing else. */
 struct ReconstructionInput

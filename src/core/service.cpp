@@ -1,7 +1,11 @@
 #include "core/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <exception>
 #include <optional>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/parallel.h"
@@ -11,9 +15,11 @@ namespace core {
 
 namespace {
 
-/** The executor a program runs against: its own, or a fresh seeded
- *  default — the one definition shared by the concurrent service and
- *  the sequential reference. */
+using Clock = std::chrono::steady_clock;
+
+/** The executor a legacy-path program runs against: its own, or a
+ *  fresh seeded default — the one definition shared by the service
+ *  and the sequential reference. */
 std::shared_ptr<sim::Executor>
 programExecutor(const ServiceProgram &program)
 {
@@ -25,6 +31,20 @@ programExecutor(const ServiceProgram &program)
 }
 
 } // namespace
+
+double
+ServiceStats::latencyPercentileMs(double q) const
+{
+    if (latenciesMs.empty())
+        return 0.0;
+    std::vector<double> sorted = latenciesMs;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(clamped * static_cast<double>(sorted.size()))));
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
 
 std::vector<JigsawResult>
 runProgramsSequentially(const std::vector<ServiceProgram> &programs)
@@ -44,28 +64,173 @@ runProgramsSequentially(const std::vector<ServiceProgram> &programs)
 std::vector<JigsawResult>
 JigsawService::run(const std::vector<ServiceProgram> &programs)
 {
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<std::optional<JigsawResult>> slots(programs.size());
+    const auto start = Clock::now();
+    const auto msSinceStart = [&start] {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start)
+            .count();
+    };
+    stats_ = ServiceStats{};
 
-    TaskGroup group;
-    for (std::size_t i = 0; i < programs.size(); ++i) {
-        group.run([&programs, &slots, i] {
-            const ServiceProgram &program = programs[i];
-            const std::shared_ptr<sim::Executor> executor =
-                programExecutor(program);
-            JigsawSession session(program.circuit, program.device,
-                                  *executor, program.trials,
-                                  program.options);
-            slots[i] = session.run();
+    const std::size_t n = programs.size();
+    std::vector<std::optional<JigsawResult>> slots(n);
+    std::vector<double> latencies(n, 0.0);
+    std::vector<std::exception_ptr> errors(n);
+
+    // Partition: programs the service builds executors for are
+    // eligible for the merge path. Under Auto only (circuit, device)
+    // pairs shared by two or more of them merge: those are the
+    // programs whose gate prefixes will actually dedupe, while a
+    // program sharing nothing keeps the legacy path's session-level
+    // sampling concurrency (merged sampling is ordered).
+    std::vector<char> on_merged_path(n, 0);
+    std::vector<std::uint64_t> device_keys(n, 0);
+    if (options_.mergePolicy != MergePolicy::Never) {
+        std::unordered_map<std::uint64_t, std::size_t> pair_count;
+        std::vector<std::uint64_t> pair_keys(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (programs[i].executor)
+                continue;
+            device_keys[i] = programs[i].device.fingerprint();
+            pair_keys[i] = device_keys[i] ^
+                           (programs[i].circuit.structuralHash() *
+                            0x9e3779b97f4a7c15ULL);
+            ++pair_count[pair_keys[i]];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (programs[i].executor)
+                continue;
+            if (options_.mergePolicy == MergePolicy::Always ||
+                pair_count[pair_keys[i]] >= 2) {
+                on_merged_path[i] = 1;
+            }
+        }
+    }
+
+    // Legacy path: one independent session per program, concurrent.
+    TaskGroup legacy;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (on_merged_path[i])
+            continue;
+        legacy.run([&programs, &slots, &errors, &latencies, &msSinceStart,
+                    i] {
+            try {
+                const ServiceProgram &program = programs[i];
+                const std::shared_ptr<sim::Executor> executor =
+                    programExecutor(program);
+                JigsawSession session(program.circuit, program.device,
+                                      *executor, program.trials,
+                                      program.options);
+                slots[i] = session.run();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            latencies[i] = msSinceStart();
         });
     }
-    group.wait();
 
-    stats_.programs = programs.size();
-    stats_.wallMs = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    // Merged path, staged from the calling thread: schedule
+    // concurrently, merge, execute the merged schedule (one runBatch
+    // per merged group against the per-device shared executor),
+    // split back, reconstruct concurrently.
+    std::vector<std::size_t> merged_programs;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (on_merged_path[i])
+            merged_programs.push_back(i);
+    }
+    if (!merged_programs.empty()) {
+        std::unordered_map<std::uint64_t, std::shared_ptr<sim::Executor>>
+            shared_executors;
+        std::vector<std::unique_ptr<JigsawSession>> sessions(n);
+        std::vector<std::unique_ptr<Rng>> streams(n);
+        for (std::size_t i : merged_programs) {
+            const ServiceProgram &program = programs[i];
+            std::shared_ptr<sim::Executor> &executor =
+                shared_executors[device_keys[i]];
+            if (!executor) {
+                // The shared executor's own seed is irrelevant: every
+                // merged draw comes from a per-program stream.
+                executor = std::make_shared<sim::NoisySimulator>(
+                    program.device, sim::NoisySimulatorOptions{
+                                        .seed = program.executorSeed});
+            }
+            sessions[i] = std::make_unique<JigsawSession>(
+                program.circuit, program.device, *executor,
+                program.trials, program.options);
+            streams[i] = std::make_unique<Rng>(program.executorSeed);
+        }
 
+        TaskGroup scheduling;
+        for (std::size_t i : merged_programs) {
+            scheduling.run([&sessions, &errors, &latencies, &msSinceStart,
+                            i] {
+                try {
+                    sessions[i]->schedule();
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                    latencies[i] = msSinceStart();
+                }
+            });
+        }
+        scheduling.wait();
+
+        std::vector<MergeSource> sources;
+        sources.reserve(merged_programs.size());
+        for (std::size_t i : merged_programs) {
+            if (errors[i])
+                continue;
+            sources.push_back({i, &sessions[i]->compiled(),
+                               &sessions[i]->schedule(),
+                               &sessions[i]->plan(), device_keys[i],
+                               shared_executors[device_keys[i]].get(),
+                               streams[i].get()});
+        }
+
+        try {
+            const MergedSchedule merged = mergeSchedules(sources);
+            std::vector<ExecutionResult> executions =
+                executeMergedSchedules(sources, merged);
+            stats_.mergedPrograms = sources.size();
+            stats_.mergedGroups = merged.groups.size();
+            stats_.crossProgramGroups = merged.crossProgramGroups();
+
+            TaskGroup reconstructing;
+            for (std::size_t k = 0; k < sources.size(); ++k) {
+                const std::size_t i = sources[k].program;
+                reconstructing.run([&sessions, &executions, &slots,
+                                    &errors, &latencies, &msSinceStart, i,
+                                    k] {
+                    try {
+                        sessions[i]->adoptExecution(
+                            std::move(executions[k]));
+                        slots[i] = sessions[i]->run();
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                    latencies[i] = msSinceStart();
+                });
+            }
+            reconstructing.wait();
+        } catch (...) {
+            // A merge/execution failure fails every merged program
+            // that had not already failed on its own.
+            const std::exception_ptr error = std::current_exception();
+            for (const MergeSource &src : sources) {
+                if (!errors[src.program])
+                    errors[src.program] = error;
+            }
+        }
+    }
+    legacy.wait();
+
+    stats_.programs = n;
+    stats_.wallMs = msSinceStart();
+    stats_.latenciesMs = std::move(latencies);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
     std::vector<JigsawResult> results;
     results.reserve(slots.size());
     for (std::optional<JigsawResult> &slot : slots) {

@@ -1,21 +1,34 @@
 /**
  * @file
- * JigsawService: many programs through the pipeline, concurrently.
+ * JigsawService: many programs through the pipeline, concurrently,
+ * with cross-program execution batching.
  *
- * The service accepts N programs and schedules one JigsawSession per
+ * The service accepts N programs and drives one JigsawSession per
  * program over the shared thread pool (common/parallel.h TaskGroup).
  * Sessions share the process-wide transpile memo and, when programs
  * share an executor, its PMF/state caches — both thread-safe — so
  * concurrent programs deduplicate compilation and evolution work
  * exactly like sequential runs do.
  *
- * Determinism: each program that brings (or is given) its own seeded
- * executor produces a result bitwise-identical to a sequential
- * runJigsaw() with the same inputs, whatever the pool size or
- * completion order — every parallel reduction in the pipeline runs in
- * a fixed order, and results are returned in submission order.
- * Programs sharing one executor stay data-race-free but interleave
- * its RNG stream nondeterministically.
+ * On top of that, programs the service builds executors for are
+ * routed through the cross-program merge path (MergePolicy): their
+ * sessions advance to the schedule stage concurrently, the schedules
+ * are merged by (device fingerprint, shared CPM gate prefix), each
+ * merged group executes as one multi-program Executor::runBatch
+ * against one shared per-device executor, and the split-back results
+ * resume the sessions for concurrent reconstruction. A (circuit,
+ * device) pair submitted by many programs is therefore evolved once
+ * for the whole batch instead of once per program — the service wins
+ * even on a single core.
+ *
+ * Determinism: each program samples from its own seeded stream
+ * (private executor on the legacy path, per-program Rng on the merged
+ * path), so every program's result is bitwise-identical to a
+ * sequential runJigsaw() with the same inputs, whatever the pool
+ * size, completion order, or merge policy — see
+ * core::executeMergedSchedules for the argument. Programs sharing a
+ * caller-supplied executor stay data-race-free but interleave its RNG
+ * stream nondeterministically.
  */
 #ifndef JIGSAW_CORE_SERVICE_H
 #define JIGSAW_CORE_SERVICE_H
@@ -49,14 +62,45 @@ struct ServiceProgram
     std::uint64_t trials;
     JigsawOptions options;
     /**
-     * Executor for this program. When null, the service builds a
-     * NoisySimulator(device, {.seed = executorSeed}) — giving every
-     * program a private, deterministic draw stream. Programs may share
-     * one executor (the caches are thread-safe) at the cost of a
-     * nondeterministic interleaving of its RNG.
+     * Executor for this program. When null, the service owns the
+     * executor choice: on the merged path programs on one device
+     * share a thread-safe NoisySimulator while sampling from a
+     * private Rng(executorSeed) stream; on the legacy path the
+     * program gets a private NoisySimulator(device,
+     * {.seed = executorSeed}). Both give the program the exact draw
+     * stream a sequential run would. Caller-supplied executors are
+     * never merged (the service cannot know their noise model is
+     * shareable); such programs run as independent sessions at the
+     * cost of a nondeterministic RNG interleaving when shared.
      */
     std::shared_ptr<sim::Executor> executor;
-    std::uint64_t executorSeed; ///< Seed for the default executor.
+    std::uint64_t executorSeed; ///< Seed for the program's draw stream.
+};
+
+/**
+ * When the service merges programs' execution schedules into
+ * cross-program batches.
+ */
+enum class MergePolicy
+{
+    /**
+     * Merge the service-executor programs whose (circuit, device)
+     * pair two or more of them share — the programs whose gate
+     * prefixes will actually dedupe; everything else runs as
+     * independent sessions, keeping session-level sampling
+     * concurrency (merging buys them nothing). The default.
+     */
+    Auto,
+    /** Route every service-executor program through the merge path. */
+    Always,
+    /** Disable merging: every program is an independent session. */
+    Never,
+};
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    MergePolicy mergePolicy = MergePolicy::Auto;
 };
 
 /** What one service run did, beyond the per-program results. */
@@ -64,6 +108,18 @@ struct ServiceStats
 {
     std::size_t programs = 0; ///< Programs completed.
     double wallMs = 0.0;      ///< Wall time of the whole batch.
+    /**
+     * Per-program latency: batch start to that program's completion,
+     * in submission order (the service-latency a caller of program i
+     * observed).
+     */
+    std::vector<double> latenciesMs;
+    /** @name Merge-path counters (zero under MergePolicy::Never).
+     *  @{ */
+    std::size_t mergedPrograms = 0; ///< Programs on the merged path.
+    std::size_t mergedGroups = 0;   ///< Merged batch groups executed.
+    std::size_t crossProgramGroups = 0; ///< Groups spanning programs.
+    /** @} */
 
     /** Throughput of the batch. */
     double programsPerSecond() const
@@ -72,14 +128,21 @@ struct ServiceStats
                    ? 1000.0 * static_cast<double>(programs) / wallMs
                    : 0.0;
     }
+
+    /**
+     * Latency percentile over latenciesMs (nearest-rank; @p q in
+     * [0, 1], e.g. 0.5 for p50, 0.95 for p95). 0 when no latencies
+     * were recorded.
+     */
+    double latencyPercentileMs(double q) const;
 };
 
 /**
  * Sequential reference for the service: the same programs, one
  * runJigsaw after another, each with the executor the service would
- * use (the caller-supplied one, else a fresh default-seeded
- * NoisySimulator). This single definition is what the service's
- * bitwise-equivalence tests and benches compare against.
+ * use on its legacy path (the caller-supplied one, else a fresh
+ * default-seeded NoisySimulator). This single definition is what the
+ * service's bitwise-equivalence tests and benches compare against.
  */
 std::vector<JigsawResult>
 runProgramsSequentially(const std::vector<ServiceProgram> &programs);
@@ -87,18 +150,27 @@ runProgramsSequentially(const std::vector<ServiceProgram> &programs);
 class JigsawService
 {
   public:
+    explicit JigsawService(ServiceOptions options = {})
+        : options_(options)
+    {
+    }
+
     /**
-     * Run every program to completion, concurrently, and return their
-     * results in submission order. Rethrows the first per-program
-     * failure after all programs finished. Stats of the last run are
-     * available from stats().
+     * Run every program to completion and return their results in
+     * submission order. Rethrows the first per-program failure (by
+     * submission order) after all programs finished. Stats of the
+     * last run are available from stats().
      */
     std::vector<JigsawResult> run(const std::vector<ServiceProgram> &programs);
+
+    /** Options in effect. */
+    const ServiceOptions &options() const { return options_; }
 
     /** Stats of the most recent run(). */
     const ServiceStats &stats() const { return stats_; }
 
   private:
+    ServiceOptions options_;
     ServiceStats stats_;
 };
 

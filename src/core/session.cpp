@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/error.h"
+
 namespace jigsaw {
 namespace core {
 
@@ -64,6 +66,17 @@ JigsawSession::executed()
             executeSchedule(executor_, compiled(), schedule(), plan());
     }
     return *execution_;
+}
+
+void
+JigsawSession::adoptExecution(ExecutionResult result)
+{
+    fatalIf(execution_.has_value(),
+            "adoptExecution: session already executed");
+    schedule(); // run the plan/compile/schedule stages if missing
+    fatalIf(result.cpmPmfs.size() != jobs_->cpms.size(),
+            "adoptExecution: result does not cover every compiled CPM");
+    execution_ = std::move(result);
 }
 
 const Pmf &

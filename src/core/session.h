@@ -57,6 +57,18 @@ class JigsawSession
     const Pmf &output();
     /** @} */
 
+    /**
+     * Resume from an externally produced execution stage: adopt
+     * @p result as this session's ExecutionResult (advancing through
+     * any missing earlier stages first) so reconstruction proceeds
+     * without the session's executor ever sampling. This is how the
+     * cross-program merged service hands a session the split-back
+     * slice of a merged execution. The result must cover every
+     * compiled CPM (throws std::invalid_argument otherwise); adopting
+     * over an already-executed session is rejected the same way.
+     */
+    void adoptExecution(ExecutionResult result);
+
     /** Run every remaining stage and assemble the JigsawResult. */
     JigsawResult run();
 

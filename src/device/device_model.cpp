@@ -1,6 +1,7 @@
 #include "device/device_model.h"
 
 #include "common/error.h"
+#include "common/fnv.h"
 
 namespace jigsaw {
 namespace device {
@@ -13,6 +14,32 @@ DeviceModel::DeviceModel(std::string name, Topology topology,
 {
     fatalIf(topology_.nQubits() != calibration_.nQubits(),
             "DeviceModel: topology/calibration qubit count mismatch");
+}
+
+std::uint64_t
+DeviceModel::fingerprint() const
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    for (char c : name_)
+        fnvMixWord(h, static_cast<std::uint64_t>(
+                          static_cast<unsigned char>(c)));
+    fnvMixWord(h, static_cast<std::uint64_t>(nQubits()));
+    fnvMixWord(h, topology_.edges().size());
+    for (const Edge &e : topology_.edges()) {
+        fnvMixWord(h, static_cast<std::uint64_t>(e.first));
+        fnvMixWord(h, static_cast<std::uint64_t>(e.second));
+    }
+    for (int q = 0; q < nQubits(); ++q) {
+        const QubitCalibration &cal = calibration_.qubit(q);
+        fnvMixDouble(h, cal.readoutError01);
+        fnvMixDouble(h, cal.readoutError10);
+        fnvMixDouble(h, cal.error1q);
+        fnvMixDouble(h, cal.crosstalkGamma);
+    }
+    for (std::size_t e = 0; e < topology_.edges().size(); ++e)
+        fnvMixDouble(h, calibration_.edgeError(static_cast<int>(e)));
+    fnvMixDouble(h, calibration_.correlatedPairError());
+    return h;
 }
 
 } // namespace device

@@ -5,6 +5,7 @@
 #ifndef JIGSAW_DEVICE_DEVICE_MODEL_H
 #define JIGSAW_DEVICE_DEVICE_MODEL_H
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -36,6 +37,15 @@ class DeviceModel
 
     /** Number of physical qubits. */
     int nQubits() const { return topology_.nQubits(); }
+
+    /**
+     * Content hash over the name, coupling graph, and every
+     * calibration value (exact double bit patterns). Two devices with
+     * equal fingerprints produce identical noise derivations for
+     * identical circuits, which is what the cross-program merge pass
+     * keys executor sharing on.
+     */
+    std::uint64_t fingerprint() const;
 
   private:
     std::string name_;

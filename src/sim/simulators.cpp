@@ -169,7 +169,44 @@ marginalFromState(const BatchState &bs, const std::vector<int> &qubits)
     return pmf;
 }
 
+/**
+ * True when @p specs carry two or more distinct non-negative program
+ * tags — a merged cross-program batch.
+ */
+bool
+spansPrograms(const std::vector<CpmSpec> &specs)
+{
+    std::int64_t first = -1;
+    for (const CpmSpec &spec : specs) {
+        if (spec.program < 0)
+            continue;
+        if (first < 0)
+            first = spec.program;
+        else if (spec.program != first)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
+
+Histogram
+Executor::run(const QuantumCircuit &, std::uint64_t, Rng &)
+{
+    fatalIf(true, "Executor: this backend does not support external "
+                  "sampling streams");
+    return Histogram(1); // unreachable
+}
+
+void
+Executor::prepare(const QuantumCircuit &)
+{
+}
+
+void
+Executor::prepareBatch(const QuantumCircuit &, const std::vector<CpmSpec> &)
+{
+}
 
 std::vector<Histogram>
 Executor::runBatch(const QuantumCircuit &base_circuit,
@@ -178,9 +215,11 @@ Executor::runBatch(const QuantumCircuit &base_circuit,
     std::vector<Histogram> out;
     out.reserve(specs.size());
     for (const CpmSpec &spec : specs) {
-        out.push_back(
-            run(base_circuit.withMeasurementSubset(spec.qubits),
-                spec.shots));
+        const QuantumCircuit cpm =
+            base_circuit.withMeasurementSubset(spec.qubits);
+        out.push_back(spec.rng != nullptr
+                          ? run(cpm, spec.shots, *spec.rng)
+                          : run(cpm, spec.shots));
     }
     return out;
 }
@@ -213,15 +252,44 @@ IdealSimulator::evolved(const QuantumCircuit &physical)
 }
 
 Histogram
+IdealSimulator::sampleEntry(const Cached &entry, std::uint64_t shots,
+                            Rng &rng)
+{
+    Histogram hist(entry.pmf.nQubits());
+    for (std::uint64_t t = 0; t < shots; ++t)
+        hist.add(entry.sampler.sample(rng));
+    return hist;
+}
+
+Histogram
 IdealSimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots)
 {
     const Cached &entry = evolved(physical_circuit);
-    Histogram hist(entry.pmf.nQubits());
     std::lock_guard<std::mutex> lock(rngMutex_);
-    for (std::uint64_t t = 0; t < shots; ++t)
-        hist.add(entry.sampler.sample(rng_));
-    return hist;
+    return sampleEntry(entry, shots, rng_);
+}
+
+Histogram
+IdealSimulator::run(const QuantumCircuit &physical_circuit,
+                    std::uint64_t shots, Rng &rng)
+{
+    return sampleEntry(evolved(physical_circuit), shots, rng);
+}
+
+void
+IdealSimulator::prepare(const QuantumCircuit &physical_circuit)
+{
+    evolved(physical_circuit);
+}
+
+void
+IdealSimulator::prepareBatch(const QuantumCircuit &base_circuit,
+                             const std::vector<CpmSpec> &specs)
+{
+    const BatchState *bs = nullptr;
+    for (const CpmSpec &spec : specs)
+        cpmEntry(base_circuit, spec.qubits, bs);
 }
 
 Pmf
@@ -281,16 +349,22 @@ std::vector<Histogram>
 IdealSimulator::runBatch(const QuantumCircuit &base_circuit,
                          const std::vector<CpmSpec> &specs)
 {
+    if (spansPrograms(specs)) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++batchStats_.crossProgramBatches;
+        batchStats_.crossProgramMarginals += specs.size();
+    }
     std::vector<Histogram> out;
     out.reserve(specs.size());
     const BatchState *bs = nullptr;
     for (const CpmSpec &spec : specs) {
         const Cached &entry = cpmEntry(base_circuit, spec.qubits, bs);
-        Histogram hist(entry.pmf.nQubits());
+        if (spec.rng != nullptr) {
+            out.push_back(sampleEntry(entry, spec.shots, *spec.rng));
+            continue;
+        }
         std::lock_guard<std::mutex> lock(rngMutex_);
-        for (std::uint64_t t = 0; t < spec.shots; ++t)
-            hist.add(entry.sampler.sample(rng_));
-        out.push_back(std::move(hist));
+        out.push_back(sampleEntry(entry, spec.shots, rng_));
     }
     return out;
 }
@@ -310,9 +384,51 @@ NoisySimulator::run(const QuantumCircuit &physical_circuit,
     fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
             "NoisySimulator: circuit is not in this device's physical "
             "qubit space");
+    if (options_.trajectories > 0) {
+        std::lock_guard<std::mutex> lock(rngMutex_);
+        return runTrajectoryMode(physical_circuit, shots, rng_);
+    }
+    const Cached &entry = evolved(physical_circuit);
+    std::lock_guard<std::mutex> lock(rngMutex_);
+    return sampleChannel(entry, physical_circuit.nClbits(), shots, rng_);
+}
+
+Histogram
+NoisySimulator::run(const QuantumCircuit &physical_circuit,
+                    std::uint64_t shots, Rng &rng)
+{
+    fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
+            "NoisySimulator: circuit is not in this device's physical "
+            "qubit space");
     if (options_.trajectories > 0)
-        return runTrajectoryMode(physical_circuit, shots);
-    return runChannelMode(physical_circuit, shots);
+        return runTrajectoryMode(physical_circuit, shots, rng);
+    return sampleChannel(evolved(physical_circuit),
+                         physical_circuit.nClbits(), shots, rng);
+}
+
+void
+NoisySimulator::prepare(const QuantumCircuit &physical_circuit)
+{
+    fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
+            "NoisySimulator: circuit is not in this device's physical "
+            "qubit space");
+    if (options_.trajectories > 0)
+        return; // trajectory mode re-simulates per trial: nothing to warm
+    evolved(physical_circuit);
+}
+
+void
+NoisySimulator::prepareBatch(const QuantumCircuit &base_circuit,
+                             const std::vector<CpmSpec> &specs)
+{
+    fatalIf(base_circuit.nQubits() != dev_.nQubits(),
+            "NoisySimulator: batch base circuit is not in this device's "
+            "physical qubit space");
+    if (options_.trajectories > 0)
+        return;
+    const BatchState *bs = nullptr;
+    for (const CpmSpec &spec : specs)
+        cpmEntry(base_circuit, spec.qubits, bs);
 }
 
 const NoisySimulator::Cached &
@@ -342,36 +458,28 @@ NoisySimulator::evolved(const QuantumCircuit &physical)
 
 Histogram
 NoisySimulator::sampleChannel(const Cached &entry, int n_clbits,
-                              std::uint64_t shots)
+                              std::uint64_t shots, Rng &rng)
 {
     const AliasTable &sampler = entry.sampler;
     const MeasurementChannel &channel = *entry.channel;
     const double gate_ok = entry.gateOk;
 
     Histogram hist(n_clbits);
-    std::lock_guard<std::mutex> lock(rngMutex_);
     for (std::uint64_t t = 0; t < shots; ++t) {
-        BasisState outcome = sampler.sample(rng_);
-        if (!rng_.bernoulli(gate_ok)) {
+        BasisState outcome = sampler.sample(rng);
+        if (!rng.bernoulli(gate_ok)) {
             // Gate failure: corrupt the sampled outcome with
             // independent bit flips (localized depolarizing).
             for (int c = 0; c < n_clbits; ++c) {
-                if (rng_.bernoulli(options_.gateNoiseBitFlip))
+                if (rng.bernoulli(options_.gateNoiseBitFlip))
                     outcome = flipBit(outcome, c);
             }
         }
         if (options_.measurementNoise)
-            outcome = channel.apply(outcome, rng_);
+            outcome = channel.apply(outcome, rng);
         hist.add(outcome);
     }
     return hist;
-}
-
-Histogram
-NoisySimulator::runChannelMode(const QuantumCircuit &physical,
-                               std::uint64_t shots)
-{
-    return sampleChannel(evolved(physical), physical.nClbits(), shots);
 }
 
 std::vector<Histogram>
@@ -384,14 +492,24 @@ NoisySimulator::runBatch(const QuantumCircuit &base_circuit,
     if (options_.trajectories > 0)
         return Executor::runBatch(base_circuit, specs);
 
+    if (spansPrograms(specs)) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++batchStats_.crossProgramBatches;
+        batchStats_.crossProgramMarginals += specs.size();
+    }
     std::vector<Histogram> out;
     out.reserve(specs.size());
     const BatchState *bs = nullptr;
     for (const CpmSpec &spec : specs) {
         const Cached &entry = cpmEntry(base_circuit, spec.qubits, bs);
-        out.push_back(sampleChannel(entry,
-                                    static_cast<int>(spec.qubits.size()),
-                                    spec.shots));
+        const int n_clbits = static_cast<int>(spec.qubits.size());
+        if (spec.rng != nullptr) {
+            out.push_back(sampleChannel(entry, n_clbits, spec.shots,
+                                        *spec.rng));
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(rngMutex_);
+        out.push_back(sampleChannel(entry, n_clbits, spec.shots, rng_));
     }
     return out;
 }
@@ -437,11 +555,11 @@ NoisySimulator::cpmEntry(const QuantumCircuit &base_circuit,
 
 Histogram
 NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
-                                  std::uint64_t shots)
+                                  std::uint64_t shots, Rng &rng)
 {
-    // Trajectory mode draws from rng_ throughout; hold the RNG lock
-    // for the whole simulation (it is the slow validation path).
-    std::lock_guard<std::mutex> lock(rngMutex_);
+    // Trajectory mode draws from the caller's stream throughout; the
+    // internal-RNG caller holds the RNG lock for the whole simulation
+    // (it is the slow validation path).
     checkTerminalMeasurements(physical);
     const CompactCircuit compact = compactCircuit(physical);
     const device::Calibration &cal = dev_.calibration();
@@ -491,10 +609,10 @@ NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
                     err = 1.0 - (1.0 - err) * (1.0 - err);
                 }
             }
-            if (rng_.bernoulli(err)) {
+            if (rng.bernoulli(err)) {
                 for (int q : g.qubits) {
                     const int pauli =
-                        static_cast<int>(rng_.uniformInt(0, 3));
+                        static_cast<int>(rng.uniformInt(0, 3));
                     if (pauli > 0)
                         state.applyPauli(pauli, q);
                 }
@@ -508,9 +626,9 @@ NoisySimulator::runTrajectoryMode(const QuantumCircuit &physical,
             traj_shots = shots - base_shots * static_cast<std::uint64_t>(
                                                   n_traj - 1);
         for (std::uint64_t t = 0; t < traj_shots; ++t) {
-            BasisState outcome = sampler.sample(rng_);
+            BasisState outcome = sampler.sample(rng);
             if (options_.measurementNoise)
-                outcome = channel.apply(outcome, rng_);
+                outcome = channel.apply(outcome, rng);
             hist.add(outcome);
         }
     }

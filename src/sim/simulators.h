@@ -38,11 +38,23 @@ struct BatchState;
  * One circuit-with-partial-measurements (CPM) inside a batch: measure
  * @p qubits (physical indices, in classical-bit order 0..k-1) of the
  * batch's shared base circuit for @p shots trials.
+ *
+ * A spec may carry a caller-owned RNG stream: when @p rng is set, the
+ * executor samples this spec's shots from it instead of its internal
+ * generator. Cross-program merged batches use this to give every
+ * program its own seeded stream — the draws then match what the
+ * program's private executor would have produced, whatever else is in
+ * the batch. The caller must guarantee exclusive use of each stream
+ * for the duration of the call. @p program tags the submitting
+ * program (provenance for the cross-program BatchStats counters; -1 =
+ * untagged).
  */
 struct CpmSpec
 {
     std::vector<int> qubits;
     std::uint64_t shots = 0;
+    Rng *rng = nullptr;
+    std::int64_t program = -1;
 };
 
 /**
@@ -55,6 +67,11 @@ struct BatchStats
     std::uint64_t baseEvolutions = 0;  ///< Shared-prefix evolutions run.
     std::uint64_t baseStateHits = 0;   ///< Batches reusing a cached state.
     std::uint64_t marginalsServed = 0; ///< CPM PMFs taken from a state.
+    /** @name Cross-program counters (merged-service batches).
+     *  @{ */
+    std::uint64_t crossProgramBatches = 0; ///< Batches spanning >1 program.
+    std::uint64_t crossProgramMarginals = 0; ///< Specs in those batches.
+    /** @} */
 
     /** Full evolutions avoided vs the per-CPM path. */
     std::uint64_t evolutionsSaved() const
@@ -79,17 +96,49 @@ class Executor
                           std::uint64_t shots) = 0;
 
     /**
+     * run() sampling from a caller-owned stream instead of the
+     * executor's internal generator: the building block of the merged
+     * cross-program path, where the evolution caches are shared but
+     * every program keeps its own deterministic draw stream. Only
+     * meaningful when supportsExternalSampling(); the default throws.
+     * The caller must hold @p rng exclusively for the call.
+     */
+    virtual Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                          std::uint64_t shots, Rng &rng);
+
+    /**
      * Run one measurement-subset variant of @p base_circuit per spec
      * and return their histograms in spec order. All variants share
      * the unitary gates of @p base_circuit (its own measurements, if
      * any, are ignored — each spec defines its own), which is exactly
      * JigSaw's CPM structure, so simulator backends override this to
      * evolve the shared prefix once and read every marginal off the
-     * single final state. This default runs each CPM individually.
+     * single final state. Specs carrying an Rng sample from it (see
+     * CpmSpec). This default runs each CPM individually.
      */
     virtual std::vector<Histogram>
     runBatch(const circuit::QuantumCircuit &base_circuit,
              const std::vector<CpmSpec> &specs);
+
+    /**
+     * Do the deterministic, shot-independent work of a future run()
+     * of @p physical_circuit (evolution, noise derivations) without
+     * consuming any randomness, so concurrent warm-up passes can
+     * populate the caches before an ordered sampling pass. Default:
+     * no-op (nothing to warm on a backend without caches).
+     */
+    virtual void prepare(const circuit::QuantumCircuit &physical_circuit);
+
+    /** prepare() for every spec of a batch (see runBatch). */
+    virtual void prepareBatch(const circuit::QuantumCircuit &base_circuit,
+                              const std::vector<CpmSpec> &specs);
+
+    /**
+     * True when run(circuit, shots, rng) and per-spec CpmSpec::rng
+     * sampling are implemented — a precondition of the cross-program
+     * merged execution path.
+     */
+    virtual bool supportsExternalSampling() const { return false; }
 };
 
 /**
@@ -106,10 +155,12 @@ class Executor
  * mutex-guarded (evolutions happen outside the lock; a lost insert
  * race wastes one evolution but stays correct), counters are atomic,
  * and sampling serializes on the RNG mutex so the draw stream stays
- * well-defined. Deterministic per-program results require one
- * executor per program — a shared executor interleaves the RNG stream
- * in completion order. batchStats() is safe to read once concurrent
- * runs have completed.
+ * well-defined. Deterministic per-program results on a shared
+ * executor require per-program streams (the run(..., Rng&) overload /
+ * CpmSpec::rng — what the merged service path does); sampling from
+ * the internal generator instead interleaves its stream in completion
+ * order. batchStats() is safe to read once concurrent runs have
+ * completed.
  */
 class IdealSimulator : public Executor
 {
@@ -121,6 +172,9 @@ class IdealSimulator : public Executor
     Histogram run(const circuit::QuantumCircuit &physical_circuit,
                   std::uint64_t shots) override;
 
+    Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                  std::uint64_t shots, Rng &rng) override;
+
     /**
      * Batched CPM execution: evolve the shared gate prefix once (per
      * distinct prefix, cached across calls) and sample each spec from
@@ -131,6 +185,13 @@ class IdealSimulator : public Executor
     std::vector<Histogram>
     runBatch(const circuit::QuantumCircuit &base_circuit,
              const std::vector<CpmSpec> &specs) override;
+
+    void prepare(const circuit::QuantumCircuit &physical_circuit) override;
+
+    void prepareBatch(const circuit::QuantumCircuit &base_circuit,
+                      const std::vector<CpmSpec> &specs) override;
+
+    bool supportsExternalSampling() const override { return true; }
 
     /** Exact output distribution over the circuit's classical bits. */
     Pmf idealPmf(const circuit::QuantumCircuit &physical_circuit);
@@ -164,6 +225,8 @@ class IdealSimulator : public Executor
     const Cached &cpmEntry(const circuit::QuantumCircuit &base_circuit,
                            const std::vector<int> &qubits,
                            const detail::BatchState *&bs);
+    Histogram sampleEntry(const Cached &entry, std::uint64_t shots,
+                          Rng &rng);
 
     Rng rng_;
     std::mutex rngMutex_;   ///< Serializes draws from rng_.
@@ -222,6 +285,9 @@ class NoisySimulator : public Executor
     Histogram run(const circuit::QuantumCircuit &physical_circuit,
                   std::uint64_t shots) override;
 
+    Histogram run(const circuit::QuantumCircuit &physical_circuit,
+                  std::uint64_t shots, Rng &rng) override;
+
     /**
      * Batched CPM execution (channel mode): one shared-prefix
      * evolution serves every spec's ideal marginal; the gate-noise
@@ -232,6 +298,13 @@ class NoisySimulator : public Executor
     std::vector<Histogram>
     runBatch(const circuit::QuantumCircuit &base_circuit,
              const std::vector<CpmSpec> &specs) override;
+
+    void prepare(const circuit::QuantumCircuit &physical_circuit) override;
+
+    void prepareBatch(const circuit::QuantumCircuit &base_circuit,
+                      const std::vector<CpmSpec> &specs) override;
+
+    bool supportsExternalSampling() const override { return true; }
 
     /** The device this executor models. */
     const device::DeviceModel &device() const { return dev_; }
@@ -267,12 +340,10 @@ class NoisySimulator : public Executor
                            const std::vector<int> &qubits,
                            const detail::BatchState *&bs);
 
-    Histogram runChannelMode(const circuit::QuantumCircuit &physical,
-                             std::uint64_t shots);
     Histogram runTrajectoryMode(const circuit::QuantumCircuit &physical,
-                                std::uint64_t shots);
+                                std::uint64_t shots, Rng &rng);
     Histogram sampleChannel(const Cached &entry, int n_clbits,
-                            std::uint64_t shots);
+                            std::uint64_t shots, Rng &rng);
 
     device::DeviceModel dev_;
     NoisySimulatorOptions options_;

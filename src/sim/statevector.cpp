@@ -1,6 +1,7 @@
 #include "sim/statevector.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.h"
@@ -274,6 +275,22 @@ StateVector::applyControlledPhaseRun(
 }
 
 void
+StateVector::applyDiagonalRun(BasisState mask,
+                              const std::vector<double> &tab_re,
+                              const std::vector<double> &tab_im)
+{
+    const std::size_t dim = re_.size();
+    double *re = re_.data();
+    double *im = im_.data();
+    const double *tr = tab_re.data();
+    const double *ti = tab_im.data();
+    const simd::KernelTable &K = simd::activeKernels();
+    parallelFor(0, dim, kGrain, [=, &K](std::size_t lo, std::size_t hi) {
+        K.phaseTable(re, im, mask, tr, ti, lo, hi);
+    });
+}
+
+void
 StateVector::applyPhasePair(Amplitude even, Amplitude odd, int q0, int q1)
 {
     // Diagonal two-qubit phase: "even" applies where bits agree,
@@ -370,6 +387,31 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
         return std::exp(Amplitude(0.0, 1.0) * g.params.at(0));
     };
 
+    // General diagonal runs — RZ/RZZ mixed with CP/CZ, the QAOA and
+    // Ising layer shape — commute as a group and compose into one
+    // phase table over the involved qubits, applied in a single
+    // full-register pass (applyDiagonalRun). The qubit cap keeps the
+    // table cache-resident; the gate cap bounds the table build.
+    constexpr int kMaxFusedDiagQubits = 12;
+    constexpr std::size_t kMaxFusedDiagGates = 64;
+    const auto isDiag1q = [](const Gate &g) {
+        switch (g.type) {
+          case GateType::Z:
+          case GateType::S:
+          case GateType::SDG:
+          case GateType::T:
+          case GateType::TDG:
+          case GateType::RZ:
+            return true;
+          default:
+            return false;
+        }
+    };
+    const auto isDiag2q = [](const Gate &g) {
+        return g.type == GateType::CZ || g.type == GateType::CP ||
+               g.type == GateType::RZZ;
+    };
+
     const std::vector<Gate> &gs = qc.gates();
     for (std::size_t gi = 0; gi < gs.size(); ++gi) {
         const Gate &g = gs[gi];
@@ -435,6 +477,98 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
                 flush(target);
                 applyControlledPhaseRun(target, controls);
                 gi = run.back();
+                continue;
+            }
+        }
+        if (isDiag2q(g)) {
+            // Scan the maximal contiguous diagonal run from here:
+            // two-qubit diagonals plus interleaved single-qubit
+            // diagonals, while the involved-qubit count fits the cap.
+            // (Runs the common-qubit CP/CZ pass above already took
+            // never reach this point.)
+            BasisState mask = 0;
+            int n_bits = 0;
+            std::size_t n_two_qubit = 0;
+            double unfused_cost = 0.0;
+            std::vector<std::size_t> drun;
+            for (std::size_t gj = gi;
+                 gj < gs.size() && drun.size() < kMaxFusedDiagGates;
+                 ++gj) {
+                const Gate &h = gs[gj];
+                if (h.type == GateType::BARRIER)
+                    continue;
+                const bool diag2 = isDiag2q(h);
+                if (!diag2 && !isDiag1q(h))
+                    break;
+                BasisState hmask = 0;
+                for (int q : h.qubits)
+                    hmask |= 1ULL << q;
+                const int new_bits = std::popcount(hmask & ~mask);
+                if (n_bits + new_bits > kMaxFusedDiagQubits)
+                    break;
+                mask |= hmask;
+                n_bits += new_bits;
+                drun.push_back(gj);
+                if (diag2) {
+                    ++n_two_qubit;
+                    // Sweep fractions the unfused path would pay:
+                    // CP/CZ touch a quarter of the amplitudes, RZZ
+                    // all of them. 1q diagonals ride along for free
+                    // (they would fuse into pending 2x2s anyway).
+                    unfused_cost +=
+                        h.type == GateType::RZZ ? 1.0 : 0.25;
+                }
+            }
+            // Fuse when one full-register pass beats the unfused
+            // sweeps it replaces.
+            if (n_two_qubit >= 2 && unfused_cost > 1.0) {
+                const std::size_t tsize = 1ULL << n_bits;
+                std::vector<double> tab_re(tsize, 1.0);
+                std::vector<double> tab_im(tsize, 0.0);
+                const auto bitOf = [mask](int q) {
+                    return std::popcount(mask & ((1ULL << q) - 1));
+                };
+                const auto mulAt = [&](std::size_t t, Amplitude f) {
+                    const double tr = tab_re[t], ti = tab_im[t];
+                    tab_re[t] = tr * f.real() - ti * f.imag();
+                    tab_im[t] = tr * f.imag() + ti * f.real();
+                };
+                for (std::size_t gk : drun) {
+                    const Gate &h = gs[gk];
+                    if (h.isSingleQubit()) {
+                        Amplitude m1[2][2];
+                        gateMatrix1q(h, m1);
+                        const int b = bitOf(h.qubits[0]);
+                        for (std::size_t t = 0; t < tsize; ++t)
+                            mulAt(t, m1[(t >> b) & 1][(t >> b) & 1]);
+                        continue;
+                    }
+                    const int ba = bitOf(h.qubits[0]);
+                    const int bb = bitOf(h.qubits[1]);
+                    if (h.type == GateType::RZZ) {
+                        const Amplitude i(0.0, 1.0);
+                        const double half = h.params.at(0) / 2.0;
+                        const Amplitude even = std::exp(-i * half);
+                        const Amplitude odd = std::exp(i * half);
+                        for (std::size_t t = 0; t < tsize; ++t) {
+                            const bool differ =
+                                (((t >> ba) ^ (t >> bb)) & 1) != 0;
+                            mulAt(t, differ ? odd : even);
+                        }
+                        continue;
+                    }
+                    const Amplitude phase = phaseOf(h);
+                    for (std::size_t t = 0; t < tsize; ++t) {
+                        if (((t >> ba) & 1) != 0 && ((t >> bb) & 1) != 0)
+                            mulAt(t, phase);
+                    }
+                }
+                for (int q = 0; q < nQubits_; ++q) {
+                    if ((mask >> q) & 1)
+                        flush(q);
+                }
+                applyDiagonalRun(mask, tab_re, tab_im);
+                gi = drun.back();
                 continue;
             }
         }

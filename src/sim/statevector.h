@@ -16,7 +16,10 @@
  * and permutation gates (CX/SWAP) to index-mapped swaps, and split
  * large amplitude ranges across the parallel.h thread pool.
  * applyCircuit() additionally fuses runs of single-qubit gates on the
- * same qubit into one 2x2 matrix before touching the state.
+ * same qubit into one 2x2 matrix, runs of CP/CZ gates sharing a qubit
+ * into one stratum phase-table pass, and general diagonal runs
+ * (RZ/RZZ mixed with CP/CZ — the QAOA and Ising layer shape) into one
+ * full-register phase-table pass before touching the state.
  */
 #ifndef JIGSAW_SIM_STATEVECTOR_H
 #define JIGSAW_SIM_STATEVECTOR_H
@@ -90,6 +93,13 @@ class StateVector
     void applyControlledPhaseRun(
         int target,
         const std::vector<std::pair<int, Amplitude>> &controls);
+    /**
+     * Multiply every amplitude by tab[PEXT(index, mask)]: one pass
+     * applying a fused run of diagonal gates over the masked qubits.
+     */
+    void applyDiagonalRun(BasisState mask,
+                          const std::vector<double> &tab_re,
+                          const std::vector<double> &tab_im);
     void applySwap(int a, int b);
 
     int nQubits_;

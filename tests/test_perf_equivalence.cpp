@@ -24,6 +24,8 @@
 #include "sim/statevector.h"
 #include "workloads/bv.h"
 #include "workloads/ghz.h"
+#include "workloads/ising.h"
+#include "workloads/qaoa.h"
 #include "workloads/qft.h"
 
 namespace jigsaw {
@@ -108,6 +110,83 @@ TEST(KernelEquivalence, RandomU3CxCircuits)
 {
     for (std::uint64_t seed = 1; seed <= 3; ++seed)
         expectKernelEquivalence(randomU3CxCircuit(12, 6, seed));
+}
+
+// ------------------------------------------- diagonal-run fusion golden
+
+TEST(DiagonalFusion, IsingLayerShape)
+{
+    // Trotterized Ising layers: RX mixers between RZZ chains + RZ
+    // fields — the exact shape the general diagonal-run fusion
+    // targets (an RZZ chain shares no single common qubit, so the
+    // CP/CZ run pass cannot take it).
+    Rng rng(11);
+    const int n = 10;
+    QuantumCircuit qc(n, n);
+    for (int layer = 0; layer < 3; ++layer) {
+        for (int q = 0; q < n; ++q)
+            qc.rx(rng.uniform(0.0, M_PI), q);
+        for (int q = 0; q + 1 < n; ++q)
+            qc.rzz(rng.uniform(0.0, 2 * M_PI), q, q + 1);
+        for (int q = 0; q < n; ++q)
+            qc.rz(rng.uniform(0.0, 2 * M_PI), q);
+    }
+    qc.measureAll();
+    expectKernelEquivalence(qc);
+}
+
+TEST(DiagonalFusion, MixedDiagonalRun)
+{
+    // RZZ, CP, CZ, and 1q diagonals in one contiguous run, including
+    // a repeated edge and a detached qubit pair: all commute, all
+    // fold into one phase table.
+    QuantumCircuit qc(8, 8);
+    for (int q = 0; q < 8; ++q)
+        qc.h(q);
+    qc.rzz(0.8, 0, 1).cp(0.4, 1, 2).cz(2, 3).rzz(1.3, 0, 1);
+    qc.rz(0.9, 1).t(2).s(3).rzz(0.5, 6, 7).cp(1.7, 5, 6).z(0);
+    for (int q = 0; q < 8; ++q)
+        qc.ry(0.3 + 0.1 * q, q);
+    qc.rzz(2.1, 3, 4).rzz(0.2, 4, 5);
+    qc.measureAll();
+    expectKernelEquivalence(qc);
+}
+
+TEST(DiagonalFusion, ChainBeyondQubitCap)
+{
+    // A 14-qubit RZZ chain exceeds the 12-qubit fused-table cap, so
+    // the run splits; the split is exact (diagonals commute).
+    Rng rng(7);
+    const int n = 14;
+    QuantumCircuit qc(n, n);
+    for (int q = 0; q < n; ++q)
+        qc.h(q);
+    for (int q = 0; q + 1 < n; ++q)
+        qc.rzz(rng.uniform(0.0, 2 * M_PI), q, q + 1);
+    for (int q = 0; q < n; ++q)
+        qc.rz(rng.uniform(0.0, 2 * M_PI), q);
+    qc.measureAll();
+    expectKernelEquivalence(qc);
+}
+
+TEST(DiagonalFusion, IsingAndQaoaWorkloads)
+{
+    expectKernelEquivalence(workloads::IsingChain(9).circuit());
+    expectKernelEquivalence(workloads::QaoaMaxCut(9, 2).circuit());
+}
+
+TEST(DiagonalFusion, BarriersDoNotBreakRuns)
+{
+    QuantumCircuit qc(6, 6);
+    for (int q = 0; q < 6; ++q)
+        qc.h(q);
+    qc.rzz(0.7, 0, 1);
+    qc.barrier();
+    qc.rzz(1.1, 1, 2).cp(0.3, 2, 3);
+    qc.barrier();
+    qc.rzz(0.4, 3, 4).rz(1.9, 5);
+    qc.measureAll();
+    expectKernelEquivalence(qc);
 }
 
 TEST(KernelEquivalence, EveryGateTypeOnce)
@@ -585,13 +664,14 @@ expectSameAmps(const std::vector<double> &a, const std::vector<double> &b)
         EXPECT_NEAR(a[i], b[i], 1e-12) << "index " << i;
 }
 
-TEST(SimdKernels, ActiveMatchesScalarOnEveryKernel)
+/**
+ * Agreement of @p active against the scalar golden table on uneven
+ * ranges that exercise the unaligned heads and tails of every stride
+ * addressing mode of every kernel.
+ */
+void
+expectMatchesScalar(const simd::KernelTable &active)
 {
-    // The active table (AVX2 when compiled in and supported, scalar
-    // otherwise) must agree with the scalar table on uneven ranges
-    // that exercise the unaligned heads and tails of every stride
-    // addressing mode.
-    const simd::KernelTable &active = simd::activeKernels();
     const simd::KernelTable &scalar = simd::scalarKernels();
     const std::size_t dim = 1ULL << 10;
     const std::size_t pairs = dim / 2;
@@ -697,10 +777,69 @@ TEST(SimdKernels, ActiveMatchesScalarOnEveryKernel)
         expectSameAmps(im_s, im_a);
     }
 
+    // phaseTable: contiguous low mask (element-wise table slices), a
+    // scattered mask whose low bit allows broadcast runs, and a mask
+    // touching bit 0 (general bit-gather path).
+    for (const std::uint64_t mask :
+         {(1ULL << 4) - 1, (1ULL << 4) | (1ULL << 7),
+          1ULL | (1ULL << 3) | (1ULL << 6)}) {
+        const std::size_t tsize =
+            1ULL << static_cast<unsigned>(popcount(mask));
+        std::vector<double> tab_re(tsize), tab_im(tsize);
+        Rng trng(43 + mask);
+        for (std::size_t t = 0; t < tsize; ++t) {
+            const double ang = trng.uniform(0.0, 2 * M_PI);
+            tab_re[t] = std::cos(ang);
+            tab_im[t] = std::sin(ang);
+        }
+        std::vector<double> re_a, im_a, re_s, im_s;
+        randomAmps(re_a, im_a, dim, 800 + mask);
+        re_s = re_a;
+        im_s = im_a;
+        active.phaseTable(re_a.data(), im_a.data(), mask, tab_re.data(),
+                          tab_im.data(), 3, dim - 5);
+        scalar.phaseTable(re_s.data(), im_s.data(), mask, tab_re.data(),
+                          tab_im.data(), 3, dim - 5);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+    }
+
     std::vector<double> re, im;
     randomAmps(re, im, dim, 600);
     EXPECT_NEAR(active.norm2(re.data(), im.data(), 5, dim - 9),
                 scalar.norm2(re.data(), im.data(), 5, dim - 9), 1e-9);
+}
+
+TEST(SimdKernels, ActiveMatchesScalarOnEveryKernel)
+{
+    expectMatchesScalar(simd::activeKernels());
+}
+
+TEST(SimdKernels, Avx2MatchesScalar)
+{
+    if (simd::avx2Kernels() == nullptr)
+        GTEST_SKIP() << "AVX2 kernels not compiled in";
+#if defined(__GNUC__) || defined(__clang__)
+    if (!__builtin_cpu_supports("avx2") ||
+        !__builtin_cpu_supports("bmi2")) {
+        GTEST_SKIP() << "CPU lacks AVX2/BMI2";
+    }
+#endif
+    expectMatchesScalar(*simd::avx2Kernels());
+}
+
+TEST(SimdKernels, Avx512MatchesScalar)
+{
+    if (simd::avx512Kernels() == nullptr)
+        GTEST_SKIP() << "AVX-512 kernels not compiled in";
+#if defined(__GNUC__) || defined(__clang__)
+    if (!__builtin_cpu_supports("avx512f") ||
+        !__builtin_cpu_supports("avx512dq") ||
+        !__builtin_cpu_supports("bmi2")) {
+        GTEST_SKIP() << "CPU lacks AVX-512F/DQ/BMI2";
+    }
+#endif
+    expectMatchesScalar(*simd::avx512Kernels());
 }
 
 // ------------------------------------------------------------ primitives

@@ -2,9 +2,12 @@
  * @file
  * Tests for the staged pipeline: planning validation, per-stage
  * artifacts, the batched CPM recompiler's equivalence to the full
- * transpiler, and stage-by-stage session runs matching the runJigsaw
- * wrapper bitwise.
+ * transpiler, stage-by-stage session runs matching the runJigsaw
+ * wrapper bitwise, and the cross-program merge pass (schedule
+ * merging, merged execution vs private executors, resuming sessions
+ * from adopted execution results).
  */
+#include <memory>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -141,6 +144,191 @@ TEST(Pipeline, ScheduleCoversEveryCpmExactlyOnce)
     }
     for (int count : seen)
         EXPECT_EQ(count, 1);
+}
+
+TEST(Pipeline, ScheduleGroupsCarryTheirPrefixHash)
+{
+    const device::DeviceModel dev = device::toronto();
+    const workloads::Ghz ghz(6);
+    JigsawOptions options;
+    options.recompileCpms = false;
+    const core::SubsetPlan plan =
+        core::planSubsets(ghz.circuit(), 8192, options);
+    const core::CompiledJobs jobs =
+        core::compileJobs(ghz.circuit(), dev, plan, options);
+    const core::ExecutionSchedule schedule = core::buildSchedule(jobs);
+    ASSERT_EQ(schedule.groups.size(), 1u);
+    // The provenance tag is the grouping key itself: the measureless
+    // structural hash of every member CPM.
+    for (const std::size_t member : schedule.groups[0].members) {
+        EXPECT_EQ(schedule.groups[0].prefixHash,
+                  jobs.cpms[member]
+                      .compiled.physical.withoutMeasurements()
+                      .structuralHash());
+    }
+}
+
+// ------------------------------------------------- cross-program merge
+
+/** One program's pipeline artifacts plus its merge-source plumbing. */
+struct PreparedProgram
+{
+    PreparedProgram(const circuit::QuantumCircuit &qc,
+                    const device::DeviceModel &dev, std::uint64_t trials,
+                    const JigsawOptions &options, std::uint64_t seed)
+        : plan(core::planSubsets(qc, trials, options)),
+          jobs(core::compileJobs(qc, dev, plan, options)),
+          schedule(core::buildSchedule(jobs)), stream(seed)
+    {
+    }
+
+    core::SubsetPlan plan;
+    core::CompiledJobs jobs;
+    core::ExecutionSchedule schedule;
+    Rng stream;
+};
+
+TEST(MergeSchedules, GroupsByDeviceAndPrefix)
+{
+    const device::DeviceModel dev = device::toronto();
+    compiler::clearTranspileCache();
+    PreparedProgram a(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 1);
+    PreparedProgram b(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 2);
+    PreparedProgram c(workloads::BernsteinVazirani(6).circuit(), dev,
+                      8192, JigsawOptions{}, 3);
+    sim::NoisySimulator shared(dev);
+
+    const std::uint64_t key = dev.fingerprint();
+    const std::vector<core::MergeSource> sources = {
+        {0, &a.jobs, &a.schedule, &a.plan, key, &shared, &a.stream},
+        {1, &b.jobs, &b.schedule, &b.plan, key, &shared, &b.stream},
+        {2, &c.jobs, &c.schedule, &c.plan, key, &shared, &c.stream},
+    };
+    const core::MergedSchedule merged = core::mergeSchedules(sources);
+
+    // Identical programs a and b merge group-for-group; the distinct
+    // circuit c keeps its own groups.
+    ASSERT_EQ(a.schedule.groups.size(), b.schedule.groups.size());
+    EXPECT_EQ(merged.groups.size(),
+              a.schedule.groups.size() + c.schedule.groups.size());
+    EXPECT_EQ(merged.crossProgramGroups(), a.schedule.groups.size());
+    std::size_t members = 0;
+    for (const core::MergedSchedule::Group &group : merged.groups)
+        members += group.members.size();
+    EXPECT_EQ(members, a.schedule.groups.size() +
+                           b.schedule.groups.size() +
+                           c.schedule.groups.size());
+}
+
+TEST(MergeSchedules, DistinctDevicesNeverMerge)
+{
+    const std::vector<device::DeviceModel> devices =
+        device::evaluationDevices();
+    ASSERT_GE(devices.size(), 2u);
+    compiler::clearTranspileCache();
+    PreparedProgram a(workloads::Ghz(6).circuit(), devices[0], 8192,
+                      JigsawOptions{}, 1);
+    PreparedProgram b(workloads::Ghz(6).circuit(), devices[1], 8192,
+                      JigsawOptions{}, 2);
+    sim::NoisySimulator ex_a(devices[0]);
+    sim::NoisySimulator ex_b(devices[1]);
+    const std::vector<core::MergeSource> sources = {
+        {0, &a.jobs, &a.schedule, &a.plan, devices[0].fingerprint(),
+         &ex_a, &a.stream},
+        {1, &b.jobs, &b.schedule, &b.plan, devices[1].fingerprint(),
+         &ex_b, &b.stream},
+    };
+    const core::MergedSchedule merged = core::mergeSchedules(sources);
+    EXPECT_EQ(merged.crossProgramGroups(), 0u);
+    EXPECT_EQ(merged.groups.size(),
+              a.schedule.groups.size() + b.schedule.groups.size());
+}
+
+TEST(MergeSchedules, MergedExecutionMatchesPrivateExecutors)
+{
+    // The core bitwise claim at the pipeline level: executing merged
+    // schedules against one shared executor with per-program streams
+    // reproduces executeSchedule against private executors seeded the
+    // same way.
+    const device::DeviceModel dev = device::toronto();
+    compiler::clearTranspileCache();
+    std::vector<std::unique_ptr<PreparedProgram>> prepared;
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::Ghz(6).circuit(), dev, 8192, JigsawOptions{}, 41));
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::Ghz(6).circuit(), dev, 8192, JigsawOptions{}, 42));
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::BernsteinVazirani(6).circuit(), dev, 6144,
+        core::jigsawMOptions(), 43));
+
+    sim::NoisySimulator shared(dev);
+    const std::uint64_t key = dev.fingerprint();
+    std::vector<core::MergeSource> sources;
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        sources.push_back({i, &prepared[i]->jobs, &prepared[i]->schedule,
+                           &prepared[i]->plan, key, &shared,
+                           &prepared[i]->stream});
+    }
+    const core::MergedSchedule merged = core::mergeSchedules(sources);
+    const std::vector<core::ExecutionResult> results =
+        core::executeMergedSchedules(sources, merged);
+    ASSERT_EQ(results.size(), prepared.size());
+
+    const std::uint64_t seeds[] = {41, 42, 43};
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        sim::NoisySimulator private_executor(
+            dev, sim::NoisySimulatorOptions{.seed = seeds[i]});
+        const core::ExecutionResult expected = core::executeSchedule(
+            private_executor, prepared[i]->jobs, prepared[i]->schedule,
+            prepared[i]->plan);
+        EXPECT_EQ(totalVariationDistance(expected.globalPmf,
+                                         results[i].globalPmf),
+                  0.0);
+        ASSERT_EQ(expected.cpmPmfs.size(), results[i].cpmPmfs.size());
+        for (std::size_t c = 0; c < expected.cpmPmfs.size(); ++c) {
+            EXPECT_EQ(totalVariationDistance(expected.cpmPmfs[c],
+                                             results[i].cpmPmfs[c]),
+                      0.0);
+        }
+    }
+}
+
+TEST(Session, AdoptExecutionValidatesAndResumes)
+{
+    const device::DeviceModel dev = device::toronto();
+    const circuit::QuantumCircuit qc = workloads::Ghz(6).circuit();
+    sim::NoisySimulator executor(
+        dev, sim::NoisySimulatorOptions{.seed = 5});
+
+    // Reference: a session that executes normally.
+    sim::NoisySimulator reference_executor(
+        dev, sim::NoisySimulatorOptions{.seed = 5});
+    core::JigsawSession reference(qc, dev, reference_executor, 8192);
+    const JigsawResult expected = reference.run();
+
+    // Adopting the reference's execution result reproduces its output
+    // without this session's executor sampling anything.
+    core::JigsawSession session(qc, dev, executor, 8192);
+    core::ExecutionResult adopted;
+    adopted.globalPmf = expected.globalPmf;
+    for (const core::CpmRecord &cpm : expected.cpms)
+        adopted.cpmPmfs.push_back(cpm.localPmf);
+    session.adoptExecution(adopted);
+    EXPECT_EQ(session.stage(), core::JigsawSession::Stage::Executed);
+    const JigsawResult resumed = session.run();
+    EXPECT_EQ(totalVariationDistance(expected.output, resumed.output),
+              0.0);
+
+    // A result that does not cover every CPM is rejected, as is
+    // adopting over an already-executed session.
+    core::JigsawSession fresh(qc, dev, executor, 8192);
+    core::ExecutionResult wrong;
+    wrong.globalPmf = expected.globalPmf;
+    EXPECT_THROW(fresh.adoptExecution(wrong), std::invalid_argument);
+    EXPECT_THROW(session.adoptExecution(adopted),
+                 std::invalid_argument);
 }
 
 TEST(Pipeline, FromGlobalCpmsReuseTheGlobalGateSuccess)

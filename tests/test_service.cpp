@@ -257,5 +257,192 @@ TEST(JigsawService, PropagatesProgramFailures)
     EXPECT_THROW(service.run(programs), std::invalid_argument);
 }
 
+// -------------------------------------------- cross-program batching
+
+/**
+ * The merge-path acid test: identical programs (same circuit, same
+ * options, different seeds), structurally-equal circuits built
+ * independently, and distinct circuits, all in one batch.
+ */
+std::vector<ServiceProgram>
+mergeablePrograms(const device::DeviceModel &dev)
+{
+    std::vector<ServiceProgram> programs;
+    // Two identical programs, different seeds: share everything.
+    programs.emplace_back(workloads::Ghz(7).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 11);
+    programs.emplace_back(workloads::Ghz(7).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 22);
+    // Structurally equal circuit, different options: shares the
+    // global prefix, subsets differ.
+    programs.emplace_back(workloads::Ghz(7).circuit(), dev, 6144,
+                          core::jigsawMOptions(), 33);
+    // Distinct circuits: merge pass must keep them apart.
+    programs.emplace_back(workloads::BernsteinVazirani(6).circuit(), dev,
+                          8192, core::JigsawOptions{}, 44);
+    core::JigsawOptions no_recomp;
+    no_recomp.recompileCpms = false;
+    programs.emplace_back(workloads::QftAdjoint(5).circuit(), dev, 4096,
+                          no_recomp, 55);
+    // Same circuit as the BV program under JigSaw-M: shares its
+    // global prefix across differing schedules.
+    programs.emplace_back(workloads::BernsteinVazirani(6).circuit(), dev,
+                          8192, core::jigsawMOptions(), 66);
+    return programs;
+}
+
+TEST(CrossProgramBatching, MergedMatchesSequentialBitwise)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = mergeablePrograms(dev);
+    ASSERT_GE(programs.size(), 5u);
+
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    core::JigsawService service(
+        core::ServiceOptions{core::MergePolicy::Always});
+    const std::vector<JigsawResult> merged = service.run(programs);
+    ASSERT_EQ(merged.size(), programs.size());
+
+    // Every program went down the merge path and the duplicated
+    // (circuit, device) pairs produced genuinely shared batches.
+    EXPECT_EQ(service.stats().mergedPrograms, programs.size());
+    EXPECT_GT(service.stats().mergedGroups, 0u);
+    EXPECT_GT(service.stats().crossProgramGroups, 0u);
+    EXPECT_EQ(service.stats().latenciesMs.size(), programs.size());
+    EXPECT_GE(service.stats().latencyPercentileMs(0.95),
+              service.stats().latencyPercentileMs(0.5));
+
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        expectBitwisePmf(sequential[i].output, merged[i].output);
+        expectBitwisePmf(sequential[i].globalPmf, merged[i].globalPmf);
+        ASSERT_EQ(sequential[i].cpms.size(), merged[i].cpms.size());
+        for (std::size_t c = 0; c < sequential[i].cpms.size(); ++c) {
+            expectBitwisePmf(sequential[i].cpms[c].localPmf,
+                             merged[i].cpms[c].localPmf);
+        }
+    }
+}
+
+TEST(CrossProgramBatching, EveryMergePolicyAgrees)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = mergeablePrograms(dev);
+
+    core::JigsawService never(
+        core::ServiceOptions{core::MergePolicy::Never});
+    core::JigsawService automatic(
+        core::ServiceOptions{core::MergePolicy::Auto});
+    core::JigsawService always(
+        core::ServiceOptions{core::MergePolicy::Always});
+    const std::vector<JigsawResult> a = never.run(programs);
+    const std::vector<JigsawResult> b = automatic.run(programs);
+    const std::vector<JigsawResult> c = always.run(programs);
+
+    EXPECT_EQ(never.stats().mergedPrograms, 0u);
+    EXPECT_EQ(always.stats().mergedPrograms, programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        expectBitwisePmf(a[i].output, b[i].output);
+        expectBitwisePmf(a[i].output, c[i].output);
+    }
+}
+
+TEST(CrossProgramBatching, CallerSuppliedExecutorStaysUnmerged)
+{
+    // A caller-supplied executor cannot be merged; its program runs
+    // as an independent session alongside the merged batch, and both
+    // kinds still match their sequential reference.
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs = mergeablePrograms(dev);
+    auto executor = std::make_shared<sim::NoisySimulator>(
+        dev, sim::NoisySimulatorOptions{.seed = 77});
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 4096,
+                          core::JigsawOptions{}, 0, executor);
+
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    core::JigsawService service(
+        core::ServiceOptions{core::MergePolicy::Always});
+    const std::vector<JigsawResult> merged = service.run(programs);
+    EXPECT_EQ(service.stats().mergedPrograms, programs.size() - 1);
+    EXPECT_GT(executor->cacheMisses(), 0u);
+    for (std::size_t i = 0; i + 1 < programs.size(); ++i)
+        expectBitwisePmf(sequential[i].output, merged[i].output);
+}
+
+TEST(CrossProgramBatching, ExecutorCountsCrossProgramBatches)
+{
+    // runBatch with specs tagged by different programs, each on its
+    // own stream: the per-program histograms must match what each
+    // program's private executor would draw, and the cross-program
+    // counters must tick.
+    const circuit::QuantumCircuit qc = workloads::Ghz(6).circuit();
+    const std::vector<std::vector<int>> subsets = {
+        {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+
+    Rng stream_a(901);
+    Rng stream_b(902);
+    std::vector<sim::CpmSpec> specs;
+    for (const std::vector<int> &s : subsets)
+        specs.push_back({s, 300, &stream_a, 0});
+    for (const std::vector<int> &s : subsets)
+        specs.push_back({s, 300, &stream_b, 1});
+
+    sim::IdealSimulator shared(1);
+    const std::vector<Histogram> hists = shared.runBatch(qc, specs);
+    EXPECT_EQ(shared.batchStats().crossProgramBatches, 1u);
+    EXPECT_EQ(shared.batchStats().crossProgramMarginals, specs.size());
+
+    // Private-executor reference for each program.
+    for (int program = 0; program < 2; ++program) {
+        sim::IdealSimulator private_executor(901ULL + program);
+        std::vector<sim::CpmSpec> own;
+        for (const std::vector<int> &s : subsets)
+            own.push_back({s, 300});
+        const std::vector<Histogram> expected =
+            private_executor.runBatch(qc, own);
+        for (std::size_t j = 0; j < subsets.size(); ++j) {
+            expectBitwisePmf(
+                expected[j].toPmf(),
+                hists[static_cast<std::size_t>(program) * subsets.size() +
+                      j]
+                    .toPmf());
+        }
+    }
+}
+
+TEST(CrossProgramBatching, MergedPathHammersSharedExecutorDeterministically)
+{
+    // The TSan leg's merge-path case: a larger batch with heavy
+    // duplication, run twice through the merged service — exercises
+    // the shared executor's caches from the warm-up TaskGroup and the
+    // merged sampling concurrently with reconstruction tasks, and the
+    // two runs must agree bitwise.
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (int i = 0; i < 12; ++i) {
+        const int width = 5 + (i % 3);
+        circuit::QuantumCircuit qc = i % 2 == 0
+                                         ? workloads::Ghz(width).circuit()
+                                         : workloads::BernsteinVazirani(
+                                               width)
+                                               .circuit();
+        programs.emplace_back(std::move(qc), dev, 4096,
+                              i % 3 == 0 ? core::jigsawMOptions()
+                                         : core::JigsawOptions{},
+                              500 + 13ULL * static_cast<std::uint64_t>(i));
+    }
+    core::JigsawService service(
+        core::ServiceOptions{core::MergePolicy::Always});
+    const std::vector<JigsawResult> first = service.run(programs);
+    EXPECT_GT(service.stats().crossProgramGroups, 0u);
+    const std::vector<JigsawResult> second = service.run(programs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectBitwisePmf(first[i].output, second[i].output);
+}
+
 } // namespace
 } // namespace jigsaw
