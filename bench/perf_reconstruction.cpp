@@ -23,6 +23,7 @@
 #include "compiler/transpiler.h"
 #include "core/bayesian.h"
 #include "core/reference_bayesian.h"
+#include "core/scheduler.h"
 #include "core/service.h"
 #include "core/subsets.h"
 #include "device/library.h"
@@ -402,6 +403,108 @@ main(int argc, char **argv)
                   << " ms / p95 "
                   << service.stats().latencyPercentileMs(0.95)
                   << " ms)\n";
+    }
+
+    // --- 2e. Service: streaming scheduler (windowed merging) -------
+    {
+        // The same 45-program duplicated-circuit suite as 2d, but
+        // through the submit/poll streaming scheduler: naive is
+        // submit-and-run-immediately (MergePolicy::Never, zero merge
+        // window — every job an independent session with a private
+        // executor, today's path job by job), optimized is windowed
+        // merging (MergePolicy::Auto) where compatible jobs collect
+        // in merge windows and dispatch as cross-program batches
+        // against persistent per-device executors. Both must agree
+        // bitwise (each is defined to equal sequential runJigsaw).
+        const device::DeviceModel dev = device::toronto();
+        const int w = n_qubits;
+        const int n_duplicates = n_qubits >= 14 ? 3 : 2;
+        const std::uint64_t service_trials = n_qubits >= 14 ? 8192 : 4096;
+        core::JigsawOptions no_recomp;
+        no_recomp.recompileCpms = false;
+        const std::vector<core::JigsawOptions> schemes = {
+            no_recomp, core::JigsawOptions{}, core::jigsawMOptions()};
+        const auto make_circuit = [w](int c) -> circuit::QuantumCircuit {
+            switch (c) {
+              case 0:
+                return workloads::Ghz(w).circuit();
+              case 1:
+                return workloads::BernsteinVazirani(w).circuit();
+              case 2:
+                return workloads::QftAdjoint(w - 2).circuit();
+              case 3:
+                return workloads::Ghz(w - 1).circuit();
+              default:
+                return workloads::BernsteinVazirani(w - 1).circuit();
+            }
+        };
+        std::vector<core::ServiceProgram> programs;
+        for (int dup = 0; dup < n_duplicates; ++dup) {
+            for (int c = 0; c < 5; ++c) {
+                for (std::size_t s = 0; s < schemes.size(); ++s) {
+                    programs.emplace_back(
+                        make_circuit(c), dev, service_trials, schemes[s],
+                        1000 + 31ULL * static_cast<std::uint64_t>(dup) +
+                            7ULL * static_cast<std::uint64_t>(c) + s);
+                }
+            }
+        }
+
+        const auto streamAll =
+            [&programs](const core::StreamOptions &options) {
+                core::StreamingScheduler scheduler(options);
+                std::vector<core::JobHandle> handles;
+                handles.reserve(programs.size());
+                for (const core::ServiceProgram &program : programs)
+                    handles.push_back(scheduler.submit(program));
+                scheduler.drain();
+                std::vector<core::JigsawResult> results;
+                results.reserve(handles.size());
+                for (const core::JobHandle handle : handles)
+                    results.push_back(scheduler.wait(handle));
+                return std::make_pair(std::move(results),
+                                      scheduler.stats());
+            };
+
+        core::StreamOptions immediate;
+        immediate.mergePolicy = core::MergePolicy::Never;
+        immediate.windowMs = 0.0;
+        compiler::clearTranspileCache();
+        auto start = std::chrono::steady_clock::now();
+        const auto [naive_results, naive_stats] = streamAll(immediate);
+        const double naive_ms = msSince(start);
+
+        core::StreamOptions windowed;
+        windowed.mergePolicy = core::MergePolicy::Auto;
+        windowed.windowMs = 10.0;
+        compiler::clearTranspileCache();
+        start = std::chrono::steady_clock::now();
+        const auto [merged_results, merged_stats] = streamAll(windowed);
+        const double opt_ms = msSince(start);
+
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const double drift = totalVariationDistance(
+                naive_results[i].output, merged_results[i].output);
+            if (drift != 0.0) {
+                std::cerr << "ERROR: windowed streaming output "
+                             "diverged from immediate dispatch on "
+                             "program "
+                          << i << " (total variation " << drift
+                          << ")\n";
+                return 1;
+            }
+        }
+        report.addComparison("service/stream_throughput", naive_ms,
+                             opt_ms);
+        std::cerr << "  [perf] service/stream_throughput: " << naive_ms
+                  << " ms -> " << opt_ms << " ms (" << programs.size()
+                  << " programs, " << merged_stats.mergedWindows
+                  << " merged windows, "
+                  << merged_stats.crossProgramGroups
+                  << " cross-program groups, latency p50 "
+                  << merged_stats.latencyPercentileMs(0.5)
+                  << " ms / p95 "
+                  << merged_stats.latencyPercentileMs(0.95) << " ms)\n";
     }
 
     // --- 3. Bayesian reconstruction -------------------------------

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Streaming-scheduler load generator: the 45-program duplicated-
+ * circuit workload (5 circuits x 3 JigSaw schemes x 3 seeds) pushed
+ * through the submit/poll scheduler twice — submit-and-run-
+ * immediately (MergePolicy::Never, zero window: today's path, job by
+ * job) vs windowed merging (MergePolicy::Auto, a small merge window)
+ * — under an open-loop burst or a closed-loop pool of submitter
+ * threads. Reports wall time, throughput, merge counters, and the
+ * per-priority-class latency split (queue-wait vs execute, p50/p95),
+ * and verifies the two runs' outputs match bitwise (both are defined
+ * to equal sequential runJigsaw).
+ *
+ * Usage: bench_stream_throughput [--qubits N] [--dups N] [--trials N]
+ *            [--window MS] [--submitters K] [--rate JOBS_PER_SEC]
+ *            [--quick]
+ *
+ *   --submitters 0 (default) is an open-loop burst: every job is
+ *     submitted up front, then the scheduler drains. K >= 1 runs K
+ *     closed-loop submitter threads, each submitting its next job
+ *     only after its previous one completed.
+ *   --rate R paces the open-loop burst at R jobs/second (0 = as fast
+ *     as possible).
+ */
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "compiler/transpiler.h"
+#include "core/scheduler.h"
+#include "core/service.h"
+#include "device/library.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/qft.h"
+
+namespace {
+
+using namespace jigsaw;
+using core::JigsawResult;
+using core::JobHandle;
+using core::Priority;
+using core::ServiceProgram;
+using core::StreamingScheduler;
+using core::StreamOptions;
+
+double
+msSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The perf suite's duplicated-circuit workload (see
+ *  bench_perf_reconstruction's service/cross_program_batching). */
+std::vector<ServiceProgram>
+duplicatedSuite(int n_qubits, int n_duplicates, std::uint64_t trials)
+{
+    const device::DeviceModel dev = device::toronto();
+    const int w = n_qubits;
+    core::JigsawOptions no_recomp;
+    no_recomp.recompileCpms = false;
+    const std::vector<core::JigsawOptions> schemes = {
+        no_recomp, core::JigsawOptions{}, core::jigsawMOptions()};
+    const auto make_circuit = [w](int c) -> circuit::QuantumCircuit {
+        switch (c) {
+          case 0:
+            return workloads::Ghz(w).circuit();
+          case 1:
+            return workloads::BernsteinVazirani(w).circuit();
+          case 2:
+            return workloads::QftAdjoint(w - 2).circuit();
+          case 3:
+            return workloads::Ghz(w - 1).circuit();
+          default:
+            return workloads::BernsteinVazirani(w - 1).circuit();
+        }
+    };
+    std::vector<ServiceProgram> programs;
+    for (int dup = 0; dup < n_duplicates; ++dup) {
+        for (int c = 0; c < 5; ++c) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                programs.emplace_back(
+                    make_circuit(c), dev, trials, schemes[s],
+                    1000 + 31ULL * static_cast<std::uint64_t>(dup) +
+                        7ULL * static_cast<std::uint64_t>(c) + s);
+            }
+        }
+    }
+    return programs;
+}
+
+struct LoadRun
+{
+    double wallMs = 0.0;
+    std::vector<JigsawResult> results;
+    core::StreamStats stats;
+};
+
+/** Push @p programs through one scheduler configuration. */
+LoadRun
+runLoad(const StreamOptions &options,
+        const std::vector<ServiceProgram> &programs,
+        std::size_t submitters, double rate_per_sec)
+{
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles(programs.size());
+    const auto priorityOf = [](std::size_t i) {
+        return static_cast<Priority>(i % core::kPriorityClasses);
+    };
+    const auto start = std::chrono::steady_clock::now();
+    if (submitters == 0) {
+        // Open loop: burst (or paced) submission from one thread.
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            handles[i] = scheduler.submit(programs[i], priorityOf(i));
+            if (rate_per_sec > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(1.0 / rate_per_sec));
+            }
+        }
+        scheduler.drain();
+    } else {
+        // Closed loop: each submitter keeps one job in flight.
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < submitters; ++t) {
+            threads.emplace_back([&, t] {
+                for (std::size_t i = t; i < programs.size();
+                     i += submitters) {
+                    handles[i] =
+                        scheduler.submit(programs[i], priorityOf(i));
+                    scheduler.wait(handles[i]);
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+        scheduler.drain();
+    }
+    LoadRun run;
+    run.wallMs = msSince(start);
+    run.results.reserve(programs.size());
+    for (const JobHandle handle : handles)
+        run.results.push_back(scheduler.wait(handle));
+    run.stats = scheduler.stats();
+    return run;
+}
+
+void
+printClassTable(const core::StreamStats &stats)
+{
+    const char *names[core::kPriorityClasses] = {"high", "normal",
+                                                 "low"};
+    for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+        const Priority cls = static_cast<Priority>(c);
+        std::cout << "    " << names[c] << ": latency p50 "
+                  << stats.latencyPercentileMs(cls, 0.5) << " ms / p95 "
+                  << stats.latencyPercentileMs(cls, 0.95)
+                  << " ms (queue-wait p50 "
+                  << stats.queueWaitPercentileMs(cls, 0.5)
+                  << " ms, execute p50 "
+                  << stats.executePercentileMs(cls, 0.5) << " ms)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int n_qubits = 12;
+    int n_duplicates = 3;
+    std::uint64_t trials = 4096;
+    double window_ms = 10.0;
+    std::size_t submitters = 0;
+    double rate = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--qubits") && i + 1 < argc) {
+            n_qubits = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--dups") && i + 1 < argc) {
+            n_duplicates = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+            trials = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--window") && i + 1 < argc) {
+            window_ms = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--submitters") &&
+                   i + 1 < argc) {
+            submitters = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc) {
+            rate = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            n_qubits = 8;
+            n_duplicates = 2;
+            trials = 2048;
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--qubits N] [--dups N] [--trials N]"
+                         " [--window MS] [--submitters K]"
+                         " [--rate JOBS_PER_SEC] [--quick]\n";
+            return 2;
+        }
+    }
+    if (n_qubits < 6 || n_qubits > 20) {
+        std::cerr << "qubit count must be in [6, 20]\n";
+        return 2;
+    }
+
+    const std::vector<ServiceProgram> programs =
+        duplicatedSuite(n_qubits, n_duplicates, trials);
+    std::cout << "programs:     " << programs.size() << " (" << n_qubits
+              << "-qubit suite, " << trials << " trials each)\n";
+    std::cout << "load shape:   "
+              << (submitters == 0 ? "open-loop burst" : "closed-loop")
+              << (submitters > 0
+                      ? " x" + std::to_string(submitters)
+                      : (rate > 0.0
+                             ? " @ " + std::to_string(rate) + " jobs/s"
+                             : ""))
+              << "\n";
+
+    // Immediate dispatch: every job an independent session with a
+    // private executor — submit-and-run-immediately, today's path.
+    StreamOptions immediate;
+    immediate.mergePolicy = core::MergePolicy::Never;
+    immediate.windowMs = 0.0;
+    compiler::clearTranspileCache();
+    const LoadRun naive = runLoad(immediate, programs, submitters, rate);
+    std::cout << "immediate:    " << naive.wallMs << " ms ("
+              << 1000.0 * static_cast<double>(programs.size()) /
+                     naive.wallMs
+              << " programs/s)\n";
+    printClassTable(naive.stats);
+
+    // Windowed merging: compatible jobs share merge windows and
+    // per-device executors.
+    StreamOptions windowed;
+    windowed.mergePolicy = core::MergePolicy::Auto;
+    windowed.windowMs = window_ms;
+    compiler::clearTranspileCache();
+    const LoadRun merged =
+        runLoad(windowed, programs, submitters, rate);
+    std::cout << "windowed:     " << merged.wallMs << " ms ("
+              << 1000.0 * static_cast<double>(programs.size()) /
+                     merged.wallMs
+              << " programs/s, window " << window_ms << " ms)\n";
+    printClassTable(merged.stats);
+    std::cout << "merge counters: " << merged.stats.mergedWindows
+              << " merged windows, " << merged.stats.mergedJobs
+              << " merged jobs, " << merged.stats.crossProgramGroups
+              << " cross-program groups, "
+              << merged.stats.pooledGlobalPrograms
+              << " pooled globals\n";
+    std::cout << "speedup:      " << naive.wallMs / merged.wallMs
+              << "x (windowed over immediate)\n";
+
+    // Both paths are defined to reproduce sequential runJigsaw
+    // bitwise, so they must agree with each other exactly.
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const double drift = totalVariationDistance(
+            naive.results[i].output, merged.results[i].output);
+        if (drift != 0.0) {
+            std::cerr << "ERROR: windowed output diverged from "
+                         "immediate dispatch on program "
+                      << i << " (total variation " << drift << ")\n";
+            return 1;
+        }
+    }
+    std::cout << "outputs match: yes (bitwise)\n";
+    return 0;
+}

@@ -331,6 +331,47 @@ class TaskGroup
     }
 
     /**
+     * Submit @p fn and invoke @p done on the executing thread after it
+     * finishes — with the exception @p fn threw, or nullptr on
+     * success. The callback fires before the group's pending count
+     * drops, so wait() returning implies every callback has run.
+     * Providing a callback hands error delivery to the caller: the
+     * task's exception is NOT recorded for wait() to rethrow (the
+     * callback consumed it). An exception escaping @p done itself is
+     * recorded instead, as a task failure. This is the completion hook
+     * event-driven callers (the streaming scheduler) build on instead
+     * of blocking in wait().
+     */
+    void
+    run(std::function<void()> fn,
+        std::function<void(std::exception_ptr)> done)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++pending_;
+        }
+        detail::sharedPool().submit(
+            [this, fn = std::move(fn), done = std::move(done)] {
+                std::exception_ptr error;
+                try {
+                    fn();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                try {
+                    done(error);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    done_.notify_all();
+            });
+    }
+
+    /**
      * Block until every submitted task completed, helping to execute
      * queued tasks meanwhile. Rethrows the first task exception.
      */

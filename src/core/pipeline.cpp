@@ -311,62 +311,92 @@ MergedSchedule::crossProgramGroups() const
     return count;
 }
 
+void
+mergeSourceInto(MergedSchedule &merged,
+                const std::vector<MergeSource> &sources, std::size_t s)
+{
+    panicIf(s >= sources.size(), "mergeSourceInto: source out of range");
+    const MergeSource &src = sources[s];
+    panicIf(src.jobs == nullptr || src.schedule == nullptr ||
+                src.plan == nullptr || src.executor == nullptr ||
+                src.rng == nullptr,
+            "mergeSchedules: incomplete source");
+    fatalIf(!src.executor->supportsExternalSampling(),
+            "mergeSchedules: executor does not support external "
+            "sampling streams");
+    for (std::size_t g = 0; g < src.schedule->groups.size(); ++g) {
+        const ExecutionSchedule::Group &group = src.schedule->groups[g];
+        // Exact-match scan: group counts stay small (a handful per
+        // program), and comparing (deviceKey, prefixHash) directly
+        // sidesteps combined-key collisions entirely.
+        std::size_t idx = merged.groups.size();
+        for (std::size_t m = 0; m < merged.groups.size(); ++m) {
+            if (merged.groups[m].deviceKey == src.deviceKey &&
+                merged.groups[m].prefixHash == group.prefixHash) {
+                idx = m;
+                break;
+            }
+        }
+        if (idx == merged.groups.size())
+            merged.groups.push_back({src.deviceKey, group.prefixHash, {}});
+        merged.groups[idx].members.push_back({s, g});
+    }
+}
+
+std::size_t
+removeSourceFrom(MergedSchedule &merged, std::size_t s)
+{
+    std::size_t removed = 0;
+    for (MergedSchedule::Group &group : merged.groups) {
+        const std::size_t before = group.members.size();
+        std::erase_if(group.members,
+                      [s](const MergedSchedule::Member &member) {
+                          return member.source == s;
+                      });
+        removed += before - group.members.size();
+    }
+    std::erase_if(merged.groups, [](const MergedSchedule::Group &group) {
+        return group.members.empty();
+    });
+    return removed;
+}
+
 MergedSchedule
 mergeSchedules(const std::vector<MergeSource> &sources)
 {
     MergedSchedule merged;
-    std::unordered_map<std::uint64_t, std::size_t> group_of;
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-        const MergeSource &src = sources[s];
-        panicIf(src.jobs == nullptr || src.schedule == nullptr ||
-                    src.plan == nullptr || src.executor == nullptr ||
-                    src.rng == nullptr,
-                "mergeSchedules: incomplete source");
-        fatalIf(!src.executor->supportsExternalSampling(),
-                "mergeSchedules: executor does not support external "
-                "sampling streams");
-        for (std::size_t g = 0; g < src.schedule->groups.size(); ++g) {
-            const ExecutionSchedule::Group &group =
-                src.schedule->groups[g];
-            const std::uint64_t key =
-                combineKeys(src.deviceKey, group.prefixHash);
-            const auto [it, inserted] =
-                group_of.emplace(key, merged.groups.size());
-            std::size_t idx = it->second;
-            if (inserted) {
-                merged.groups.push_back(
-                    {src.deviceKey, group.prefixHash, {}});
-            } else if (merged.groups[idx].deviceKey != src.deviceKey ||
-                       merged.groups[idx].prefixHash !=
-                           group.prefixHash) {
-                // Combined-key collision between distinct
-                // (device, prefix) pairs: give up on sharing this
-                // group rather than batching it against a foreign
-                // evolution.
-                idx = merged.groups.size();
-                merged.groups.push_back(
-                    {src.deviceKey, group.prefixHash, {}});
-            }
-            merged.groups[idx].members.push_back({s, g});
-        }
-    }
+    for (std::size_t s = 0; s < sources.size(); ++s)
+        mergeSourceInto(merged, sources, s);
     return merged;
 }
 
 std::vector<ExecutionResult>
 executeMergedSchedules(const std::vector<MergeSource> &sources,
-                       const MergedSchedule &merged)
+                       const MergedSchedule &merged,
+                       MergedExecutionStats *stats)
 {
     std::vector<ExecutionResult> results(sources.size());
+    for (const MergedSchedule::Group &group : merged.groups) {
+        for (const MergedSchedule::Member &member : group.members) {
+            panicIf(!sources[member.source].enabled,
+                    "executeMergedSchedules: merged group references a "
+                    "disabled source (removeSourceFrom not called?)");
+        }
+    }
 
     // Warm-up: prepare each distinct global circuit and each merged
     // group's shared evolution concurrently. All of it is
     // deterministic, shot-independent cache population; no randomness
     // is consumed, so the ordered sampling pass below stays exact.
+    // The pooled-global pass below relies on this: preparing the
+    // global circuit populates the executor's run()-keyed cache entry
+    // before any batched lookup could build a marginal-derived one.
     {
         TaskGroup warm;
         std::unordered_map<std::uint64_t, char> seen;
         for (const MergeSource &src : sources) {
+            if (!src.enabled)
+                continue;
             const std::uint64_t key = combineKeys(
                 src.deviceKey,
                 src.jobs->global.physical.structuralHash());
@@ -390,15 +420,92 @@ executeMergedSchedules(const std::vector<MergeSource> &sources,
     // Sampling pass 1: globals, in source order. Every draw comes
     // from the source's private stream, so cross-source order is
     // immaterial; within a source this is its first sampling, exactly
-    // as in executeSchedule.
+    // as in executeSchedule. Sources sharing a (device, global
+    // circuit) pair pool their sampling into one multi-program
+    // runBatch — but only when the global's measurements are terminal
+    // in classical-bit order, which makes the batch spec's cache key
+    // (measurementSubsetHash) equal run()'s (structuralHash): the
+    // warmed run()-style entry then serves the batch, so the pooled
+    // draws are bit-for-bit the draws run() would make. Anything else
+    // falls back to run() per source.
+    {
+        struct GlobalPool
+        {
+            std::vector<std::size_t> members; ///< Source indices, order.
+        };
+        std::vector<GlobalPool> pools;
+        std::unordered_map<std::uint64_t, std::size_t> pool_of;
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+            if (!sources[s].enabled)
+                continue;
+            const std::uint64_t key = combineKeys(
+                sources[s].deviceKey,
+                sources[s].jobs->global.physical.structuralHash());
+            const auto [it, inserted] = pool_of.emplace(key, pools.size());
+            if (inserted)
+                pools.push_back({});
+            pools[it->second].members.push_back(s);
+        }
+        const auto runAlone = [&results, &sources](std::size_t s) {
+            const MergeSource &src = sources[s];
+            results[s].globalPmf =
+                src.executor
+                    ->run(src.jobs->global.physical,
+                          src.plan->globalTrials, *src.rng)
+                    .toPmf();
+        };
+        for (const GlobalPool &pool : pools) {
+            const MergeSource &first = sources[pool.members.front()];
+            const circuit::QuantumCircuit &global =
+                first.jobs->global.physical;
+            std::vector<int> measured;
+            bool poolable = pool.members.size() >= 2;
+            // The pool key is a combined hash; re-check the actual
+            // (executor, device, circuit) identity so a collision —
+            // or hand-built sources mixing executors — degrades to
+            // the per-source path instead of batching foreign specs.
+            for (std::size_t s : pool.members) {
+                poolable =
+                    poolable && sources[s].executor == first.executor &&
+                    sources[s].deviceKey == first.deviceKey &&
+                    sources[s].jobs->global.physical.structuralHash() ==
+                        global.structuralHash();
+            }
+            if (poolable) {
+                measured = global.measuredQubits();
+                for (int q : measured)
+                    poolable = poolable && q >= 0;
+                poolable = poolable && !measured.empty() &&
+                           global.measurementSubsetHash(measured) ==
+                               global.structuralHash();
+            }
+            if (!poolable) {
+                for (std::size_t s : pool.members)
+                    runAlone(s);
+                continue;
+            }
+            std::vector<sim::CpmSpec> specs;
+            specs.reserve(pool.members.size());
+            for (std::size_t s : pool.members) {
+                specs.push_back(
+                    {measured, sources[s].plan->globalTrials,
+                     sources[s].rng,
+                     static_cast<std::int64_t>(sources[s].program)});
+            }
+            const std::vector<Histogram> hists =
+                first.executor->runBatch(global, specs);
+            for (std::size_t k = 0; k < pool.members.size(); ++k)
+                results[pool.members[k]].globalPmf = hists[k].toPmf();
+            if (stats != nullptr) {
+                ++stats->pooledGlobalBatches;
+                stats->pooledGlobalPrograms += pool.members.size();
+            }
+        }
+    }
     for (std::size_t s = 0; s < sources.size(); ++s) {
-        const MergeSource &src = sources[s];
-        results[s].globalPmf =
-            src.executor
-                ->run(src.jobs->global.physical, src.plan->globalTrials,
-                      *src.rng)
-                .toPmf();
-        results[s].cpmPmfs.assign(src.jobs->cpms.size(), Pmf(1));
+        if (sources[s].enabled)
+            results[s].cpmPmfs.assign(sources[s].jobs->cpms.size(),
+                                      Pmf(1));
     }
 
     // Sampling pass 2: merged groups, each one runBatch, in an order

@@ -163,6 +163,14 @@ struct MergeSource
     std::uint64_t deviceKey = 0; ///< device::DeviceModel::fingerprint().
     sim::Executor *executor = nullptr; ///< Shared per deviceKey.
     Rng *rng = nullptr;                ///< Per-program stream.
+    /**
+     * False marks a retired slot: a source that joined an incremental
+     * merge and was then withdrawn (a cancelled streaming job). Its
+     * members must already be gone from the MergedSchedule (see
+     * removeSourceFrom); executeMergedSchedules skips it entirely,
+     * keeping the indices of the surviving sources stable.
+     */
+    bool enabled = true;
 };
 
 /**
@@ -198,23 +206,60 @@ struct MergedSchedule
 MergedSchedule mergeSchedules(const std::vector<MergeSource> &sources);
 
 /**
- * Execute every source's schedule through @p merged and split the
- * results back per source (parallel to @p sources).
+ * Incrementally add source @p s (an index into @p sources) to
+ * @p merged, using the same (deviceKey, prefix hash) keying as
+ * mergeSchedules — which is itself just this function folded over
+ * every source. The streaming scheduler maintains one MergedSchedule
+ * per open merge window with this, folding each job in as it joins
+ * instead of re-merging the whole pending set per arrival.
+ */
+void mergeSourceInto(MergedSchedule &merged,
+                     const std::vector<MergeSource> &sources,
+                     std::size_t s);
+
+/**
+ * Withdraw source @p s from @p merged: drop every member referencing
+ * it and any group left empty (a streaming job cancelled while its
+ * merge window was still open). Returns the number of members
+ * removed. The caller should also clear MergeSource::enabled on the
+ * slot so a later executeMergedSchedules skips its global pass.
+ */
+std::size_t removeSourceFrom(MergedSchedule &merged, std::size_t s);
+
+/** Counters reported by executeMergedSchedules. */
+struct MergedExecutionStats
+{
+    /** Multi-program global runBatch calls issued (pooled globals). */
+    std::size_t pooledGlobalBatches = 0;
+    /** Sources whose global sampling rode a pooled batch. */
+    std::size_t pooledGlobalPrograms = 0;
+};
+
+/**
+ * Execute every enabled source's schedule through @p merged and split
+ * the results back per source (parallel to @p sources; disabled slots
+ * keep a default-constructed result).
  *
  * Two phases: a warm-up pass prepares each merged group's shared
  * evolution (and each distinct global circuit) concurrently over the
  * thread pool — deterministic work, no randomness — then globals and
  * merged groups are sampled in an order that preserves every source's
  * sequential dispatch order (global first, groups in schedule order),
- * each spec drawing from its own source's rng. Because each source's
- * draws come from its private stream in its sequential order, and
- * every cached entry is a deterministic function of (circuit,
- * device), the per-source results are bitwise-identical to running
- * executeSchedule against a private executor seeded the same way.
+ * each spec drawing from its own source's rng. Sources sharing a
+ * (device, global circuit) pair have their global sampling pooled
+ * into one multi-program runBatch when the batch's cache key provably
+ * equals run()'s (terminal measurements in classical-bit order);
+ * otherwise each samples through run() as before. Because each
+ * source's draws come from its private stream in its sequential
+ * order, and every cached entry is a deterministic function of
+ * (circuit, device), the per-source results are bitwise-identical to
+ * running executeSchedule against a private executor seeded the same
+ * way.
  */
 std::vector<ExecutionResult>
 executeMergedSchedules(const std::vector<MergeSource> &sources,
-                       const MergedSchedule &merged);
+                       const MergedSchedule &merged,
+                       MergedExecutionStats *stats = nullptr);
 
 /** Stage 4 input: the prior and the evidence, nothing else. */
 struct ReconstructionInput

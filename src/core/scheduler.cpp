@@ -1,0 +1,715 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+namespace {
+
+/** Milliseconds from @p a to @p b (0 when either is unset). */
+double
+msBetweenImpl(std::chrono::steady_clock::time_point a,
+              std::chrono::steady_clock::time_point b)
+{
+    if (a.time_since_epoch().count() == 0 ||
+        b.time_since_epoch().count() == 0)
+        return 0.0;
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** Key under which compatible jobs share a merge window. */
+std::uint64_t
+windowKeyFor(MergePolicy policy, std::uint64_t device_key,
+             const circuit::QuantumCircuit &circuit)
+{
+    if (policy == MergePolicy::Always)
+        return device_key; // mergeSchedules separates prefixes inside
+    return device_key ^
+           (circuit.structuralHash() * 0x9e3779b97f4a7c15ULL);
+}
+
+/** Priority class after @p waited_ms of aging (0 = strongest). */
+std::size_t
+effectiveClass(Priority cls, double waited_ms, double aging_ms)
+{
+    std::size_t c = static_cast<std::size_t>(cls);
+    if (aging_ms > 0.0) {
+        const std::size_t promoted =
+            static_cast<std::size_t>(waited_ms / aging_ms);
+        c = promoted >= c ? 0 : c - promoted;
+    }
+    return c;
+}
+
+} // namespace
+
+StreamingScheduler::StreamingScheduler(StreamOptions options)
+    : options_(options)
+{
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+StreamingScheduler::~StreamingScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Stopping closes every open window immediately; the
+        // dispatcher exits only once all submitted work is terminal.
+        const auto now = Clock::now();
+        for (auto &[id, window] : windows_) {
+            if (!window->closed)
+                window->deadline = now;
+        }
+    }
+    dispatcherCv_.notify_all();
+    dispatcher_.join();
+    group_.wait(); // completion callbacks all ran; nothing in flight
+}
+
+JobHandle
+StreamingScheduler::submit(ServiceProgram program, Priority priority)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    fatalIf(stopping_, "StreamingScheduler: submit after shutdown");
+    const std::uint64_t id = nextJobId_++;
+    auto job = std::make_unique<Job>(id, priority, std::move(program));
+    job->submitAt = Clock::now();
+    job->mergeEligible = options_.mergePolicy != MergePolicy::Never &&
+                         job->program.executor == nullptr;
+    if (job->mergeEligible) {
+        job->deviceKey = job->program.device.fingerprint();
+        job->windowKey = windowKeyFor(options_.mergePolicy,
+                                      job->deviceKey,
+                                      job->program.circuit);
+    }
+    jobs_.emplace(id, std::move(job));
+    admission_.push_back(id);
+    ++liveJobs_;
+    ++stats_.submitted;
+    lock.unlock();
+    dispatcherCv_.notify_all();
+    return JobHandle{id};
+}
+
+std::optional<JobStatus>
+StreamingScheduler::poll(JobHandle handle) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(handle.id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &job = *it->second;
+    JobStatus status;
+    status.state = job.state;
+    status.priority = job.priority;
+    const auto now = Clock::now();
+    switch (job.state) {
+      case JobState::Queued:
+      case JobState::Preparing:
+      case JobState::Windowed:
+        status.queueWaitMs = msBetweenImpl(job.submitAt, now);
+        break;
+      case JobState::Dispatched:
+        status.queueWaitMs = msBetweenImpl(job.submitAt, job.dispatchAt);
+        status.executeMs = msBetweenImpl(job.dispatchAt, now);
+        break;
+      default: // terminal
+        status.queueWaitMs = msBetweenImpl(
+            job.submitAt, job.dispatchAt.time_since_epoch().count()
+                              ? job.dispatchAt
+                              : job.doneAt);
+        status.executeMs = msBetweenImpl(job.dispatchAt, job.doneAt);
+        status.totalMs = msBetweenImpl(job.submitAt, job.doneAt);
+        break;
+    }
+    return status;
+}
+
+JigsawResult
+StreamingScheduler::wait(JobHandle handle)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        const auto it = jobs_.find(handle.id);
+        fatalIf(it == jobs_.end(),
+                "StreamingScheduler: wait on unknown job handle");
+        Job &job = *it->second;
+        if (job.state == JobState::Done)
+            return *job.result;
+        if (job.state == JobState::Failed)
+            std::rethrow_exception(job.error);
+        if (job.state == JobState::Cancelled)
+            throw std::runtime_error(
+                "StreamingScheduler: job was cancelled");
+        // Help the pool along (mandatory with zero workers), then
+        // sleep briefly; finishJob broadcasts jobCv_ on every
+        // terminal transition.
+        lock.unlock();
+        const bool ran = detail::sharedPool().tryRunOneTask();
+        lock.lock();
+        if (!ran) {
+            jobCv_.wait_for(lock, std::chrono::milliseconds(2));
+        }
+    }
+}
+
+bool
+StreamingScheduler::cancel(JobHandle handle)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(handle.id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second;
+    switch (job.state) {
+      case JobState::Queued: {
+        std::erase(admission_, job.id);
+        finishJob(job, JobState::Cancelled, nullptr);
+        releaseJobState(job); // nothing started; trivially safe
+        break;
+      }
+      case JobState::Preparing: {
+        // The stage task is still running; onPrepared sees the
+        // terminal state, discards its outcome, and releases the
+        // session (which the task may still be touching right now).
+        finishJob(job, JobState::Cancelled, nullptr);
+        break;
+      }
+      case JobState::Windowed: {
+        if (job.windowSlot == kNoSlot) {
+            // A prepared solo job awaiting its dispatch slot (it
+            // never joins a window): pull it off the dispatch queue.
+            std::erase_if(readyQueue_, [&](const ReadyEntry &entry) {
+                return !entry.isWindow && entry.id == job.id;
+            });
+            finishJob(job, JobState::Cancelled, nullptr);
+            releaseJobState(job);
+            break;
+        }
+        // Unwind the job from its (open or closed-but-undispatched)
+        // window: members out of the incremental merged schedule,
+        // slot disabled so the executor pass skips it.
+        const auto wit = windows_.find(job.windowId);
+        panicIf(wit == windows_.end(),
+                "cancel: windowed job without window");
+        Window &window = *wit->second;
+        panicIf(window.dispatched,
+                "cancel: windowed job in dispatched window");
+        removeSourceFrom(window.merged, job.windowSlot);
+        window.sources[job.windowSlot].enabled = false;
+        window.slotJob[job.windowSlot] = 0;
+        std::erase(window.jobIds, job.id);
+        finishJob(job, JobState::Cancelled, nullptr);
+        // The disabled slot's MergeSource now dangles into this
+        // job's released session/stream, but executeMergedSchedules
+        // never dereferences a disabled source (and removeSourceFrom
+        // left it no members), so the release is safe.
+        releaseJobState(job);
+        if (window.jobIds.empty()) {
+            std::erase_if(readyQueue_, [&](const ReadyEntry &entry) {
+                return entry.isWindow && entry.id == window.id;
+            });
+            windows_.erase(wit);
+        }
+        break;
+      }
+      default:
+        return false; // dispatched or already terminal
+    }
+    lock.unlock();
+    dispatcherCv_.notify_all();
+    return true;
+}
+
+void
+StreamingScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (liveJobs_ > 0) {
+        // Close open windows now instead of waiting out windowMs —
+        // re-checked every pass, because a job that was still queued
+        // or preparing when drain() began opens its window later.
+        const auto now = Clock::now();
+        bool closed_any = false;
+        for (auto &[id, window] : windows_) {
+            if (!window->closed && window->deadline > now) {
+                window->deadline = now;
+                closed_any = true;
+            }
+        }
+        lock.unlock();
+        if (closed_any)
+            dispatcherCv_.notify_all();
+        const bool ran = detail::sharedPool().tryRunOneTask();
+        lock.lock();
+        if (!ran)
+            jobCv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+}
+
+StreamStats
+StreamingScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+StreamingScheduler::inFlightCap() const
+{
+    return options_.maxInFlight > 0 ? options_.maxInFlight
+                                    : parallelThreads();
+}
+
+void
+StreamingScheduler::startPrepare(Job &job)
+{
+    job.state = JobState::Preparing;
+    if (job.mergeEligible) {
+        std::shared_ptr<sim::Executor> &shared =
+            sharedExecutors_[job.deviceKey];
+        if (!shared) {
+            // The shared executor's own seed never matters: every
+            // merged draw comes from the job's private stream.
+            shared = std::make_shared<sim::NoisySimulator>(
+                job.program.device,
+                sim::NoisySimulatorOptions{
+                    .seed = job.program.executorSeed});
+        }
+        job.executor = shared;
+        job.stream = std::make_unique<Rng>(job.program.executorSeed);
+    } else if (job.program.executor) {
+        job.executor = job.program.executor;
+    } else {
+        job.executor = std::make_shared<sim::NoisySimulator>(
+            job.program.device,
+            sim::NoisySimulatorOptions{.seed = job.program.executorSeed});
+    }
+    job.session = std::make_unique<JigsawSession>(
+        job.program.circuit, job.program.device, *job.executor,
+        job.program.trials, job.program.options);
+    ++preparing_;
+    JigsawSession *session = job.session.get();
+    const std::uint64_t id = job.id;
+    group_.run([session] { session->schedule(); },
+               [this, id](std::exception_ptr error) {
+                   onPrepared(id, error);
+               });
+}
+
+void
+StreamingScheduler::onPrepared(std::uint64_t job_id,
+                               std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --preparing_;
+        Job &job = *jobs_.at(job_id);
+        if (job.state == JobState::Cancelled) {
+            // Cancelled mid-prepare; the stage outcome is discarded,
+            // and with the stage task over the session can go too.
+            releaseJobState(job);
+        } else if (error) {
+            finishJob(job, JobState::Failed, error);
+            releaseJobState(job);
+        } else if (job.mergeEligible) {
+            scheduleReady_.push_back(job_id);
+        } else {
+            job.state = JobState::Windowed; // dispatchable, no window
+            readyQueue_.push_back(
+                {false, job_id, job.priority, Clock::now()});
+        }
+    }
+    dispatcherCv_.notify_all();
+    jobCv_.notify_all();
+}
+
+void
+StreamingScheduler::joinWindow(Job &job, Clock::time_point now)
+{
+    Window *window = nullptr;
+    for (auto &[id, candidate] : windows_) {
+        if (!candidate->closed && candidate->key == job.windowKey &&
+            candidate->jobIds.size() < options_.windowMaxJobs) {
+            window = candidate.get();
+            break;
+        }
+    }
+    if (window == nullptr) {
+        auto fresh = std::make_unique<Window>();
+        fresh->id = nextWindowId_++;
+        fresh->key = job.windowKey;
+        fresh->openedAt = now;
+        fresh->deadline =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          std::max(options_.windowMs, 0.0)));
+        window = fresh.get();
+        windows_.emplace(fresh->id, std::move(fresh));
+    }
+    const std::size_t slot = window->sources.size();
+    window->sources.push_back({slot, &job.session->compiled(),
+                               &job.session->schedule(),
+                               &job.session->plan(), job.deviceKey,
+                               job.executor.get(), job.stream.get(),
+                               true});
+    mergeSourceInto(window->merged, window->sources, slot);
+    window->slotJob.push_back(job.id);
+    window->jobIds.push_back(job.id);
+    window->bestClass = std::min(window->bestClass, job.priority);
+    job.state = JobState::Windowed;
+    job.windowId = window->id;
+    job.windowSlot = slot;
+    // High-priority jobs never trade latency for merging: their
+    // window closes on the spot (with whatever has joined so far).
+    if (job.priority == Priority::High || stopping_)
+        window->deadline = now;
+    if (window->jobIds.size() >= options_.windowMaxJobs ||
+        window->deadline <= now)
+        closeWindow(*window, now);
+}
+
+void
+StreamingScheduler::closeWindow(Window &window, Clock::time_point now)
+{
+    if (window.closed)
+        return;
+    window.closed = true;
+    readyQueue_.push_back({true, window.id, window.bestClass, now});
+}
+
+bool
+StreamingScheduler::dispatchNext(Clock::time_point now)
+{
+    if (readyQueue_.empty() || inFlight_ >= inFlightCap())
+        return false;
+    // Best candidate: strongest aged class, then longest waiting.
+    std::size_t best = 0;
+    std::size_t best_class = kPriorityClasses;
+    for (std::size_t i = 0; i < readyQueue_.size(); ++i) {
+        const ReadyEntry &entry = readyQueue_[i];
+        const std::size_t cls = effectiveClass(
+            entry.cls, msBetweenImpl(entry.readySince, now),
+            options_.agingMs);
+        if (cls < best_class ||
+            (cls == best_class &&
+             entry.readySince < readyQueue_[best].readySince)) {
+            best = i;
+            best_class = cls;
+        }
+    }
+    const ReadyEntry entry = readyQueue_[best];
+    readyQueue_.erase(readyQueue_.begin() +
+                      static_cast<std::ptrdiff_t>(best));
+    if (entry.isWindow) {
+        const auto it = windows_.find(entry.id);
+        panicIf(it == windows_.end(), "dispatch: window vanished");
+        dispatchWindow(*it->second, now);
+    } else {
+        dispatchSolo(*jobs_.at(entry.id), now);
+    }
+    return true;
+}
+
+void
+StreamingScheduler::dispatchSolo(Job &job, Clock::time_point now)
+{
+    job.state = JobState::Dispatched;
+    job.dispatchAt = now;
+    ++inFlight_;
+    ++stats_.loneDispatches;
+    JigsawSession *session = job.session.get();
+    std::shared_ptr<JigsawResult> *result_slot = &job.result;
+    const std::uint64_t id = job.id;
+    group_.run(
+        [session, result_slot] {
+            *result_slot =
+                std::make_shared<JigsawResult>(session->run());
+        },
+        [this, id](std::exception_ptr error) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                Job &done = *jobs_.at(id);
+                --inFlight_;
+                finishJob(done,
+                          error ? JobState::Failed : JobState::Done,
+                          error);
+                releaseJobState(done);
+            }
+            dispatcherCv_.notify_all();
+            jobCv_.notify_all();
+        });
+}
+
+void
+StreamingScheduler::dispatchWindow(Window &window, Clock::time_point now)
+{
+    panicIf(window.jobIds.empty(), "dispatch: empty window");
+    window.dispatched = true;
+    window.remaining = window.jobIds.size();
+    ++inFlight_;
+    if (window.jobIds.size() >= 2) {
+        ++stats_.mergedWindows;
+        stats_.mergedJobs += window.jobIds.size();
+    } else {
+        ++stats_.loneDispatches;
+    }
+    for (const std::uint64_t id : window.jobIds) {
+        Job &job = *jobs_.at(id);
+        job.state = JobState::Dispatched;
+        job.dispatchAt = now;
+    }
+    const std::uint64_t window_id = window.id;
+    group_.run([this, window_id] { runWindowTask(window_id); },
+               [this, window_id](std::exception_ptr error) {
+                   // runWindowTask handles its own errors; anything
+                   // reaching here is a scheduler bug surfaced as a
+                   // window-wide failure.
+                   if (!error)
+                       return;
+                   std::vector<std::uint64_t> members;
+                   {
+                       std::lock_guard<std::mutex> lock(mutex_);
+                       const auto it = windows_.find(window_id);
+                       if (it == windows_.end())
+                           return;
+                       members = it->second->jobIds;
+                       for (const std::uint64_t id : members) {
+                           Job &job = *jobs_.at(id);
+                           if (job.state == JobState::Dispatched)
+                               finishJob(job, JobState::Failed, error);
+                       }
+                       windows_.erase(it);
+                       --inFlight_;
+                   }
+                   dispatcherCv_.notify_all();
+                   jobCv_.notify_all();
+               });
+}
+
+void
+StreamingScheduler::runWindowTask(std::uint64_t window_id)
+{
+    Window *window = nullptr;
+    std::vector<std::pair<std::uint64_t, std::size_t>> live;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        window = windows_.at(window_id).get();
+        for (std::size_t slot = 0; slot < window->slotJob.size();
+             ++slot) {
+            if (window->slotJob[slot] != 0)
+                live.push_back({window->slotJob[slot], slot});
+        }
+    }
+    // The window is immutable once dispatched (cancel refuses), so
+    // sources/merged are safe to read without the lock.
+    MergedExecutionStats exec_stats;
+    std::exception_ptr error;
+    std::shared_ptr<std::vector<ExecutionResult>> executions;
+    try {
+        executions = std::make_shared<std::vector<ExecutionResult>>(
+            executeMergedSchedules(window->sources, window->merged,
+                                   &exec_stats));
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.crossProgramGroups += window->merged.crossProgramGroups();
+        stats_.pooledGlobalBatches += exec_stats.pooledGlobalBatches;
+        stats_.pooledGlobalPrograms += exec_stats.pooledGlobalPrograms;
+        if (error) {
+            for (const auto &[id, slot] : live) {
+                Job &job = *jobs_.at(id);
+                finishJob(job, JobState::Failed, error);
+                releaseJobState(job); // no member task was spawned
+            }
+            windows_.erase(window_id);
+            --inFlight_;
+        }
+    }
+    if (error) {
+        dispatcherCv_.notify_all();
+        jobCv_.notify_all();
+        return;
+    }
+    // Per-job resume: adopt the split-back execution slice and
+    // reconstruct, one pool task per job so reconstructions overlap.
+    for (const auto &[id, slot] : live) {
+        JigsawSession *session;
+        std::shared_ptr<JigsawResult> *result_slot;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Job &job = *jobs_.at(id);
+            session = job.session.get();
+            result_slot = &job.result;
+        }
+        group_.run(
+            [session, result_slot, executions, slot = slot] {
+                session->adoptExecution(
+                    std::move((*executions)[slot]));
+                *result_slot =
+                    std::make_shared<JigsawResult>(session->run());
+            },
+            [this, id = id, window_id](std::exception_ptr job_error) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    Job &job = *jobs_.at(id);
+                    finishJob(job,
+                              job_error ? JobState::Failed
+                                        : JobState::Done,
+                              job_error);
+                    releaseJobState(job);
+                    Window &done_window = *windows_.at(window_id);
+                    if (--done_window.remaining == 0) {
+                        windows_.erase(window_id);
+                        --inFlight_;
+                    }
+                }
+                dispatcherCv_.notify_all();
+                jobCv_.notify_all();
+            });
+    }
+}
+
+void
+StreamingScheduler::releaseJobState(Job &job)
+{
+    // A terminal job keeps its result, error, and timestamps for
+    // poll()/wait(), but the heavyweight pipeline state — session
+    // artifacts, draw stream, executor reference — is dead weight for
+    // a long-running service, so each finish site drops it as soon as
+    // no pool task can still touch the session. (Cancel-mid-prepare
+    // defers to onPrepared; the defensive window-task-failure
+    // callback skips the release because member tasks may be live.)
+    job.session.reset();
+    job.stream.reset();
+    job.executor.reset();
+}
+
+void
+StreamingScheduler::finishJob(Job &job, JobState state,
+                              std::exception_ptr error)
+{
+    job.state = state;
+    job.doneAt = Clock::now();
+    job.error = error;
+    --liveJobs_;
+    switch (state) {
+      case JobState::Done:
+        ++stats_.completed;
+        break;
+      case JobState::Failed:
+        ++stats_.failed;
+        break;
+      case JobState::Cancelled:
+        ++stats_.cancelled;
+        return; // no latency sample: the job never ran
+      default:
+        panicIf(true, "finishJob: non-terminal state");
+    }
+    StreamStats::JobSample sample;
+    sample.priority = job.priority;
+    sample.queueWaitMs = msBetweenImpl(
+        job.submitAt, job.dispatchAt.time_since_epoch().count()
+                          ? job.dispatchAt
+                          : job.doneAt);
+    sample.executeMs = msBetweenImpl(job.dispatchAt, job.doneAt);
+    sample.totalMs = msBetweenImpl(job.submitAt, job.doneAt);
+    stats_.jobs.push_back(sample);
+    jobCv_.notify_all();
+}
+
+void
+StreamingScheduler::dispatcherLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        const auto now = Clock::now();
+
+        // Admit queued jobs into their prepare stage, strongest aged
+        // class first (matters when submissions outrun the pool).
+        while (!admission_.empty()) {
+            std::size_t best = 0;
+            std::size_t best_class = kPriorityClasses;
+            for (std::size_t i = 0; i < admission_.size(); ++i) {
+                const Job &job = *jobs_.at(admission_[i]);
+                const std::size_t cls = effectiveClass(
+                    job.priority, msBetweenImpl(job.submitAt, now),
+                    options_.agingMs);
+                if (cls < best_class) {
+                    best = i;
+                    best_class = cls;
+                }
+            }
+            Job &job = *jobs_.at(admission_[best]);
+            admission_.erase(admission_.begin() +
+                             static_cast<std::ptrdiff_t>(best));
+            startPrepare(job);
+        }
+
+        // Window the jobs whose pipeline stages completed.
+        if (!scheduleReady_.empty()) {
+            const std::vector<std::uint64_t> ready =
+                std::move(scheduleReady_);
+            scheduleReady_.clear();
+            for (const std::uint64_t id : ready) {
+                Job &job = *jobs_.at(id);
+                if (job.state == JobState::Cancelled)
+                    continue;
+                joinWindow(job, now);
+            }
+        }
+
+        // Close expired windows.
+        for (auto &[id, window] : windows_) {
+            if (!window->closed && window->deadline <= now)
+                closeWindow(*window, now);
+        }
+
+        // Dispatch while slots are free.
+        while (dispatchNext(now)) {
+        }
+
+        if (stopping_ && liveJobs_ == 0)
+            return;
+
+        // On a worker-less pool nothing else drains the task queue
+        // when callers only poll(); the dispatcher pitches in.
+        if (detail::sharedPool().workerCount() == 0 &&
+            (inFlight_ > 0 || preparing_ > 0)) {
+            lock.unlock();
+            const bool ran = detail::sharedPool().tryRunOneTask();
+            lock.lock();
+            if (ran)
+                continue;
+        }
+
+        // Sleep until the next window deadline (or a notification).
+        std::optional<Clock::time_point> next;
+        for (const auto &[id, window] : windows_) {
+            if (!window->closed &&
+                (!next || window->deadline < *next))
+                next = window->deadline;
+        }
+        if (!admission_.empty() || !scheduleReady_.empty())
+            continue; // new work arrived while dispatching
+        if (detail::sharedPool().workerCount() == 0 &&
+            (inFlight_ > 0 || preparing_ > 0)) {
+            dispatcherCv_.wait_for(lock, std::chrono::milliseconds(1));
+        } else if (next) {
+            dispatcherCv_.wait_until(lock, *next);
+        } else {
+            dispatcherCv_.wait(lock);
+        }
+    }
+}
+
+} // namespace core
+} // namespace jigsaw

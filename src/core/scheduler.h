@@ -1,0 +1,231 @@
+/**
+ * @file
+ * StreamingScheduler: submit/poll job scheduling over JigsawSessions.
+ *
+ * The batch JigsawService::run answers "here are N programs, run them
+ * all"; this subsystem answers the online shape — programs trickling
+ * in from concurrent callers, each wanting its result as soon as
+ * possible. One scheduler owns:
+ *
+ *  - a priority-aware admission queue (submit() -> JobHandle) feeding
+ *    per-job pipeline stages onto the shared thread pool
+ *    (common/parallel.h TaskGroup completion callbacks);
+ *  - merge windows: scheduled jobs wait up to StreamOptions::windowMs
+ *    (or until windowMaxJobs join) for compatible work, then the
+ *    window dispatches as ONE cross-program merged execution — the
+ *    same (device fingerprint, CPM gate-prefix hash) keyed
+ *    mergeSchedules/executeMergedSchedules path the batch service
+ *    uses, built incrementally (core::mergeSourceInto) as jobs join
+ *    and unwound (core::removeSourceFrom) when a windowed job is
+ *    cancelled;
+ *  - a dispatch queue with priority classes, waiting-time aging (no
+ *    starvation), and an in-flight cap that makes priority meaningful
+ *    under load;
+ *  - per-device persistent shared executors, so circuits recurring
+ *    across windows keep hitting warm evolution caches.
+ *
+ * A lone job whose window expires without partners dispatches
+ * immediately as a single-source execution, so streaming latency
+ * never regresses below the session-at-a-time path; Priority::High
+ * jobs never wait in a window at all.
+ *
+ * Determinism: a job created with a service-owned executor samples
+ * every draw from its own Rng(executorSeed) stream through the merged
+ * execution machinery, so its result is bitwise-identical to a
+ * sequential runJigsaw with the same inputs — whatever the window
+ * composition, submitter interleaving, or pool size. That is the
+ * contract tests/test_stream.cpp asserts under concurrent submitters.
+ *
+ * Thread-safety: submit/poll/wait/cancel/drain/stats may be called
+ * concurrently from any thread. Stage and execution work runs on the
+ * shared pool; windowing and dispatch decisions are made by one
+ * internal dispatcher thread. wait()/drain() (and, on a zero-worker
+ * pool, the dispatcher itself) help drain the pool queue, so the
+ * scheduler makes progress even on a single-core machine.
+ *
+ * Retention: a terminal job's heavyweight pipeline state (session,
+ * draw stream, executor reference) is released as soon as no task can
+ * touch it, but its result and latency record stay addressable for
+ * poll()/wait() for the scheduler's lifetime — handles never dangle.
+ * A deployment running one scheduler for an unbounded job stream
+ * should recycle schedulers (or drain per epoch) to reclaim the
+ * per-job result/bookkeeping memory; bounded admission is an open
+ * ROADMAP item.
+ */
+#ifndef JIGSAW_CORE_SCHEDULER_H
+#define JIGSAW_CORE_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/pipeline.h"
+#include "core/service.h"
+
+namespace jigsaw {
+namespace core {
+
+class StreamingScheduler
+{
+  public:
+    explicit StreamingScheduler(StreamOptions options = {});
+
+    /** Blocks until every submitted job is terminal (drain()). */
+    ~StreamingScheduler();
+
+    StreamingScheduler(const StreamingScheduler &) = delete;
+    StreamingScheduler &operator=(const StreamingScheduler &) = delete;
+
+    /**
+     * Admit @p program into the scheduler and return immediately.
+     * Programs with a caller-supplied executor (or under
+     * MergePolicy::Never) run as independent sessions against that
+     * executor, exactly like the batch service's legacy path;
+     * everything else becomes merge-eligible with a private
+     * Rng(executorSeed) draw stream.
+     */
+    JobHandle submit(ServiceProgram program,
+                     Priority priority = Priority::Normal);
+
+    /** Status snapshot, or std::nullopt for an unknown handle. */
+    std::optional<JobStatus> poll(JobHandle handle) const;
+
+    /**
+     * Block until @p handle is terminal. Returns the job's result,
+     * rethrows its failure, or throws std::runtime_error if it was
+     * cancelled; throws std::invalid_argument for an unknown handle.
+     */
+    JigsawResult wait(JobHandle handle);
+
+    /**
+     * Withdraw a job that has not been dispatched yet: queued,
+     * preparing, or sitting in a merge window (its merge sources are
+     * unwound from the window's incremental schedule). Returns true
+     * on success, false once the job is executing or terminal (it
+     * then runs to completion and poll/wait keep working).
+     */
+    bool cancel(JobHandle handle);
+
+    /**
+     * Block until every job submitted so far is terminal. Open merge
+     * windows are closed immediately rather than waiting out
+     * windowMs.
+     */
+    void drain();
+
+    /** Counter/latency snapshot (thread-safe at any time). */
+    StreamStats stats() const;
+
+    /** Options in effect. */
+    const StreamOptions &options() const { return options_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+    /** One submitted program and everything it accretes. */
+    struct Job
+    {
+        Job(std::uint64_t id_, Priority priority_, ServiceProgram program_)
+            : id(id_), priority(priority_), program(std::move(program_))
+        {
+        }
+
+        std::uint64_t id;
+        Priority priority;
+        ServiceProgram program;
+        JobState state = JobState::Queued;
+        bool mergeEligible = false;
+        std::uint64_t deviceKey = 0; ///< DeviceModel::fingerprint().
+        std::uint64_t windowKey = 0; ///< Window compatibility key.
+        Clock::time_point submitAt{};
+        Clock::time_point dispatchAt{};
+        Clock::time_point doneAt{};
+        std::shared_ptr<sim::Executor> executor;
+        std::unique_ptr<Rng> stream; ///< Merged-path draw stream.
+        std::unique_ptr<JigsawSession> session;
+        std::exception_ptr error;
+        std::shared_ptr<JigsawResult> result;
+        std::uint64_t windowId = 0;
+        std::size_t windowSlot = kNoSlot;
+    };
+
+    /** One open (or closed, pending dispatch) merge window. */
+    struct Window
+    {
+        std::uint64_t id = 0;
+        std::uint64_t key = 0;
+        Priority bestClass = Priority::Low;
+        Clock::time_point openedAt{};
+        Clock::time_point deadline{};
+        bool closed = false;
+        bool dispatched = false;
+        std::size_t remaining = 0; ///< Live jobs still running.
+        std::vector<std::uint64_t> jobIds; ///< Live members, join order.
+        /** One slot per join (stable across cancels; parallel). */
+        std::vector<MergeSource> sources;
+        std::vector<std::uint64_t> slotJob; ///< 0 = withdrawn slot.
+        MergedSchedule merged; ///< Maintained incrementally.
+    };
+
+    /** A dispatchable unit waiting for an in-flight slot. */
+    struct ReadyEntry
+    {
+        bool isWindow = false;
+        std::uint64_t id = 0; ///< Window id or (solo) job id.
+        Priority cls = Priority::Normal;
+        Clock::time_point readySince{};
+    };
+
+    void dispatcherLoop();
+    void startPrepare(Job &job);                       // mutex held
+    void onPrepared(std::uint64_t job_id, std::exception_ptr error);
+    void joinWindow(Job &job, Clock::time_point now);  // mutex held
+    void closeWindow(Window &window, Clock::time_point now); // held
+    bool dispatchNext(Clock::time_point now);          // mutex held
+    void dispatchSolo(Job &job, Clock::time_point now);   // held
+    void dispatchWindow(Window &window, Clock::time_point now); // held
+    void runWindowTask(std::uint64_t window_id);
+    void finishJob(Job &job, JobState state,
+                   std::exception_ptr error); // mutex held
+    void releaseJobState(Job &job);           // mutex held
+    std::size_t inFlightCap() const;
+
+    const StreamOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable dispatcherCv_; ///< Wakes the dispatcher.
+    std::condition_variable jobCv_;        ///< Wakes wait()/drain().
+    bool stopping_ = false;
+
+    std::uint64_t nextJobId_ = 1;
+    std::uint64_t nextWindowId_ = 1;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Window>> windows_;
+    std::vector<std::uint64_t> admission_;     ///< Queued job ids.
+    std::vector<std::uint64_t> scheduleReady_; ///< Prepared, unwindowed.
+    std::vector<ReadyEntry> readyQueue_;       ///< Awaiting dispatch.
+    std::size_t inFlight_ = 0;   ///< Dispatched windows/solo jobs.
+    std::size_t preparing_ = 0;  ///< Prepare stages on the pool.
+    std::size_t liveJobs_ = 0;   ///< Non-terminal jobs.
+    /** Per-device persistent shared executors (merged path). */
+    std::unordered_map<std::uint64_t, std::shared_ptr<sim::Executor>>
+        sharedExecutors_;
+
+    StreamStats stats_;
+
+    TaskGroup group_;        ///< All pool work this scheduler owns.
+    std::thread dispatcher_; ///< Started last, joined in ~.
+};
+
+} // namespace core
+} // namespace jigsaw
+
+#endif // JIGSAW_CORE_SCHEDULER_H

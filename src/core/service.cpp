@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "core/scheduler.h"
 
 namespace jigsaw {
 namespace core {
@@ -30,20 +31,98 @@ programExecutor(const ServiceProgram &program)
         sim::NoisySimulatorOptions{.seed = program.executorSeed});
 }
 
+/** Guarded percentile over the samples a selector extracts. */
+template <typename Select>
+double
+samplePercentile(const std::vector<StreamStats::JobSample> &jobs,
+                 double q, Select &&select)
+{
+    std::vector<double> samples;
+    samples.reserve(jobs.size());
+    for (const StreamStats::JobSample &job : jobs) {
+        if (const std::optional<double> value = select(job))
+            samples.push_back(*value);
+    }
+    return percentileNearestRank(std::move(samples), q);
+}
+
 } // namespace
+
+double
+percentileNearestRank(std::vector<double> samples, double q)
+{
+    // Degenerate sets first: percentiles of nothing are 0 (a stats
+    // report over an idle service must not fault), and with a single
+    // sample every percentile IS that sample — no rank arithmetic
+    // whose rounding could misindex.
+    if (samples.empty())
+        return 0.0;
+    if (samples.size() == 1)
+        return samples.front();
+    // A non-finite q (NaN propagated from a ratio of empty counters)
+    // must not reach the size_t cast below: NaN comparisons are all
+    // false, so it falls through the clamps as-is otherwise.
+    if (!(q >= 0.0))
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    return samples[std::min(rank, samples.size()) - 1];
+}
 
 double
 ServiceStats::latencyPercentileMs(double q) const
 {
-    if (latenciesMs.empty())
-        return 0.0;
-    std::vector<double> sorted = latenciesMs;
-    std::sort(sorted.begin(), sorted.end());
-    const double clamped = std::min(std::max(q, 0.0), 1.0);
-    const std::size_t rank = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::ceil(clamped * static_cast<double>(sorted.size()))));
-    return sorted[std::min(rank, sorted.size()) - 1];
+    return percentileNearestRank(latenciesMs, q);
+}
+
+double
+StreamStats::latencyPercentileMs(double q) const
+{
+    return samplePercentile(
+        jobs, q,
+        [](const JobSample &job) -> std::optional<double> {
+            return job.totalMs;
+        });
+}
+
+double
+StreamStats::latencyPercentileMs(Priority cls, double q) const
+{
+    return samplePercentile(
+        jobs, q,
+        [cls](const JobSample &job) -> std::optional<double> {
+            if (job.priority != cls)
+                return std::nullopt;
+            return job.totalMs;
+        });
+}
+
+double
+StreamStats::queueWaitPercentileMs(Priority cls, double q) const
+{
+    return samplePercentile(
+        jobs, q,
+        [cls](const JobSample &job) -> std::optional<double> {
+            if (job.priority != cls)
+                return std::nullopt;
+            return job.queueWaitMs;
+        });
+}
+
+double
+StreamStats::executePercentileMs(Priority cls, double q) const
+{
+    return samplePercentile(
+        jobs, q,
+        [cls](const JobSample &job) -> std::optional<double> {
+            if (job.priority != cls)
+                return std::nullopt;
+            return job.executeMs;
+        });
 }
 
 std::vector<JigsawResult>
@@ -59,6 +138,80 @@ runProgramsSequentially(const std::vector<ServiceProgram> &programs)
                                     program.options));
     }
     return results;
+}
+
+JigsawService::JigsawService(ServiceOptions options)
+    : options_(std::move(options))
+{
+}
+
+JigsawService::~JigsawService() = default; // scheduler's dtor drains
+
+StreamingScheduler &
+JigsawService::scheduler()
+{
+    std::lock_guard<std::mutex> lock(schedulerMutex_);
+    if (!scheduler_)
+        scheduler_ = std::make_unique<StreamingScheduler>(options_.stream);
+    return *scheduler_;
+}
+
+JobHandle
+JigsawService::submit(ServiceProgram program, Priority priority)
+{
+    return scheduler().submit(std::move(program), priority);
+}
+
+std::optional<JobStatus>
+JigsawService::poll(JobHandle handle) const
+{
+    std::lock_guard<std::mutex> lock(schedulerMutex_);
+    if (!scheduler_)
+        return std::nullopt;
+    return scheduler_->poll(handle);
+}
+
+JigsawResult
+JigsawService::wait(JobHandle handle)
+{
+    {
+        // No scheduler means no job was ever submitted: reject the
+        // handle without spinning up a dispatcher thread just to ask.
+        std::lock_guard<std::mutex> lock(schedulerMutex_);
+        fatalIf(scheduler_ == nullptr,
+                "JigsawService: wait on unknown job handle");
+    }
+    return scheduler().wait(handle);
+}
+
+bool
+JigsawService::cancel(JobHandle handle)
+{
+    std::lock_guard<std::mutex> lock(schedulerMutex_);
+    if (!scheduler_)
+        return false;
+    return scheduler_->cancel(handle);
+}
+
+void
+JigsawService::drain()
+{
+    StreamingScheduler *scheduler = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(schedulerMutex_);
+        scheduler = scheduler_.get();
+    }
+    if (scheduler != nullptr)
+        scheduler->drain();
+}
+
+StreamStats
+JigsawService::streamStats() const
+{
+    std::lock_guard<std::mutex> lock(schedulerMutex_);
+    if (!scheduler_)
+        return StreamStats{};
+    return scheduler_->stats();
 }
 
 std::vector<JigsawResult>
@@ -188,11 +341,14 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
 
         try {
             const MergedSchedule merged = mergeSchedules(sources);
+            MergedExecutionStats exec_stats;
             std::vector<ExecutionResult> executions =
-                executeMergedSchedules(sources, merged);
+                executeMergedSchedules(sources, merged, &exec_stats);
             stats_.mergedPrograms = sources.size();
             stats_.mergedGroups = merged.groups.size();
             stats_.crossProgramGroups = merged.crossProgramGroups();
+            stats_.pooledGlobalBatches = exec_stats.pooledGlobalBatches;
+            stats_.pooledGlobalPrograms = exec_stats.pooledGlobalPrograms;
 
             TaskGroup reconstructing;
             for (std::size_t k = 0; k < sources.size(); ++k) {

@@ -35,6 +35,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -97,11 +99,136 @@ enum class MergePolicy
     Never,
 };
 
+/** Priority classes for streaming submission (High dispatches first). */
+enum class Priority
+{
+    High = 0,
+    Normal = 1,
+    Low = 2,
+};
+
+/** Number of Priority classes. */
+inline constexpr std::size_t kPriorityClasses = 3;
+
+/** Opaque identifier of one streaming job. */
+struct JobHandle
+{
+    std::uint64_t id = 0;
+};
+
+/** Where a streaming job currently is. */
+enum class JobState
+{
+    Queued,    ///< Admitted, waiting for its pipeline stages to start.
+    Preparing, ///< Plan/compile/schedule stages running on the pool.
+    /** Scheduled: collecting partners in an open merge window, or (a
+     *  window-less solo job, closed window) awaiting a dispatch slot. */
+    Windowed,
+    Dispatched, ///< Executing (merged window or lone session).
+    Done,       ///< Result available.
+    Failed,     ///< Terminal error; wait() rethrows it.
+    Cancelled,  ///< Withdrawn before dispatch; wait() throws.
+};
+
+/** Snapshot of one streaming job, returned by poll(). */
+struct JobStatus
+{
+    JobState state = JobState::Queued;
+    Priority priority = Priority::Normal;
+    /** Submit -> dispatch (admission + window wait); 0 until known. */
+    double queueWaitMs = 0.0;
+    /** Dispatch -> terminal (execute + reconstruct); 0 until known. */
+    double executeMs = 0.0;
+    /** Submit -> terminal (what the submitter observed); 0 until known. */
+    double totalMs = 0.0;
+};
+
+/** Streaming-scheduler configuration (JigsawService submit/poll). */
+struct StreamOptions
+{
+    /**
+     * When windows merge. Auto windows jobs sharing a (circuit,
+     * device) pair; Always windows every service-executor job on the
+     * same device; Never dispatches every job immediately as an
+     * independent session (today's batch-path behavior, job by job).
+     */
+    MergePolicy mergePolicy = MergePolicy::Auto;
+    /**
+     * How long an open merge window waits for more compatible jobs
+     * before dispatching, from the moment it opened. Priority::High
+     * jobs close their window immediately — they never trade latency
+     * for merging. 0 dispatches every job on readiness.
+     */
+    double windowMs = 5.0;
+    /** Close a window once this many jobs joined it. */
+    std::size_t windowMaxJobs = 8;
+    /**
+     * Dispatched-but-unfinished window/job cap; further dispatches
+     * queue in priority order. 0 sizes it to the thread pool
+     * (parallelThreads()), which is what makes priority meaningful
+     * under load — with unbounded dispatch the pool's FIFO queue
+     * decides instead.
+     */
+    std::size_t maxInFlight = 0;
+    /**
+     * Fairness aging: a dispatch candidate is promoted one priority
+     * class per this many milliseconds spent waiting, so sustained
+     * High traffic cannot starve Low jobs. <=0 disables aging.
+     */
+    double agingMs = 100.0;
+};
+
+/** Counters and samples of one streaming scheduler's lifetime. */
+struct StreamStats
+{
+    /** Latency record of one terminal job. */
+    struct JobSample
+    {
+        Priority priority = Priority::Normal;
+        double queueWaitMs = 0.0; ///< Submit -> dispatch.
+        double executeMs = 0.0;   ///< Dispatch -> terminal.
+        double totalMs = 0.0;     ///< Submit -> terminal.
+    };
+
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t mergedWindows = 0;  ///< Windows dispatched with >= 2 jobs.
+    std::size_t loneDispatches = 0; ///< Jobs dispatched alone.
+    std::size_t mergedJobs = 0;     ///< Jobs that rode a merged window.
+    std::size_t crossProgramGroups = 0;  ///< Sum over merged windows.
+    std::size_t pooledGlobalBatches = 0; ///< Pooled global runBatch calls.
+    std::size_t pooledGlobalPrograms = 0; ///< Jobs with pooled globals.
+    /** Completed/failed jobs in completion order. */
+    std::vector<JobSample> jobs;
+
+    /** @name Guarded nearest-rank percentiles over the job samples
+     *  (0 with no samples; the sample itself with one). @{ */
+    double latencyPercentileMs(double q) const;
+    double latencyPercentileMs(Priority cls, double q) const;
+    double queueWaitPercentileMs(Priority cls, double q) const;
+    double executePercentileMs(Priority cls, double q) const;
+    /** @} */
+};
+
 /** Service configuration. */
 struct ServiceOptions
 {
     MergePolicy mergePolicy = MergePolicy::Auto;
+    /** Streaming (submit/poll) scheduler knobs; mergePolicy for the
+     *  streaming path lives in here, independent of the batch path's. */
+    StreamOptions stream;
 };
+
+/**
+ * Nearest-rank percentile of @p samples (q in [0, 1]). Guarded
+ * against the degenerate ends: an empty sample set yields 0, a single
+ * sample yields that sample for every q, and a non-finite or
+ * out-of-range q clamps into [0, 1] (NaN counts as 0). Shared by the
+ * batch-path ServiceStats and the streaming StreamStats.
+ */
+double percentileNearestRank(std::vector<double> samples, double q);
 
 /** What one service run did, beyond the per-program results. */
 struct ServiceStats
@@ -119,6 +246,8 @@ struct ServiceStats
     std::size_t mergedPrograms = 0; ///< Programs on the merged path.
     std::size_t mergedGroups = 0;   ///< Merged batch groups executed.
     std::size_t crossProgramGroups = 0; ///< Groups spanning programs.
+    std::size_t pooledGlobalBatches = 0; ///< Pooled global runBatch calls.
+    std::size_t pooledGlobalPrograms = 0; ///< Programs with pooled globals.
     /** @} */
 
     /** Throughput of the batch. */
@@ -130,9 +259,10 @@ struct ServiceStats
     }
 
     /**
-     * Latency percentile over latenciesMs (nearest-rank; @p q in
-     * [0, 1], e.g. 0.5 for p50, 0.95 for p95). 0 when no latencies
-     * were recorded.
+     * Latency percentile over latenciesMs (nearest-rank via
+     * percentileNearestRank; @p q in [0, 1], e.g. 0.5 for p50, 0.95
+     * for p95). Guarded at the degenerate ends: 0 when no latencies
+     * were recorded, the single sample when only one was.
      */
     double latencyPercentileMs(double q) const;
 };
@@ -147,13 +277,16 @@ struct ServiceStats
 std::vector<JigsawResult>
 runProgramsSequentially(const std::vector<ServiceProgram> &programs);
 
+class StreamingScheduler; // core/scheduler.h
+
 class JigsawService
 {
   public:
-    explicit JigsawService(ServiceOptions options = {})
-        : options_(options)
-    {
-    }
+    explicit JigsawService(ServiceOptions options = {});
+    ~JigsawService(); // drains any streaming jobs still in flight
+
+    JigsawService(const JigsawService &) = delete;
+    JigsawService &operator=(const JigsawService &) = delete;
 
     /**
      * Run every program to completion and return their results in
@@ -163,6 +296,32 @@ class JigsawService
      */
     std::vector<JigsawResult> run(const std::vector<ServiceProgram> &programs);
 
+    /** @name Streaming API (core/scheduler.h does the work).
+     *
+     * submit() admits one program and returns immediately; the
+     * scheduler windows compatible jobs for cross-program merged
+     * execution and every job's result stays bitwise-identical to a
+     * sequential runJigsaw with the same inputs. All five calls are
+     * thread-safe against each other — concurrent submitters are the
+     * intended client shape.
+     * @{ */
+    /** Admit @p program; the handle is this service's poll/wait key. */
+    JobHandle submit(ServiceProgram program,
+                     Priority priority = Priority::Normal);
+    /** Status snapshot, or std::nullopt for an unknown handle. */
+    std::optional<JobStatus> poll(JobHandle handle) const;
+    /** Block until terminal; returns the result or rethrows the
+     *  job's failure (std::runtime_error for a cancelled job). */
+    JigsawResult wait(JobHandle handle);
+    /** Withdraw a not-yet-dispatched job (true on success). */
+    bool cancel(JobHandle handle);
+    /** Block until every submitted job is terminal. */
+    void drain();
+    /** Streaming counters/latency samples (snapshot; zero before the
+     *  first submit()). */
+    StreamStats streamStats() const;
+    /** @} */
+
     /** Options in effect. */
     const ServiceOptions &options() const { return options_; }
 
@@ -170,8 +329,12 @@ class JigsawService
     const ServiceStats &stats() const { return stats_; }
 
   private:
+    StreamingScheduler &scheduler();
+
     ServiceOptions options_;
     ServiceStats stats_;
+    mutable std::mutex schedulerMutex_; ///< Guards lazy creation only.
+    std::unique_ptr<StreamingScheduler> scheduler_;
 };
 
 } // namespace core

@@ -76,6 +76,12 @@ JigsawSession::adoptExecution(ExecutionResult result)
     schedule(); // run the plan/compile/schedule stages if missing
     fatalIf(result.cpmPmfs.size() != jobs_->cpms.size(),
             "adoptExecution: result does not cover every compiled CPM");
+    // A merged window handing back the wrong slice (an empty
+    // placeholder from a withdrawn source, or another program's
+    // global) would silently poison the reconstruction prior; the
+    // global PMF's width is the cheap invariant that catches it.
+    fatalIf(result.globalPmf.nQubits() != plan_->nMeasured,
+            "adoptExecution: global PMF width does not match the plan");
     execution_ = std::move(result);
 }
 

@@ -8,8 +8,16 @@
  * Benches and ablations can stop at any stage and inspect the typed
  * artifact (e.g. time compilation alone, or swap the reconstruction
  * options after execution); runJigsaw() is simply run() on a fresh
- * session. Sessions are single-threaded objects; concurrency across
- * programs lives in core::JigsawService.
+ * session. Sessions are single-threaded objects: no two threads may
+ * call into one session concurrently, but a session may be handed
+ * from thread to thread between stages when the handoff is externally
+ * synchronized — core::JigsawService runs whole sessions on pool
+ * tasks, and core::StreamingScheduler advances one session on
+ * different pool threads per stage (schedule on one, adoptExecution +
+ * reconstruct on another) with its own mutex ordering the handoffs.
+ * Stage accessors return references into the session; they stay valid
+ * until the session is destroyed, which is what lets a merge window
+ * hold MergeSource pointers to many sessions' artifacts.
  */
 #ifndef JIGSAW_CORE_SESSION_H
 #define JIGSAW_CORE_SESSION_H

@@ -295,6 +295,139 @@ TEST(MergeSchedules, MergedExecutionMatchesPrivateExecutors)
     }
 }
 
+TEST(MergeSchedules, PooledGlobalsMatchAndAreCounted)
+{
+    // Two programs sharing a (device, global circuit) pair pool their
+    // global sampling into one multi-program runBatch; the stats tick
+    // and the per-program global PMFs still match private executors
+    // (the preceding test checks that; here the counters).
+    const device::DeviceModel dev = device::toronto();
+    compiler::clearTranspileCache();
+    PreparedProgram a(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 61);
+    PreparedProgram b(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 62);
+    sim::NoisySimulator shared(dev);
+    const std::uint64_t key = dev.fingerprint();
+    const std::vector<core::MergeSource> sources = {
+        {0, &a.jobs, &a.schedule, &a.plan, key, &shared, &a.stream},
+        {1, &b.jobs, &b.schedule, &b.plan, key, &shared, &b.stream},
+    };
+    const core::MergedSchedule merged = core::mergeSchedules(sources);
+    core::MergedExecutionStats stats;
+    const std::vector<core::ExecutionResult> results =
+        core::executeMergedSchedules(sources, merged, &stats);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(stats.pooledGlobalBatches, 1u);
+    EXPECT_EQ(stats.pooledGlobalPrograms, 2u);
+    EXPECT_EQ(totalVariationDistance(results[0].globalPmf,
+                                     results[1].globalPmf) == 0.0,
+              false)
+        << "distinct seeds must draw distinct global samples";
+}
+
+TEST(MergeSchedules, IncrementalMergeMatchesBatchMerge)
+{
+    // mergeSourceInto folded over the sources — the streaming
+    // scheduler's window-accretion path — must produce exactly what
+    // one-shot mergeSchedules does.
+    const device::DeviceModel dev = device::toronto();
+    compiler::clearTranspileCache();
+    PreparedProgram a(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 71);
+    PreparedProgram b(workloads::Ghz(6).circuit(), dev, 8192,
+                      JigsawOptions{}, 72);
+    PreparedProgram c(workloads::BernsteinVazirani(6).circuit(), dev,
+                      6144, core::jigsawMOptions(), 73);
+    sim::NoisySimulator shared(dev);
+    const std::uint64_t key = dev.fingerprint();
+    const std::vector<core::MergeSource> sources = {
+        {0, &a.jobs, &a.schedule, &a.plan, key, &shared, &a.stream},
+        {1, &b.jobs, &b.schedule, &b.plan, key, &shared, &b.stream},
+        {2, &c.jobs, &c.schedule, &c.plan, key, &shared, &c.stream},
+    };
+    const core::MergedSchedule batch = core::mergeSchedules(sources);
+    core::MergedSchedule incremental;
+    for (std::size_t s = 0; s < sources.size(); ++s)
+        core::mergeSourceInto(incremental, sources, s);
+
+    ASSERT_EQ(incremental.groups.size(), batch.groups.size());
+    for (std::size_t g = 0; g < batch.groups.size(); ++g) {
+        EXPECT_EQ(incremental.groups[g].deviceKey,
+                  batch.groups[g].deviceKey);
+        EXPECT_EQ(incremental.groups[g].prefixHash,
+                  batch.groups[g].prefixHash);
+        ASSERT_EQ(incremental.groups[g].members.size(),
+                  batch.groups[g].members.size());
+        for (std::size_t m = 0; m < batch.groups[g].members.size();
+             ++m) {
+            EXPECT_EQ(incremental.groups[g].members[m].source,
+                      batch.groups[g].members[m].source);
+            EXPECT_EQ(incremental.groups[g].members[m].group,
+                      batch.groups[g].members[m].group);
+        }
+    }
+}
+
+TEST(MergeSchedules, RemoveSourceUnwindsACancelledJob)
+{
+    // The cancel path: withdraw the middle source from an
+    // incrementally built merge, disable its slot, and execute — the
+    // survivors must still match their private-executor reference and
+    // the withdrawn slot must stay untouched.
+    const device::DeviceModel dev = device::toronto();
+    compiler::clearTranspileCache();
+    std::vector<std::unique_ptr<PreparedProgram>> prepared;
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::Ghz(6).circuit(), dev, 8192, JigsawOptions{}, 81));
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::Ghz(6).circuit(), dev, 8192, JigsawOptions{}, 82));
+    prepared.push_back(std::make_unique<PreparedProgram>(
+        workloads::Ghz(6).circuit(), dev, 8192, JigsawOptions{}, 83));
+    sim::NoisySimulator shared(dev);
+    const std::uint64_t key = dev.fingerprint();
+    std::vector<core::MergeSource> sources;
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        sources.push_back({i, &prepared[i]->jobs, &prepared[i]->schedule,
+                           &prepared[i]->plan, key, &shared,
+                           &prepared[i]->stream});
+    }
+    core::MergedSchedule merged;
+    for (std::size_t s = 0; s < sources.size(); ++s)
+        core::mergeSourceInto(merged, sources, s);
+
+    const std::size_t removed = core::removeSourceFrom(merged, 1);
+    EXPECT_EQ(removed, prepared[1]->schedule.groups.size());
+    sources[1].enabled = false;
+    for (const core::MergedSchedule::Group &group : merged.groups) {
+        for (const core::MergedSchedule::Member &member : group.members)
+            EXPECT_NE(member.source, 1u);
+    }
+
+    const std::vector<core::ExecutionResult> results =
+        core::executeMergedSchedules(sources, merged);
+    ASSERT_EQ(results.size(), 3u);
+    // The withdrawn slot keeps its placeholder result.
+    EXPECT_TRUE(results[1].cpmPmfs.empty());
+    const std::uint64_t seeds[] = {81, 82, 83};
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+        sim::NoisySimulator private_executor(
+            dev, sim::NoisySimulatorOptions{.seed = seeds[i]});
+        const core::ExecutionResult expected = core::executeSchedule(
+            private_executor, prepared[i]->jobs, prepared[i]->schedule,
+            prepared[i]->plan);
+        EXPECT_EQ(totalVariationDistance(expected.globalPmf,
+                                         results[i].globalPmf),
+                  0.0);
+        ASSERT_EQ(expected.cpmPmfs.size(), results[i].cpmPmfs.size());
+        for (std::size_t c = 0; c < expected.cpmPmfs.size(); ++c) {
+            EXPECT_EQ(totalVariationDistance(expected.cpmPmfs[c],
+                                             results[i].cpmPmfs[c]),
+                      0.0);
+        }
+    }
+}
+
 TEST(Session, AdoptExecutionValidatesAndResumes)
 {
     const device::DeviceModel dev = device::toronto();

@@ -310,6 +310,11 @@ TEST(CrossProgramBatching, MergedMatchesSequentialBitwise)
     EXPECT_EQ(service.stats().mergedPrograms, programs.size());
     EXPECT_GT(service.stats().mergedGroups, 0u);
     EXPECT_GT(service.stats().crossProgramGroups, 0u);
+    // The duplicated (circuit, device) pairs also pooled their global
+    // sampling into multi-program batches (merged-path global
+    // batching), without disturbing the bitwise check below.
+    EXPECT_GT(service.stats().pooledGlobalBatches, 0u);
+    EXPECT_GE(service.stats().pooledGlobalPrograms, 2u);
     EXPECT_EQ(service.stats().latenciesMs.size(), programs.size());
     EXPECT_GE(service.stats().latencyPercentileMs(0.95),
               service.stats().latencyPercentileMs(0.5));

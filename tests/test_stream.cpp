@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Streaming-scheduler tests: the submit/poll JigsawService must
+ * reproduce sequential runJigsaw bitwise under concurrent submitters
+ * and arbitrary window composition, cancellation must unwind jobs
+ * cleanly out of open merge windows, heterogeneous devices must never
+ * merge, and the guarded percentile helpers must survive degenerate
+ * sample sets. This file joins test_service in the CI ThreadSanitizer
+ * leg (run with JIGSAW_THREADS=4 or more to exercise the pool).
+ */
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "core/service.h"
+#include "device/library.h"
+#include "sim/simulators.h"
+#include "workloads/bv.h"
+#include "workloads/ghz.h"
+#include "workloads/qft.h"
+
+namespace jigsaw {
+namespace {
+
+using core::JigsawResult;
+using core::JobHandle;
+using core::JobState;
+using core::Priority;
+using core::ServiceProgram;
+using core::StreamingScheduler;
+using core::StreamOptions;
+
+/** Exact equality: the two PMFs store identical doubles. */
+void
+expectBitwisePmf(const Pmf &a, const Pmf &b)
+{
+    ASSERT_EQ(a.nQubits(), b.nQubits());
+    ASSERT_EQ(a.support(), b.support());
+    for (const auto &[outcome, p] : a.probabilities())
+        EXPECT_EQ(p, b.prob(outcome)) << "outcome " << outcome;
+}
+
+void
+expectBitwiseResult(const JigsawResult &expected,
+                    const JigsawResult &actual)
+{
+    expectBitwisePmf(expected.output, actual.output);
+    expectBitwisePmf(expected.globalPmf, actual.globalPmf);
+    ASSERT_EQ(expected.cpms.size(), actual.cpms.size());
+    for (std::size_t c = 0; c < expected.cpms.size(); ++c) {
+        EXPECT_EQ(expected.cpms[c].subset, actual.cpms[c].subset);
+        expectBitwisePmf(expected.cpms[c].localPmf,
+                         actual.cpms[c].localPmf);
+    }
+}
+
+/** Poll until @p handle reaches @p state (fails the test on timeout). */
+void
+pollUntil(const StreamingScheduler &scheduler, JobHandle handle,
+          JobState state)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+        const auto status = scheduler.poll(handle);
+        ASSERT_TRUE(status.has_value());
+        if (status->state == state)
+            return;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "timed out waiting for job state "
+            << static_cast<int>(state) << " (currently "
+            << static_cast<int>(status->state) << ")";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+/** A mixed batch with duplicated (circuit, device) pairs to merge. */
+std::vector<ServiceProgram>
+streamPrograms(const device::DeviceModel &dev)
+{
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 11);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 22);
+    programs.emplace_back(workloads::BernsteinVazirani(6).circuit(), dev,
+                          6144, core::JigsawOptions{}, 33);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::jigsawMOptions(), 44);
+    core::JigsawOptions no_recomp;
+    no_recomp.recompileCpms = false;
+    programs.emplace_back(workloads::QftAdjoint(5).circuit(), dev, 4096,
+                          no_recomp, 55);
+    programs.emplace_back(workloads::BernsteinVazirani(6).circuit(), dev,
+                          6144, core::JigsawOptions{}, 66);
+    return programs;
+}
+
+// ------------------------------------------------- bitwise determinism
+
+TEST(StreamingScheduler, WindowedJobsMatchSequentialBitwise)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = streamPrograms(dev);
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 50.0;
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program));
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        const JigsawResult result = scheduler.wait(handles[i]);
+        expectBitwiseResult(sequential[i], result);
+    }
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, programs.size());
+    EXPECT_EQ(stats.completed, programs.size());
+    EXPECT_EQ(stats.jobs.size(), programs.size());
+    EXPECT_GE(stats.latencyPercentileMs(0.95),
+              stats.latencyPercentileMs(0.5));
+}
+
+TEST(StreamingScheduler, ConcurrentSubmittersMatchSequentialBitwise)
+{
+    // The acceptance test: >= 4 submitter threads pushing programs
+    // through one service concurrently, every result bitwise-equal to
+    // a sequential runJigsaw whatever the window composition the
+    // races produced. Seeds differ across threads so every job is its
+    // own draw stream.
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (int t = 0; t < 4; ++t) {
+        for (const ServiceProgram &base : streamPrograms(dev)) {
+            ServiceProgram program = base;
+            program.executorSeed += 1000ULL * (t + 1);
+            programs.push_back(std::move(program));
+        }
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    core::ServiceOptions service_options;
+    service_options.stream.mergePolicy = core::MergePolicy::Auto;
+    service_options.stream.windowMs = 20.0;
+    core::JigsawService service(service_options);
+
+    const std::size_t per_thread = programs.size() / 4;
+    std::vector<JobHandle> handles(programs.size());
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < 4; ++t) {
+        submitters.emplace_back([&, t] {
+            for (std::size_t i = t * per_thread;
+                 i < (t + 1) * per_thread; ++i) {
+                const Priority priority = static_cast<Priority>(
+                    i % core::kPriorityClasses);
+                handles[i] = service.submit(programs[i], priority);
+            }
+            // Each submitter also waits on (half of) its own jobs, so
+            // wait() itself runs concurrently with other submitters.
+            for (std::size_t i = t * per_thread;
+                 i < t * per_thread + per_thread / 2; ++i)
+                service.wait(handles[i]);
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    service.drain();
+
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const JigsawResult result = service.wait(handles[i]);
+        expectBitwiseResult(sequential[i], result);
+    }
+    const core::StreamStats stats = service.streamStats();
+    EXPECT_EQ(stats.completed, programs.size());
+    EXPECT_EQ(stats.failed + stats.cancelled, 0u);
+    // The duplicated (circuit, device) pairs should have produced at
+    // least one genuinely merged window.
+    EXPECT_GT(stats.mergedJobs, 0u);
+}
+
+TEST(StreamingScheduler, ImmediateDispatchMatchesSequentialBitwise)
+{
+    // MergePolicy::Never + windowMs 0 is submit-and-run-immediately:
+    // every job an independent session with a private executor,
+    // exactly today's batch-service legacy path.
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = streamPrograms(dev);
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Never;
+    options.windowMs = 0.0;
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program));
+    scheduler.drain();
+    for (std::size_t i = 0; i < handles.size(); ++i)
+        expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.mergedWindows, 0u);
+    EXPECT_EQ(stats.loneDispatches, programs.size());
+}
+
+// ----------------------------------------------- heterogeneous devices
+
+TEST(StreamingScheduler, AlwaysNeverMergesAcrossDeviceFingerprints)
+{
+    // MergePolicy::Always windows aggressively — but only within a
+    // device fingerprint. Identical circuits on two devices must run
+    // in separate windows against separate shared executors, and
+    // every result must still match its own device's sequential run.
+    const device::DeviceModel toronto = device::toronto();
+    const device::DeviceModel paris = device::paris();
+    ASSERT_NE(toronto.fingerprint(), paris.fingerprint());
+
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed : {201, 202}) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), toronto, 8192,
+                              core::JigsawOptions{}, seed);
+    }
+    for (std::uint64_t seed : {203, 204}) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), paris, 8192,
+                              core::JigsawOptions{}, seed);
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 200.0; // plenty for all four to share windows
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program));
+    scheduler.drain();
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
+
+    // Two same-device pairs: at most one merged window per device,
+    // never one spanning both (a cross-device window would have
+    // produced a single window with all four jobs).
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, programs.size());
+    EXPECT_LE(stats.mergedWindows, 2u);
+    EXPECT_LE(stats.mergedJobs, 4u);
+}
+
+// ------------------------------------------------------- cancellation
+
+TEST(StreamingScheduler, CancelInsideOpenMergeWindow)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 301);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 302);
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0; // held open until drain()
+    options.windowMaxJobs = 8;
+    StreamingScheduler scheduler(options);
+    const JobHandle kept = scheduler.submit(programs[0]);
+    const JobHandle cancelled = scheduler.submit(programs[1]);
+
+    // Both jobs must actually be sitting inside the open window.
+    pollUntil(scheduler, kept, JobState::Windowed);
+    pollUntil(scheduler, cancelled, JobState::Windowed);
+
+    EXPECT_TRUE(scheduler.cancel(cancelled));
+    EXPECT_EQ(scheduler.poll(cancelled)->state, JobState::Cancelled);
+    EXPECT_THROW(scheduler.wait(cancelled), std::runtime_error);
+    // Cancelling again (or after terminal) reports failure.
+    EXPECT_FALSE(scheduler.cancel(cancelled));
+
+    scheduler.drain(); // closes the window; the kept job runs alone
+    expectBitwiseResult(sequential[0], scheduler.wait(kept));
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.mergedWindows, 0u);
+    EXPECT_EQ(stats.loneDispatches, 1u);
+}
+
+TEST(StreamingScheduler, CancelQueuedAndUnknownHandles)
+{
+    StreamOptions options;
+    options.windowMs = 0.0;
+    StreamingScheduler scheduler(options);
+    EXPECT_FALSE(scheduler.cancel(JobHandle{9999}));
+    EXPECT_FALSE(scheduler.poll(JobHandle{9999}).has_value());
+    EXPECT_THROW(scheduler.wait(JobHandle{9999}),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------- priority / windows
+
+TEST(StreamingScheduler, HighPriorityClosesItsWindowImmediately)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 401);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 402);
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0;
+    StreamingScheduler scheduler(options);
+    const JobHandle low =
+        scheduler.submit(programs[0], Priority::Low);
+    pollUntil(scheduler, low, JobState::Windowed);
+    // The High job joins the Low job's open window and closes it on
+    // the spot — wait() would otherwise block on the 60 s deadline.
+    const JobHandle high =
+        scheduler.submit(programs[1], Priority::High);
+    expectBitwiseResult(sequential[1], scheduler.wait(high));
+    expectBitwiseResult(sequential[0], scheduler.wait(low));
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.mergedWindows, 1u);
+    EXPECT_EQ(stats.mergedJobs, 2u);
+    EXPECT_GE(stats.queueWaitPercentileMs(Priority::Low, 0.5),
+              stats.queueWaitPercentileMs(Priority::High, 0.5));
+}
+
+// ------------------------------------------------------------ failures
+
+TEST(StreamingScheduler, FailuresPropagateThroughWait)
+{
+    const device::DeviceModel dev = device::toronto();
+    StreamOptions options;
+    options.windowMs = 0.0;
+    StreamingScheduler scheduler(options);
+    const JobHandle ok = scheduler.submit(ServiceProgram(
+        workloads::Ghz(5).circuit(), dev, 4096, core::JigsawOptions{},
+        501));
+    // A one-trial budget fails in the planning stage.
+    const JobHandle bad = scheduler.submit(
+        ServiceProgram(workloads::Ghz(5).circuit(), dev, 1));
+    EXPECT_THROW(scheduler.wait(bad), std::invalid_argument);
+    EXPECT_EQ(scheduler.poll(bad)->state, JobState::Failed);
+    EXPECT_NO_THROW(scheduler.wait(ok));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.failed, 1u);
+}
+
+// -------------------------------------------- percentile degeneracies
+
+TEST(PercentileGuards, EmptySingleAndDegenerateQ)
+{
+    // Empty: every percentile is 0, including under a NaN q.
+    EXPECT_EQ(core::percentileNearestRank({}, 0.5), 0.0);
+    EXPECT_EQ(core::percentileNearestRank({}, std::nan("")), 0.0);
+
+    // Single sample: every percentile IS the sample.
+    for (double q : {0.0, 0.5, 0.95, 1.0, -3.0, 7.0}) {
+        EXPECT_EQ(core::percentileNearestRank({42.0}, q), 42.0);
+    }
+    EXPECT_EQ(core::percentileNearestRank({42.0}, std::nan("")), 42.0);
+
+    // Small sets: nearest-rank, q clamped into [0, 1].
+    const std::vector<double> two = {10.0, 20.0};
+    EXPECT_EQ(core::percentileNearestRank(two, 0.5), 10.0);
+    EXPECT_EQ(core::percentileNearestRank(two, 0.95), 20.0);
+    EXPECT_EQ(core::percentileNearestRank(two, -1.0), 10.0);
+    EXPECT_EQ(core::percentileNearestRank(two, 2.0), 20.0);
+    EXPECT_EQ(core::percentileNearestRank(two, std::nan("")), 10.0);
+
+    // ServiceStats rides the same guard.
+    core::ServiceStats service_stats;
+    EXPECT_EQ(service_stats.latencyPercentileMs(0.5), 0.0);
+    service_stats.latenciesMs = {7.5};
+    EXPECT_EQ(service_stats.latencyPercentileMs(0.0), 7.5);
+    EXPECT_EQ(service_stats.latencyPercentileMs(0.95), 7.5);
+
+    // StreamStats: empty overall and per-class views.
+    core::StreamStats stream_stats;
+    EXPECT_EQ(stream_stats.latencyPercentileMs(0.5), 0.0);
+    EXPECT_EQ(stream_stats.latencyPercentileMs(Priority::High, 0.95),
+              0.0);
+    stream_stats.jobs.push_back({Priority::Normal, 1.0, 2.0, 3.0});
+    EXPECT_EQ(stream_stats.latencyPercentileMs(0.95), 3.0);
+    EXPECT_EQ(
+        stream_stats.latencyPercentileMs(Priority::Normal, 0.95), 3.0);
+    EXPECT_EQ(
+        stream_stats.queueWaitPercentileMs(Priority::Normal, 0.5), 1.0);
+    EXPECT_EQ(
+        stream_stats.executePercentileMs(Priority::Normal, 0.5), 2.0);
+    // A class with no samples stays guarded.
+    EXPECT_EQ(stream_stats.latencyPercentileMs(Priority::Low, 0.95),
+              0.0);
+}
+
+} // namespace
+} // namespace jigsaw
