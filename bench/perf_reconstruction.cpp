@@ -13,10 +13,12 @@
  *
  * Usage: bench_perf_reconstruction [--qubits N] [--out PATH] [--quick]
  */
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -456,7 +458,7 @@ main(int argc, char **argv)
                 std::vector<core::JobHandle> handles;
                 handles.reserve(programs.size());
                 for (const core::ServiceProgram &program : programs)
-                    handles.push_back(scheduler.submit(program));
+                    handles.push_back(scheduler.submit(program).handle);
                 scheduler.drain();
                 std::vector<core::JigsawResult> results;
                 results.reserve(handles.size());
@@ -505,6 +507,58 @@ main(int argc, char **argv)
                   << merged_stats.latencyPercentileMs(0.5)
                   << " ms / p95 "
                   << merged_stats.latencyPercentileMs(0.95) << " ms)\n";
+
+        // Overload summary: the same suite offered at ~2x the
+        // windowed path's measured capacity against a small admission
+        // bound (see bench_stream_throughput --overload for the gated
+        // version). The counters land in BENCH_perf.json as plain
+        // timings — no baseline, so overall_speedup is unaffected.
+        {
+            const double capacity_per_sec =
+                1000.0 * static_cast<double>(programs.size()) / opt_ms;
+            const double offered_per_sec = 2.0 * capacity_per_sec;
+            core::StreamOptions bounded = windowed;
+            bounded.maxQueuedJobs = 4;
+            // Strict-priority SLO configuration, matching the gated
+            // scenario: aging would promote stale Low jobs into the
+            // High class under sustained overload.
+            bounded.agingMs = 0.0;
+            compiler::clearTranspileCache();
+            core::StreamingScheduler scheduler(bounded);
+            std::size_t low_shed = 0;
+            double hint_max = 0.0;
+            for (std::size_t i = 0; i < programs.size(); ++i) {
+                const auto cls = static_cast<core::Priority>(
+                    i % core::kPriorityClasses);
+                const core::SubmitResult outcome =
+                    scheduler.submit(programs[i], cls);
+                if (!outcome.admitted) {
+                    if (cls == core::Priority::Low)
+                        ++low_shed;
+                    hint_max =
+                        std::max(hint_max, outcome.tryLaterAfterMs);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(1.0 /
+                                                  offered_per_sec));
+            }
+            scheduler.drain();
+            const core::StreamStats overload_stats = scheduler.stats();
+            const double high_p95 = overload_stats.latencyPercentileMs(
+                core::Priority::High, 0.95);
+            report.addTiming("service/overload_high_p95_ms", high_p95);
+            report.addTiming("service/overload_shed_total",
+                             static_cast<double>(overload_stats.shed));
+            report.addTiming("service/overload_shed_low",
+                             static_cast<double>(low_shed));
+            report.addTiming("service/overload_retry_hint_max_ms",
+                             hint_max);
+            std::cerr << "  [perf] service/overload: offered "
+                      << offered_per_sec << " programs/s, "
+                      << overload_stats.shed << " shed (" << low_shed
+                      << " low), High p95 " << high_p95
+                      << " ms, max retry hint " << hint_max << " ms\n";
+        }
     }
 
     // --- 3. Bayesian reconstruction -------------------------------

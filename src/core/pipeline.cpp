@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "compiler/cpm_batch.h"
 #include "sim/eps.h"
@@ -82,6 +84,9 @@ SubsetPlan
 planSubsets(const circuit::QuantumCircuit &logical,
             std::uint64_t total_trials, const JigsawOptions &options)
 {
+    // Stage fault points sit at entry: nothing is cached or sampled
+    // yet, so an injected failure leaves no partial state behind.
+    injectFaultPoint("stage.plan");
     fatalIf(total_trials < 2, "planSubsets: need at least two trials");
     fatalIf(options.globalFraction <= 0.0 || options.globalFraction >= 1.0,
             "planSubsets: globalFraction must be in (0, 1)");
@@ -119,6 +124,7 @@ compileJobs(const circuit::QuantumCircuit &logical,
             const device::DeviceModel &dev, const SubsetPlan &plan,
             const JigsawOptions &options)
 {
+    injectFaultPoint("stage.compile");
     // Map classical bit -> logical qubit for CPM construction.
     const std::vector<int> qubit_of_clbit = logical.measuredQubits();
 
@@ -375,6 +381,15 @@ executeMergedSchedules(const std::vector<MergeSource> &sources,
                        const MergedSchedule &merged,
                        MergedExecutionStats *stats)
 {
+    // The detail string is the enabled-source count, so a fault spec
+    // can poison multi-program windows ("merge.execute@2") while
+    // letting the quarantined single-source retries through.
+    std::size_t enabled_sources = 0;
+    for (const MergeSource &source : sources) {
+        if (source.enabled)
+            ++enabled_sources;
+    }
+    injectFaultPoint("merge.execute", std::to_string(enabled_sources));
     std::vector<ExecutionResult> results(sources.size());
     for (const MergedSchedule::Group &group : merged.groups) {
         for (const MergedSchedule::Member &member : group.members) {
@@ -599,6 +614,7 @@ Pmf
 reconstructOutput(const ReconstructionInput &input,
                   const ReconstructionOptions &options)
 {
+    injectFaultPoint("stage.reconstruct");
     // multiLayerReconstruct applies marginals grouped by size, top
     // down; with a single size it reduces to plain reconstruction.
     return multiLayerReconstruct(input.globalPmf, input.marginals,

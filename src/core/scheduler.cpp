@@ -1,6 +1,7 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +21,22 @@ msBetweenImpl(std::chrono::steady_clock::time_point a,
         b.time_since_epoch().count() == 0)
         return 0.0;
     return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** @p ms as a steady_clock duration (non-negative). */
+std::chrono::steady_clock::duration
+msDuration(double ms)
+{
+    return std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(std::max(ms, 0.0)));
+}
+
+/** True when @p point has been assigned (deadlines, retry targets). */
+bool
+isSet(std::chrono::steady_clock::time_point point)
+{
+    return point.time_since_epoch().count() != 0;
 }
 
 /** Key under which compatible jobs share a merge window. */
@@ -46,6 +63,27 @@ effectiveClass(Priority cls, double waited_ms, double aging_ms)
     return c;
 }
 
+std::exception_ptr
+deadlineError()
+{
+    return std::make_exception_ptr(DeadlineExceededError(
+        "StreamingScheduler: job missed its deadlineMs SLO"));
+}
+
+bool
+isTerminal(JobState state)
+{
+    switch (state) {
+      case JobState::Done:
+      case JobState::Failed:
+      case JobState::Cancelled:
+      case JobState::Expired:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 StreamingScheduler::StreamingScheduler(StreamOptions options)
@@ -60,7 +98,8 @@ StreamingScheduler::~StreamingScheduler()
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
         // Stopping closes every open window immediately; the
-        // dispatcher exits only once all submitted work is terminal.
+        // dispatcher exits only once all submitted work is terminal
+        // (pending retries run without backoff under stopping_).
         const auto now = Clock::now();
         for (auto &[id, window] : windows_) {
             if (!window->closed)
@@ -72,11 +111,41 @@ StreamingScheduler::~StreamingScheduler()
     group_.wait(); // completion callbacks all ran; nothing in flight
 }
 
-JobHandle
+double
+StreamingScheduler::retryHintMsLocked(std::size_t threshold) const
+{
+    // How long until the backlog should have drained below this
+    // class's threshold: the excess jobs times the observed
+    // per-completion interval. Before any completion exists (cold
+    // scheduler) the window length is the only timescale at hand.
+    const double per_job =
+        drainEwmaMs_ > 0.0 ? drainEwmaMs_
+                           : std::max(options_.windowMs, 1.0);
+    const double excess =
+        static_cast<double>(backlog_ - threshold + 1);
+    return std::clamp(excess * per_job, 1.0, 60000.0);
+}
+
+SubmitResult
 StreamingScheduler::submit(ServiceProgram program, Priority priority)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     fatalIf(stopping_, "StreamingScheduler: submit after shutdown");
+    if (options_.maxQueuedJobs > 0) {
+        const std::size_t cls = static_cast<std::size_t>(priority);
+        const double fraction =
+            std::clamp(options_.shedFractions[cls], 0.0, 1.0);
+        const std::size_t threshold = static_cast<std::size_t>(
+            std::ceil(fraction *
+                      static_cast<double>(options_.maxQueuedJobs)));
+        if (backlog_ >= threshold) {
+            ++stats_.shed;
+            ++stats_.shedByClass[cls];
+            SubmitResult rejected;
+            rejected.tryLaterAfterMs = retryHintMsLocked(threshold);
+            return rejected;
+        }
+    }
     const std::uint64_t id = nextJobId_++;
     auto job = std::make_unique<Job>(id, priority, std::move(program));
     job->submitAt = Clock::now();
@@ -88,13 +157,21 @@ StreamingScheduler::submit(ServiceProgram program, Priority priority)
                                       job->deviceKey,
                                       job->program.circuit);
     }
+    if (job->program.deadlineMs > 0.0) {
+        job->deadlineAt =
+            job->submitAt + msDuration(job->program.deadlineMs);
+        deadlined_.push_back(id);
+    }
+    if (tenantDeficit_.emplace(job->program.tenant, 0.0).second)
+        tenantRotation_.push_back(job->program.tenant);
     jobs_.emplace(id, std::move(job));
     admission_.push_back(id);
     ++liveJobs_;
+    ++backlog_;
     ++stats_.submitted;
     lock.unlock();
     dispatcherCv_.notify_all();
-    return JobHandle{id};
+    return SubmitResult{true, JobHandle{id}, 0.0};
 }
 
 std::optional<JobStatus>
@@ -108,6 +185,7 @@ StreamingScheduler::poll(JobHandle handle) const
     JobStatus status;
     status.state = job.state;
     status.priority = job.priority;
+    status.attempts = job.attempts;
     const auto now = Clock::now();
     switch (job.state) {
       case JobState::Queued:
@@ -131,6 +209,21 @@ StreamingScheduler::poll(JobHandle handle) const
     return status;
 }
 
+void
+StreamingScheduler::markDeliveredLocked(Job &job)
+{
+    if (job.delivered || options_.resultRetention == 0)
+        return;
+    job.delivered = true;
+    retired_.push_back(job.id);
+    while (retired_.size() > options_.resultRetention) {
+        const std::uint64_t victim = retired_.front();
+        retired_.pop_front();
+        jobs_.erase(victim);
+        ++stats_.evicted;
+    }
+}
+
 JigsawResult
 StreamingScheduler::wait(JobHandle handle)
 {
@@ -138,15 +231,27 @@ StreamingScheduler::wait(JobHandle handle)
     for (;;) {
         const auto it = jobs_.find(handle.id);
         fatalIf(it == jobs_.end(),
-                "StreamingScheduler: wait on unknown job handle");
+                "StreamingScheduler: wait on unknown (or released) "
+                "job handle");
         Job &job = *it->second;
-        if (job.state == JobState::Done)
-            return *job.result;
-        if (job.state == JobState::Failed)
-            std::rethrow_exception(job.error);
-        if (job.state == JobState::Cancelled)
+        if (job.state == JobState::Done) {
+            // Copy before retention bookkeeping: the eviction sweep
+            // may erase this very job.
+            JigsawResult result = *job.result;
+            markDeliveredLocked(job);
+            return result;
+        }
+        if (job.state == JobState::Failed ||
+            job.state == JobState::Expired) {
+            const std::exception_ptr error = job.error;
+            markDeliveredLocked(job);
+            std::rethrow_exception(error);
+        }
+        if (job.state == JobState::Cancelled) {
+            markDeliveredLocked(job);
             throw std::runtime_error(
                 "StreamingScheduler: job was cancelled");
+        }
         // Help the pool along (mandatory with zero workers), then
         // sleep briefly; finishJob broadcasts jobCv_ on every
         // terminal transition.
@@ -160,26 +265,23 @@ StreamingScheduler::wait(JobHandle handle)
 }
 
 bool
-StreamingScheduler::cancel(JobHandle handle)
+StreamingScheduler::withdrawLocked(Job &job, JobState terminal_state,
+                                   std::exception_ptr error)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto it = jobs_.find(handle.id);
-    if (it == jobs_.end())
-        return false;
-    Job &job = *it->second;
     switch (job.state) {
       case JobState::Queued: {
         std::erase(admission_, job.id);
-        finishJob(job, JobState::Cancelled, nullptr);
+        std::erase(retryQueue_, job.id);
+        finishJob(job, terminal_state, error);
         releaseJobState(job); // nothing started; trivially safe
-        break;
+        return true;
       }
       case JobState::Preparing: {
         // The stage task is still running; onPrepared sees the
         // terminal state, discards its outcome, and releases the
         // session (which the task may still be touching right now).
-        finishJob(job, JobState::Cancelled, nullptr);
-        break;
+        finishJob(job, terminal_state, error);
+        return true;
       }
       case JobState::Windowed: {
         if (job.windowSlot == kNoSlot) {
@@ -188,24 +290,24 @@ StreamingScheduler::cancel(JobHandle handle)
             std::erase_if(readyQueue_, [&](const ReadyEntry &entry) {
                 return !entry.isWindow && entry.id == job.id;
             });
-            finishJob(job, JobState::Cancelled, nullptr);
+            finishJob(job, terminal_state, error);
             releaseJobState(job);
-            break;
+            return true;
         }
         // Unwind the job from its (open or closed-but-undispatched)
         // window: members out of the incremental merged schedule,
         // slot disabled so the executor pass skips it.
         const auto wit = windows_.find(job.windowId);
         panicIf(wit == windows_.end(),
-                "cancel: windowed job without window");
+                "withdraw: windowed job without window");
         Window &window = *wit->second;
         panicIf(window.dispatched,
-                "cancel: windowed job in dispatched window");
+                "withdraw: windowed job in dispatched window");
         removeSourceFrom(window.merged, job.windowSlot);
         window.sources[job.windowSlot].enabled = false;
         window.slotJob[job.windowSlot] = 0;
         std::erase(window.jobIds, job.id);
-        finishJob(job, JobState::Cancelled, nullptr);
+        finishJob(job, terminal_state, error);
         // The disabled slot's MergeSource now dangles into this
         // job's released session/stream, but executeMergedSchedules
         // never dereferences a disabled source (and removeSourceFrom
@@ -217,13 +319,43 @@ StreamingScheduler::cancel(JobHandle handle)
             });
             windows_.erase(wit);
         }
-        break;
+        return true;
       }
       default:
         return false; // dispatched or already terminal
     }
+}
+
+bool
+StreamingScheduler::cancel(JobHandle handle)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(handle.id);
+    if (it == jobs_.end())
+        return false;
+    if (!withdrawLocked(*it->second, JobState::Cancelled, nullptr))
+        return false;
     lock.unlock();
     dispatcherCv_.notify_all();
+    return true;
+}
+
+bool
+StreamingScheduler::release(JobHandle handle)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(handle.id);
+    if (it == jobs_.end())
+        return false;
+    if (!isTerminal(it->second->state))
+        return false;
+    // A cancelled-mid-prepare job's stage task may still be running;
+    // onPrepared finds jobs by id and skips missing ones, so erasing
+    // here is safe.
+    if (it->second->delivered)
+        std::erase(retired_, handle.id);
+    jobs_.erase(it);
+    ++stats_.released;
     return true;
 }
 
@@ -265,6 +397,30 @@ StreamingScheduler::inFlightCap() const
 {
     return options_.maxInFlight > 0 ? options_.maxInFlight
                                     : parallelThreads();
+}
+
+double
+StreamingScheduler::effectiveWindowMsLocked()
+{
+    // Overload degradation: when the backlog fills the admission
+    // budget, trading latency for merging stops making sense — shrink
+    // the window linearly from full (<= half capacity) to immediate
+    // dispatch (>= capacity). Restores by itself as the queue drains.
+    // Without an admission bound there is no overload signal — a deep
+    // backlog is then just a batch burst, where merging is the whole
+    // point — so the window stays at its configured width.
+    const double window_ms = std::max(options_.windowMs, 0.0);
+    const std::size_t capacity = options_.maxQueuedJobs;
+    if (window_ms == 0.0 || capacity == 0)
+        return window_ms;
+    const double utilization = static_cast<double>(backlog_) /
+                               static_cast<double>(capacity);
+    if (utilization <= 0.5)
+        return window_ms;
+    const double scale =
+        std::clamp(2.0 * (1.0 - utilization), 0.0, 1.0);
+    ++stats_.windowShrinks;
+    return window_ms * scale;
 }
 
 void
@@ -310,20 +466,28 @@ StreamingScheduler::onPrepared(std::uint64_t job_id,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --preparing_;
-        Job &job = *jobs_.at(job_id);
-        if (job.state == JobState::Cancelled) {
-            // Cancelled mid-prepare; the stage outcome is discarded,
-            // and with the stage task over the session can go too.
-            releaseJobState(job);
+        const auto it = jobs_.find(job_id);
+        if (it == jobs_.end()) {
+            // Withdrawn and release()d while the stage task ran:
+            // nothing left to touch.
+        } else if (isTerminal(it->second->state)) {
+            // Cancelled/expired mid-prepare; the stage outcome is
+            // discarded, and with the stage task over the session can
+            // go too.
+            releaseJobState(*it->second);
         } else if (error) {
-            finishJob(job, JobState::Failed, error);
-            releaseJobState(job);
-        } else if (job.mergeEligible) {
+            handleJobFailure(*it->second, error, Clock::now(), false);
+        } else if (it->second->mergeEligible) {
             scheduleReady_.push_back(job_id);
         } else {
+            Job &job = *it->second;
             job.state = JobState::Windowed; // dispatchable, no window
-            readyQueue_.push_back(
-                {false, job_id, job.priority, Clock::now()});
+            ReadyEntry entry;
+            entry.id = job_id;
+            entry.cls = job.priority;
+            entry.readySince = Clock::now();
+            entry.tenant = job.program.tenant;
+            readyQueue_.push_back(std::move(entry));
         }
     }
     dispatcherCv_.notify_all();
@@ -334,22 +498,26 @@ void
 StreamingScheduler::joinWindow(Job &job, Clock::time_point now)
 {
     Window *window = nullptr;
-    for (auto &[id, candidate] : windows_) {
-        if (!candidate->closed && candidate->key == job.windowKey &&
-            candidate->jobIds.size() < options_.windowMaxJobs) {
-            window = candidate.get();
-            break;
+    if (!job.quarantined) {
+        for (auto &[id, candidate] : windows_) {
+            if (!candidate->closed && !candidate->exclusive &&
+                candidate->key == job.windowKey &&
+                candidate->jobIds.size() < options_.windowMaxJobs) {
+                window = candidate.get();
+                break;
+            }
         }
     }
     if (window == nullptr) {
         auto fresh = std::make_unique<Window>();
         fresh->id = nextWindowId_++;
         fresh->key = job.windowKey;
+        // A quarantined job must still ride the merged machinery (its
+        // draws come from its private stream), but alone: an
+        // exclusive window admits no partners for it to poison.
+        fresh->exclusive = job.quarantined;
         fresh->openedAt = now;
-        fresh->deadline =
-            now + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double, std::milli>(
-                          std::max(options_.windowMs, 0.0)));
+        fresh->deadline = now + msDuration(effectiveWindowMsLocked());
         window = fresh.get();
         windows_.emplace(fresh->id, std::move(fresh));
     }
@@ -368,10 +536,11 @@ StreamingScheduler::joinWindow(Job &job, Clock::time_point now)
     job.windowSlot = slot;
     // High-priority jobs never trade latency for merging: their
     // window closes on the spot (with whatever has joined so far).
-    if (job.priority == Priority::High || stopping_)
+    // Quarantined retries close theirs too — they have waited enough.
+    if (job.priority == Priority::High || job.quarantined || stopping_)
         window->deadline = now;
     if (window->jobIds.size() >= options_.windowMaxJobs ||
-        window->deadline <= now)
+        window->exclusive || window->deadline <= now)
         closeWindow(*window, now);
 }
 
@@ -381,7 +550,14 @@ StreamingScheduler::closeWindow(Window &window, Clock::time_point now)
     if (window.closed)
         return;
     window.closed = true;
-    readyQueue_.push_back({true, window.id, window.bestClass, now});
+    ReadyEntry entry;
+    entry.isWindow = true;
+    entry.id = window.id;
+    entry.cls = window.bestClass;
+    entry.readySince = now;
+    entry.cost = std::max<std::size_t>(window.jobIds.size(), 1);
+    entry.tenant = jobs_.at(window.jobIds.front())->program.tenant;
+    readyQueue_.push_back(std::move(entry));
 }
 
 bool
@@ -389,32 +565,68 @@ StreamingScheduler::dispatchNext(Clock::time_point now)
 {
     if (readyQueue_.empty() || inFlight_ >= inFlightCap())
         return false;
-    // Best candidate: strongest aged class, then longest waiting.
-    std::size_t best = 0;
+    // Strongest aged class present anywhere in the queue...
     std::size_t best_class = kPriorityClasses;
+    for (const ReadyEntry &entry : readyQueue_) {
+        best_class = std::min(
+            best_class,
+            effectiveClass(entry.cls,
+                           msBetweenImpl(entry.readySince, now),
+                           options_.agingMs));
+    }
+    // ...then, inside that class, each tenant's earliest-ready entry
+    // is its candidate and deficit round-robin picks among tenants:
+    // every visited tenant earns one quantum, a candidate dispatches
+    // once its tenant's deficit covers the entry's cost (its window's
+    // job count), so a hot tenant pays for big windows while idle
+    // tenants' deficits reset. One scan of the rotation per quantum;
+    // a candidate always exists in-class, so the sweep terminates
+    // within rotation * (windowMaxJobs + 1) visits.
+    std::unordered_map<std::string, std::size_t> candidate;
     for (std::size_t i = 0; i < readyQueue_.size(); ++i) {
         const ReadyEntry &entry = readyQueue_[i];
-        const std::size_t cls = effectiveClass(
-            entry.cls, msBetweenImpl(entry.readySince, now),
-            options_.agingMs);
-        if (cls < best_class ||
-            (cls == best_class &&
-             entry.readySince < readyQueue_[best].readySince)) {
-            best = i;
-            best_class = cls;
+        if (effectiveClass(entry.cls,
+                           msBetweenImpl(entry.readySince, now),
+                           options_.agingMs) != best_class)
+            continue;
+        const auto it = candidate.find(entry.tenant);
+        if (it == candidate.end() ||
+            entry.readySince < readyQueue_[it->second].readySince)
+            candidate[entry.tenant] = i;
+    }
+    const std::size_t rotation = tenantRotation_.size();
+    panicIf(rotation == 0 || candidate.empty(),
+            "dispatch: ready entry without tenant");
+    const std::size_t max_steps =
+        rotation * (options_.windowMaxJobs + 2);
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        const std::string &tenant =
+            tenantRotation_[rrCursor_++ % rotation];
+        const auto cit = candidate.find(tenant);
+        if (cit == candidate.end()) {
+            tenantDeficit_[tenant] = 0.0; // idle tenants bank nothing
+            continue;
         }
+        double &deficit = tenantDeficit_[tenant];
+        const ReadyEntry &entry = readyQueue_[cit->second];
+        deficit += 1.0;
+        if (deficit + 1e-9 < static_cast<double>(entry.cost))
+            continue;
+        deficit -= static_cast<double>(entry.cost);
+        const ReadyEntry taken = entry;
+        readyQueue_.erase(readyQueue_.begin() +
+                          static_cast<std::ptrdiff_t>(cit->second));
+        if (taken.isWindow) {
+            const auto it = windows_.find(taken.id);
+            panicIf(it == windows_.end(), "dispatch: window vanished");
+            dispatchWindow(*it->second, now);
+        } else {
+            dispatchSolo(*jobs_.at(taken.id), now);
+        }
+        return true;
     }
-    const ReadyEntry entry = readyQueue_[best];
-    readyQueue_.erase(readyQueue_.begin() +
-                      static_cast<std::ptrdiff_t>(best));
-    if (entry.isWindow) {
-        const auto it = windows_.find(entry.id);
-        panicIf(it == windows_.end(), "dispatch: window vanished");
-        dispatchWindow(*it->second, now);
-    } else {
-        dispatchSolo(*jobs_.at(entry.id), now);
-    }
-    return true;
+    panicIf(true, "dispatch: deficit round-robin failed to pick");
+    return false;
 }
 
 void
@@ -422,6 +634,7 @@ StreamingScheduler::dispatchSolo(Job &job, Clock::time_point now)
 {
     job.state = JobState::Dispatched;
     job.dispatchAt = now;
+    --backlog_;
     ++inFlight_;
     ++stats_.loneDispatches;
     JigsawSession *session = job.session.get();
@@ -437,10 +650,12 @@ StreamingScheduler::dispatchSolo(Job &job, Clock::time_point now)
                 std::lock_guard<std::mutex> lock(mutex_);
                 Job &done = *jobs_.at(id);
                 --inFlight_;
-                finishJob(done,
-                          error ? JobState::Failed : JobState::Done,
-                          error);
-                releaseJobState(done);
+                if (error) {
+                    handleJobFailure(done, error, Clock::now(), false);
+                } else {
+                    finishJob(done, JobState::Done, nullptr);
+                    releaseJobState(done);
+                }
             }
             dispatcherCv_.notify_all();
             jobCv_.notify_all();
@@ -464,6 +679,7 @@ StreamingScheduler::dispatchWindow(Window &window, Clock::time_point now)
         Job &job = *jobs_.at(id);
         job.state = JobState::Dispatched;
         job.dispatchAt = now;
+        --backlog_;
     }
     const std::uint64_t window_id = window.id;
     group_.run([this, window_id] { runWindowTask(window_id); },
@@ -525,10 +741,16 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
         stats_.pooledGlobalBatches += exec_stats.pooledGlobalBatches;
         stats_.pooledGlobalPrograms += exec_stats.pooledGlobalPrograms;
         if (error) {
+            // Window poisoning: one bad program must not kill its
+            // partners. With >= 2 members each is quarantined for a
+            // solo retry (free of retry-budget charge); a job failing
+            // alone is handled on its own merits (transient retry
+            // within budget, else terminal failure).
+            const bool quarantine = live.size() >= 2;
+            const auto now = Clock::now();
             for (const auto &[id, slot] : live) {
                 Job &job = *jobs_.at(id);
-                finishJob(job, JobState::Failed, error);
-                releaseJobState(job); // no member task was spawned
+                handleJobFailure(job, error, now, quarantine);
             }
             windows_.erase(window_id);
             --inFlight_;
@@ -561,11 +783,13 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
                     Job &job = *jobs_.at(id);
-                    finishJob(job,
-                              job_error ? JobState::Failed
-                                        : JobState::Done,
-                              job_error);
-                    releaseJobState(job);
+                    if (job_error) {
+                        handleJobFailure(job, job_error, Clock::now(),
+                                         false);
+                    } else {
+                        finishJob(job, JobState::Done, nullptr);
+                        releaseJobState(job);
+                    }
                     Window &done_window = *windows_.at(window_id);
                     if (--done_window.remaining == 0) {
                         windows_.erase(window_id);
@@ -576,6 +800,95 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
                 jobCv_.notify_all();
             });
     }
+}
+
+void
+StreamingScheduler::requeueLocked(Job &job, Clock::time_point retry_at)
+{
+    // Full pipeline restart: drop the partially-consumed session,
+    // stream, and executor reference so the retried job replays its
+    // draws from Rng(executorSeed) — bitwise-identical to a run that
+    // was never disturbed.
+    const bool was_backlogged = job.state != JobState::Dispatched;
+    releaseJobState(job);
+    job.result.reset();
+    job.error = nullptr;
+    job.windowId = 0;
+    job.windowSlot = kNoSlot;
+    job.state = JobState::Queued;
+    job.retryAt = retry_at;
+    if (!was_backlogged)
+        ++backlog_;
+    retryQueue_.push_back(job.id);
+}
+
+void
+StreamingScheduler::handleJobFailure(Job &job, std::exception_ptr error,
+                                     Clock::time_point now,
+                                     bool quarantine)
+{
+    if (quarantine && !job.quarantined) {
+        // First poisoned window for this job: it may be innocent, so
+        // the solo retry costs no retry budget and no backoff. If its
+        // exclusive window fails too, the failure is its own and the
+        // normal transient/terminal handling below takes over.
+        job.quarantined = true;
+        ++stats_.quarantinedJobs;
+        requeueLocked(job, now);
+        return;
+    }
+    if (isTransient(error) &&
+        job.attempts < options_.maxRetries) {
+        ++job.attempts;
+        ++stats_.retries;
+        const double backoff = std::min(
+            options_.retryBackoffMs *
+                std::ldexp(1.0, static_cast<int>(job.attempts) - 1),
+            options_.retryBackoffMaxMs);
+        const auto retry_at =
+            stopping_ ? now : now + msDuration(backoff);
+        if (isSet(job.deadlineAt) && retry_at >= job.deadlineAt) {
+            // The backoff alone would blow the SLO: expire now
+            // instead of burning a retry that cannot finish in time.
+            finishJob(job, JobState::Expired, deadlineError());
+            releaseJobState(job);
+            return;
+        }
+        requeueLocked(job, retry_at);
+        return;
+    }
+    finishJob(job, JobState::Failed, error);
+    releaseJobState(job);
+}
+
+void
+StreamingScheduler::expireDueJobsLocked(Clock::time_point now)
+{
+    if (deadlined_.empty())
+        return;
+    std::erase_if(deadlined_, [&](std::uint64_t id) {
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return true; // released/evicted
+        Job &job = *it->second;
+        switch (job.state) {
+          case JobState::Queued:
+          case JobState::Preparing:
+          case JobState::Windowed:
+            if (job.deadlineAt <= now) {
+                withdrawLocked(job, JobState::Expired,
+                               deadlineError());
+                return true;
+            }
+            return false;
+          case JobState::Dispatched:
+            // Past the point of no return — but a transient failure
+            // may requeue it, so keep watching.
+            return false;
+          default:
+            return true; // terminal
+        }
+    });
 }
 
 void
@@ -597,23 +910,44 @@ void
 StreamingScheduler::finishJob(Job &job, JobState state,
                               std::exception_ptr error)
 {
+    const JobState prior = job.state;
     job.state = state;
     job.doneAt = Clock::now();
     job.error = error;
     --liveJobs_;
+    if (prior == JobState::Queued || prior == JobState::Preparing ||
+        prior == JobState::Windowed)
+        --backlog_;
     switch (state) {
       case JobState::Done:
         ++stats_.completed;
+        ++stats_.completedByClass[static_cast<std::size_t>(
+            job.priority)];
         break;
       case JobState::Failed:
         ++stats_.failed;
         break;
       case JobState::Cancelled:
         ++stats_.cancelled;
+        jobCv_.notify_all();
         return; // no latency sample: the job never ran
+      case JobState::Expired:
+        ++stats_.expired;
+        jobCv_.notify_all();
+        return; // likewise: it never dispatched
       default:
         panicIf(true, "finishJob: non-terminal state");
     }
+    // Completion-interval EWMA: the drain-rate estimate behind shed
+    // submits' tryLaterAfterMs hints.
+    if (isSet(lastCompletionAt_)) {
+        const double interval =
+            msBetweenImpl(lastCompletionAt_, job.doneAt);
+        drainEwmaMs_ = drainEwmaMs_ > 0.0
+                           ? 0.8 * drainEwmaMs_ + 0.2 * interval
+                           : interval;
+    }
+    lastCompletionAt_ = job.doneAt;
     StreamStats::JobSample sample;
     sample.priority = job.priority;
     sample.queueWaitMs = msBetweenImpl(
@@ -622,7 +956,20 @@ StreamingScheduler::finishJob(Job &job, JobState state,
                           : job.doneAt);
     sample.executeMs = msBetweenImpl(job.dispatchAt, job.doneAt);
     sample.totalMs = msBetweenImpl(job.submitAt, job.doneAt);
-    stats_.jobs.push_back(sample);
+    // Bounded reservoir: exact and ordered until the cap, then each
+    // later sample replaces a uniformly chosen predecessor with
+    // probability cap/jobsObserved — a uniform sample over the whole
+    // stream, from a scheduler-private seeded stream.
+    ++stats_.jobsObserved;
+    const std::size_t cap = options_.statsReservoir;
+    if (cap == 0 || stats_.jobs.size() < cap) {
+        stats_.jobs.push_back(sample);
+    } else {
+        const std::uint64_t index =
+            statsRng_.word() % stats_.jobsObserved;
+        if (index < cap)
+            stats_.jobs[static_cast<std::size_t>(index)] = sample;
+    }
     jobCv_.notify_all();
 }
 
@@ -633,8 +980,30 @@ StreamingScheduler::dispatcherLoop()
     for (;;) {
         const auto now = Clock::now();
 
+        // Expire SLO-missed jobs before they consume anything else.
+        expireDueJobsLocked(now);
+
+        // Move due retries (all of them when stopping) into admission.
+        if (!retryQueue_.empty()) {
+            std::erase_if(retryQueue_, [&](std::uint64_t id) {
+                Job &job = *jobs_.at(id);
+                if (stopping_ || job.retryAt <= now) {
+                    admission_.push_back(id);
+                    return true;
+                }
+                return false;
+            });
+        }
+
         // Admit queued jobs into their prepare stage, strongest aged
-        // class first (matters when submissions outrun the pool).
+        // class first (matters when submissions outrun the pool). The
+        // prepare gate keeps the pool's FIFO task queue shallow —
+        // roughly one prepare in flight per execution slot — so jobs
+        // held back wait HERE, where the strongest class is re-picked
+        // every pass, instead of in the pool queue, which has no
+        // notion of priority. High-class jobs bypass the gate: a
+        // fresh High submission must reach the pool without queuing
+        // behind the whole backlog's stage work.
         while (!admission_.empty()) {
             std::size_t best = 0;
             std::size_t best_class = kPriorityClasses;
@@ -648,6 +1017,8 @@ StreamingScheduler::dispatcherLoop()
                     best_class = cls;
                 }
             }
+            if (best_class != 0 && preparing_ >= inFlightCap() + 1)
+                break;
             Job &job = *jobs_.at(admission_[best]);
             admission_.erase(admission_.begin() +
                              static_cast<std::ptrdiff_t>(best));
@@ -661,7 +1032,7 @@ StreamingScheduler::dispatcherLoop()
             scheduleReady_.clear();
             for (const std::uint64_t id : ready) {
                 Job &job = *jobs_.at(id);
-                if (job.state == JobState::Cancelled)
+                if (isTerminal(job.state))
                     continue;
                 joinWindow(job, now);
             }
@@ -691,12 +1062,27 @@ StreamingScheduler::dispatcherLoop()
                 continue;
         }
 
-        // Sleep until the next window deadline (or a notification).
+        // Sleep until the next timed event — window deadline, retry
+        // backoff, or job SLO — or a notification.
         std::optional<Clock::time_point> next;
+        const auto consider = [&next](Clock::time_point at) {
+            if (!next || at < *next)
+                next = at;
+        };
         for (const auto &[id, window] : windows_) {
-            if (!window->closed &&
-                (!next || window->deadline < *next))
-                next = window->deadline;
+            if (!window->closed)
+                consider(window->deadline);
+        }
+        for (const std::uint64_t id : retryQueue_)
+            consider(jobs_.at(id)->retryAt);
+        for (const std::uint64_t id : deadlined_) {
+            const auto it = jobs_.find(id);
+            if (it == jobs_.end())
+                continue;
+            const Job &job = *it->second;
+            if (!isTerminal(job.state) &&
+                job.state != JobState::Dispatched)
+                consider(job.deadlineAt);
         }
         if (!admission_.empty() || !scheduleReady_.empty())
             continue; // new work arrived while dispatching

@@ -7,9 +7,13 @@
  * in from concurrent callers, each wanting its result as soon as
  * possible. One scheduler owns:
  *
- *  - a priority-aware admission queue (submit() -> JobHandle) feeding
- *    per-job pipeline stages onto the shared thread pool
- *    (common/parallel.h TaskGroup completion callbacks);
+ *  - a priority-aware admission queue (submit() -> SubmitResult) with
+ *    bounded admission: when StreamOptions::maxQueuedJobs caps the
+ *    backlog, submits past a class's shed threshold are rejected with
+ *    a finite tryLaterAfterMs hint derived from the observed drain
+ *    rate (Low sheds first, High last), and sustained backlog shrinks
+ *    the merge window toward immediate dispatch until the queue
+ *    drains;
  *  - merge windows: scheduled jobs wait up to StreamOptions::windowMs
  *    (or until windowMaxJobs join) for compatible work, then the
  *    window dispatches as ONE cross-program merged execution — the
@@ -17,10 +21,19 @@
  *    mergeSchedules/executeMergedSchedules path the batch service
  *    uses, built incrementally (core::mergeSourceInto) as jobs join
  *    and unwound (core::removeSourceFrom) when a windowed job is
- *    cancelled;
+ *    cancelled or expires;
  *  - a dispatch queue with priority classes, waiting-time aging (no
- *    starvation), and an in-flight cap that makes priority meaningful
- *    under load;
+ *    starvation), deficit round-robin across ServiceProgram::tenant
+ *    tags inside each aged class (one hot tenant cannot starve the
+ *    rest), and an in-flight cap that makes priority meaningful under
+ *    load;
+ *  - fault-tolerant dispatch: a TransientError (common/error.h)
+ *    anywhere in a job's pipeline restarts that job from scratch with
+ *    capped exponential backoff (StreamOptions::maxRetries); a merged
+ *    window whose execution throws quarantines its members — each is
+ *    retried in an exclusive single-job window, so one bad program
+ *    cannot kill its window partners; a job past its
+ *    ServiceProgram::deadlineMs SLO is expired instead of dispatched;
  *  - per-device persistent shared executors, so circuits recurring
  *    across windows keep hitting warm evolution caches.
  *
@@ -33,24 +46,30 @@
  * every draw from its own Rng(executorSeed) stream through the merged
  * execution machinery, so its result is bitwise-identical to a
  * sequential runJigsaw with the same inputs — whatever the window
- * composition, submitter interleaving, or pool size. That is the
- * contract tests/test_stream.cpp asserts under concurrent submitters.
+ * composition, submitter interleaving, or pool size. Retries preserve
+ * this: a transient failure restarts the whole pipeline (never
+ * resumes a half-consumed stream), so the retried job replays the
+ * identical draw sequence. That is the contract
+ * tests/test_stream.cpp asserts under concurrent submitters and
+ * injected faults (common/fault.h).
  *
- * Thread-safety: submit/poll/wait/cancel/drain/stats may be called
- * concurrently from any thread. Stage and execution work runs on the
- * shared pool; windowing and dispatch decisions are made by one
- * internal dispatcher thread. wait()/drain() (and, on a zero-worker
- * pool, the dispatcher itself) help drain the pool queue, so the
- * scheduler makes progress even on a single-core machine.
+ * Thread-safety: submit/poll/wait/cancel/release/drain/stats may be
+ * called concurrently from any thread. Stage and execution work runs
+ * on the shared pool; windowing, dispatch, retry, and expiry
+ * decisions are made by one internal dispatcher thread. wait()/
+ * drain() (and, on a zero-worker pool, the dispatcher itself) help
+ * drain the pool queue, so the scheduler makes progress even on a
+ * single-core machine.
  *
  * Retention: a terminal job's heavyweight pipeline state (session,
  * draw stream, executor reference) is released as soon as no task can
- * touch it, but its result and latency record stay addressable for
- * poll()/wait() for the scheduler's lifetime — handles never dangle.
- * A deployment running one scheduler for an unbounded job stream
- * should recycle schedulers (or drain per epoch) to reclaim the
- * per-job result/bookkeeping memory; bounded admission is an open
- * ROADMAP item.
+ * touch it; its result and latency record stay addressable for
+ * poll()/wait() until the caller release()s the handle or, with
+ * StreamOptions::resultRetention set, until the result ages out of
+ * the delivered-results window (oldest first, after wait() delivered
+ * it). StreamStats::jobs is likewise bounded by
+ * StreamOptions::statsReservoir, so a scheduler can serve an
+ * unbounded job stream in bounded memory.
  */
 #ifndef JIGSAW_CORE_SCHEDULER_H
 #define JIGSAW_CORE_SCHEDULER_H
@@ -58,14 +77,17 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "core/pipeline.h"
 #include "core/service.h"
 
@@ -84,34 +106,48 @@ class StreamingScheduler
     StreamingScheduler &operator=(const StreamingScheduler &) = delete;
 
     /**
-     * Admit @p program into the scheduler and return immediately.
-     * Programs with a caller-supplied executor (or under
-     * MergePolicy::Never) run as independent sessions against that
-     * executor, exactly like the batch service's legacy path;
-     * everything else becomes merge-eligible with a private
-     * Rng(executorSeed) draw stream.
+     * Admit @p program into the scheduler and return immediately —
+     * or, under bounded admission with the backlog at this class's
+     * shed threshold, reject it (SubmitResult::admitted false) with a
+     * finite tryLaterAfterMs hint. Programs with a caller-supplied
+     * executor (or under MergePolicy::Never) run as independent
+     * sessions against that executor, exactly like the batch
+     * service's legacy path; everything else becomes merge-eligible
+     * with a private Rng(executorSeed) draw stream.
      */
-    JobHandle submit(ServiceProgram program,
-                     Priority priority = Priority::Normal);
+    SubmitResult submit(ServiceProgram program,
+                        Priority priority = Priority::Normal);
 
     /** Status snapshot, or std::nullopt for an unknown handle. */
     std::optional<JobStatus> poll(JobHandle handle) const;
 
     /**
      * Block until @p handle is terminal. Returns the job's result,
-     * rethrows its failure, or throws std::runtime_error if it was
-     * cancelled; throws std::invalid_argument for an unknown handle.
+     * rethrows its failure, throws std::runtime_error if it was
+     * cancelled or DeadlineExceededError if it expired; throws
+     * std::invalid_argument for an unknown (or released) handle.
+     * Under StreamOptions::resultRetention, a successful wait()
+     * marks the result delivered and may evict the oldest delivered
+     * results past the cap.
      */
     JigsawResult wait(JobHandle handle);
 
     /**
      * Withdraw a job that has not been dispatched yet: queued,
-     * preparing, or sitting in a merge window (its merge sources are
-     * unwound from the window's incremental schedule). Returns true
-     * on success, false once the job is executing or terminal (it
-     * then runs to completion and poll/wait keep working).
+     * preparing, awaiting a retry, or sitting in a merge window (its
+     * merge sources are unwound from the window's incremental
+     * schedule). Returns true on success, false once the job is
+     * executing or terminal (it then runs to completion and poll/wait
+     * keep working).
      */
     bool cancel(JobHandle handle);
+
+    /**
+     * Drop a terminal job's result and bookkeeping immediately; its
+     * handle becomes unknown to poll/wait. Returns false while the
+     * job is still live, or when the handle is already unknown.
+     */
+    bool release(JobHandle handle);
 
     /**
      * Block until every job submitted so far is terminal. Open merge
@@ -143,11 +179,18 @@ class StreamingScheduler
         ServiceProgram program;
         JobState state = JobState::Queued;
         bool mergeEligible = false;
+        /** Retried solo after a poisoned merged window: joins only an
+         *  exclusive single-job window from now on. */
+        bool quarantined = false;
+        bool delivered = false; ///< wait() returned this result.
+        std::uint32_t attempts = 0; ///< Transient retries consumed.
         std::uint64_t deviceKey = 0; ///< DeviceModel::fingerprint().
         std::uint64_t windowKey = 0; ///< Window compatibility key.
         Clock::time_point submitAt{};
         Clock::time_point dispatchAt{};
         Clock::time_point doneAt{};
+        Clock::time_point deadlineAt{}; ///< Unset when no deadlineMs.
+        Clock::time_point retryAt{};    ///< Backoff target (retry queue).
         std::shared_ptr<sim::Executor> executor;
         std::unique_ptr<Rng> stream; ///< Merged-path draw stream.
         std::unique_ptr<JigsawSession> session;
@@ -163,6 +206,7 @@ class StreamingScheduler
         std::uint64_t id = 0;
         std::uint64_t key = 0;
         Priority bestClass = Priority::Low;
+        bool exclusive = false; ///< Quarantine window: one job, no joins.
         Clock::time_point openedAt{};
         Clock::time_point deadline{};
         bool closed = false;
@@ -182,6 +226,10 @@ class StreamingScheduler
         std::uint64_t id = 0; ///< Window id or (solo) job id.
         Priority cls = Priority::Normal;
         Clock::time_point readySince{};
+        /** Tenant charged by deficit round-robin (a multi-tenant
+         *  window is attributed to its first member's tenant). */
+        std::string tenant;
+        std::size_t cost = 1; ///< DRR quantum cost (window job count).
     };
 
     void dispatcherLoop();
@@ -193,9 +241,30 @@ class StreamingScheduler
     void dispatchSolo(Job &job, Clock::time_point now);   // held
     void dispatchWindow(Window &window, Clock::time_point now); // held
     void runWindowTask(std::uint64_t window_id);
+    /** Route a pipeline failure: quarantine a poisoned-window member,
+     *  schedule a transient retry within budget/deadline, or finish
+     *  the job as Failed/Expired. */
+    void handleJobFailure(Job &job, std::exception_ptr error,
+                          Clock::time_point now,
+                          bool quarantine); // mutex held
+    /** Reset a job's pipeline state and queue it for (re)admission at
+     *  @p retry_at. */
+    void requeueLocked(Job &job, Clock::time_point retry_at);
+    /** Withdraw an undispatched job into @p terminal_state (shared by
+     *  cancel() and deadline expiry); false once dispatched/terminal. */
+    bool withdrawLocked(Job &job, JobState terminal_state,
+                        std::exception_ptr error);
+    /** Expire backlogged jobs past their deadline. */
+    void expireDueJobsLocked(Clock::time_point now);
     void finishJob(Job &job, JobState state,
                    std::exception_ptr error); // mutex held
     void releaseJobState(Job &job);           // mutex held
+    /** Record a delivered result and evict past resultRetention. */
+    void markDeliveredLocked(Job &job);
+    /** Finite backoff hint for a shed submit (drain-rate EWMA). */
+    double retryHintMsLocked(std::size_t threshold) const;
+    /** windowMs after backlog-pressure shrinking. */
+    double effectiveWindowMsLocked();
     std::size_t inFlightCap() const;
 
     const StreamOptions options_;
@@ -210,11 +279,23 @@ class StreamingScheduler
     std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Window>> windows_;
     std::vector<std::uint64_t> admission_;     ///< Queued job ids.
+    std::vector<std::uint64_t> retryQueue_;    ///< Awaiting backoff.
+    std::vector<std::uint64_t> deadlined_;     ///< Jobs with an SLO.
     std::vector<std::uint64_t> scheduleReady_; ///< Prepared, unwindowed.
     std::vector<ReadyEntry> readyQueue_;       ///< Awaiting dispatch.
+    std::deque<std::uint64_t> retired_; ///< Delivered, eviction order.
     std::size_t inFlight_ = 0;   ///< Dispatched windows/solo jobs.
     std::size_t preparing_ = 0;  ///< Prepare stages on the pool.
     std::size_t liveJobs_ = 0;   ///< Non-terminal jobs.
+    std::size_t backlog_ = 0;    ///< Undispatched live jobs.
+    /** @name Deficit round-robin across tenants. @{ */
+    std::unordered_map<std::string, double> tenantDeficit_;
+    std::vector<std::string> tenantRotation_; ///< First-seen order.
+    std::size_t rrCursor_ = 0;
+    /** @} */
+    double drainEwmaMs_ = 0.0; ///< EWMA ms between completions.
+    Clock::time_point lastCompletionAt_{};
+    Rng statsRng_{0x52455352564f4952ULL}; ///< Reservoir sampling.
     /** Per-device persistent shared executors (merged path). */
     std::unordered_map<std::uint64_t, std::shared_ptr<sim::Executor>>
         sharedExecutors_;

@@ -156,7 +156,7 @@ JigsawService::scheduler()
     return *scheduler_;
 }
 
-JobHandle
+SubmitResult
 JigsawService::submit(ServiceProgram program, Priority priority)
 {
     return scheduler().submit(std::move(program), priority);
@@ -191,6 +191,15 @@ JigsawService::cancel(JobHandle handle)
     if (!scheduler_)
         return false;
     return scheduler_->cancel(handle);
+}
+
+bool
+JigsawService::release(JobHandle handle)
+{
+    std::lock_guard<std::mutex> lock(schedulerMutex_);
+    if (!scheduler_)
+        return false;
+    return scheduler_->release(handle);
 }
 
 void

@@ -33,10 +33,12 @@
 #ifndef JIGSAW_CORE_SERVICE_H
 #define JIGSAW_CORE_SERVICE_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -77,6 +79,21 @@ struct ServiceProgram
      */
     std::shared_ptr<sim::Executor> executor;
     std::uint64_t executorSeed; ///< Seed for the program's draw stream.
+    /**
+     * Fair-share tag for the streaming scheduler: dispatch runs
+     * deficit round-robin across tenants inside each aged priority
+     * class, so one hot tenant cannot starve the rest. Empty is the
+     * default tenant. Ignored by the batch run() path.
+     */
+    std::string tenant;
+    /**
+     * Streaming SLO: a job still undispatched this many milliseconds
+     * after submission is expired (JobState::Expired; wait() throws
+     * DeadlineExceededError), including jobs waiting in an open merge
+     * window or awaiting a retry. 0 disables the deadline. Ignored by
+     * the batch run() path.
+     */
+    double deadlineMs = 0.0;
 };
 
 /**
@@ -116,6 +133,23 @@ struct JobHandle
     std::uint64_t id = 0;
 };
 
+/**
+ * Outcome of one streaming submit(). With bounded admission
+ * (StreamOptions::maxQueuedJobs) a submit can be shed: admitted is
+ * false, the handle is empty, and tryLaterAfterMs is a finite
+ * backoff hint derived from the scheduler's observed drain rate —
+ * after roughly that long the backlog should have drained below this
+ * priority class's shed threshold.
+ */
+struct SubmitResult
+{
+    bool admitted = false;
+    JobHandle handle{};          ///< Valid only when admitted.
+    double tryLaterAfterMs = 0.0; ///< Retry hint when shed; else 0.
+
+    explicit operator bool() const { return admitted; }
+};
+
 /** Where a streaming job currently is. */
 enum class JobState
 {
@@ -128,6 +162,9 @@ enum class JobState
     Done,       ///< Result available.
     Failed,     ///< Terminal error; wait() rethrows it.
     Cancelled,  ///< Withdrawn before dispatch; wait() throws.
+    /** Missed its ServiceProgram::deadlineMs SLO before dispatch;
+     *  wait() throws DeadlineExceededError. */
+    Expired,
 };
 
 /** Snapshot of one streaming job, returned by poll(). */
@@ -135,6 +172,8 @@ struct JobStatus
 {
     JobState state = JobState::Queued;
     Priority priority = Priority::Normal;
+    /** Transient-failure retries this job has consumed so far. */
+    std::uint32_t attempts = 0;
     /** Submit -> dispatch (admission + window wait); 0 until known. */
     double queueWaitMs = 0.0;
     /** Dispatch -> terminal (execute + reconstruct); 0 until known. */
@@ -176,6 +215,52 @@ struct StreamOptions
      * High traffic cannot starve Low jobs. <=0 disables aging.
      */
     double agingMs = 100.0;
+    /**
+     * Bounded admission: cap on undispatched jobs (queued, preparing,
+     * or windowed). A submit that would push the backlog past its
+     * class's shed threshold (shedFractions) is rejected with a
+     * finite SubmitResult::tryLaterAfterMs hint instead of admitted.
+     * 0 admits everything (the pre-robustness behavior). Sustained
+     * backlog near the cap also shrinks the effective merge window
+     * toward immediate dispatch (latency over merging), restoring it
+     * as the queue drains.
+     */
+    std::size_t maxQueuedJobs = 0;
+    /**
+     * Per-class shed thresholds as fractions of maxQueuedJobs,
+     * indexed by Priority (High, Normal, Low). Class c is shed once
+     * the backlog reaches ceil(shedFractions[c] * maxQueuedJobs), so
+     * with the defaults Low sheds first and High last — High keeps
+     * the full queue. Ignored when maxQueuedJobs is 0.
+     */
+    std::array<double, kPriorityClasses> shedFractions{1.0, 0.8, 0.6};
+    /**
+     * Fault tolerance: transient failures (TransientError, e.g. a
+     * flaky backend) restart the job's whole pipeline up to this many
+     * times with capped exponential backoff. Terminal failures never
+     * retry. A full restart replays the job's private draw stream
+     * from Rng(executorSeed), so a retried job's result is still
+     * bitwise-identical to an undisturbed sequential run.
+     */
+    std::size_t maxRetries = 3;
+    double retryBackoffMs = 1.0;     ///< First-retry backoff.
+    double retryBackoffMaxMs = 50.0; ///< Exponential backoff cap.
+    /**
+     * Result retention: with a non-zero cap, delivered results (jobs
+     * whose wait() returned) beyond this many are evicted oldest
+     * first, and their handles become unknown. release() evicts
+     * eagerly. 0 retains every terminal job for the scheduler's
+     * lifetime (the pre-robustness behavior).
+     */
+    std::size_t resultRetention = 0;
+    /**
+     * Cap on StreamStats::jobs: per-job latency samples beyond this
+     * many are reservoir-sampled (uniformly, seeded) so percentile
+     * queries stay meaningful while memory stays bounded on a
+     * long-lived scheduler. Exact per-class counters are always kept.
+     * 0 keeps every sample.
+     */
+    std::size_t statsReservoir = 4096;
 };
 
 /** Counters and samples of one streaming scheduler's lifetime. */
@@ -200,7 +285,32 @@ struct StreamStats
     std::size_t crossProgramGroups = 0;  ///< Sum over merged windows.
     std::size_t pooledGlobalBatches = 0; ///< Pooled global runBatch calls.
     std::size_t pooledGlobalPrograms = 0; ///< Jobs with pooled globals.
-    /** Completed/failed jobs in completion order. */
+    /** @name Overload / fault-tolerance counters. @{ */
+    std::size_t shed = 0;    ///< Submits rejected by bounded admission.
+    std::size_t expired = 0; ///< Jobs that missed their deadlineMs SLO.
+    std::size_t retries = 0; ///< Transient-failure pipeline restarts.
+    /** Jobs re-queued solo after their merged window's execution
+     *  threw (window-poisoning quarantine). */
+    std::size_t quarantinedJobs = 0;
+    /** Merge windows opened with a backlog-shrunk windowMs. */
+    std::size_t windowShrinks = 0;
+    std::size_t released = 0; ///< Terminal jobs dropped via release().
+    std::size_t evicted = 0;  ///< Delivered results evicted (retention).
+    /** Shed submits by priority class (exact, not sampled). */
+    std::array<std::size_t, kPriorityClasses> shedByClass{};
+    /** Completed jobs by priority class (exact, not sampled). */
+    std::array<std::size_t, kPriorityClasses> completedByClass{};
+    /** Jobs that produced a latency sample (completed + failed): the
+     *  reservoir's population size. */
+    std::size_t jobsObserved = 0;
+    /** @} */
+    /**
+     * Latency samples of completed/failed jobs (cancelled and expired
+     * jobs never ran, so they contribute no sample). Exact and in
+     * completion order up to StreamOptions::statsReservoir, then a
+     * uniform seeded reservoir over all jobsObserved — percentiles
+     * stay representative while memory stays bounded.
+     */
     std::vector<JobSample> jobs;
 
     /** @name Guarded nearest-rank percentiles over the job samples
@@ -305,16 +415,23 @@ class JigsawService
      * thread-safe against each other — concurrent submitters are the
      * intended client shape.
      * @{ */
-    /** Admit @p program; the handle is this service's poll/wait key. */
-    JobHandle submit(ServiceProgram program,
-                     Priority priority = Priority::Normal);
+    /** Admit @p program (or shed it under bounded admission — check
+     *  SubmitResult::admitted); the handle is this service's
+     *  poll/wait key. */
+    SubmitResult submit(ServiceProgram program,
+                        Priority priority = Priority::Normal);
     /** Status snapshot, or std::nullopt for an unknown handle. */
     std::optional<JobStatus> poll(JobHandle handle) const;
     /** Block until terminal; returns the result or rethrows the
-     *  job's failure (std::runtime_error for a cancelled job). */
+     *  job's failure (std::runtime_error for a cancelled job,
+     *  DeadlineExceededError for an expired one). */
     JigsawResult wait(JobHandle handle);
     /** Withdraw a not-yet-dispatched job (true on success). */
     bool cancel(JobHandle handle);
+    /** Drop a terminal job's result and bookkeeping; its handle
+     *  becomes unknown. False while the job is live (or already
+     *  released). */
+    bool release(JobHandle handle);
     /** Block until every submitted job is terminal. */
     void drain();
     /** Streaming counters/latency samples (snapshot; zero before the

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "sim/compact.h"
 #include "sim/eps.h"
 #include "sim/noise_model.h"
@@ -265,6 +266,9 @@ Histogram
 IdealSimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots)
 {
+    // Fault points sit at entry, before any cache or RNG state moves,
+    // so a retried call replays the identical draw sequence.
+    injectFaultPoint("executor.run");
     const Cached &entry = evolved(physical_circuit);
     std::lock_guard<std::mutex> lock(rngMutex_);
     return sampleEntry(entry, shots, rng_);
@@ -274,6 +278,7 @@ Histogram
 IdealSimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots, Rng &rng)
 {
+    injectFaultPoint("executor.run");
     return sampleEntry(evolved(physical_circuit), shots, rng);
 }
 
@@ -349,6 +354,7 @@ std::vector<Histogram>
 IdealSimulator::runBatch(const QuantumCircuit &base_circuit,
                          const std::vector<CpmSpec> &specs)
 {
+    injectFaultPoint("executor.runBatch");
     if (spansPrograms(specs)) {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         ++batchStats_.crossProgramBatches;
@@ -381,6 +387,7 @@ Histogram
 NoisySimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots)
 {
+    injectFaultPoint("executor.run");
     fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
             "NoisySimulator: circuit is not in this device's physical "
             "qubit space");
@@ -397,6 +404,7 @@ Histogram
 NoisySimulator::run(const QuantumCircuit &physical_circuit,
                     std::uint64_t shots, Rng &rng)
 {
+    injectFaultPoint("executor.run");
     fatalIf(physical_circuit.nQubits() != dev_.nQubits(),
             "NoisySimulator: circuit is not in this device's physical "
             "qubit space");
@@ -486,6 +494,7 @@ std::vector<Histogram>
 NoisySimulator::runBatch(const QuantumCircuit &base_circuit,
                          const std::vector<CpmSpec> &specs)
 {
+    injectFaultPoint("executor.runBatch");
     fatalIf(base_circuit.nQubits() != dev_.nQubits(),
             "NoisySimulator: batch base circuit is not in this device's "
             "physical qubit space");

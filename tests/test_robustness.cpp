@@ -2,12 +2,18 @@
  * @file
  * Robustness and edge-case tests across module boundaries: degenerate
  * JigSaw configurations, extreme calibrations, alternative device
- * families, router parameter extremes, and QASM round-trips of the
- * whole benchmark registry.
+ * families, router parameter extremes, QASM round-trips of the whole
+ * benchmark registry, and the deterministic fault-injection machinery
+ * (spec grammar, counted/probabilistic rules, error taxonomy).
  */
+#include <exception>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "circuit/qasm.h"
+#include "common/error.h"
+#include "common/fault.h"
 #include "compiler/sabre.h"
 #include "core/jigsaw.h"
 #include "device/library.h"
@@ -21,6 +27,116 @@ namespace {
 
 using circuit::QuantumCircuit;
 using device::DeviceModel;
+
+/** Disarms the process-wide fault injector however the test exits. */
+struct FaultGuard
+{
+    ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+TEST(FaultInjection, ParsesSpecGrammar)
+{
+    const std::vector<FaultRule> rules = parseFaultSpec(
+        "executor.run:first=2;merge.execute@2:prob=0.25:seed=7:terminal;"
+        "stage.plan");
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].site, "executor.run");
+    EXPECT_TRUE(rules[0].detail.empty());
+    EXPECT_EQ(rules[0].failFirst, 2u);
+    EXPECT_EQ(rules[0].probability, 0.0);
+    EXPECT_TRUE(rules[0].transient);
+    EXPECT_EQ(rules[1].site, "merge.execute");
+    EXPECT_EQ(rules[1].detail, "2");
+    EXPECT_DOUBLE_EQ(rules[1].probability, 0.25);
+    EXPECT_EQ(rules[1].seed, 7u);
+    EXPECT_FALSE(rules[1].transient);
+    EXPECT_EQ(rules[2].site, "stage.plan");
+    EXPECT_EQ(rules[2].failFirst, 0u);
+
+    // Empty rules are skipped, not errors (trailing ';' is fine).
+    EXPECT_TRUE(parseFaultSpec("").empty());
+    EXPECT_TRUE(parseFaultSpec(";;").empty());
+
+    // Malformed specs are rejected loudly.
+    EXPECT_THROW(parseFaultSpec(":first=1"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("x:bogus=1"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("x:first=abc"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("x:first="), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("x:prob=1.5"), std::invalid_argument);
+}
+
+TEST(FaultInjection, CountedRulesFireExactlyAndReset)
+{
+    FaultGuard guard;
+    FaultInjector &injector = FaultInjector::instance();
+    injector.configure(parseFaultSpec("executor.run:first=3"));
+    EXPECT_TRUE(injector.armed());
+    std::size_t thrown = 0;
+    for (int i = 0; i < 10; ++i) {
+        try {
+            injectFaultPoint("executor.run");
+        } catch (const TransientError &) {
+            ++thrown;
+        }
+    }
+    EXPECT_EQ(thrown, 3u);
+    EXPECT_EQ(injector.injected(), 3u);
+    EXPECT_EQ(injector.injectedAt("executor.run"), 3u);
+    EXPECT_EQ(injector.injectedAt("executor.runBatch"), 0u);
+
+    injector.clear();
+    EXPECT_FALSE(injector.armed());
+    EXPECT_EQ(injector.injected(), 0u);
+    EXPECT_NO_THROW(injectFaultPoint("executor.run"));
+}
+
+TEST(FaultInjection, DetailMatchingAndTerminalType)
+{
+    FaultGuard guard;
+    FaultInjector::instance().configure(
+        parseFaultSpec("merge.execute@2:first=2:terminal"));
+    // Wrong or missing detail never matches a detailed rule.
+    EXPECT_NO_THROW(injectFaultPoint("merge.execute", "3"));
+    EXPECT_NO_THROW(injectFaultPoint("merge.execute"));
+    EXPECT_NO_THROW(injectFaultPoint("executor.run", "2"));
+    // A terminal rule throws plain std::runtime_error, never the
+    // retryable TransientError subtype.
+    bool threw_terminal = false;
+    try {
+        injectFaultPoint("merge.execute", "2");
+    } catch (const TransientError &) {
+        FAIL() << "terminal rule threw TransientError";
+    } catch (const std::runtime_error &) {
+        threw_terminal = true;
+    }
+    EXPECT_TRUE(threw_terminal);
+}
+
+TEST(FaultInjection, IsTransientClassifiesErrors)
+{
+    EXPECT_TRUE(
+        isTransient(std::make_exception_ptr(TransientError("flaky"))));
+    EXPECT_FALSE(isTransient(
+        std::make_exception_ptr(std::runtime_error("terminal"))));
+    EXPECT_FALSE(isTransient(
+        std::make_exception_ptr(DeadlineExceededError("late"))));
+    EXPECT_FALSE(isTransient(
+        std::make_exception_ptr(std::invalid_argument("bad"))));
+}
+
+TEST(FaultInjection, InjectedFaultFailsRunJigsawUntilCleared)
+{
+    FaultGuard guard;
+    const auto ghz = workloads::makeWorkload("GHZ-5");
+    const DeviceModel dev = device::toronto();
+    sim::NoisySimulator executor(dev, {.seed = 93});
+    FaultInjector::instance().configure(
+        parseFaultSpec("stage.plan:first=1:terminal"));
+    EXPECT_THROW(core::runJigsaw(ghz->circuit(), dev, executor, 2048),
+                 std::runtime_error);
+    FaultInjector::instance().clear();
+    EXPECT_NO_THROW(core::runJigsaw(ghz->circuit(), dev, executor, 2048));
+}
 
 TEST(Robustness, FullSizeSubsetDegeneratesToGlobalDuplicate)
 {

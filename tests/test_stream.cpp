@@ -13,10 +13,13 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+#include "common/fault.h"
 #include "core/scheduler.h"
 #include "core/service.h"
 #include "device/library.h"
@@ -117,7 +120,7 @@ TEST(StreamingScheduler, WindowedJobsMatchSequentialBitwise)
     StreamingScheduler scheduler(options);
     std::vector<JobHandle> handles;
     for (const ServiceProgram &program : programs)
-        handles.push_back(scheduler.submit(program));
+        handles.push_back(scheduler.submit(program).handle);
     for (std::size_t i = 0; i < handles.size(); ++i) {
         const JigsawResult result = scheduler.wait(handles[i]);
         expectBitwiseResult(sequential[i], result);
@@ -163,7 +166,7 @@ TEST(StreamingScheduler, ConcurrentSubmittersMatchSequentialBitwise)
                  i < (t + 1) * per_thread; ++i) {
                 const Priority priority = static_cast<Priority>(
                     i % core::kPriorityClasses);
-                handles[i] = service.submit(programs[i], priority);
+                handles[i] = service.submit(programs[i], priority).handle;
             }
             // Each submitter also waits on (half of) its own jobs, so
             // wait() itself runs concurrently with other submitters.
@@ -204,7 +207,7 @@ TEST(StreamingScheduler, ImmediateDispatchMatchesSequentialBitwise)
     StreamingScheduler scheduler(options);
     std::vector<JobHandle> handles;
     for (const ServiceProgram &program : programs)
-        handles.push_back(scheduler.submit(program));
+        handles.push_back(scheduler.submit(program).handle);
     scheduler.drain();
     for (std::size_t i = 0; i < handles.size(); ++i)
         expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
@@ -243,7 +246,7 @@ TEST(StreamingScheduler, AlwaysNeverMergesAcrossDeviceFingerprints)
     StreamingScheduler scheduler(options);
     std::vector<JobHandle> handles;
     for (const ServiceProgram &program : programs)
-        handles.push_back(scheduler.submit(program));
+        handles.push_back(scheduler.submit(program).handle);
     scheduler.drain();
     for (std::size_t i = 0; i < programs.size(); ++i)
         expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
@@ -275,8 +278,8 @@ TEST(StreamingScheduler, CancelInsideOpenMergeWindow)
     options.windowMs = 60000.0; // held open until drain()
     options.windowMaxJobs = 8;
     StreamingScheduler scheduler(options);
-    const JobHandle kept = scheduler.submit(programs[0]);
-    const JobHandle cancelled = scheduler.submit(programs[1]);
+    const JobHandle kept = scheduler.submit(programs[0]).handle;
+    const JobHandle cancelled = scheduler.submit(programs[1]).handle;
 
     // Both jobs must actually be sitting inside the open window.
     pollUntil(scheduler, kept, JobState::Windowed);
@@ -327,12 +330,12 @@ TEST(StreamingScheduler, HighPriorityClosesItsWindowImmediately)
     options.windowMs = 60000.0;
     StreamingScheduler scheduler(options);
     const JobHandle low =
-        scheduler.submit(programs[0], Priority::Low);
+        scheduler.submit(programs[0], Priority::Low).handle;
     pollUntil(scheduler, low, JobState::Windowed);
     // The High job joins the Low job's open window and closes it on
     // the spot — wait() would otherwise block on the 60 s deadline.
     const JobHandle high =
-        scheduler.submit(programs[1], Priority::High);
+        scheduler.submit(programs[1], Priority::High).handle;
     expectBitwiseResult(sequential[1], scheduler.wait(high));
     expectBitwiseResult(sequential[0], scheduler.wait(low));
 
@@ -351,18 +354,472 @@ TEST(StreamingScheduler, FailuresPropagateThroughWait)
     StreamOptions options;
     options.windowMs = 0.0;
     StreamingScheduler scheduler(options);
-    const JobHandle ok = scheduler.submit(ServiceProgram(
-        workloads::Ghz(5).circuit(), dev, 4096, core::JigsawOptions{},
-        501));
+    const JobHandle ok =
+        scheduler
+            .submit(ServiceProgram(workloads::Ghz(5).circuit(), dev,
+                                   4096, core::JigsawOptions{}, 501))
+            .handle;
     // A one-trial budget fails in the planning stage.
-    const JobHandle bad = scheduler.submit(
-        ServiceProgram(workloads::Ghz(5).circuit(), dev, 1));
+    const JobHandle bad =
+        scheduler
+            .submit(ServiceProgram(workloads::Ghz(5).circuit(), dev, 1))
+            .handle;
     EXPECT_THROW(scheduler.wait(bad), std::invalid_argument);
     EXPECT_EQ(scheduler.poll(bad)->state, JobState::Failed);
     EXPECT_NO_THROW(scheduler.wait(ok));
     const core::StreamStats stats = scheduler.stats();
     EXPECT_EQ(stats.completed, 1u);
     EXPECT_EQ(stats.failed, 1u);
+}
+
+// ------------------------------------- bounded admission and shedding
+
+/** Disarms the process-wide fault injector however the test exits. */
+struct FaultGuard
+{
+    ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+TEST(StreamingScheduler, ShedsLowBeforeHighWithFiniteHints)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 601; seed <= 607; ++seed) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                              core::JigsawOptions{}, seed);
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0; // held open: the backlog cannot drain
+    options.windowMaxJobs = 16;
+    options.maxQueuedJobs = 5; // shed thresholds: Low 3, Normal 4, High 5
+    StreamingScheduler scheduler(options);
+
+    // Three Low jobs fill the Low class's share of the queue...
+    std::vector<std::pair<std::size_t, JobHandle>> admitted;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const core::SubmitResult outcome =
+            scheduler.submit(programs[i], Priority::Low);
+        ASSERT_TRUE(outcome.admitted);
+        admitted.emplace_back(i, outcome.handle);
+    }
+    // ...the fourth Low is shed with a finite, positive retry hint...
+    const core::SubmitResult shed_low =
+        scheduler.submit(programs[3], Priority::Low);
+    EXPECT_FALSE(shed_low.admitted);
+    EXPECT_FALSE(static_cast<bool>(shed_low));
+    EXPECT_TRUE(std::isfinite(shed_low.tryLaterAfterMs));
+    EXPECT_GT(shed_low.tryLaterAfterMs, 0.0);
+    // ...while Normal still admits at the same backlog...
+    const core::SubmitResult normal =
+        scheduler.submit(programs[4], Priority::Normal);
+    ASSERT_TRUE(normal.admitted);
+    admitted.emplace_back(4, normal.handle);
+    // ...the next Normal sheds (backlog 4 >= its threshold)...
+    const core::SubmitResult shed_normal =
+        scheduler.submit(programs[5], Priority::Normal);
+    EXPECT_FALSE(shed_normal.admitted);
+    EXPECT_TRUE(std::isfinite(shed_normal.tryLaterAfterMs));
+    EXPECT_GT(shed_normal.tryLaterAfterMs, 0.0);
+    // ...and High keeps the full queue.
+    const core::SubmitResult high =
+        scheduler.submit(programs[6], Priority::High);
+    ASSERT_TRUE(high.admitted);
+    admitted.emplace_back(6, high.handle);
+
+    scheduler.drain();
+    for (const auto &[index, handle] : admitted)
+        expectBitwiseResult(sequential[index], scheduler.wait(handle));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, admitted.size());
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_EQ(stats.shedByClass[static_cast<std::size_t>(Priority::Low)],
+              1u);
+    EXPECT_EQ(
+        stats.shedByClass[static_cast<std::size_t>(Priority::Normal)],
+        1u);
+    EXPECT_EQ(
+        stats.shedByClass[static_cast<std::size_t>(Priority::High)], 0u);
+}
+
+TEST(StreamingScheduler, DrainClearsSheddingBacklog)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 1001; seed <= 1004; ++seed) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                              core::JigsawOptions{}, seed);
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0;
+    options.maxQueuedJobs = 3; // Normal sheds once the backlog hits 3
+    StreamingScheduler scheduler(options);
+
+    std::vector<JobHandle> handles;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const core::SubmitResult outcome = scheduler.submit(programs[i]);
+        ASSERT_TRUE(outcome.admitted);
+        handles.push_back(outcome.handle);
+    }
+    const core::SubmitResult shed = scheduler.submit(programs[3]);
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_TRUE(std::isfinite(shed.tryLaterAfterMs));
+    EXPECT_GT(shed.tryLaterAfterMs, 0.0);
+
+    // Draining dispatches the held window; with the backlog gone the
+    // shed program is admitted on resubmission — the hint's contract.
+    scheduler.drain();
+    const core::SubmitResult retry = scheduler.submit(programs[3]);
+    ASSERT_TRUE(retry.admitted);
+    handles.push_back(retry.handle);
+    scheduler.drain(); // the retry opened a fresh held window: close it
+
+    for (std::size_t i = 0; i < handles.size(); ++i)
+        expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.shed, 1u);
+}
+
+// ------------------------------------------- deadlines (SLO expiry)
+
+TEST(StreamingScheduler, DeadlineExpiresInsideOpenWindow)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 701);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 702);
+    programs[1].deadlineMs = 40.0;
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0; // the window outlives the deadline
+    StreamingScheduler scheduler(options);
+    const JobHandle kept = scheduler.submit(programs[0]).handle;
+    const JobHandle doomed = scheduler.submit(programs[1]).handle;
+    pollUntil(scheduler, kept, JobState::Windowed);
+
+    // The dispatcher expires the deadlined job out of the still-open
+    // window on its own clock — no wait() needed to trigger it.
+    pollUntil(scheduler, doomed, JobState::Expired);
+    EXPECT_THROW(scheduler.wait(doomed), DeadlineExceededError);
+    EXPECT_FALSE(scheduler.cancel(doomed)); // already terminal
+
+    // The surviving window partner is untouched by the expiry.
+    scheduler.drain();
+    expectBitwiseResult(sequential[0], scheduler.wait(kept));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+// ------------------------------------- fault injection and retries
+
+TEST(StreamingScheduler, TransientFaultsRetryToBitwiseIdenticalResults)
+{
+    const device::DeviceModel dev = device::toronto();
+    const std::vector<ServiceProgram> programs = streamPrograms(dev);
+    // Reference first: the injector must not see the sequential runs.
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    FaultGuard guard;
+    FaultInjector::instance().configure(
+        parseFaultSpec("stage.compile:first=2;executor.run:first=1"));
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Never;
+    options.windowMs = 0.0;
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program).handle);
+    scheduler.drain();
+
+    // Every fault was absorbed by a full-pipeline restart that replays
+    // the job's private draw stream: results stay bitwise-sequential.
+    for (std::size_t i = 0; i < handles.size(); ++i)
+        expectBitwiseResult(sequential[i], scheduler.wait(handles[i]));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, programs.size());
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.retries, 3u);
+    EXPECT_EQ(FaultInjector::instance().injected(), 3u);
+}
+
+TEST(StreamingScheduler, PoisonedWindowQuarantinesMembersSolo)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 801);
+    programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                          core::JigsawOptions{}, 802);
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    // The detail "@2" arms only merged executions covering exactly two
+    // sources: the poisoned window fails (terminally — quarantine must
+    // not depend on the error being transient), while the members'
+    // solo exclusive-window retries run at detail 1 and pass.
+    FaultGuard guard;
+    FaultInjector::instance().configure(
+        parseFaultSpec("merge.execute@2:first=1:terminal"));
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0;
+    StreamingScheduler scheduler(options);
+    const JobHandle first = scheduler.submit(programs[0]).handle;
+    const JobHandle second = scheduler.submit(programs[1]).handle;
+    pollUntil(scheduler, first, JobState::Windowed);
+    pollUntil(scheduler, second, JobState::Windowed);
+
+    scheduler.drain(); // closes the 2-job window; its execution faults
+    expectBitwiseResult(sequential[0], scheduler.wait(first));
+    expectBitwiseResult(sequential[1], scheduler.wait(second));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.quarantinedJobs, 2u);
+    EXPECT_EQ(FaultInjector::instance().injectedAt("merge.execute"), 1u);
+}
+
+TEST(StreamingScheduler, CancelInsideWindowUnderFaults)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 901; seed <= 903; ++seed) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                              core::JigsawOptions{}, seed);
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    FaultGuard guard;
+    FaultInjector::instance().configure(
+        parseFaultSpec("merge.execute@2:first=1"));
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0;
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program).handle);
+    for (const JobHandle handle : handles)
+        pollUntil(scheduler, handle, JobState::Windowed);
+
+    // Cancellation shrinks the open window to two members; the
+    // poisoned two-job execution then quarantines both survivors,
+    // whose solo retries still match sequential bitwise.
+    EXPECT_TRUE(scheduler.cancel(handles[1]));
+    scheduler.drain();
+    EXPECT_THROW(scheduler.wait(handles[1]), std::runtime_error);
+    expectBitwiseResult(sequential[0], scheduler.wait(handles[0]));
+    expectBitwiseResult(sequential[2], scheduler.wait(handles[2]));
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.quarantinedJobs, 2u);
+}
+
+TEST(StreamingScheduler, ConcurrentSubmittersWithFaultsStayBitwise)
+{
+    // The robustness acceptance test: four submitter threads, faults
+    // injected across the compile, batch-execute, and reconstruct
+    // layers — every surviving job must still be bitwise-identical to
+    // its sequential run.
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (int t = 0; t < 4; ++t) {
+        for (const ServiceProgram &base : streamPrograms(dev)) {
+            ServiceProgram program = base;
+            program.executorSeed += 2000ULL * (t + 1);
+            programs.push_back(std::move(program));
+        }
+    }
+    const std::vector<JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    FaultGuard guard;
+    FaultInjector::instance().configure(parseFaultSpec(
+        "stage.compile:first=2;executor.runBatch:first=1;"
+        "stage.reconstruct:first=1"));
+
+    core::ServiceOptions service_options;
+    service_options.stream.mergePolicy = core::MergePolicy::Auto;
+    service_options.stream.windowMs = 20.0;
+    core::JigsawService service(service_options);
+
+    const std::size_t per_thread = programs.size() / 4;
+    std::vector<JobHandle> handles(programs.size());
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < 4; ++t) {
+        submitters.emplace_back([&, t] {
+            for (std::size_t i = t * per_thread;
+                 i < (t + 1) * per_thread; ++i) {
+                handles[i] =
+                    service
+                        .submit(programs[i],
+                                static_cast<Priority>(
+                                    i % core::kPriorityClasses))
+                        .handle;
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    service.drain();
+
+    for (std::size_t i = 0; i < programs.size(); ++i)
+        expectBitwiseResult(sequential[i], service.wait(handles[i]));
+    const core::StreamStats stats = service.streamStats();
+    EXPECT_EQ(stats.completed, programs.size());
+    EXPECT_EQ(stats.failed + stats.cancelled + stats.expired, 0u);
+    // The compile and reconstruct rules fire unconditionally (those
+    // stages run for every job); the runBatch rule needs a merged
+    // window to exist, so only bound the total from below.
+    EXPECT_GE(FaultInjector::instance().injected(), 3u);
+    EXPECT_GE(stats.retries + stats.quarantinedJobs, 3u);
+}
+
+// --------------------------------- result retention and stats bounds
+
+TEST(StreamingScheduler, ReleaseAndRetentionBoundDeliveredResults)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 1101; seed <= 1104; ++seed) {
+        programs.emplace_back(workloads::Ghz(5).circuit(), dev, 4096,
+                              core::JigsawOptions{}, seed);
+    }
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Never;
+    options.windowMs = 0.0;
+    options.resultRetention = 2;
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program).handle);
+    // Delivering all four results evicts the two delivered first.
+    for (const JobHandle handle : handles)
+        scheduler.wait(handle);
+
+    EXPECT_FALSE(scheduler.poll(handles[0]).has_value());
+    EXPECT_FALSE(scheduler.poll(handles[1]).has_value());
+    EXPECT_THROW(scheduler.wait(handles[0]), std::invalid_argument);
+    ASSERT_TRUE(scheduler.poll(handles[2]).has_value());
+
+    // release() evicts eagerly; double-release and unknown are false.
+    EXPECT_TRUE(scheduler.release(handles[2]));
+    EXPECT_FALSE(scheduler.poll(handles[2]).has_value());
+    EXPECT_FALSE(scheduler.release(handles[2]));
+    EXPECT_FALSE(scheduler.release(JobHandle{9999}));
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.released, 1u);
+
+    // A live (non-terminal) job cannot be released out from under its
+    // waiter — only terminal jobs can.
+    StreamOptions held;
+    held.mergePolicy = core::MergePolicy::Always;
+    held.windowMs = 60000.0;
+    StreamingScheduler held_scheduler(held);
+    const JobHandle live = held_scheduler.submit(programs[0]).handle;
+    pollUntil(held_scheduler, live, JobState::Windowed);
+    EXPECT_FALSE(held_scheduler.release(live));
+    EXPECT_TRUE(held_scheduler.cancel(live));
+    EXPECT_TRUE(held_scheduler.release(live)); // terminal now
+}
+
+TEST(StreamingScheduler, StatsReservoirStaysBoundedWithExactCounters)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 1201; seed <= 1210; ++seed) {
+        programs.emplace_back(workloads::Ghz(5).circuit(), dev, 2048,
+                              core::JigsawOptions{}, seed);
+    }
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Never;
+    options.windowMs = 0.0;
+    options.statsReservoir = 4;
+    StreamingScheduler scheduler(options);
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        scheduler.submit(programs[i],
+                         static_cast<Priority>(i %
+                                               core::kPriorityClasses));
+    }
+    scheduler.drain();
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 10u);
+    EXPECT_EQ(stats.jobsObserved, 10u);
+    // The sample store is reservoir-bounded; the class counters stay
+    // exact regardless.
+    EXPECT_EQ(stats.jobs.size(), 4u);
+    EXPECT_EQ(
+        stats.completedByClass[static_cast<std::size_t>(Priority::High)],
+        4u);
+    EXPECT_EQ(stats.completedByClass[static_cast<std::size_t>(
+                  Priority::Normal)],
+              3u);
+    EXPECT_EQ(
+        stats.completedByClass[static_cast<std::size_t>(Priority::Low)],
+        3u);
+}
+
+// ------------------------------------------------ tenant fair share
+
+TEST(StreamingScheduler, TenantFairShareAvoidsStarvation)
+{
+    const device::DeviceModel dev = device::toronto();
+    std::vector<ServiceProgram> programs;
+    for (std::uint64_t seed = 1301; seed <= 1307; ++seed) {
+        programs.emplace_back(workloads::Ghz(6).circuit(), dev, 8192,
+                              core::JigsawOptions{}, seed);
+        programs.back().tenant = seed <= 1306 ? "hog" : "guest";
+    }
+
+    StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Never;
+    options.windowMs = 0.0;
+    options.maxInFlight = 1; // serialize dispatch so order is visible
+    StreamingScheduler scheduler(options);
+    std::vector<JobHandle> handles;
+    for (const ServiceProgram &program : programs)
+        handles.push_back(scheduler.submit(program, Priority::Low).handle);
+    scheduler.drain();
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, programs.size());
+    // The guest submitted LAST, behind six hog jobs. FIFO would
+    // dispatch it last; deficit round-robin alternates tenants, so the
+    // guest rides out after roughly one hog job while the sixth hog
+    // job waits behind the rest of its own tenant's queue.
+    const auto guest = scheduler.poll(handles[6]);
+    const auto last_hog = scheduler.poll(handles[5]);
+    ASSERT_TRUE(guest.has_value());
+    ASSERT_TRUE(last_hog.has_value());
+    EXPECT_LT(guest->queueWaitMs, last_hog->queueWaitMs);
 }
 
 // -------------------------------------------- percentile degeneracies
