@@ -57,6 +57,8 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
     const std::uint64_t transpile_hits0 = compiler::transpileCacheHits();
     const std::uint64_t transpile_misses0 =
         compiler::transpileCacheMisses();
+    const std::uint64_t transpile_rebinds0 =
+        compiler::transpileSkeletonRebinds();
     const auto sweep_start = std::chrono::steady_clock::now();
 
     for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
@@ -110,6 +112,8 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
             run.marginalsServed += executor.batchStats().marginalsServed;
             run.evolutionsSaved +=
                 executor.batchStats().evolutionsSaved();
+            run.prefixStateHits += executor.skeletonCacheHits();
+            run.prefixStateMisses += executor.skeletonCacheMisses();
         }
     }
     run.totalMs = std::chrono::duration<double, std::milli>(
@@ -119,6 +123,8 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
         compiler::transpileCacheHits() - transpile_hits0;
     run.transpileCacheMisses =
         compiler::transpileCacheMisses() - transpile_misses0;
+    run.transpileRebinds =
+        compiler::transpileSkeletonRebinds() - transpile_rebinds0;
 
     if (const char *path = std::getenv("JIGSAW_SUITE_TIMINGS_JSON")) {
         if (path[0] != '\0' && !writeSuiteTimings(run, path) && !quiet)
@@ -157,6 +163,12 @@ writeSuiteTimings(const SuiteRun &run, const std::string &path)
                      static_cast<double>(run.transpileCacheHits));
     report.addTiming("suite/transpile_cache_misses",
                      static_cast<double>(run.transpileCacheMisses));
+    report.addTiming("suite/transpile_skeleton_rebinds",
+                     static_cast<double>(run.transpileRebinds));
+    report.addTiming("suite/prefix_state_hits",
+                     static_cast<double>(run.prefixStateHits));
+    report.addTiming("suite/prefix_state_misses",
+                     static_cast<double>(run.prefixStateMisses));
     return report.write(path);
 }
 

@@ -59,6 +59,11 @@ struct SuiteRun
     std::uint64_t evolutionsSaved = 0;     ///< Evolutions batching avoided.
     std::uint64_t transpileCacheHits = 0;  ///< Memoized compilations used.
     std::uint64_t transpileCacheMisses = 0; ///< Full transpiles run.
+    /** Memo hits served by re-binding angles into a cached
+     *  same-skeleton compilation (parametric traffic). */
+    std::uint64_t transpileRebinds = 0;
+    std::uint64_t prefixStateHits = 0;   ///< Split-prefix state reuses.
+    std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
     /** @} */
 
     /** The cell for (device d, workload w). */

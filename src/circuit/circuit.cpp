@@ -304,6 +304,21 @@ mixGate(std::uint64_t &h, const Gate &g)
                       static_cast<std::int64_t>(g.clbit)));
 }
 
+/** mixGate without the parameter values (counts still mix in). */
+inline void
+mixGateSkeleton(std::uint64_t &h, const Gate &g)
+{
+    if (g.type == GateType::BARRIER)
+        return;
+    fnvMixWord(h, static_cast<std::uint64_t>(g.type));
+    fnvMixWord(h, g.qubits.size());
+    for (int q : g.qubits)
+        fnvMixWord(h, static_cast<std::uint64_t>(q));
+    fnvMixWord(h, g.params.size());
+    fnvMixWord(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(g.clbit)));
+}
+
 } // namespace
 
 std::uint64_t
@@ -343,6 +358,78 @@ QuantumCircuit::measurementSubsetHash(const std::vector<int> &qubits) const
                     static_cast<int>(c)});
     }
     return h;
+}
+
+std::uint64_t
+QuantumCircuit::skeletonHash() const
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    fnvMixWord(h, static_cast<std::uint64_t>(nQubits_));
+    fnvMixWord(h, static_cast<std::uint64_t>(nClbits_));
+    for (const Gate &g : gates_)
+        mixGateSkeleton(h, g);
+    return h;
+}
+
+std::uint64_t
+QuantumCircuit::prefixHash(std::size_t n_gates) const
+{
+    fatalIf(n_gates > gates_.size(),
+            "prefixHash: prefix longer than circuit");
+    // nClbits is deliberately excluded: every measurement variant of
+    // one gate prefix (global circuit, each CPM) must share the hash,
+    // and those variants differ only in register width and measures.
+    std::uint64_t h = kFnvOffsetBasis;
+    fnvMixWord(h, static_cast<std::uint64_t>(nQubits_));
+    for (std::size_t i = 0; i < n_gates; ++i)
+        mixGate(h, gates_[i]);
+    return h;
+}
+
+std::size_t
+QuantumCircuit::parameterCount() const
+{
+    std::size_t count = 0;
+    for (const Gate &g : gates_)
+        count += g.params.size();
+    return count;
+}
+
+std::vector<double>
+QuantumCircuit::parameters() const
+{
+    std::vector<double> out;
+    out.reserve(parameterCount());
+    for (const Gate &g : gates_)
+        out.insert(out.end(), g.params.begin(), g.params.end());
+    return out;
+}
+
+QuantumCircuit &
+QuantumCircuit::rebindAngles(const std::vector<double> &angles)
+{
+    fatalIf(angles.size() != parameterCount(),
+            "rebindAngles: angle count does not match parameterCount()");
+    std::size_t next = 0;
+    for (Gate &g : gates_) {
+        for (double &p : g.params)
+            p = angles[next++];
+    }
+    return *this;
+}
+
+std::size_t
+QuantumCircuit::diagonalSuffixStart() const
+{
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        if (g.isMeasure() || g.type == GateType::BARRIER)
+            continue;
+        if (!g.isDiagonal())
+            start = i + 1;
+    }
+    return start;
 }
 
 std::string

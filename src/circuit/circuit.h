@@ -136,6 +136,50 @@ class QuantumCircuit
     std::uint64_t
     measurementSubsetHash(const std::vector<int> &qubits) const;
 
+    /**
+     * Parameter-invariant structural hash: the same stream as
+     * structuralHash() minus the parameter *values* (gate types, qubit
+     * wiring, parameter counts, and classical bits still mix in, and
+     * barriers are still excluded). Two iterations of a variational
+     * loop — identical structure, different rotation angles — share
+     * one skeleton hash, so the transpile memo and merge-window keying
+     * can amortize compilation across the loop.
+     */
+    std::uint64_t skeletonHash() const;
+
+    /**
+     * structuralHash() restricted to the register sizes and the first
+     * @p n_gates gates — with nClbits excluded, so all measurement
+     * variants of one gate prefix (the global circuit and every CPM)
+     * share the hash. Executors key shared-prefix state caches on
+     * this.
+     */
+    std::uint64_t prefixHash(std::size_t n_gates) const;
+
+    /** Total number of gate parameters, in gate order. */
+    std::size_t parameterCount() const;
+
+    /** Every gate parameter, flattened in gate order. */
+    std::vector<double> parameters() const;
+
+    /**
+     * Overwrite every gate parameter in place from @p angles (flat,
+     * gate order; the size must equal parameterCount()). The circuit's
+     * skeletonHash() is unchanged; its structuralHash() reflects the
+     * new binding. This is the per-iteration step of a variational
+     * loop: one compiled skeleton, re-bound angles.
+     */
+    QuantumCircuit &rebindAngles(const std::vector<double> &angles);
+
+    /**
+     * Index one past the last non-diagonal unitary gate: every
+     * unitary at or after the returned index satisfies
+     * Gate::isDiagonal() (measures and barriers are ignored). 0 when
+     * the whole circuit is diagonal. Executors split evolution here to
+     * cache the prefix state across re-bound diagonal tails.
+     */
+    std::size_t diagonalSuffixStart() const;
+
     /** Human-readable listing (one gate per line, OpenQASM-flavored). */
     std::string toString() const;
 

@@ -30,6 +30,25 @@ Gate::isSingleQubit() const
     }
 }
 
+bool
+Gate::isDiagonal() const
+{
+    switch (type) {
+      case GateType::Z:
+      case GateType::S:
+      case GateType::SDG:
+      case GateType::T:
+      case GateType::TDG:
+      case GateType::RZ:
+      case GateType::CZ:
+      case GateType::CP:
+      case GateType::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
 std::string
 Gate::name() const
 {

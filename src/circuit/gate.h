@@ -60,6 +60,15 @@ struct Gate
     /** True for MEASURE. */
     bool isMeasure() const { return type == GateType::MEASURE; }
 
+    /**
+     * True for unitaries diagonal in the computational basis
+     * (Z/S/SDG/T/TDG/RZ and CZ/CP/RZZ) — the gates that commute with
+     * measurement-basis projectors, so a trailing run of them can be
+     * re-applied onto a cached pre-run state (parametric serving) and
+     * fused into phase tables (sim/statevector.cpp uses the same set).
+     */
+    bool isDiagonal() const;
+
     /** Lower-case mnemonic, e.g. "cx". */
     std::string name() const;
 };

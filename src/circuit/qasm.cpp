@@ -1,6 +1,8 @@
 #include "circuit/qasm.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <optional>
 #include <sstream>
@@ -77,6 +79,115 @@ parseIndex(const std::string &raw, const std::string &reg)
             "fromQasm: expected " + reg + "[i], got '" + token + "'");
     return std::stoi(token.substr(open + 1, close - open - 1));
 }
+
+/**
+ * Recursive-descent evaluator for QASM parameter expressions: float
+ * literals (including exponents), the `pi` constant, unary +/-,
+ * binary + - * /, and parentheses — the grammar rotation angles in
+ * real qelib1 dumps use (`rz(pi/4)`, `rz(-3*pi/2)`, `cu1(1.5e-1)`).
+ */
+class ParamExpr
+{
+  public:
+    explicit ParamExpr(const std::string &text) : text_(text) {}
+
+    double evaluate()
+    {
+        const double value = parseSum();
+        skipSpace();
+        fatalIf(pos_ != text_.size(),
+                "fromQasm: trailing characters in parameter '" + text_ +
+                    "'");
+        return value;
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double parseSum()
+    {
+        double value = parseProduct();
+        for (;;) {
+            if (consume('+'))
+                value += parseProduct();
+            else if (consume('-'))
+                value -= parseProduct();
+            else
+                return value;
+        }
+    }
+
+    double parseProduct()
+    {
+        double value = parseUnary();
+        for (;;) {
+            if (consume('*')) {
+                value *= parseUnary();
+            } else if (consume('/')) {
+                const double rhs = parseUnary();
+                fatalIf(rhs == 0.0, "fromQasm: division by zero in "
+                                    "parameter '" + text_ + "'");
+                value /= rhs;
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double parseUnary()
+    {
+        if (consume('-'))
+            return -parseUnary();
+        if (consume('+'))
+            return parseUnary();
+        return parseAtom();
+    }
+
+    double parseAtom()
+    {
+        skipSpace();
+        if (consume('(')) {
+            const double value = parseSum();
+            fatalIf(!consume(')'), "fromQasm: unbalanced parentheses "
+                                   "in parameter '" + text_ + "'");
+            return value;
+        }
+        fatalIf(pos_ >= text_.size(),
+                "fromQasm: empty parameter expression in '" + text_ +
+                    "'");
+        if (text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return M_PI;
+        }
+        // A numeric literal: delegate to strtod, which handles
+        // exponents ('1.5e-3'). It must consume at least one char.
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(begin, &end);
+        fatalIf(end == begin, "fromQasm: malformed parameter '" +
+                                  text_ + "'");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
 
 /** Split on a delimiter, trimming surrounding whitespace. */
 std::vector<std::string>
@@ -206,12 +317,23 @@ fromQasm(const std::string &text)
         std::vector<double> params;
         std::string operands;
         if (line[space] == '(') {
-            const auto close = line.find(')', space);
+            // The matching close paren, not the first one: parameter
+            // expressions may nest ('rz(2*(pi - 1))').
+            std::size_t close = std::string::npos;
+            int depth = 0;
+            for (std::size_t i = space; i < line.size(); ++i) {
+                if (line[i] == '(') {
+                    ++depth;
+                } else if (line[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
             fatalIf(close == std::string::npos,
                     "fromQasm: unterminated parameter list: " + line);
             for (const std::string &p : splitTrim(
                      line.substr(space + 1, close - space - 1), ',')) {
-                params.push_back(std::stod(p));
+                params.push_back(ParamExpr(p).evaluate());
             }
             operands = line.substr(close + 1);
         } else {

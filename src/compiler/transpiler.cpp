@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -93,8 +96,12 @@ transpileKey(const circuit::QuantumCircuit &logical,
              const device::DeviceModel &dev,
              const TranspileOptions &options)
 {
+    // Keyed on the parameter-invariant skeleton, not the full
+    // structural hash: placement, SABRE routing, and the EPS selector
+    // never read rotation angles, so every iteration of a variational
+    // loop shares one compilation and only re-binds its angles.
     std::uint64_t h = 14695981039346656037ULL;
-    h = mix(h, logical.structuralHash());
+    h = mix(h, logical.skeletonHash());
     h = mixString(h, dev.name());
     h = mix(h, static_cast<std::uint64_t>(dev.nQubits()));
     // The full edge list, not just its size: same-named devices with
@@ -116,10 +123,79 @@ transpileKey(const circuit::QuantumCircuit &logical,
     return h;
 }
 
+/**
+ * Physical-slot permutation of a skeleton entry: slots[k] is the flat
+ * logical parameter index feeding the k-th flat physical parameter
+ * slot. SABRE emits ready gates out of program order, so the mapping
+ * is a skeleton-determined permutation, recovered lazily (first
+ * angle-differing hit) by re-routing a slot-tagged copy of the logical
+ * circuit with the entry's own initial layout. ok=false records a
+ * failed recovery (the sanity check tripped): such entries fall back
+ * to a full recompile per binding instead of returning wrong angles.
+ */
+struct RebindPerm
+{
+    bool ok = false;
+    std::vector<std::size_t> slots;
+};
+
+/** One memo entry: the compiled circuit, the logical binding it was
+ *  compiled under, and the lazily recovered rebind permutation. */
+struct TranspileEntry
+{
+    CompiledCircuit compiled;
+    std::vector<double> binding; ///< logical.parameters() at insert.
+    std::shared_ptr<const RebindPerm> perm;
+};
+
 std::mutex transpileCacheMutex;
-std::unordered_map<std::uint64_t, CompiledCircuit> transpileCache;
+std::unordered_map<std::uint64_t, TranspileEntry> transpileCache;
 std::atomic<std::uint64_t> transpileHits{0};
 std::atomic<std::uint64_t> transpileMisses{0};
+std::atomic<std::uint64_t> transpileRebinds{0};
+
+/**
+ * Recover the physical-slot permutation for @p entry: tag every
+ * logical parameter with its flat index, re-route with the entry's
+ * initial layout (routing never reads parameter values, so the tagged
+ * route reproduces the compiled physical structure exactly), and read
+ * the tags back off the routed gates. Any structural disagreement
+ * fails the recovery (ok=false) rather than guessing.
+ */
+RebindPerm
+recoverRebindPerm(const circuit::QuantumCircuit &logical,
+                  const device::DeviceModel &dev,
+                  const TranspileOptions &options,
+                  const CompiledCircuit &compiled)
+{
+    RebindPerm perm;
+    const std::size_t n_logical = logical.parameterCount();
+    std::vector<double> tags(n_logical);
+    for (std::size_t i = 0; i < n_logical; ++i)
+        tags[i] = static_cast<double>(i);
+    circuit::QuantumCircuit tagged = logical;
+    tagged.rebindAngles(tags);
+    const RoutedCircuit routed = sabreRoute(
+        tagged, dev.topology(), compiled.initialLayout, options.sabre);
+    if (routed.physical.skeletonHash() !=
+        compiled.physical.skeletonHash()) {
+        return perm; // ok=false: re-route did not reproduce the entry
+    }
+    perm.slots.reserve(routed.physical.parameterCount());
+    for (const circuit::Gate &g : routed.physical.gates()) {
+        for (double p : g.params) {
+            const double r = std::round(p);
+            if (r != p || r < 0.0 ||
+                r >= static_cast<double>(n_logical)) {
+                perm.slots.clear();
+                return perm; // ok=false: a non-tag parameter leaked in
+            }
+            perm.slots.push_back(static_cast<std::size_t>(r));
+        }
+    }
+    perm.ok = true;
+    return perm;
+}
 
 } // namespace
 
@@ -130,20 +206,64 @@ transpileCachedVia(const circuit::QuantumCircuit &logical,
                    const std::function<CompiledCircuit()> &compute)
 {
     const std::uint64_t key = transpileKey(logical, dev, options);
+    const std::vector<double> binding = logical.parameters();
+
+    std::optional<CompiledCircuit> cached;
+    std::shared_ptr<const RebindPerm> perm;
     {
         std::lock_guard<std::mutex> lock(transpileCacheMutex);
         const auto it = transpileCache.find(key);
         if (it != transpileCache.end()) {
-            ++transpileHits;
-            return it->second;
+            if (it->second.binding == binding) {
+                ++transpileHits;
+                return it->second.compiled;
+            }
+            cached = it->second.compiled;
+            perm = it->second.perm;
         }
     }
-    // Compile outside the lock: deterministic, so two threads racing
-    // on one key produce identical entries.
+    if (cached) {
+        // Same skeleton, different angles: re-bind into the cached
+        // compilation instead of recompiling. EPS and layouts are
+        // angle-independent, so only the parameter values move.
+        if (!perm) {
+            auto recovered = std::make_shared<RebindPerm>(
+                recoverRebindPerm(logical, dev, options, *cached));
+            std::lock_guard<std::mutex> lock(transpileCacheMutex);
+            const auto it = transpileCache.find(key);
+            if (it != transpileCache.end()) {
+                if (!it->second.perm)
+                    it->second.perm = std::move(recovered);
+                perm = it->second.perm;
+            } else {
+                perm = std::move(recovered); // entry was cleared; use ours
+            }
+        }
+        if (perm->ok) {
+            ++transpileHits;
+            ++transpileRebinds;
+            std::vector<double> physical(perm->slots.size());
+            for (std::size_t k = 0; k < perm->slots.size(); ++k)
+                physical[k] = binding[perm->slots[k]];
+            cached->physical.rebindAngles(physical);
+            return std::move(*cached);
+        }
+        // Unrecoverable permutation: full recompile below (counted as
+        // a miss), without clobbering the cached entry.
+        ++transpileMisses;
+        return compute();
+    }
+    // Compile outside the lock: deterministic for a fixed binding.
+    // First insert wins; a racing thread that lost with a different
+    // binding must return its own compilation, not the winner's.
     ++transpileMisses;
     CompiledCircuit compiled = compute();
-    std::lock_guard<std::mutex> lock(transpileCacheMutex);
-    return transpileCache.emplace(key, std::move(compiled)).first->second;
+    {
+        std::lock_guard<std::mutex> lock(transpileCacheMutex);
+        transpileCache.emplace(
+            key, TranspileEntry{compiled, std::move(binding), nullptr});
+    }
+    return compiled;
 }
 
 CompiledCircuit
@@ -166,6 +286,12 @@ std::uint64_t
 transpileCacheMisses()
 {
     return transpileMisses.load();
+}
+
+std::uint64_t
+transpileSkeletonRebinds()
+{
+    return transpileRebinds.load();
 }
 
 void

@@ -53,14 +53,19 @@ CompiledCircuit transpile(const circuit::QuantumCircuit &logical,
                           const TranspileOptions &options = {});
 
 /**
- * transpile() behind a process-wide memo keyed like the executor PMF
- * caches: the logical circuit's structuralHash(), the device identity
+ * transpile() behind a process-wide memo keyed on the logical
+ * circuit's parameter-invariant skeletonHash(), the device identity
  * (name, qubit count, full edge list — calibrations are assumed
  * stable per device name within a process), and every
- * TranspileOptions field. Transpilation is deterministic for a fixed key, so repeated
- * scheme/cell sweeps over the same circuits (the JigSaw evaluation
- * suite re-transpiles each workload per scheme) pay the placement +
- * SABRE cost once. Thread-safe.
+ * TranspileOptions field. Transpilation is deterministic for a fixed
+ * key, so repeated scheme/cell sweeps over the same circuits (the
+ * JigSaw evaluation suite re-transpiles each workload per scheme) pay
+ * the placement + SABRE cost once. Placement, routing, and EPS never
+ * read rotation angles, so a hit whose cached binding differs from
+ * the caller's (an iterative-VQA re-submission) re-binds the new
+ * angles into the cached physical circuit via a lazily recovered
+ * slot permutation instead of recompiling — identical to a cold
+ * transpile() of the bound circuit. Thread-safe.
  */
 CompiledCircuit transpileCached(const circuit::QuantumCircuit &logical,
                                 const device::DeviceModel &dev,
@@ -84,6 +89,12 @@ std::uint64_t transpileCacheHits();
 
 /** Lifetime transpileCached() calls that ran the full transpile. */
 std::uint64_t transpileCacheMisses();
+
+/**
+ * Lifetime cache hits served by re-binding new angles into a cached
+ * same-skeleton compilation (a subset of transpileCacheHits()).
+ */
+std::uint64_t transpileSkeletonRebinds();
 
 /** Drop all memoized compilations (counters are kept). */
 void clearTranspileCache();

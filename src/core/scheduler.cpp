@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "compiler/transpiler.h"
+#include "sim/simulators.h"
 
 namespace jigsaw {
 namespace core {
@@ -39,7 +41,13 @@ isSet(std::chrono::steady_clock::time_point point)
     return point.time_since_epoch().count() != 0;
 }
 
-/** Key under which compatible jobs share a merge window. */
+/**
+ * Key under which compatible jobs share a merge window. Keyed on the
+ * parameter-invariant skeletonHash so parametric iterations of one
+ * program — same gates, fresh angles — window together: their compiled
+ * prefixes differ only in diagonal-rotation angles, which the merged
+ * executor deduplicates via its skeleton split-prefix cache.
+ */
 std::uint64_t
 windowKeyFor(MergePolicy policy, std::uint64_t device_key,
              const circuit::QuantumCircuit &circuit)
@@ -47,7 +55,7 @@ windowKeyFor(MergePolicy policy, std::uint64_t device_key,
     if (policy == MergePolicy::Always)
         return device_key; // mergeSchedules separates prefixes inside
     return device_key ^
-           (circuit.structuralHash() * 0x9e3779b97f4a7c15ULL);
+           (circuit.skeletonHash() * 0x9e3779b97f4a7c15ULL);
 }
 
 /** Priority class after @p waited_ms of aging (0 = strongest). */
@@ -172,6 +180,47 @@ StreamingScheduler::submit(ServiceProgram program, Priority priority)
     lock.unlock();
     dispatcherCv_.notify_all();
     return SubmitResult{true, JobHandle{id}, 0.0};
+}
+
+ParametricHandle
+StreamingScheduler::compileParametric(ServiceProgram prototype)
+{
+    fatalIf(prototype.circuit.parameterCount() == 0,
+            "compileParametric: circuit carries no rotation "
+            "parameters to re-bind");
+    // Prewarm the process-wide transpile memo outside the scheduler
+    // lock: the prototype's global + CPM compilations land in the
+    // same skeleton-keyed entries every iteration will hit. (The
+    // executor's evolution caches warm on the first execution — they
+    // need bound angles for the diagonal tail.)
+    const SubsetPlan plan = planSubsets(
+        prototype.circuit, prototype.trials, prototype.options);
+    compileJobs(prototype.circuit, prototype.device, plan,
+                prototype.options);
+    std::lock_guard<std::mutex> lock(mutex_);
+    fatalIf(stopping_,
+            "StreamingScheduler: compileParametric after shutdown");
+    const std::uint64_t id = nextParametricId_++;
+    prototypes_.emplace(id, std::move(prototype));
+    ++stats_.parametricPrograms;
+    return ParametricHandle{id};
+}
+
+SubmitResult
+StreamingScheduler::submitIteration(ParametricHandle handle,
+                                    const std::vector<double> &angles,
+                                    Priority priority)
+{
+    ServiceProgram program = [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = prototypes_.find(handle.id);
+        fatalIf(it == prototypes_.end(),
+                "submitIteration: unknown parametric handle");
+        ++stats_.parametricIterations;
+        return it->second; // copy: the prototype stays pristine
+    }();
+    program.circuit.rebindAngles(angles);
+    return submit(std::move(program), priority);
 }
 
 std::optional<JobStatus>
@@ -389,7 +438,18 @@ StreamStats
 StreamingScheduler::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    StreamStats out = stats_;
+    out.transpileHits = compiler::transpileCacheHits();
+    out.transpileMisses = compiler::transpileCacheMisses();
+    out.transpileRebinds = compiler::transpileSkeletonRebinds();
+    for (const auto &[key, executor] : sharedExecutors_) {
+        const sim::ExecutorCounters counters = executor->counters();
+        out.executorPmfHits += counters.pmfHits;
+        out.executorPmfMisses += counters.pmfMisses;
+        out.prefixStateHits += counters.prefixStateHits;
+        out.prefixStateMisses += counters.prefixStateMisses;
+    }
+    return out;
 }
 
 std::size_t

@@ -118,6 +118,25 @@ class StreamingScheduler
     SubmitResult submit(ServiceProgram program,
                         Priority priority = Priority::Normal);
 
+    /**
+     * Register @p prototype for compile-once/re-bind iteration
+     * (JigsawService::compileParametric documents the contract). The
+     * transpile memo is prewarmed with the prototype's global + CPM
+     * compilations before the handle is returned, so even the first
+     * submitIteration()'s compile stage is pure cache hits.
+     */
+    ParametricHandle compileParametric(ServiceProgram prototype);
+
+    /**
+     * submit() a copy of @p handle's prototype with @p angles re-bound
+     * into its circuit. The iteration shares the prototype's skeleton,
+     * so its window key, transpile memo entries, and split-prefix
+     * evolution states all collide with every other iteration's.
+     */
+    SubmitResult submitIteration(ParametricHandle handle,
+                                 const std::vector<double> &angles,
+                                 Priority priority = Priority::Normal);
+
     /** Status snapshot, or std::nullopt for an unknown handle. */
     std::optional<JobStatus> poll(JobHandle handle) const;
 
@@ -299,6 +318,9 @@ class StreamingScheduler
     /** Per-device persistent shared executors (merged path). */
     std::unordered_map<std::uint64_t, std::shared_ptr<sim::Executor>>
         sharedExecutors_;
+    /** Parametric prototypes by ParametricHandle::id. */
+    std::unordered_map<std::uint64_t, ServiceProgram> prototypes_;
+    std::uint64_t nextParametricId_ = 1;
 
     StreamStats stats_;
 

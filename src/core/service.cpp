@@ -1,6 +1,7 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -9,7 +10,9 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "compiler/transpiler.h"
 #include "core/scheduler.h"
+#include "sim/simulators.h"
 
 namespace jigsaw {
 namespace core {
@@ -162,6 +165,20 @@ JigsawService::submit(ServiceProgram program, Priority priority)
     return scheduler().submit(std::move(program), priority);
 }
 
+ParametricHandle
+JigsawService::compileParametric(ServiceProgram prototype)
+{
+    return scheduler().compileParametric(std::move(prototype));
+}
+
+SubmitResult
+JigsawService::submitIteration(ParametricHandle handle,
+                               const std::vector<double> &angles,
+                               Priority priority)
+{
+    return scheduler().submitIteration(handle, angles, priority);
+}
+
 std::optional<JobStatus>
 JigsawService::poll(JobHandle handle) const
 {
@@ -233,6 +250,26 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
             .count();
     };
     stats_ = ServiceStats{};
+    // Transpile counters are process-wide; the run's share is the
+    // delta. Executor evolution counters are harvested per executor
+    // the run builds (legacy tasks aggregate into these before their
+    // private executor dies).
+    const std::uint64_t transpile_hits0 = compiler::transpileCacheHits();
+    const std::uint64_t transpile_misses0 =
+        compiler::transpileCacheMisses();
+    const std::uint64_t transpile_rebinds0 =
+        compiler::transpileSkeletonRebinds();
+    std::atomic<std::uint64_t> pmf_hits{0};
+    std::atomic<std::uint64_t> pmf_misses{0};
+    std::atomic<std::uint64_t> prefix_hits{0};
+    std::atomic<std::uint64_t> prefix_misses{0};
+    const auto harvest = [&](const sim::Executor &executor) {
+        const sim::ExecutorCounters counters = executor.counters();
+        pmf_hits += counters.pmfHits;
+        pmf_misses += counters.pmfMisses;
+        prefix_hits += counters.prefixStateHits;
+        prefix_misses += counters.prefixStateMisses;
+    };
 
     const std::size_t n = programs.size();
     std::vector<std::optional<JigsawResult>> slots(n);
@@ -254,8 +291,12 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
             if (programs[i].executor)
                 continue;
             device_keys[i] = programs[i].device.fingerprint();
+            // Skeleton-keyed pairing: parametric iterations of one
+            // program (same gates, fresh angles) merge — their
+            // compiled prefixes differ only in diagonal angles the
+            // shared executor's split-prefix cache deduplicates.
             pair_keys[i] = device_keys[i] ^
-                           (programs[i].circuit.structuralHash() *
+                           (programs[i].circuit.skeletonHash() *
                             0x9e3779b97f4a7c15ULL);
             ++pair_count[pair_keys[i]];
         }
@@ -275,7 +316,7 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
         if (on_merged_path[i])
             continue;
         legacy.run([&programs, &slots, &errors, &latencies, &msSinceStart,
-                    i] {
+                    &harvest, i] {
             try {
                 const ServiceProgram &program = programs[i];
                 const std::shared_ptr<sim::Executor> executor =
@@ -284,6 +325,10 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
                                       *executor, program.trials,
                                       program.options);
                 slots[i] = session.run();
+                // Only run-built executors count: a caller-supplied
+                // one carries its whole lifetime's counters.
+                if (!program.executor)
+                    harvest(*executor);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
@@ -385,12 +430,23 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
                     errors[src.program] = error;
             }
         }
+        for (const auto &[key, executor] : shared_executors)
+            harvest(*executor);
     }
     legacy.wait();
 
     stats_.programs = n;
     stats_.wallMs = msSinceStart();
     stats_.latenciesMs = std::move(latencies);
+    stats_.transpileHits = compiler::transpileCacheHits() - transpile_hits0;
+    stats_.transpileMisses =
+        compiler::transpileCacheMisses() - transpile_misses0;
+    stats_.transpileRebinds =
+        compiler::transpileSkeletonRebinds() - transpile_rebinds0;
+    stats_.executorPmfHits = pmf_hits.load();
+    stats_.executorPmfMisses = pmf_misses.load();
+    stats_.prefixStateHits = prefix_hits.load();
+    stats_.prefixStateMisses = prefix_misses.load();
 
     for (std::size_t i = 0; i < n; ++i) {
         if (errors[i])

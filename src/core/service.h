@@ -134,6 +134,19 @@ struct JobHandle
 };
 
 /**
+ * Opaque identifier of one parametric program compiled once via
+ * compileParametric() and re-submitted per iteration with fresh
+ * rotation angles via submitIteration() — the iterative-VQA client
+ * shape. All iterations share the prototype's skeleton, so they hit
+ * the transpile memo (angles re-bound into the cached routing), the
+ * executor's split-prefix evolution cache, and one merge-window key.
+ */
+struct ParametricHandle
+{
+    std::uint64_t id = 0;
+};
+
+/**
  * Outcome of one streaming submit(). With bounded admission
  * (StreamOptions::maxQueuedJobs) a submit can be shed: admitted is
  * false, the handle is empty, and tryLaterAfterMs is a finite
@@ -304,6 +317,25 @@ struct StreamStats
      *  reservoir's population size. */
     std::size_t jobsObserved = 0;
     /** @} */
+    /** @name Parametric-serving cache counters, snapshotted by
+     * stats(). The transpile counters are process-wide (the memo is
+     * shared across schedulers); the executor counters aggregate this
+     * scheduler's per-device shared executors. @{ */
+    std::size_t parametricPrograms = 0;   ///< compileParametric() calls.
+    std::size_t parametricIterations = 0; ///< submitIteration() calls.
+    std::uint64_t transpileHits = 0;      ///< Memo hits (lifetime).
+    std::uint64_t transpileMisses = 0;    ///< Full transpiles (lifetime).
+    /** Memo hits served by re-binding new angles into a cached
+     *  same-skeleton compilation (subset of transpileHits). */
+    std::uint64_t transpileRebinds = 0;
+    std::uint64_t executorPmfHits = 0;    ///< Executor PMF-cache hits.
+    std::uint64_t executorPmfMisses = 0;  ///< Executor PMF-cache misses.
+    /** Skeleton split-prefix evolution cache hits: evolutions that
+     *  reused a cached pre-diagonal-tail state and re-applied only
+     *  the re-bound diagonal gates. */
+    std::uint64_t prefixStateHits = 0;
+    std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
+    /** @} */
     /**
      * Latency samples of completed/failed jobs (cancelled and expired
      * jobs never ran, so they contribute no sample). Exact and in
@@ -358,6 +390,19 @@ struct ServiceStats
     std::size_t crossProgramGroups = 0; ///< Groups spanning programs.
     std::size_t pooledGlobalBatches = 0; ///< Pooled global runBatch calls.
     std::size_t pooledGlobalPrograms = 0; ///< Programs with pooled globals.
+    /** @} */
+    /** @name Parametric-serving cache counters for THIS run: the
+     * transpile counters are deltas across the run (the memo is
+     * process-wide), the executor counters aggregate the executors
+     * the run built (merged-path shared executors and legacy-path
+     * private ones). @{ */
+    std::uint64_t transpileHits = 0;     ///< Memo hits during the run.
+    std::uint64_t transpileMisses = 0;   ///< Full transpiles during it.
+    std::uint64_t transpileRebinds = 0;  ///< Angle re-bind hits.
+    std::uint64_t executorPmfHits = 0;   ///< Executor PMF-cache hits.
+    std::uint64_t executorPmfMisses = 0; ///< Executor PMF-cache misses.
+    std::uint64_t prefixStateHits = 0;   ///< Split-prefix state reuses.
+    std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
     /** @} */
 
     /** Throughput of the batch. */
@@ -426,6 +471,27 @@ class JigsawService
      *  job's failure (std::runtime_error for a cancelled job,
      *  DeadlineExceededError for an expired one). */
     JigsawResult wait(JobHandle handle);
+    /**
+     * Compile @p prototype once for iterative re-submission: validates
+     * that the circuit carries rotation parameters, prewarms the
+     * process-wide transpile memo (global + CPM compilations), and
+     * registers the program as this handle's prototype. Iterations
+     * then submit via submitIteration() with fresh angles — each pays
+     * only an angle re-bind into the cached routing plus the diagonal
+     * tail of the evolution, never a recompile. Thread-safe.
+     */
+    ParametricHandle compileParametric(ServiceProgram prototype);
+    /**
+     * Submit one iteration of @p handle's prototype with @p angles
+     * re-bound into its circuit (flattened gate-order parameter list;
+     * the size must equal the prototype's parameterCount()). Behaves
+     * exactly like submit() of the re-bound program — same admission,
+     * windowing, determinism, and result contract. Throws
+     * std::invalid_argument semantics (fatal) for an unknown handle.
+     */
+    SubmitResult submitIteration(ParametricHandle handle,
+                                 const std::vector<double> &angles,
+                                 Priority priority = Priority::Normal);
     /** Withdraw a not-yet-dispatched job (true on success). */
     bool cancel(JobHandle handle);
     /** Drop a terminal job's result and bookkeeping; its handle

@@ -69,19 +69,136 @@ namespace {
 using detail::BatchState;
 using BatchStateCache =
     std::unordered_map<std::uint64_t, std::unique_ptr<BatchState>>;
+using SplitStateCache =
+    std::unordered_map<std::uint64_t, std::unique_ptr<StateVector>>;
+
+/**
+ * The skeleton split-prefix cache of one executor: the map, the mutex
+ * guarding it (the executor's cacheMutex_), and the hit/miss
+ * counters. Passed by pointer bundle because the owning members are
+ * private to each simulator class.
+ */
+struct SplitContext
+{
+    SplitStateCache *cache = nullptr;
+    std::mutex *mutex = nullptr;
+    std::atomic<std::uint64_t> *hits = nullptr;
+    std::atomic<std::uint64_t> *misses = nullptr;
+};
+
+/**
+ * Where @p qc's evolution splits: the diagonal suffix boundary,
+ * clamped to the maximal angle-free prefix. The clamp matters under
+ * routing — SABRE interleaves SWAPs with a parametric tail, pushing
+ * diagonalSuffixStart past rotation gates; a prefix carrying angles
+ * would key a fresh cache entry per binding and never hit across
+ * iterations. Clamping keeps the cached prefix state invariant under
+ * re-binding. The split point is structural (parameter values never
+ * move it), so every binding of one skeleton splits identically.
+ */
+std::size_t
+splitPoint(const QuantumCircuit &qc)
+{
+    std::size_t s = qc.diagonalSuffixStart();
+    const std::vector<Gate> &gs = qc.gates();
+    for (std::size_t i = 0; i < s; ++i) {
+        if (!gs[i].params.empty()) {
+            s = i;
+            break;
+        }
+    }
+    return s;
+}
+
+/**
+ * True when @p qc's evolution should split at @p s (its splitPoint):
+ * a non-empty angle-free prefix followed by a tail carrying at least
+ * one parametric diagonal gate — the iterative-VQA shape, where the
+ * tail's angles are re-bound per iteration while the prefix state
+ * never changes. The predicate is circuit-intrinsic, so cold and warm
+ * evolutions of one circuit take the identical path and stay
+ * bitwise-equal whatever the cache state.
+ */
+bool
+splitQualifies(const QuantumCircuit &qc, std::size_t s)
+{
+    if (s == 0)
+        return false;
+    const std::vector<Gate> &gs = qc.gates();
+    for (std::size_t i = s; i < gs.size(); ++i) {
+        const Gate &g = gs[i];
+        if (g.isDiagonal() && !g.params.empty())
+            return true;
+    }
+    return false;
+}
+
+/** @p qc's gates in [@p from, @p to) as a circuit (registers kept). */
+QuantumCircuit
+gateRange(const QuantumCircuit &qc, std::size_t from, std::size_t to)
+{
+    QuantumCircuit out(qc.nQubits(), qc.nClbits());
+    const std::vector<Gate> &gs = qc.gates();
+    for (std::size_t i = from; i < to; ++i)
+        out.append(gs[i]);
+    return out;
+}
+
+/**
+ * Evolve @p compact from |0...0>. For a qualifying parametric shape
+ * (splitQualifies) the evolution is split at splitPoint: the
+ * angle-free prefix state is cached in @p split keyed on the compact
+ * prefix content, and each call copies it and re-applies the
+ * parametric tail. The split is canonical: qualifying circuits always
+ * evolve this way, hit or miss, so the result is bitwise-identical to
+ * any other in-process evolution of the same bound circuit.
+ * Non-qualifying circuits evolve in one fused pass exactly as before.
+ */
+StateVector
+evolveCompact(const QuantumCircuit &compact, const SplitContext &split)
+{
+    const std::size_t s = splitPoint(compact);
+    if (split.cache == nullptr || !splitQualifies(compact, s)) {
+        StateVector state(compact.nQubits());
+        state.applyCircuit(compact);
+        return state;
+    }
+    const std::uint64_t key = compact.prefixHash(s);
+    const StateVector *prefix = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(*split.mutex);
+        const auto it = split.cache->find(key);
+        if (it != split.cache->end()) {
+            ++*split.hits;
+            prefix = it->second.get();
+        }
+    }
+    if (prefix == nullptr) {
+        // Evolve outside the lock (deterministic; first insert wins
+        // and stays pointer-stable — entries never mutate).
+        ++*split.misses;
+        auto state = std::make_unique<StateVector>(compact.nQubits());
+        state->applyCircuit(gateRange(compact, 0, s));
+        std::lock_guard<std::mutex> lock(*split.mutex);
+        prefix = split.cache->emplace(key, std::move(state))
+                     .first->second.get();
+    }
+    StateVector out = *prefix;
+    out.applyCircuit(gateRange(compact, s, compact.gates().size()));
+    return out;
+}
 
 /**
  * Exact output PMF of a (physical) circuit over its classical bits,
  * computed by compacting onto active qubits and simulating.
  */
 Pmf
-exactOutputPmf(const QuantumCircuit &physical)
+exactOutputPmf(const QuantumCircuit &physical, const SplitContext &split)
 {
     checkTerminalMeasurements(physical);
     const CompactCircuit compact = compactCircuit(physical);
 
-    StateVector state(compact.circuit.nQubits());
-    state.applyCircuit(compact.circuit);
+    const StateVector state = evolveCompact(compact.circuit, split);
 
     // Dense qubit index for each classical bit, in clbit order.
     const std::vector<int> measured = compact.circuit.measuredQubits();
@@ -99,11 +216,14 @@ exactOutputPmf(const QuantumCircuit &physical)
  * from @p cache when present. @p stats tracks evolutions vs reuses.
  * @p mutex guards both the cache and the stats; the evolution itself
  * runs unlocked (a lost insert race wastes one evolution, the first
- * inserted entry wins and stays pointer-stable).
+ * inserted entry wins and stays pointer-stable). @p split carries the
+ * executor's skeleton split-prefix cache, so a re-bound diagonal tail
+ * pays only its own application on top of the cached prefix state.
  */
 const BatchState &
 evolvedBase(BatchStateCache &cache, std::mutex &mutex,
-            const QuantumCircuit &base, BatchStats &stats)
+            const QuantumCircuit &base, BatchStats &stats,
+            const SplitContext &split)
 {
     const QuantumCircuit prefix = base.withoutMeasurements();
     const std::uint64_t key = prefix.structuralHash();
@@ -116,8 +236,7 @@ evolvedBase(BatchStateCache &cache, std::mutex &mutex,
         }
     }
     CompactCircuit compact = compactCircuit(prefix);
-    StateVector state(compact.circuit.nQubits());
-    state.applyCircuit(compact.circuit);
+    StateVector state = evolveCompact(compact.circuit, split);
     auto entry = std::make_unique<BatchState>(std::move(state),
                                               std::move(compact.denseOf));
     std::lock_guard<std::mutex> lock(mutex);
@@ -244,7 +363,9 @@ IdealSimulator::evolved(const QuantumCircuit &physical)
     // Evolve outside the lock: deterministic, so racing threads build
     // identical entries and the first emplace wins.
     ++cacheMisses_;
-    Pmf pmf = exactOutputPmf(physical);
+    Pmf pmf = exactOutputPmf(
+        physical,
+        {&splitCache_, &cacheMutex_, &skeletonHits_, &skeletonMisses_});
     AliasTable sampler(pmf);
     std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_
@@ -324,8 +445,9 @@ IdealSimulator::cpmEntry(const QuantumCircuit &base_circuit,
         }
     }
     if (bs == nullptr)
-        bs = &evolvedBase(stateCache_, cacheMutex_, base_circuit,
-                          batchStats_);
+        bs = &evolvedBase(
+            stateCache_, cacheMutex_, base_circuit, batchStats_,
+            {&splitCache_, &cacheMutex_, &skeletonHits_, &skeletonMisses_});
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         ++batchStats_.marginalsServed;
@@ -452,7 +574,9 @@ NoisySimulator::evolved(const QuantumCircuit &physical)
         }
     }
     ++cacheMisses_;
-    Pmf pmf = exactOutputPmf(physical);
+    Pmf pmf = exactOutputPmf(
+        physical,
+        {&splitCache_, &cacheMutex_, &skeletonHits_, &skeletonMisses_});
     AliasTable sampler(pmf);
     const double gate_ok =
         options_.gateNoise ? gateSuccessProbability(physical, dev_) : 1.0;
@@ -539,8 +663,9 @@ NoisySimulator::cpmEntry(const QuantumCircuit &base_circuit,
         }
     }
     if (bs == nullptr)
-        bs = &evolvedBase(stateCache_, cacheMutex_, base_circuit,
-                          batchStats_);
+        bs = &evolvedBase(
+            stateCache_, cacheMutex_, base_circuit, batchStats_,
+            {&splitCache_, &cacheMutex_, &skeletonHits_, &skeletonMisses_});
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         ++batchStats_.marginalsServed;

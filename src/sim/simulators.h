@@ -34,6 +34,8 @@ namespace detail {
 struct BatchState;
 } // namespace detail
 
+class StateVector; // sim/statevector.h
+
 /**
  * One circuit-with-partial-measurements (CPM) inside a batch: measure
  * @p qubits (physical indices, in classical-bit order 0..k-1) of the
@@ -80,11 +82,30 @@ struct BatchStats
     }
 };
 
+/**
+ * Cache counters an executor exposes for observability: the PMF memo
+ * (evolutions skipped because the exact output distribution was
+ * already cached) and the skeleton split-prefix cache (evolutions of
+ * a parametric circuit's non-diagonal prefix reused across re-bound
+ * diagonal tails — the iterative-VQA fast path). Backends without
+ * caches report zeros.
+ */
+struct ExecutorCounters
+{
+    std::uint64_t pmfHits = 0;
+    std::uint64_t pmfMisses = 0;
+    std::uint64_t prefixStateHits = 0;
+    std::uint64_t prefixStateMisses = 0;
+};
+
 /** Abstract quantum-program executor (the "NISQ machine"). */
 class Executor
 {
   public:
     virtual ~Executor() = default;
+
+    /** Cache counter snapshot (zeros on cacheless backends). */
+    virtual ExecutorCounters counters() const { return {}; }
 
     /**
      * Run @p physical_circuit for @p shots trials and return the
@@ -211,6 +232,21 @@ class IdealSimulator : public Executor
     /** Simulations actually performed. */
     std::uint64_t cacheMisses() const { return cacheMisses_.load(); }
 
+    /** Prefix evolutions reused across re-bound diagonal tails. */
+    std::uint64_t skeletonCacheHits() const { return skeletonHits_.load(); }
+
+    /** Prefix evolutions actually performed for parametric circuits. */
+    std::uint64_t skeletonCacheMisses() const
+    {
+        return skeletonMisses_.load();
+    }
+
+    ExecutorCounters counters() const override
+    {
+        return {cacheHits_.load(), cacheMisses_.load(),
+                skeletonHits_.load(), skeletonMisses_.load()};
+    }
+
     /** Batched-execution counters (quiescent reads only). */
     const BatchStats &batchStats() const { return batchStats_; }
 
@@ -230,12 +266,18 @@ class IdealSimulator : public Executor
 
     Rng rng_;
     std::mutex rngMutex_;   ///< Serializes draws from rng_.
-    std::mutex cacheMutex_; ///< Guards cache_, stateCache_, batchStats_.
+    std::mutex cacheMutex_; ///< Guards cache_, stateCache_,
+                            ///< splitCache_, batchStats_.
     std::unordered_map<std::uint64_t, Cached> cache_;
     std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
         stateCache_;
+    /** Skeleton split-prefix states (see ExecutorCounters). */
+    std::unordered_map<std::uint64_t, std::unique_ptr<StateVector>>
+        splitCache_;
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> cacheMisses_{0};
+    std::atomic<std::uint64_t> skeletonHits_{0};
+    std::atomic<std::uint64_t> skeletonMisses_{0};
     BatchStats batchStats_;
 };
 
@@ -318,6 +360,21 @@ class NoisySimulator : public Executor
     /** Channel-mode evolutions actually performed. */
     std::uint64_t cacheMisses() const { return cacheMisses_.load(); }
 
+    /** Prefix evolutions reused across re-bound diagonal tails. */
+    std::uint64_t skeletonCacheHits() const { return skeletonHits_.load(); }
+
+    /** Prefix evolutions actually performed for parametric circuits. */
+    std::uint64_t skeletonCacheMisses() const
+    {
+        return skeletonMisses_.load();
+    }
+
+    ExecutorCounters counters() const override
+    {
+        return {cacheHits_.load(), cacheMisses_.load(),
+                skeletonHits_.load(), skeletonMisses_.load()};
+    }
+
     /** Batched-execution counters (quiescent reads only). */
     const BatchStats &batchStats() const { return batchStats_; }
 
@@ -349,12 +406,18 @@ class NoisySimulator : public Executor
     NoisySimulatorOptions options_;
     Rng rng_;
     std::mutex rngMutex_;   ///< Serializes draws from rng_.
-    std::mutex cacheMutex_; ///< Guards cache_, stateCache_, batchStats_.
+    std::mutex cacheMutex_; ///< Guards cache_, stateCache_,
+                            ///< splitCache_, batchStats_.
     std::unordered_map<std::uint64_t, Cached> cache_;
     std::unordered_map<std::uint64_t, std::unique_ptr<detail::BatchState>>
         stateCache_;
+    /** Skeleton split-prefix states (see ExecutorCounters). */
+    std::unordered_map<std::uint64_t, std::unique_ptr<StateVector>>
+        splitCache_;
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> cacheMisses_{0};
+    std::atomic<std::uint64_t> skeletonHits_{0};
+    std::atomic<std::uint64_t> skeletonMisses_{0};
     BatchStats batchStats_;
 };
 
