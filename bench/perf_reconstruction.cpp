@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/bayesian.h"
 #include "core/reference_bayesian.h"
@@ -191,6 +192,72 @@ main(int argc, char **argv)
             std::cerr << "  [perf] " << label << ": " << naive_ms
                       << " ms -> " << opt_ms << " ms\n";
         }
+    }
+
+    // --- 1b. Kernels: scattered-mask phase table (gather path) -----
+    {
+        // The QAOA shape the gather kernels target: one fused phase
+        // table over qubits scattered across the register (a routed
+        // cost layer rarely lands on contiguous low qubits). The
+        // scalar baseline pays one PEXT per amplitude; the wide
+        // tables batch the index math per lane block and fetch the
+        // table entries with a hardware gather. Same table, same
+        // mask, same amplitudes — the entry isolates the kernel, so
+        // the speedup is the gather path itself.
+        const int bits = n_qubits >= 16 ? 20 : 16;
+        const std::size_t dim = 1ULL << bits;
+        std::uint64_t mask = 0;
+        for (int b : {1, 3, 6, 8, 11, 13, 16, 18}) {
+            if (b < bits - 1)
+                mask |= 1ULL << b;
+        }
+        const std::size_t tsize =
+            1ULL << static_cast<unsigned>(__builtin_popcountll(mask));
+        std::vector<double> tab_re(tsize), tab_im(tsize);
+        for (std::size_t t = 0; t < tsize; ++t) {
+            const double angle = rng.uniform(0.0, 2 * M_PI);
+            tab_re[t] = std::cos(angle);
+            tab_im[t] = std::sin(angle);
+        }
+        std::vector<double> re0(dim), im0(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+            re0[i] = rng.uniform(-1.0, 1.0);
+            im0[i] = rng.uniform(-1.0, 1.0);
+        }
+        const int kernel_reps = reps * 10;
+
+        std::vector<double> re1 = re0, im1 = im0;
+        const simd::KernelTable &scalar_kt = simd::scalarKernels();
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < kernel_reps; ++r)
+            scalar_kt.phaseTable(re1.data(), im1.data(), mask,
+                                 tab_re.data(), tab_im.data(), 0, dim);
+        const double naive_ms = msSince(start);
+
+        std::vector<double> re2 = re0, im2 = im0;
+        const simd::KernelTable &active_kt = simd::activeKernels();
+        start = std::chrono::steady_clock::now();
+        for (int r = 0; r < kernel_reps; ++r)
+            active_kt.phaseTable(re2.data(), im2.data(), mask,
+                                 tab_re.data(), tab_im.data(), 0, dim);
+        const double opt_ms = msSince(start);
+
+        double max_diff = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+            max_diff = std::max(max_diff, std::abs(re1[i] - re2[i]));
+            max_diff = std::max(max_diff, std::abs(im1[i] - im2[i]));
+        }
+        if (max_diff > 1e-9) {
+            std::cerr << "ERROR: " << active_kt.name
+                      << " scattered phase table diverged from scalar "
+                         "(max diff "
+                      << max_diff << ")\n";
+            return 1;
+        }
+        report.addComparison("kernels/qaoa_scattered", naive_ms, opt_ms);
+        std::cerr << "  [perf] kernels/qaoa_scattered: " << naive_ms
+                  << " ms -> " << opt_ms << " ms (" << active_kt.name
+                  << " table, " << bits << "-bit register)\n";
     }
 
     // --- 2. Executor: repeated runs of one circuit ----------------
@@ -733,6 +800,79 @@ main(int argc, char **argv)
                              opt_ms);
         std::cerr << "  [perf] reconstruction/multilayer: " << naive_ms
                   << " ms -> " << opt_ms << " ms\n";
+    }
+
+    // --- 3b. Reconstruction: >1M-outcome sharded rounds ------------
+    {
+        // The large-support regime the sharded path exists for, with
+        // the round loops pinned to the scalar kernel table vs the
+        // active one (ReconstructionOptions::kernels): identical shard
+        // boundaries and reduction order, so the delta is the SIMD
+        // reconstruction kernels alone. Fixed rounds (tolerance 0) so
+        // both paths do the same work.
+        const int gq = n_qubits >= 16 ? 21 : 15;
+        const std::size_t support =
+            n_qubits >= 16 ? (1ULL << 20) : (1ULL << 14);
+        const Pmf global = syntheticGlobal(gq, support, rng);
+        std::vector<core::Marginal> marginals;
+        for (int q0 = 0; q0 + 6 <= gq; q0 += 3) {
+            core::Subset s;
+            for (int q = q0; q < q0 + 6; ++q)
+                s.push_back(q);
+            Pmf local(6);
+            for (BasisState v = 0; v < (1ULL << 6); ++v)
+                local.set(v, rng.uniform(0.05, 1.0));
+            local.normalize();
+            marginals.push_back({local, s});
+        }
+        core::ReconstructionOptions options;
+        options.maxRounds = 6;
+        options.tolerance = 0.0;
+        options.shardMode = core::ShardMode::Always;
+
+        options.kernels = &simd::scalarKernels();
+        auto start = std::chrono::steady_clock::now();
+        const Pmf scalar_out =
+            core::bayesianReconstruct(global, marginals, options);
+        const double naive_ms = msSince(start);
+
+        options.kernels = &simd::activeKernels();
+        start = std::chrono::steady_clock::now();
+        const Pmf simd_out =
+            core::bayesianReconstruct(global, marginals, options);
+        const double opt_ms = msSince(start);
+
+        const double drift =
+            totalVariationDistance(scalar_out, simd_out);
+        if (drift > 1e-9) {
+            std::cerr << "ERROR: SIMD reconstruction kernels diverged "
+                         "from scalar (total variation "
+                      << drift << ")\n";
+            return 1;
+        }
+        report.addComparison("reconstruction/large_support", naive_ms,
+                             opt_ms);
+        std::cerr << "  [perf] reconstruction/large_support: "
+                  << naive_ms << " ms -> " << opt_ms << " ms ("
+                  << global.support() << " outcomes, "
+                  << marginals.size() << " marginals, "
+                  << simd::activeKernels().name << " table)\n";
+    }
+
+    // Kernel-backend dispatch totals of the whole bench run: plain
+    // counters (no baseline), so overall_speedup is unaffected; the
+    // CI gate prints them so a silent fall-off the wide paths shows.
+    {
+        const simd::DispatchCounters d = simd::dispatchCounters();
+        report.addTiming(
+            "simd/dispatch_scalar",
+            static_cast<double>(d.backendTotal(simd::kBackendScalar)));
+        report.addTiming(
+            "simd/dispatch_avx2",
+            static_cast<double>(d.backendTotal(simd::kBackendAvx2)));
+        report.addTiming(
+            "simd/dispatch_avx512",
+            static_cast<double>(d.backendTotal(simd::kBackendAvx512)));
     }
 
     if (!report.write(out_path)) {

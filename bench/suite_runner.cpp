@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/jigsaw.h"
 #include "core/service.h"
@@ -59,6 +60,7 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
         compiler::transpileCacheMisses();
     const std::uint64_t transpile_rebinds0 =
         compiler::transpileSkeletonRebinds();
+    const simd::DispatchCounters simd0 = simd::dispatchCounters();
     const auto sweep_start = std::chrono::steady_clock::now();
 
     for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
@@ -125,6 +127,11 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
         compiler::transpileCacheMisses() - transpile_misses0;
     run.transpileRebinds =
         compiler::transpileSkeletonRebinds() - transpile_rebinds0;
+    const simd::DispatchCounters simd_delta =
+        simd::dispatchCounters().since(simd0);
+    run.simdScalarCalls = simd_delta.backendTotal(simd::kBackendScalar);
+    run.simdAvx2Calls = simd_delta.backendTotal(simd::kBackendAvx2);
+    run.simdAvx512Calls = simd_delta.backendTotal(simd::kBackendAvx512);
 
     if (const char *path = std::getenv("JIGSAW_SUITE_TIMINGS_JSON")) {
         if (path[0] != '\0' && !writeSuiteTimings(run, path) && !quiet)
@@ -169,6 +176,14 @@ writeSuiteTimings(const SuiteRun &run, const std::string &path)
                      static_cast<double>(run.prefixStateHits));
     report.addTiming("suite/prefix_state_misses",
                      static_cast<double>(run.prefixStateMisses));
+    // Kernel-backend dispatch: which SIMD table the sweep's hot loops
+    // actually executed on (counters, not milliseconds).
+    report.addTiming("simd/dispatch_scalar",
+                     static_cast<double>(run.simdScalarCalls));
+    report.addTiming("simd/dispatch_avx2",
+                     static_cast<double>(run.simdAvx2Calls));
+    report.addTiming("simd/dispatch_avx512",
+                     static_cast<double>(run.simdAvx512Calls));
     return report.write(path);
 }
 

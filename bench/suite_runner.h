@@ -65,6 +65,14 @@ struct SuiteRun
     std::uint64_t prefixStateHits = 0;   ///< Split-prefix state reuses.
     std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
     /** @} */
+    /** @name SIMD kernel-backend dispatch counts across the sweep:
+     * deltas of the process-wide simd::dispatchCounters(), exported
+     * as simd/dispatch_* entries so the CI regression gate shows
+     * which backend the hot loops ran on. @{ */
+    std::uint64_t simdScalarCalls = 0;   ///< Scalar-table invocations.
+    std::uint64_t simdAvx2Calls = 0;     ///< AVX2-table invocations.
+    std::uint64_t simdAvx512Calls = 0;   ///< AVX-512-table invocations.
+    /** @} */
 
     /** The cell for (device d, workload w). */
     const SuiteCell &cell(int d, int w) const;

@@ -4,6 +4,8 @@
  */
 #include "common/simd.h"
 
+#include <atomic>
+#include <cmath>
 #include <cstdlib>
 
 namespace jigsaw {
@@ -12,6 +14,32 @@ namespace simd {
 namespace {
 
 using U64 = std::uint64_t;
+
+/** The process-wide (kernel, backend) invocation counts. */
+std::atomic<std::uint64_t> g_dispatch[kKernelCount][kBackendCount];
+
+constexpr const char *kKernelNames[kKernelCount] = {
+    "apply1q",
+    "apply1q_diag",
+    "quad_phase",
+    "quad_swap",
+    "phase_pair",
+    "stratum_phase_table",
+    "phase_table",
+    "norm2",
+    "accumulate_buckets",
+    "posterior_update",
+    "axpy",
+    "scale",
+    "sum",
+    "normalize_bhattacharyya",
+};
+
+constexpr const char *kBackendNames[kBackendCount] = {
+    "scalar",
+    "avx2",
+    "avx512",
+};
 
 inline U64
 insertZero2(U64 k, U64 s_lo, U64 s_hi)
@@ -23,6 +51,7 @@ void
 scalarApply1q(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
               const Mat2Split &m)
 {
+    detail::countDispatch(kApply1q, kBackendScalar);
     for (U64 k = k_lo; k < k_hi; ++k) {
         const U64 i0 = insertZero(k, stride);
         const U64 i1 = i0 | stride;
@@ -44,6 +73,7 @@ scalarApply1qDiag(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
                   double d0r, double d0i, double d1r, double d1i,
                   bool d0_is_one)
 {
+    detail::countDispatch(kApply1qDiag, kBackendScalar);
     for (U64 k = k_lo; k < k_hi; ++k) {
         const U64 i0 = insertZero(k, stride);
         const U64 i1 = i0 | stride;
@@ -62,6 +92,7 @@ void
 scalarQuadPhase(double *re, double *im, U64 s_lo, U64 s_hi, U64 set_mask,
                 U64 k_lo, U64 k_hi, double p_re, double p_im)
 {
+    detail::countDispatch(kQuadPhase, kBackendScalar);
     for (U64 k = k_lo; k < k_hi; ++k) {
         const U64 i = insertZero2(k, s_lo, s_hi) | set_mask;
         const double ar = re[i], ai = im[i];
@@ -74,6 +105,7 @@ void
 scalarQuadSwap(double *re, double *im, U64 s_lo, U64 s_hi, U64 mask_a,
                U64 mask_b, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kQuadSwap, kBackendScalar);
     for (U64 k = k_lo; k < k_hi; ++k) {
         const U64 base = insertZero2(k, s_lo, s_hi);
         const U64 ia = base | mask_a;
@@ -91,6 +123,7 @@ scalarPhasePair(double *re, double *im, int q0, int q1, U64 k_lo, U64 k_hi,
                 double even_re, double even_im, double odd_re,
                 double odd_im)
 {
+    detail::countDispatch(kPhasePair, kBackendScalar);
     const double pr[2] = {even_re, odd_re};
     const double pi[2] = {even_im, odd_im};
     for (U64 k = k_lo; k < k_hi; ++k) {
@@ -122,6 +155,7 @@ scalarStratumPhaseTable(double *re, double *im, U64 q_mask,
                         U64 control_mask, const double *tab_re,
                         const double *tab_im, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kStratumPhaseTable, kBackendScalar);
     if (control_mask < q_mask &&
         (control_mask & (control_mask + 1)) == 0) {
         // Contiguous low controls: the table index is just the low
@@ -149,6 +183,7 @@ void
 scalarPhaseTable(double *re, double *im, U64 mask, const double *tab_re,
                  const double *tab_im, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kPhaseTable, kBackendScalar);
     if ((mask & (mask + 1)) == 0) {
         // Contiguous low mask: the table index is just the low bits
         // of the amplitude index, so the table is walked in order.
@@ -171,10 +206,82 @@ scalarPhaseTable(double *re, double *im, U64 mask, const double *tab_re,
 double
 scalarNorm2(const double *re, const double *im, U64 lo, U64 hi)
 {
+    detail::countDispatch(kNorm2, kBackendScalar);
     double total = 0.0;
     for (U64 i = lo; i < hi; ++i)
         total += re[i] * re[i] + im[i] * im[i];
     return total;
+}
+
+void
+scalarAccumulateBuckets(const std::uint32_t *bucket_of, const double *w,
+                        U64 lo, U64 hi, double *mass)
+{
+    detail::countDispatch(kAccumulateBuckets, kBackendScalar);
+    for (U64 i = lo; i < hi; ++i)
+        mass[bucket_of[i]] += w[i];
+}
+
+double
+scalarPosteriorUpdate(const std::uint32_t *bucket_of, const double *odds,
+                      const double *mass, const double *w, double *post,
+                      U64 lo, U64 hi)
+{
+    detail::countDispatch(kPosteriorUpdate, kBackendScalar);
+    double sum = 0.0;
+    for (U64 i = lo; i < hi; ++i) {
+        const std::uint32_t b = bucket_of[i];
+        const double o = odds[b];
+        double v;
+        if (o < 0.0 || mass[b] <= 0.0)
+            v = w[i];
+        else
+            v = (w[i] / mass[b]) * o;
+        post[i] = v;
+        sum += v;
+    }
+    return sum;
+}
+
+void
+scalarAxpy(double *y, const double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kAxpy, kBackendScalar);
+    for (U64 i = lo; i < hi; ++i)
+        y[i] += a * x[i];
+}
+
+void
+scalarScale(double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kScale, kBackendScalar);
+    for (U64 i = lo; i < hi; ++i)
+        x[i] *= a;
+}
+
+double
+scalarSum(const double *x, U64 lo, U64 hi)
+{
+    detail::countDispatch(kSum, kBackendScalar);
+    double total = 0.0;
+    for (U64 i = lo; i < hi; ++i)
+        total += x[i];
+    return total;
+}
+
+double
+scalarNormalizeBhattacharyya(double *v, const double *ref,
+                             double inv_total, U64 lo, U64 hi)
+{
+    detail::countDispatch(kNormalizeBhattacharyya, kBackendScalar);
+    double bc = 0.0;
+    for (U64 i = lo; i < hi; ++i) {
+        const double scaled = v[i] * inv_total;
+        v[i] = scaled;
+        if (ref[i] > 0.0 && scaled > 0.0)
+            bc += std::sqrt(ref[i] * scaled);
+    }
+    return bc;
 }
 
 const KernelTable scalarTable = {
@@ -187,6 +294,12 @@ const KernelTable scalarTable = {
     scalarStratumPhaseTable,
     scalarPhaseTable,
     scalarNorm2,
+    scalarAccumulateBuckets,
+    scalarPosteriorUpdate,
+    scalarAxpy,
+    scalarScale,
+    scalarSum,
+    scalarNormalizeBhattacharyya,
 };
 
 bool
@@ -204,6 +317,50 @@ scalarKernels()
 {
     return scalarTable;
 }
+
+const char *
+kernelName(int kernel)
+{
+    return kernel >= 0 && kernel < kKernelCount ? kKernelNames[kernel]
+                                                : "unknown";
+}
+
+const char *
+backendName(int backend)
+{
+    return backend >= 0 && backend < kBackendCount
+               ? kBackendNames[backend]
+               : "unknown";
+}
+
+DispatchCounters
+dispatchCounters()
+{
+    DispatchCounters snapshot;
+    for (int k = 0; k < kKernelCount; ++k)
+        for (int b = 0; b < kBackendCount; ++b)
+            snapshot.counts[k][b] =
+                g_dispatch[k][b].load(std::memory_order_relaxed);
+    return snapshot;
+}
+
+void
+resetDispatchCounters()
+{
+    for (auto &row : g_dispatch)
+        for (auto &cell : row)
+            cell.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+countDispatch(int kernel, int backend)
+{
+    g_dispatch[kernel][backend].fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 #ifndef JIGSAW_HAVE_AVX2
 const KernelTable *

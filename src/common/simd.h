@@ -138,6 +138,63 @@ struct KernelTable
     /** Sum of re[i]^2 + im[i]^2 over [lo, hi). */
     double (*norm2)(const double *re, const double *im, std::uint64_t lo,
                     std::uint64_t hi);
+
+    /** @name Reconstruction kernels.
+     *
+     * The Bayesian reconstruction round loops (core/bayesian.cpp)
+     * expressed as flat-vector kernels so the per-marginal and
+     * sharded paths dispatch through the same table as the amplitude
+     * kernels — and so a future distributed tier (ROADMAP item 1) or
+     * fourth backend can swap all of them at one seam. All cover
+     * [lo, hi) half-open ranges; every backend computes bitwise-
+     * identical per-element outputs (multiply/divide only, no FMA
+     * contraction), while the returned reductions may group sums
+     * differently per backend and agree only to tolerance.
+     * @{ */
+
+    /**
+     * Bucket-mass accumulate: mass[bucket_of[i]] += w[i]. The scatter
+     * has intra-lane conflicts (many outcomes share a bucket), so
+     * every current backend runs it scalar; it lives in the table as
+     * the seam a conflict-detecting or distributed version plugs into.
+     */
+    void (*accumulateBuckets)(const std::uint32_t *bucket_of,
+                              const double *w, std::uint64_t lo,
+                              std::uint64_t hi, double *mass);
+
+    /**
+     * Unnormalized Bayesian posterior: for each outcome i with bucket
+     * b = bucket_of[i], post[i] = (w[i] / mass[b]) * odds[b], except
+     * that outcomes whose bucket carries no evidence (odds[b] < 0) or
+     * no prior mass (mass[b] <= 0) keep their prior value w[i].
+     * Returns the sum of post over the range (the normalizer
+     * contribution).
+     */
+    double (*posteriorUpdate)(const std::uint32_t *bucket_of,
+                              const double *odds, const double *mass,
+                              const double *w, double *post,
+                              std::uint64_t lo, std::uint64_t hi);
+
+    /** y[i] += a * x[i] over [lo, hi) (posterior sum into the prior). */
+    void (*axpy)(double *y, const double *x, double a, std::uint64_t lo,
+                 std::uint64_t hi);
+
+    /** x[i] *= a over [lo, hi) (posterior/prior normalization). */
+    void (*scale)(double *x, double a, std::uint64_t lo, std::uint64_t hi);
+
+    /** Sum of x over [lo, hi). */
+    double (*sum)(const double *x, std::uint64_t lo, std::uint64_t hi);
+
+    /**
+     * Fused normalize + Bhattacharyya term: v[i] *= inv_total, and the
+     * return value accumulates sqrt(ref[i] * v[i]) over the elements
+     * where both factors are positive — the convergence measure of one
+     * reconstruction round against the previous round's output @p ref.
+     */
+    double (*normalizeBhattacharyya)(double *v, const double *ref,
+                                     double inv_total, std::uint64_t lo,
+                                     std::uint64_t hi);
+    /** @} */
 };
 
 /** The portable scalar kernels (always available). */
@@ -164,6 +221,93 @@ const KernelTable *avx512Kernels();
  * set.
  */
 const KernelTable &activeKernels();
+
+/** @name Kernel-backend dispatch counters.
+ *
+ * Process-wide relaxed-atomic counts of kernel invocations per
+ * (kernel, backend) pair, incremented by the backend that actually
+ * executes the loop body — an AVX-512 entry that defers a short
+ * stride to AVX2 or scalar counts under the table that ran, so the
+ * counters answer "did the wide path actually execute?" (the gather
+ * phase tables in particular). One invocation is one kernel call,
+ * typically a thread-pool chunk of >= 2^14 elements, so the counting
+ * cost is noise. Snapshots surface through ExecutorCounters /
+ * ServiceStats / StreamStats and the JIGSAW_SUITE_TIMINGS_JSON
+ * export.
+ * @{ */
+
+/** Kernel identifiers, one per KernelTable entry. */
+enum Kernel : int
+{
+    kApply1q = 0,
+    kApply1qDiag,
+    kQuadPhase,
+    kQuadSwap,
+    kPhasePair,
+    kStratumPhaseTable,
+    kPhaseTable,
+    kNorm2,
+    kAccumulateBuckets,
+    kPosteriorUpdate,
+    kAxpy,
+    kScale,
+    kSum,
+    kNormalizeBhattacharyya,
+    kKernelCount
+};
+
+/** Backend identifiers (which table's implementation ran). */
+enum Backend : int
+{
+    kBackendScalar = 0,
+    kBackendAvx2,
+    kBackendAvx512,
+    kBackendCount
+};
+
+/** Short stable name for JSON keys ("phase_table", "axpy", ...). */
+const char *kernelName(int kernel);
+
+/** Short stable name ("scalar", "avx2", "avx512"). */
+const char *backendName(int backend);
+
+/** A snapshot of the process-wide dispatch counts. */
+struct DispatchCounters
+{
+    std::uint64_t counts[kKernelCount][kBackendCount] = {};
+
+    /** Total invocations that ran under @p backend. */
+    std::uint64_t backendTotal(int backend) const
+    {
+        std::uint64_t total = 0;
+        for (int k = 0; k < kKernelCount; ++k)
+            total += counts[k][backend];
+        return total;
+    }
+
+    /** Element-wise difference against an earlier snapshot. */
+    DispatchCounters since(const DispatchCounters &earlier) const
+    {
+        DispatchCounters delta;
+        for (int k = 0; k < kKernelCount; ++k)
+            for (int b = 0; b < kBackendCount; ++b)
+                delta.counts[k][b] =
+                    counts[k][b] - earlier.counts[k][b];
+        return delta;
+    }
+};
+
+/** Snapshot the counters (relaxed loads; safe concurrent to kernels). */
+DispatchCounters dispatchCounters();
+
+/** Zero the counters (bench/test isolation; not thread-fenced). */
+void resetDispatchCounters();
+
+namespace detail {
+/** Record one invocation; called by the backend that runs the loop. */
+void countDispatch(int kernel, int backend);
+} // namespace detail
+/** @} */
 
 } // namespace simd
 } // namespace jigsaw

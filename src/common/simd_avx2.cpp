@@ -21,6 +21,7 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cmath>
 
 namespace jigsaw {
 namespace simd {
@@ -43,6 +44,63 @@ complexScale4(__m256d &ar, __m256d &ai, __m256d cr, __m256d ci)
     const __m256d ni = _mm256_fmadd_pd(ci, ar, _mm256_mul_pd(cr, ai));
     ar = nr;
     ai = ni;
+}
+
+/**
+ * Per-lane table-index stream for the gather phase tables — the
+ * 4-lane analogue of the AVX-512 version. With the base amplitude
+ * index 4-aligned, the low two bits of each lane's index equal the
+ * lane number, so PEXT(index, mask) splits into a per-lane constant
+ * (PEXT(lane, mask & 3), precomputed) OR'd with one scalar PEXT of
+ * the high mask bits per 4 amplitudes; the table lookup becomes one
+ * vgatherqpd per component.
+ */
+struct LaneIndexStream4
+{
+    __m256i lane;   ///< PEXT(lane, mask & 3), lane = 0..3.
+    U64 mask_hi;    ///< mask & ~3.
+    unsigned pc_lo; ///< popcount(mask & 3).
+
+    explicit LaneIndexStream4(U64 mask)
+        : mask_hi(mask & ~3ULL),
+          pc_lo(static_cast<unsigned>(
+              __builtin_popcountll(mask & 3ULL)))
+    {
+        alignas(32) long long lanes[4];
+        for (long long l = 0; l < 4; ++l)
+            lanes[l] = static_cast<long long>(
+                _pext_u64(static_cast<U64>(l), mask & 3ULL));
+        lane = _mm256_load_si256(reinterpret_cast<const __m256i *>(lanes));
+    }
+
+    /** Table indices of the 4 amplitudes at 4-aligned index @p i0. */
+    __m256i indices(U64 i0) const
+    {
+        const U64 base = _pext_u64(i0, mask_hi) << pc_lo;
+        return _mm256_or_si256(
+            lane, _mm256_set1_epi64x(static_cast<long long>(base)));
+    }
+};
+
+/** Gather table[idx] and multiply 4 contiguous amplitudes by it. */
+inline void
+gatherScale4(double *re, double *im, const double *tab_re,
+             const double *tab_im, __m256i idx)
+{
+    // Masked form with an explicit zero source: same full-lane
+    // gather, but avoids the undefined pass-through operand of the
+    // unmasked intrinsic (and the -Wmaybe-uninitialized noise GCC
+    // emits for it).
+    const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    const __m256d cr = _mm256_mask_i64gather_pd(_mm256_setzero_pd(),
+                                                tab_re, idx, ones, 8);
+    const __m256d ci = _mm256_mask_i64gather_pd(_mm256_setzero_pd(),
+                                                tab_im, idx, ones, 8);
+    __m256d ar = _mm256_loadu_pd(re);
+    __m256d ai = _mm256_loadu_pd(im);
+    complexScale4(ar, ai, cr, ci);
+    _mm256_storeu_pd(re, ar);
+    _mm256_storeu_pd(im, ai);
 }
 
 /** Multiply the @p n complex values at (re, im) by (cr, ci). */
@@ -167,6 +225,7 @@ void
 avx2Apply1q(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
             const Mat2Split &m)
 {
+    detail::countDispatch(kApply1q, kBackendAvx2);
     const __m256d m00r = _mm256_set1_pd(m.re[0]);
     const __m256d m00i = _mm256_set1_pd(m.im[0]);
     const __m256d m01r = _mm256_set1_pd(m.re[1]);
@@ -218,6 +277,7 @@ avx2Apply1qDiag(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
                 double d0r, double d0i, double d1r, double d1i,
                 bool d0_is_one)
 {
+    detail::countDispatch(kApply1qDiag, kBackendAvx2);
     const __m256d v0r = _mm256_set1_pd(d0r);
     const __m256d v0i = _mm256_set1_pd(d0i);
     const __m256d v1r = _mm256_set1_pd(d1r);
@@ -346,6 +406,7 @@ avx2QuadPhase(double *re, double *im, U64 s_lo, U64 s_hi, U64 set_mask,
                                   k_hi, p_re, p_im);
         return;
     }
+    detail::countDispatch(kQuadPhase, kBackendAvx2);
     const __m256d cr = _mm256_set1_pd(p_re);
     const __m256d ci = _mm256_set1_pd(p_im);
     if (s_lo == 1) {
@@ -411,6 +472,7 @@ avx2QuadSwap(double *re, double *im, U64 s_lo, U64 s_hi, U64 mask_a,
                                  k_hi);
         return;
     }
+    detail::countDispatch(kQuadSwap, kBackendAvx2);
     U64 k = k_lo;
     while (k < k_hi) {
         const U64 block_end = std::min(k_hi, (k & ~(s_lo - 1)) + s_lo);
@@ -442,6 +504,7 @@ avx2PhasePair(double *re, double *im, int q0, int q1, U64 k_lo, U64 k_hi,
                                   even_im, odd_re, odd_im);
         return;
     }
+    detail::countDispatch(kPhasePair, kBackendAvx2);
     // The XOR of bits q0 and q1 is constant over runs of length
     // 2^min(q0, q1) >= 4, so each run is one phase multiply.
     const U64 run = 1ULL << std::min(q0, q1);
@@ -466,6 +529,7 @@ avx2StratumPhaseTable(double *re, double *im, U64 q_mask,
                       U64 control_mask, const double *tab_re,
                       const double *tab_im, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kStratumPhaseTable, kBackendAvx2);
     if (control_mask < q_mask &&
         (control_mask & (control_mask + 1)) == 0) {
         // Contiguous low controls (the QFT shape): within each
@@ -505,12 +569,42 @@ avx2StratumPhaseTable(double *re, double *im, U64 q_mask,
         }
         return;
     }
-    for (U64 k = k_lo; k < k_hi; ++k) {
-        const U64 i = insertZero(k, q_mask) | q_mask;
-        const U64 t = _pext_u64(i, control_mask);
-        const double ar = re[i], ai = im[i];
-        re[i] = tab_re[t] * ar - tab_im[t] * ai;
-        im[i] = tab_re[t] * ai + tab_im[t] * ar;
+    if (q_mask < 4) {
+        // Sub-lane stratum blocks: no contiguous 4-run of touched
+        // amplitudes exists, so the per-element PEXT loop stands.
+        for (U64 k = k_lo; k < k_hi; ++k) {
+            const U64 i = insertZero(k, q_mask) | q_mask;
+            const U64 t = _pext_u64(i, control_mask);
+            const double ar = re[i], ai = im[i];
+            re[i] = tab_re[t] * ar - tab_im[t] * ai;
+            im[i] = tab_re[t] * ai + tab_im[t] * ar;
+        }
+        return;
+    }
+    // Scattered controls: within each q_mask-aligned block the
+    // touched amplitudes run contiguously from a 4-aligned start
+    // (q_mask >= 4), so the vectorized-PEXT index stream plus
+    // vgatherqpd replaces the per-element scalar PEXT loop.
+    const LaneIndexStream4 stream(control_mask);
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(q_mask - 1)) + q_mask);
+        U64 i = insertZero(k, q_mask) | q_mask;
+        for (; k < block_end && (i & 3ULL) != 0; ++k, ++i) {
+            const U64 t = _pext_u64(i, control_mask);
+            const double ar = re[i], ai = im[i];
+            re[i] = tab_re[t] * ar - tab_im[t] * ai;
+            im[i] = tab_re[t] * ai + tab_im[t] * ar;
+        }
+        for (; k + 4 <= block_end; k += 4, i += 4)
+            gatherScale4(re + i, im + i, tab_re, tab_im,
+                         stream.indices(i));
+        for (; k < block_end; ++k, ++i) {
+            const U64 t = _pext_u64(i, control_mask);
+            const double ar = re[i], ai = im[i];
+            re[i] = tab_re[t] * ar - tab_im[t] * ai;
+            im[i] = tab_re[t] * ai + tab_im[t] * ar;
+        }
     }
 }
 
@@ -518,6 +612,7 @@ void
 avx2PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
                const double *tab_im, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kPhaseTable, kBackendAvx2);
     if ((mask & (mask + 1)) == 0) {
         // Contiguous low mask: the table index is the low bits of the
         // amplitude index, so amplitudes multiply element-wise against
@@ -561,7 +656,21 @@ avx2PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
         }
         return;
     }
-    for (U64 k = k_lo; k < k_hi; ++k) {
+    // Scattered mask with table-index bits inside the lane: the
+    // vectorized-PEXT index stream plus vgatherqpd replaces the
+    // per-element scalar PEXT loop (head/tail stay scalar so the
+    // 4-lane base index is always 4-aligned).
+    const LaneIndexStream4 stream(mask);
+    U64 k = k_lo;
+    for (; k < k_hi && (k & 3ULL) != 0; ++k) {
+        const U64 t = _pext_u64(k, mask);
+        const double ar = re[k], ai = im[k];
+        re[k] = tab_re[t] * ar - tab_im[t] * ai;
+        im[k] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+    for (; k + 4 <= k_hi; k += 4)
+        gatherScale4(re + k, im + k, tab_re, tab_im, stream.indices(k));
+    for (; k < k_hi; ++k) {
         const U64 t = _pext_u64(k, mask);
         const double ar = re[k], ai = im[k];
         re[k] = tab_re[t] * ar - tab_im[t] * ai;
@@ -572,6 +681,7 @@ avx2PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
 double
 avx2Norm2(const double *re, const double *im, U64 lo, U64 hi)
 {
+    detail::countDispatch(kNorm2, kBackendAvx2);
     __m256d acc = _mm256_setzero_pd();
     U64 i = lo;
     for (; i + 4 <= hi; i += 4) {
@@ -588,6 +698,142 @@ avx2Norm2(const double *re, const double *im, U64 lo, U64 hi)
     return total;
 }
 
+void
+avx2AccumulateBuckets(const std::uint32_t *bucket_of, const double *w,
+                      U64 lo, U64 hi, double *mass)
+{
+    // Scatter-accumulate with intra-lane bucket conflicts: scalar on
+    // every backend; the table entry is the dispatch seam.
+    detail::countDispatch(kAccumulateBuckets, kBackendAvx2);
+    for (U64 i = lo; i < hi; ++i)
+        mass[bucket_of[i]] += w[i];
+}
+
+double
+avx2PosteriorUpdate(const std::uint32_t *bucket_of, const double *odds,
+                    const double *mass, const double *w, double *post,
+                    U64 lo, U64 hi)
+{
+    detail::countDispatch(kPosteriorUpdate, kBackendAvx2);
+    const __m256d zero = _mm256_setzero_pd();
+    __m256d acc = zero;
+    U64 i = lo;
+    for (; i + 4 <= hi; i += 4) {
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(bucket_of + i));
+        const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+        const __m256d vo = _mm256_mask_i32gather_pd(_mm256_setzero_pd(),
+                                                    odds, b, ones, 8);
+        const __m256d vm = _mm256_mask_i32gather_pd(_mm256_setzero_pd(),
+                                                    mass, b, ones, 8);
+        const __m256d vw = _mm256_loadu_pd(w + i);
+        // Keep the prior where the bucket carries no evidence or no
+        // mass; the blended-away lanes may divide by zero (benign).
+        const __m256d keep =
+            _mm256_or_pd(_mm256_cmp_pd(vo, zero, _CMP_LT_OQ),
+                         _mm256_cmp_pd(vm, zero, _CMP_LE_OQ));
+        const __m256d upd = _mm256_mul_pd(_mm256_div_pd(vw, vm), vo);
+        const __m256d v = _mm256_blendv_pd(upd, vw, keep);
+        _mm256_storeu_pd(post + i, v);
+        acc = _mm256_add_pd(acc, v);
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    double sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < hi; ++i) {
+        const std::uint32_t b = bucket_of[i];
+        const double o = odds[b];
+        double v;
+        if (o < 0.0 || mass[b] <= 0.0)
+            v = w[i];
+        else
+            v = (w[i] / mass[b]) * o;
+        post[i] = v;
+        sum += v;
+    }
+    return sum;
+}
+
+void
+avx2Axpy(double *y, const double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kAxpy, kBackendAvx2);
+    const __m256d va = _mm256_set1_pd(a);
+    U64 i = lo;
+    for (; i + 4 <= hi; i += 4) {
+        const __m256d vy = _mm256_loadu_pd(y + i);
+        const __m256d vx = _mm256_loadu_pd(x + i);
+        // mul + add rather than FMA: per-element parity with the
+        // scalar backend (only reductions regroup across backends).
+        _mm256_storeu_pd(y + i,
+                         _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+    }
+    for (; i < hi; ++i)
+        y[i] += a * x[i];
+}
+
+void
+avx2Scale(double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kScale, kBackendAvx2);
+    const __m256d va = _mm256_set1_pd(a);
+    U64 i = lo;
+    for (; i + 4 <= hi; i += 4)
+        _mm256_storeu_pd(x + i,
+                         _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+    for (; i < hi; ++i)
+        x[i] *= a;
+}
+
+double
+avx2Sum(const double *x, U64 lo, U64 hi)
+{
+    detail::countDispatch(kSum, kBackendAvx2);
+    __m256d acc = _mm256_setzero_pd();
+    U64 i = lo;
+    for (; i + 4 <= hi; i += 4)
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    double total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < hi; ++i)
+        total += x[i];
+    return total;
+}
+
+double
+avx2NormalizeBhattacharyya(double *v, const double *ref, double inv_total,
+                           U64 lo, U64 hi)
+{
+    detail::countDispatch(kNormalizeBhattacharyya, kBackendAvx2);
+    const __m256d vinv = _mm256_set1_pd(inv_total);
+    const __m256d zero = _mm256_setzero_pd();
+    __m256d acc = zero;
+    U64 i = lo;
+    for (; i + 4 <= hi; i += 4) {
+        const __m256d scaled =
+            _mm256_mul_pd(_mm256_loadu_pd(v + i), vinv);
+        _mm256_storeu_pd(v + i, scaled);
+        const __m256d vr = _mm256_loadu_pd(ref + i);
+        const __m256d pos =
+            _mm256_and_pd(_mm256_cmp_pd(vr, zero, _CMP_GT_OQ),
+                          _mm256_cmp_pd(scaled, zero, _CMP_GT_OQ));
+        const __m256d term =
+            _mm256_sqrt_pd(_mm256_mul_pd(vr, scaled));
+        acc = _mm256_add_pd(acc, _mm256_and_pd(term, pos));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    double bc = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < hi; ++i) {
+        const double scaled = v[i] * inv_total;
+        v[i] = scaled;
+        if (ref[i] > 0.0 && scaled > 0.0)
+            bc += std::sqrt(ref[i] * scaled);
+    }
+    return bc;
+}
+
 const KernelTable avx2Table = {
     "avx2",
     avx2Apply1q,
@@ -598,6 +844,12 @@ const KernelTable avx2Table = {
     avx2StratumPhaseTable,
     avx2PhaseTable,
     avx2Norm2,
+    avx2AccumulateBuckets,
+    avx2PosteriorUpdate,
+    avx2Axpy,
+    avx2Scale,
+    avx2Sum,
+    avx2NormalizeBhattacharyya,
 };
 
 } // namespace

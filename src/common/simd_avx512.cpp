@@ -21,6 +21,7 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cmath>
 
 namespace jigsaw {
 namespace simd {
@@ -44,6 +45,43 @@ narrowFallback()
     return table;
 }
 
+/**
+ * Per-lane table-index stream for the gather phase tables. With the
+ * 8-lane base amplitude index 8-aligned, the low three bits of each
+ * lane's index equal the lane number, so the PEXT of the index under
+ * the (scattered) mask splits into a per-lane constant —
+ * PEXT(lane, mask & 7), precomputed once into a vector — OR'd with a
+ * per-block part, PEXT(base, mask & ~7) shifted past the low
+ * popcount: one scalar PEXT per 8 amplitudes instead of 8, and the
+ * table lookup itself becomes one vpgatherqpd per component.
+ */
+struct LaneIndexStream
+{
+    __m512i lane;   ///< PEXT(lane, mask & 7), lane = 0..7.
+    U64 mask_hi;    ///< mask & ~7.
+    unsigned pc_lo; ///< popcount(mask & 7).
+
+    explicit LaneIndexStream(U64 mask)
+        : mask_hi(mask & ~7ULL),
+          pc_lo(static_cast<unsigned>(
+              __builtin_popcountll(mask & 7ULL)))
+    {
+        alignas(64) long long lanes[8];
+        for (long long l = 0; l < 8; ++l)
+            lanes[l] = static_cast<long long>(
+                _pext_u64(static_cast<U64>(l), mask & 7ULL));
+        lane = _mm512_load_si512(lanes);
+    }
+
+    /** Table indices of the 8 amplitudes at 8-aligned index @p i0. */
+    __m512i indices(U64 i0) const
+    {
+        const U64 base = _pext_u64(i0, mask_hi) << pc_lo;
+        return _mm512_or_epi64(
+            lane, _mm512_set1_epi64(static_cast<long long>(base)));
+    }
+};
+
 /** (ar, ai) *= (cr, ci), 8 complex values per call. */
 inline void
 complexScale8(__m512d &ar, __m512d &ai, __m512d cr, __m512d ci)
@@ -52,6 +90,26 @@ complexScale8(__m512d &ar, __m512d &ai, __m512d cr, __m512d ci)
     const __m512d ni = _mm512_fmadd_pd(ci, ar, _mm512_mul_pd(cr, ai));
     ar = nr;
     ai = ni;
+}
+
+/** Gather table[idx] and multiply 8 contiguous amplitudes by it. */
+inline void
+gatherScale8(double *re, double *im, const double *tab_re,
+             const double *tab_im, __m512i idx)
+{
+    // Masked form with an explicit zero source: same full-lane
+    // gather, but avoids the undefined pass-through operand of the
+    // unmasked intrinsic (and the -Wmaybe-uninitialized noise GCC
+    // emits for it).
+    const __m512d cr = _mm512_mask_i64gather_pd(
+        _mm512_setzero_pd(), 0xFF, idx, tab_re, 8);
+    const __m512d ci = _mm512_mask_i64gather_pd(
+        _mm512_setzero_pd(), 0xFF, idx, tab_im, 8);
+    __m512d ar = _mm512_loadu_pd(re);
+    __m512d ai = _mm512_loadu_pd(im);
+    complexScale8(ar, ai, cr, ci);
+    _mm512_storeu_pd(re, ar);
+    _mm512_storeu_pd(im, ai);
 }
 
 /** Multiply the @p n complex values at (re, im) by (cr, ci). */
@@ -82,6 +140,7 @@ avx512Apply1q(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
         narrowFallback().apply1q(re, im, stride, k_lo, k_hi, m);
         return;
     }
+    detail::countDispatch(kApply1q, kBackendAvx512);
     const __m512d m00r = _mm512_set1_pd(m.re[0]);
     const __m512d m00i = _mm512_set1_pd(m.im[0]);
     const __m512d m01r = _mm512_set1_pd(m.re[1]);
@@ -146,6 +205,7 @@ avx512Apply1qDiag(double *re, double *im, U64 stride, U64 k_lo, U64 k_hi,
                                      d1r, d1i, d0_is_one);
         return;
     }
+    detail::countDispatch(kApply1qDiag, kBackendAvx512);
     const __m512d v0r = _mm512_set1_pd(d0r);
     const __m512d v0i = _mm512_set1_pd(d0i);
     const __m512d v1r = _mm512_set1_pd(d1r);
@@ -172,6 +232,7 @@ avx512QuadPhase(double *re, double *im, U64 s_lo, U64 s_hi, U64 set_mask,
                                    k_hi, p_re, p_im);
         return;
     }
+    detail::countDispatch(kQuadPhase, kBackendAvx512);
     const __m512d cr = _mm512_set1_pd(p_re);
     const __m512d ci = _mm512_set1_pd(p_im);
     U64 k = k_lo;
@@ -192,6 +253,7 @@ avx512QuadSwap(double *re, double *im, U64 s_lo, U64 s_hi, U64 mask_a,
                                   k_lo, k_hi);
         return;
     }
+    detail::countDispatch(kQuadSwap, kBackendAvx512);
     U64 k = k_lo;
     while (k < k_hi) {
         const U64 block_end = std::min(k_hi, (k & ~(s_lo - 1)) + s_lo);
@@ -224,6 +286,7 @@ avx512PhasePair(double *re, double *im, int q0, int q1, U64 k_lo, U64 k_hi,
                                    even_im, odd_re, odd_im);
         return;
     }
+    detail::countDispatch(kPhasePair, kBackendAvx512);
     // The XOR of bits q0 and q1 is constant over runs of length
     // 2^min(q0, q1) >= 8, so each run is one phase multiply.
     const U64 run = 1ULL << std::min(q0, q1);
@@ -250,6 +313,7 @@ avx512StratumPhaseTable(double *re, double *im, U64 q_mask,
 {
     if (control_mask < q_mask &&
         (control_mask & (control_mask + 1)) == 0) {
+        detail::countDispatch(kStratumPhaseTable, kBackendAvx512);
         // Contiguous low controls (the QFT shape): within each
         // q_mask-aligned stratum block the table index equals the low
         // bits of the amplitude index, so runs multiply element-wise
@@ -287,12 +351,39 @@ avx512StratumPhaseTable(double *re, double *im, U64 q_mask,
         }
         return;
     }
-    for (U64 k = k_lo; k < k_hi; ++k) {
-        const U64 i = insertZero(k, q_mask) | q_mask;
-        const U64 t = _pext_u64(i, control_mask);
-        const double ar = re[i], ai = im[i];
-        re[i] = tab_re[t] * ar - tab_im[t] * ai;
-        im[i] = tab_re[t] * ai + tab_im[t] * ar;
+    if (q_mask < 8) {
+        // Scattered controls over sub-lane stratum blocks: the
+        // touched amplitudes are not contiguous 8-runs, so the
+        // 4-lane AVX2 gather (or scalar) handles it.
+        narrowFallback().stratumPhaseTable(re, im, q_mask, control_mask,
+                                           tab_re, tab_im, k_lo, k_hi);
+        return;
+    }
+    // Scattered controls: within each q_mask-aligned block the
+    // touched amplitudes run contiguously and the block start is
+    // 8-aligned (q_mask >= 8), so the vectorized-PEXT index stream
+    // plus vpgatherqpd replaces the per-element scalar PEXT loop.
+    detail::countDispatch(kStratumPhaseTable, kBackendAvx512);
+    const LaneIndexStream stream(control_mask);
+    U64 k = k_lo;
+    while (k < k_hi) {
+        const U64 block_end = std::min(k_hi, (k & ~(q_mask - 1)) + q_mask);
+        U64 i = insertZero(k, q_mask) | q_mask;
+        for (; k < block_end && (i & 7ULL) != 0; ++k, ++i) {
+            const U64 t = _pext_u64(i, control_mask);
+            const double ar = re[i], ai = im[i];
+            re[i] = tab_re[t] * ar - tab_im[t] * ai;
+            im[i] = tab_re[t] * ai + tab_im[t] * ar;
+        }
+        for (; k + 8 <= block_end; k += 8, i += 8)
+            gatherScale8(re + i, im + i, tab_re, tab_im,
+                         stream.indices(i));
+        for (; k < block_end; ++k, ++i) {
+            const U64 t = _pext_u64(i, control_mask);
+            const double ar = re[i], ai = im[i];
+            re[i] = tab_re[t] * ar - tab_im[t] * ai;
+            im[i] = tab_re[t] * ai + tab_im[t] * ar;
+        }
     }
 }
 
@@ -300,6 +391,7 @@ void
 avx512PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
                  const double *tab_im, U64 k_lo, U64 k_hi)
 {
+    detail::countDispatch(kPhaseTable, kBackendAvx512);
     if ((mask & (mask + 1)) == 0) {
         // Contiguous low mask: amplitudes multiply element-wise
         // against contiguous table slices.
@@ -342,7 +434,21 @@ avx512PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
         }
         return;
     }
-    for (U64 k = k_lo; k < k_hi; ++k) {
+    // Scattered mask with table-index bits inside the lane: the
+    // vectorized-PEXT index stream plus vpgatherqpd replaces the
+    // per-element scalar PEXT loop (head/tail stay scalar so the
+    // 8-lane base index is always 8-aligned).
+    const LaneIndexStream stream(mask);
+    U64 k = k_lo;
+    for (; k < k_hi && (k & 7ULL) != 0; ++k) {
+        const U64 t = _pext_u64(k, mask);
+        const double ar = re[k], ai = im[k];
+        re[k] = tab_re[t] * ar - tab_im[t] * ai;
+        im[k] = tab_re[t] * ai + tab_im[t] * ar;
+    }
+    for (; k + 8 <= k_hi; k += 8)
+        gatherScale8(re + k, im + k, tab_re, tab_im, stream.indices(k));
+    for (; k < k_hi; ++k) {
         const U64 t = _pext_u64(k, mask);
         const double ar = re[k], ai = im[k];
         re[k] = tab_re[t] * ar - tab_im[t] * ai;
@@ -353,6 +459,7 @@ avx512PhaseTable(double *re, double *im, U64 mask, const double *tab_re,
 double
 avx512Norm2(const double *re, const double *im, U64 lo, U64 hi)
 {
+    detail::countDispatch(kNorm2, kBackendAvx512);
     __m512d acc = _mm512_setzero_pd();
     U64 i = lo;
     for (; i + 8 <= hi; i += 8) {
@@ -371,6 +478,152 @@ avx512Norm2(const double *re, const double *im, U64 lo, U64 hi)
     return total;
 }
 
+void
+avx512AccumulateBuckets(const std::uint32_t *bucket_of, const double *w,
+                        U64 lo, U64 hi, double *mass)
+{
+    // The scatter-accumulate has intra-lane bucket conflicts, so this
+    // backend runs it scalar too; the table entry is the dispatch
+    // seam, not a speedup yet.
+    detail::countDispatch(kAccumulateBuckets, kBackendAvx512);
+    for (U64 i = lo; i < hi; ++i)
+        mass[bucket_of[i]] += w[i];
+}
+
+double
+avx512PosteriorUpdate(const std::uint32_t *bucket_of, const double *odds,
+                      const double *mass, const double *w, double *post,
+                      U64 lo, U64 hi)
+{
+    detail::countDispatch(kPosteriorUpdate, kBackendAvx512);
+    const __m512d zero = _mm512_setzero_pd();
+    __m512d acc = zero;
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8) {
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bucket_of + i));
+        const __m512d vo = _mm512_mask_i32gather_pd(
+            _mm512_setzero_pd(), 0xFF, b, odds, 8);
+        const __m512d vm = _mm512_mask_i32gather_pd(
+            _mm512_setzero_pd(), 0xFF, b, mass, 8);
+        const __m512d vw = _mm512_loadu_pd(w + i);
+        // Keep the prior where the bucket carries no evidence or no
+        // mass; the blended-away lanes may divide by zero, which is
+        // benign (no trapping, result discarded).
+        const __mmask8 keep = static_cast<__mmask8>(
+            _mm512_cmp_pd_mask(vo, zero, _CMP_LT_OQ) |
+            _mm512_cmp_pd_mask(vm, zero, _CMP_LE_OQ));
+        const __m512d upd = _mm512_mul_pd(_mm512_div_pd(vw, vm), vo);
+        const __m512d v = _mm512_mask_blend_pd(keep, upd, vw);
+        _mm512_storeu_pd(post + i, v);
+        acc = _mm512_add_pd(acc, v);
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    double sum = 0.0;
+    for (double lane : lanes)
+        sum += lane;
+    for (; i < hi; ++i) {
+        const std::uint32_t b = bucket_of[i];
+        const double o = odds[b];
+        double v;
+        if (o < 0.0 || mass[b] <= 0.0)
+            v = w[i];
+        else
+            v = (w[i] / mass[b]) * o;
+        post[i] = v;
+        sum += v;
+    }
+    return sum;
+}
+
+void
+avx512Axpy(double *y, const double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kAxpy, kBackendAvx512);
+    const __m512d va = _mm512_set1_pd(a);
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8) {
+        const __m512d vy = _mm512_loadu_pd(y + i);
+        const __m512d vx = _mm512_loadu_pd(x + i);
+        // mul + add rather than FMA: per-element parity with the
+        // scalar backend (only reductions regroup across backends).
+        _mm512_storeu_pd(y + i,
+                         _mm512_add_pd(vy, _mm512_mul_pd(va, vx)));
+    }
+    for (; i < hi; ++i)
+        y[i] += a * x[i];
+}
+
+void
+avx512Scale(double *x, double a, U64 lo, U64 hi)
+{
+    detail::countDispatch(kScale, kBackendAvx512);
+    const __m512d va = _mm512_set1_pd(a);
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8)
+        _mm512_storeu_pd(x + i,
+                         _mm512_mul_pd(_mm512_loadu_pd(x + i), va));
+    for (; i < hi; ++i)
+        x[i] *= a;
+}
+
+double
+avx512Sum(const double *x, U64 lo, U64 hi)
+{
+    detail::countDispatch(kSum, kBackendAvx512);
+    __m512d acc = _mm512_setzero_pd();
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8)
+        acc = _mm512_add_pd(acc, _mm512_loadu_pd(x + i));
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    double total = 0.0;
+    for (double lane : lanes)
+        total += lane;
+    for (; i < hi; ++i)
+        total += x[i];
+    return total;
+}
+
+double
+avx512NormalizeBhattacharyya(double *v, const double *ref,
+                             double inv_total, U64 lo, U64 hi)
+{
+    detail::countDispatch(kNormalizeBhattacharyya, kBackendAvx512);
+    const __m512d vinv = _mm512_set1_pd(inv_total);
+    const __m512d zero = _mm512_setzero_pd();
+    __m512d acc = zero;
+    U64 i = lo;
+    for (; i + 8 <= hi; i += 8) {
+        const __m512d scaled =
+            _mm512_mul_pd(_mm512_loadu_pd(v + i), vinv);
+        _mm512_storeu_pd(v + i, scaled);
+        const __m512d vr = _mm512_loadu_pd(ref + i);
+        const __mmask8 pos = static_cast<__mmask8>(
+            _mm512_cmp_pd_mask(vr, zero, _CMP_GT_OQ) &
+            _mm512_cmp_pd_mask(scaled, zero, _CMP_GT_OQ));
+        // maskz form only to sidestep the undefined pass-through in
+        // the plain intrinsic; sqrt of negative dead lanes is fine
+        // either way (the accumulate below masks them out).
+        const __m512d term =
+            _mm512_maskz_sqrt_pd(0xFF, _mm512_mul_pd(vr, scaled));
+        acc = _mm512_mask_add_pd(acc, pos, acc, term);
+    }
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, acc);
+    double bc = 0.0;
+    for (double lane : lanes)
+        bc += lane;
+    for (; i < hi; ++i) {
+        const double scaled = v[i] * inv_total;
+        v[i] = scaled;
+        if (ref[i] > 0.0 && scaled > 0.0)
+            bc += std::sqrt(ref[i] * scaled);
+    }
+    return bc;
+}
+
 const KernelTable avx512Table = {
     "avx512",
     avx512Apply1q,
@@ -381,6 +634,12 @@ const KernelTable avx512Table = {
     avx512StratumPhaseTable,
     avx512PhaseTable,
     avx512Norm2,
+    avx512AccumulateBuckets,
+    avx512PosteriorUpdate,
+    avx512Axpy,
+    avx512Scale,
+    avx512Sum,
+    avx512NormalizeBhattacharyya,
 };
 
 } // namespace

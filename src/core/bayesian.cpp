@@ -74,18 +74,6 @@ indexMarginal(const std::vector<BasisState> &outcomes, const Marginal &m,
     return idx;
 }
 
-/** Hellinger distance between two aligned probability vectors. */
-double
-flatHellinger(const std::vector<double> &p, const std::vector<double> &q)
-{
-    double bc = 0.0;
-    for (std::size_t i = 0; i < p.size(); ++i) {
-        if (p[i] > 0.0 && q[i] > 0.0)
-            bc += std::sqrt(p[i] * q[i]);
-    }
-    return std::sqrt(std::max(0.0, 1.0 - bc));
-}
-
 /** Outcomes per shard in the sharded round path. Fixed (independent
  *  of the thread count) so shard boundaries — and therefore every
  *  reduction's grouping — are deterministic. */
@@ -96,12 +84,14 @@ constexpr std::size_t kShardAutoThreshold = 1ULL << 17;
 
 /**
  * The per-marginal round loop: one posterior vector per thread, the
- * posterior sum into the prior done serially in marginal order.
+ * posterior sum into the prior done serially in marginal order. Every
+ * dense vector pass dispatches through the kernel table @p kt.
  */
 void
 perMarginalRounds(std::vector<double> &cur,
                   const std::vector<IndexedMarginal> &indexed,
-                  const ReconstructionOptions &options)
+                  const ReconstructionOptions &options,
+                  const simd::KernelTable &kt)
 {
     const std::size_t n = cur.size();
     const std::size_t n_m = indexed.size();
@@ -120,44 +110,28 @@ perMarginalRounds(std::vector<double> &cur,
                 const IndexedMarginal &im = indexed[mi];
                 std::vector<double> &post = posts[mi];
                 std::vector<double> mass(im.nBuckets, 0.0);
-                for (std::size_t i = 0; i < n; ++i)
-                    mass[im.bucketOf[i]] += cur[i];
-                double post_sum = 0.0;
-                for (std::size_t i = 0; i < n; ++i) {
-                    const std::uint32_t b = im.bucketOf[i];
-                    const double odds = im.odds[b];
-                    double v;
-                    if (odds < 0.0 || mass[b] <= 0.0)
-                        v = cur[i];
-                    else
-                        v = (cur[i] / mass[b]) * odds;
-                    post[i] = v;
-                    post_sum += v;
-                }
-                if (post_sum > 0.0) {
-                    const double inv = 1.0 / post_sum;
-                    for (std::size_t i = 0; i < n; ++i)
-                        post[i] *= inv;
-                }
+                kt.accumulateBuckets(im.bucketOf.data(), cur.data(), 0,
+                                     n, mass.data());
+                const double post_sum = kt.posteriorUpdate(
+                    im.bucketOf.data(), im.odds.data(), mass.data(),
+                    cur.data(), post.data(), 0, n);
+                if (post_sum > 0.0)
+                    kt.scale(post.data(), 1.0 / post_sum, 0, n);
             }
         });
 
         accum = cur;
-        for (std::size_t mi = 0; mi < n_m; ++mi) {
-            const std::vector<double> &post = posts[mi];
-            for (std::size_t i = 0; i < n; ++i)
-                accum[i] += post[i];
-        }
-        double total = 0.0;
-        for (double v : accum)
-            total += v;
-        if (total > 0.0) {
-            const double inv = 1.0 / total;
-            for (double &v : accum)
-                v *= inv;
-        }
+        for (std::size_t mi = 0; mi < n_m; ++mi)
+            kt.axpy(accum.data(), posts[mi].data(), 1.0, 0, n);
+        const double total = kt.sum(accum.data(), 0, n);
 
-        const double moved = flatHellinger(cur, accum);
+        // Normalize and measure the move in one fused pass (inv_total
+        // of 1.0 — the degenerate all-zero case — leaves the vector
+        // bitwise untouched).
+        const double inv_total = total > 0.0 ? 1.0 / total : 1.0;
+        const double bc = kt.normalizeBhattacharyya(
+            accum.data(), cur.data(), inv_total, 0, n);
+        const double moved = std::sqrt(std::max(0.0, 1.0 - bc));
         cur.swap(accum);
         if (moved < options.tolerance)
             break;
@@ -170,12 +144,14 @@ perMarginalRounds(std::vector<double> &cur,
  * per-shard partials (bucket masses, posterior sums, totals, the
  * Bhattacharyya sum) serially in shard order. Scales rounds on large
  * supports, where the marginal count no longer provides parallelism
- * relative to the per-outcome work.
+ * relative to the per-outcome work. Every dense vector pass
+ * dispatches through the kernel table @p kt.
  */
 void
 shardedRounds(std::vector<double> &cur,
               const std::vector<IndexedMarginal> &indexed,
-              const ReconstructionOptions &options)
+              const ReconstructionOptions &options,
+              const simd::KernelTable &kt)
 {
     const std::size_t n = cur.size();
     const std::size_t n_m = indexed.size();
@@ -213,8 +189,8 @@ shardedRounds(std::vector<double> &cur,
                     double *pm =
                         partial_mass[mi].data() + s * im.nBuckets;
                     std::fill(pm, pm + im.nBuckets, 0.0);
-                    for (std::size_t i = i0; i < i1; ++i)
-                        pm[im.bucketOf[i]] += cur[i];
+                    kt.accumulateBuckets(im.bucketOf.data(), cur.data(),
+                                         i0, i1, pm);
                 }
             }
         });
@@ -237,20 +213,11 @@ shardedRounds(std::vector<double> &cur,
                 const auto [i0, i1] = shard_range(s);
                 for (std::size_t mi = 0; mi < n_m; ++mi) {
                     const IndexedMarginal &im = indexed[mi];
-                    double *post = posts[mi].data();
-                    double sum = 0.0;
-                    for (std::size_t i = i0; i < i1; ++i) {
-                        const std::uint32_t b = im.bucketOf[i];
-                        const double odds = im.odds[b];
-                        double v;
-                        if (odds < 0.0 || mass[mi][b] <= 0.0)
-                            v = cur[i];
-                        else
-                            v = (cur[i] / mass[mi][b]) * odds;
-                        post[i] = v;
-                        sum += v;
-                    }
-                    partial_post_sum[mi * n_shards + s] = sum;
+                    partial_post_sum[mi * n_shards + s] =
+                        kt.posteriorUpdate(im.bucketOf.data(),
+                                           im.odds.data(),
+                                           mass[mi].data(), cur.data(),
+                                           posts[mi].data(), i0, i1);
                 }
             }
         });
@@ -264,22 +231,20 @@ shardedRounds(std::vector<double> &cur,
         // Phase 3: sum the scaled posteriors into the prior. The
         // per-outcome addition order (prior, then marginal 0, 1, ...)
         // matches the per-marginal path exactly; only the totals
-        // reduce per shard.
+        // reduce per shard. A zero post_scale (degenerate all-zero
+        // posterior sum) keeps the unscaled posterior, which axpy
+        // with a = 1.0 reproduces exactly.
         parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t s = lo; s < hi; ++s) {
                 const auto [i0, i1] = shard_range(s);
-                double total = 0.0;
-                for (std::size_t i = i0; i < i1; ++i) {
-                    double a = cur[i];
-                    for (std::size_t mi = 0; mi < n_m; ++mi) {
-                        const double scale = post_scale[mi];
-                        a += scale > 0.0 ? posts[mi][i] * scale
-                                         : posts[mi][i];
-                    }
-                    accum[i] = a;
-                    total += a;
+                std::copy(cur.begin() + i0, cur.begin() + i1,
+                          accum.begin() + i0);
+                for (std::size_t mi = 0; mi < n_m; ++mi) {
+                    const double scale = post_scale[mi];
+                    kt.axpy(accum.data(), posts[mi].data(),
+                            scale > 0.0 ? scale : 1.0, i0, i1);
                 }
-                shard_total[s] = total;
+                shard_total[s] = kt.sum(accum.data(), i0, i1);
             }
         });
         double total = 0.0;
@@ -291,14 +256,8 @@ shardedRounds(std::vector<double> &cur,
         parallelFor(0, n_shards, 1, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t s = lo; s < hi; ++s) {
                 const auto [i0, i1] = shard_range(s);
-                double bc = 0.0;
-                for (std::size_t i = i0; i < i1; ++i) {
-                    const double v = accum[i] * inv_total;
-                    accum[i] = v;
-                    if (cur[i] > 0.0 && v > 0.0)
-                        bc += std::sqrt(cur[i] * v);
-                }
-                shard_bc[s] = bc;
+                shard_bc[s] = kt.normalizeBhattacharyya(
+                    accum.data(), cur.data(), inv_total, i0, i1);
             }
         });
         double bc = 0.0;
@@ -385,14 +344,17 @@ bayesianReconstruct(const Pmf &global,
         indexed.push_back(
             indexMarginal(outcomes, m, options.evidenceThreshold));
 
+    const simd::KernelTable &kt =
+        options.kernels != nullptr ? *options.kernels
+                                   : simd::activeKernels();
     const bool sharded =
         options.shardMode == ShardMode::Always ||
         (options.shardMode == ShardMode::Auto &&
          n >= kShardAutoThreshold);
     if (sharded)
-        shardedRounds(cur, indexed, options);
+        shardedRounds(cur, indexed, options, kt);
     else
-        perMarginalRounds(cur, indexed, options);
+        perMarginalRounds(cur, indexed, options, kt);
 
     Pmf output(global.nQubits());
     for (std::size_t i = 0; i < n; ++i)

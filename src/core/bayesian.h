@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/simd.h"
 #include "core/subsets.h"
 
 namespace jigsaw {
@@ -73,6 +74,14 @@ struct ReconstructionOptions
      * pruning would have dropped cannot skew an update.
      */
     double evidenceThreshold = 1e-14;
+    /**
+     * Kernel table the round loops dispatch through; null resolves to
+     * simd::activeKernels(). Tests and benches override this to pin a
+     * specific backend (e.g. scalar-vs-active comparisons on identical
+     * inputs). Per-element outputs are bitwise-identical across
+     * backends; only reduction groupings differ (~1 ulp per sum).
+     */
+    const simd::KernelTable *kernels = nullptr;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "sim/simulators.h"
 
@@ -442,6 +443,12 @@ StreamingScheduler::stats() const
     out.transpileHits = compiler::transpileCacheHits();
     out.transpileMisses = compiler::transpileCacheMisses();
     out.transpileRebinds = compiler::transpileSkeletonRebinds();
+    // Process-wide like the transpile memo: a snapshot, not a
+    // per-executor sum.
+    const simd::DispatchCounters simd_now = simd::dispatchCounters();
+    out.simdScalarCalls = simd_now.backendTotal(simd::kBackendScalar);
+    out.simdAvx2Calls = simd_now.backendTotal(simd::kBackendAvx2);
+    out.simdAvx512Calls = simd_now.backendTotal(simd::kBackendAvx512);
     for (const auto &[key, executor] : sharedExecutors_) {
         const sim::ExecutorCounters counters = executor->counters();
         out.executorPmfHits += counters.pmfHits;

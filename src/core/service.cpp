@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/scheduler.h"
 #include "sim/simulators.h"
@@ -259,6 +260,9 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
         compiler::transpileCacheMisses();
     const std::uint64_t transpile_rebinds0 =
         compiler::transpileSkeletonRebinds();
+    // SIMD dispatch counters are process-wide like the transpile memo:
+    // the run's share is the delta, never a per-executor sum.
+    const simd::DispatchCounters simd0 = simd::dispatchCounters();
     std::atomic<std::uint64_t> pmf_hits{0};
     std::atomic<std::uint64_t> pmf_misses{0};
     std::atomic<std::uint64_t> prefix_hits{0};
@@ -447,6 +451,11 @@ JigsawService::run(const std::vector<ServiceProgram> &programs)
     stats_.executorPmfMisses = pmf_misses.load();
     stats_.prefixStateHits = prefix_hits.load();
     stats_.prefixStateMisses = prefix_misses.load();
+    const simd::DispatchCounters simd_delta =
+        simd::dispatchCounters().since(simd0);
+    stats_.simdScalarCalls = simd_delta.backendTotal(simd::kBackendScalar);
+    stats_.simdAvx2Calls = simd_delta.backendTotal(simd::kBackendAvx2);
+    stats_.simdAvx512Calls = simd_delta.backendTotal(simd::kBackendAvx512);
 
     for (std::size_t i = 0; i < n; ++i) {
         if (errors[i])

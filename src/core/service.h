@@ -336,6 +336,15 @@ struct StreamStats
     std::uint64_t prefixStateHits = 0;
     std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
     /** @} */
+    /** @name SIMD kernel-backend dispatch totals, snapshotted from
+     * the process-wide counters by stats() (lifetime, like the
+     * transpile counters — the kernel layer is shared by every
+     * scheduler). Confirms which backend the hot loops actually ran
+     * on. @{ */
+    std::uint64_t simdScalarCalls = 0;
+    std::uint64_t simdAvx2Calls = 0;
+    std::uint64_t simdAvx512Calls = 0;
+    /** @} */
     /**
      * Latency samples of completed/failed jobs (cancelled and expired
      * jobs never ran, so they contribute no sample). Exact and in
@@ -403,6 +412,14 @@ struct ServiceStats
     std::uint64_t executorPmfMisses = 0; ///< Executor PMF-cache misses.
     std::uint64_t prefixStateHits = 0;   ///< Split-prefix state reuses.
     std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
+    /** @} */
+    /** @name SIMD kernel-backend dispatch counts for THIS run: deltas
+     * of the process-wide simd::dispatchCounters() across the batch
+     * (the kernel layer sits below every executor, so per-executor
+     * attribution is not meaningful). @{ */
+    std::uint64_t simdScalarCalls = 0;   ///< Scalar-table invocations.
+    std::uint64_t simdAvx2Calls = 0;     ///< AVX2-table invocations.
+    std::uint64_t simdAvx512Calls = 0;   ///< AVX-512-table invocations.
     /** @} */
 
     /** Throughput of the batch. */

@@ -23,6 +23,7 @@
 #include "common/alias.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "device/device_model.h"
 #include "sim/noise_model.h"
 
@@ -96,7 +97,32 @@ struct ExecutorCounters
     std::uint64_t pmfMisses = 0;
     std::uint64_t prefixStateHits = 0;
     std::uint64_t prefixStateMisses = 0;
+    /** @name SIMD kernel-backend dispatch totals.
+     *
+     * Snapshot of simd::dispatchCounters() backend totals at
+     * counters() time. Unlike the cache counters above these are
+     * PROCESS-WIDE, not per-executor (the dispatch counters live in
+     * the kernel layer, below any executor): aggregators must take
+     * deltas against an earlier snapshot, never sum them across
+     * executors. Answers "did the wide kernels actually run?" — an
+     * AVX-512 binary on a non-AVX-512 host, or a JIGSAW_NO_SIMD run,
+     * shows zero avx512 calls.
+     * @{ */
+    std::uint64_t simdScalarCalls = 0;
+    std::uint64_t simdAvx2Calls = 0;
+    std::uint64_t simdAvx512Calls = 0;
+    /** @} */
 };
+
+/** The process-wide SIMD dispatch totals every executor reports. */
+inline void
+fillSimdDispatch(ExecutorCounters &c)
+{
+    const simd::DispatchCounters d = simd::dispatchCounters();
+    c.simdScalarCalls = d.backendTotal(simd::kBackendScalar);
+    c.simdAvx2Calls = d.backendTotal(simd::kBackendAvx2);
+    c.simdAvx512Calls = d.backendTotal(simd::kBackendAvx512);
+}
 
 /** Abstract quantum-program executor (the "NISQ machine"). */
 class Executor
@@ -243,8 +269,10 @@ class IdealSimulator : public Executor
 
     ExecutorCounters counters() const override
     {
-        return {cacheHits_.load(), cacheMisses_.load(),
-                skeletonHits_.load(), skeletonMisses_.load()};
+        ExecutorCounters c{cacheHits_.load(), cacheMisses_.load(),
+                           skeletonHits_.load(), skeletonMisses_.load()};
+        fillSimdDispatch(c);
+        return c;
     }
 
     /** Batched-execution counters (quiescent reads only). */
@@ -371,8 +399,10 @@ class NoisySimulator : public Executor
 
     ExecutorCounters counters() const override
     {
-        return {cacheHits_.load(), cacheMisses_.load(),
-                skeletonHits_.load(), skeletonMisses_.load()};
+        ExecutorCounters c{cacheHits_.load(), cacheMisses_.load(),
+                           skeletonHits_.load(), skeletonMisses_.load()};
+        fillSimdDispatch(c);
+        return c;
     }
 
     /** Batched-execution counters (quiescent reads only). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.h"
 #include "common/parallel.h"
@@ -39,6 +40,23 @@ isOne(const Amp &a)
 }
 
 } // namespace
+
+const SimOptions &
+simOptions()
+{
+    static const SimOptions opts = [] {
+        SimOptions o;
+        if (const char *s = std::getenv("JIGSAW_PHASE_TABLE_MAX_QUBITS")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0')
+                o.phaseTableMaxQubits = static_cast<int>(
+                    std::clamp(v, 1L, 24L));
+        }
+        return o;
+    }();
+    return opts;
+}
 
 void
 gateMatrix1q(const Gate &gate, Amp m[2][2])
@@ -350,6 +368,13 @@ StateVector::applyGate(const Gate &gate)
 void
 StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
 {
+    applyCircuit(qc, simOptions());
+}
+
+void
+StateVector::applyCircuit(const circuit::QuantumCircuit &qc,
+                          const SimOptions &options)
+{
     fatalIf(qc.nQubits() != nQubits_,
             "StateVector: circuit qubit count mismatch");
 
@@ -375,9 +400,11 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
 
     // Runs of CP/CZ gates sharing one qubit are all diagonal, so they
     // commute and compose into a single tensor-product phase pass
-    // (applyControlledPhaseRun). Runs longer than this cap are split
+    // (applyControlledPhaseRun). Runs longer than the cap (each gate
+    // past the first adds one control qubit to the table) are split
     // so the phase table stays cache-resident.
-    constexpr std::size_t kMaxFusedPhases = 12;
+    const std::size_t kMaxFusedPhases =
+        static_cast<std::size_t>(options.phaseTableMaxQubits);
     const auto isPhaseGate = [](const Gate &g) {
         return g.type == GateType::CP || g.type == GateType::CZ;
     };
@@ -392,8 +419,8 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
     // phase table over the involved qubits, applied in a single
     // full-register pass (applyDiagonalRun). The qubit cap keeps the
     // table cache-resident; the gate cap bounds the table build.
-    constexpr int kMaxFusedDiagQubits = 12;
-    constexpr std::size_t kMaxFusedDiagGates = 64;
+    const int kMaxFusedDiagQubits = options.phaseTableMaxQubits;
+    const std::size_t kMaxFusedDiagGates = options.maxFusedDiagGates;
     const auto isDiag1q = [](const Gate &g) {
         switch (g.type) {
           case GateType::Z:
@@ -521,7 +548,8 @@ StateVector::applyCircuit(const circuit::QuantumCircuit &qc)
             }
             // Fuse when one full-register pass beats the unfused
             // sweeps it replaces.
-            if (n_two_qubit >= 2 && unfused_cost > 1.0) {
+            if (n_two_qubit >= options.diagFuseMinTwoQubit &&
+                unfused_cost > options.diagFuseCostThreshold) {
                 const std::size_t tsize = 1ULL << n_bits;
                 std::vector<double> tab_re(tsize, 1.0);
                 std::vector<double> tab_im(tsize, 0.0);

@@ -8,6 +8,7 @@
  * (structural hash, alias table, parallel-for) must behave.
  */
 #include <cmath>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
@@ -345,6 +346,32 @@ TEST(ReconstructionEquivalence, ShardedMultiShardSupport)
         randomMarginals(16, {2}, rng);
     core::ReconstructionOptions options;
     options.maxRounds = 4;
+    options.tolerance = 0.0;
+
+    options.shardMode = core::ShardMode::Never;
+    const Pmf per_marginal =
+        core::bayesianReconstruct(global, marginals, options);
+    options.shardMode = core::ShardMode::Always;
+    const Pmf sharded =
+        core::bayesianReconstruct(global, marginals, options);
+    expectIdenticalPmf(per_marginal, sharded);
+}
+
+TEST(ReconstructionEquivalence, LargeSupportShardedMatchesUnsharded)
+{
+    // The >1M-outcome regime the gather/reconstruction kernel tables
+    // target: the sharded and per-marginal paths must still be golden
+    // equivalent when the flat vectors span dozens of shards and the
+    // SIMD main loops do essentially all the work. Too slow for the
+    // default test run, so it is opt-in.
+    if (std::getenv("JIGSAW_LARGE_TESTS") == nullptr)
+        GTEST_SKIP() << "set JIGSAW_LARGE_TESTS=1 to run (>1M outcomes)";
+    Rng rng(16);
+    const Pmf global = randomGlobal(21, (1ULL << 20) + 1, rng);
+    const std::vector<core::Marginal> marginals =
+        randomMarginals(21, {3}, rng);
+    core::ReconstructionOptions options;
+    options.maxRounds = 3;
     options.tolerance = 0.0;
 
     options.shardMode = core::ShardMode::Never;
@@ -810,9 +837,169 @@ expectMatchesScalar(const simd::KernelTable &active)
                 scalar.norm2(re.data(), im.data(), 5, dim - 9), 1e-9);
 }
 
+/**
+ * Randomized scattered-mask sweeps of the gather phase tables: random
+ * masks (usually non-contiguous, often touching bit 0 so the
+ * broadcast-run fast paths cannot take over) and ranges that straddle
+ * lane boundaries, leave short unaligned heads and tails, or fit
+ * entirely inside one lane; the stratum variant additionally cycles
+ * its target bit across both sides of every lane-width boundary.
+ */
+void
+expectScatteredTablesMatchScalar(const simd::KernelTable &active)
+{
+    const simd::KernelTable &scalar = simd::scalarKernels();
+    const std::size_t dim = 1ULL << 12;
+    const std::size_t pairs = dim / 2;
+    Rng rng(2025);
+    for (int trial = 0; trial < 48; ++trial) {
+        std::uint64_t mask = 0;
+        const int want = 2 + static_cast<int>(rng.word() % 6);
+        while (popcount(mask) < want)
+            mask |= 1ULL << (rng.word() % 12);
+
+        const std::size_t tsize =
+            1ULL << static_cast<unsigned>(popcount(mask));
+        std::vector<double> tab_re(tsize), tab_im(tsize);
+        for (std::size_t t = 0; t < tsize; ++t) {
+            const double ang = rng.uniform(0.0, 2 * M_PI);
+            tab_re[t] = std::cos(ang);
+            tab_im[t] = std::sin(ang);
+        }
+
+        // Every fourth trial runs a sub-lane range (all head/tail);
+        // the rest straddle lane boundaries at both ends.
+        std::uint64_t lo = rng.word() % 16;
+        std::uint64_t hi = dim - rng.word() % 16;
+        if (trial % 4 == 0) {
+            lo = rng.word() % (dim - 8);
+            hi = lo + 1 + rng.word() % 7;
+        }
+
+        std::vector<double> re_a, im_a, re_s, im_s;
+        randomAmps(re_a, im_a, dim,
+                   9000 + static_cast<std::uint64_t>(trial));
+        re_s = re_a;
+        im_s = im_a;
+        active.phaseTable(re_a.data(), im_a.data(), mask, tab_re.data(),
+                          tab_im.data(), lo, hi);
+        scalar.phaseTable(re_s.data(), im_s.data(), mask, tab_re.data(),
+                          tab_im.data(), lo, hi);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+
+        // Stratum variant: a target bit outside the control mask.
+        int q = static_cast<int>(rng.word() % 12);
+        while ((mask >> q) & 1)
+            q = (q + 1) % 12;
+        const std::uint64_t q_mask = 1ULL << q;
+        std::uint64_t klo = rng.word() % 8;
+        std::uint64_t khi = pairs - rng.word() % 8;
+        if (trial % 4 == 2) {
+            klo = rng.word() % (pairs - 4);
+            khi = klo + 1 + rng.word() % 3;
+        }
+        randomAmps(re_a, im_a, dim,
+                   9500 + static_cast<std::uint64_t>(trial));
+        re_s = re_a;
+        im_s = im_a;
+        active.stratumPhaseTable(re_a.data(), im_a.data(), q_mask, mask,
+                                 tab_re.data(), tab_im.data(), klo, khi);
+        scalar.stratumPhaseTable(re_s.data(), im_s.data(), q_mask, mask,
+                                 tab_re.data(), tab_im.data(), klo, khi);
+        expectSameAmps(re_s, re_a);
+        expectSameAmps(im_s, im_a);
+    }
+}
+
+/**
+ * The reconstruction kernels against scalar. Per-element outputs must
+ * be BITWISE identical across backends (multiply/divide/add only, no
+ * FMA contraction — the contract that lets a reconstruction produce
+ * one answer whatever table ran); returned reductions may regroup
+ * their sums per backend, so those agree only to tolerance.
+ */
+void
+expectReconstructionKernelsMatchScalar(const simd::KernelTable &active)
+{
+    const simd::KernelTable &scalar = simd::scalarKernels();
+    Rng rng(4242);
+    for (const std::size_t n : {std::size_t{19}, std::size_t{1000},
+                                std::size_t{4096}}) {
+        const std::size_t n_buckets = 1 + n / 16;
+        std::vector<std::uint32_t> bucket_of(n);
+        for (std::uint32_t &b : bucket_of)
+            b = static_cast<std::uint32_t>(rng.word() % n_buckets);
+        std::vector<double> w(n);
+        for (double &x : w)
+            x = rng.uniform(0.0, 1.0);
+        // Odds: some buckets carry no evidence (< 0 keeps the prior).
+        std::vector<double> odds(n_buckets);
+        for (std::size_t b = 0; b < n_buckets; ++b)
+            odds[b] = b % 5 == 0 ? -1.0 : rng.uniform(0.1, 3.0);
+        // Unaligned range with a short tail.
+        const std::uint64_t lo = n > 64 ? 3 : 1;
+        const std::uint64_t hi = n - (n > 64 ? 5 : 1);
+
+        std::vector<double> mass_s(n_buckets, 0.0);
+        std::vector<double> mass_a(n_buckets, 0.0);
+        scalar.accumulateBuckets(bucket_of.data(), w.data(), lo, hi,
+                                 mass_s.data());
+        active.accumulateBuckets(bucket_of.data(), w.data(), lo, hi,
+                                 mass_a.data());
+        for (std::size_t b = 0; b < n_buckets; ++b)
+            EXPECT_EQ(mass_s[b], mass_a[b]) << "bucket " << b;
+
+        // A referenced bucket with zero mass must keep the prior too.
+        mass_s[n_buckets / 2] = 0.0;
+        mass_a = mass_s;
+        std::vector<double> post_s(n, 0.0), post_a(n, 0.0);
+        const double sum_s = scalar.posteriorUpdate(
+            bucket_of.data(), odds.data(), mass_s.data(), w.data(),
+            post_s.data(), lo, hi);
+        const double sum_a = active.posteriorUpdate(
+            bucket_of.data(), odds.data(), mass_a.data(), w.data(),
+            post_a.data(), lo, hi);
+        for (std::size_t i = lo; i < hi; ++i)
+            EXPECT_EQ(post_s[i], post_a[i]) << "index " << i;
+        EXPECT_NEAR(sum_s, sum_a, 1e-9);
+
+        std::vector<double> y_s = w, y_a = w;
+        scalar.axpy(y_s.data(), post_s.data(), 0.37, lo, hi);
+        active.axpy(y_a.data(), post_a.data(), 0.37, lo, hi);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(y_s[i], y_a[i]) << "index " << i;
+
+        scalar.scale(y_s.data(), 1.61803, lo, hi);
+        active.scale(y_a.data(), 1.61803, lo, hi);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(y_s[i], y_a[i]) << "index " << i;
+
+        EXPECT_NEAR(scalar.sum(y_s.data(), lo, hi),
+                    active.sum(y_a.data(), lo, hi), 1e-9);
+
+        // Zeros on both sides so the positivity mask has dead lanes.
+        std::vector<double> ref = w;
+        for (std::size_t i = 0; i < n; i += 7)
+            ref[i] = 0.0;
+        for (std::size_t i = 0; i < n; i += 11)
+            y_s[i] = y_a[i] = 0.0;
+        std::vector<double> v_s = y_s, v_a = y_a;
+        const double bc_s = scalar.normalizeBhattacharyya(
+            v_s.data(), ref.data(), 0.731, lo, hi);
+        const double bc_a = active.normalizeBhattacharyya(
+            v_a.data(), ref.data(), 0.731, lo, hi);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(v_s[i], v_a[i]) << "index " << i;
+        EXPECT_NEAR(bc_s, bc_a, 1e-9);
+    }
+}
+
 TEST(SimdKernels, ActiveMatchesScalarOnEveryKernel)
 {
     expectMatchesScalar(simd::activeKernels());
+    expectScatteredTablesMatchScalar(simd::activeKernels());
+    expectReconstructionKernelsMatchScalar(simd::activeKernels());
 }
 
 TEST(SimdKernels, Avx2MatchesScalar)
@@ -826,6 +1013,8 @@ TEST(SimdKernels, Avx2MatchesScalar)
     }
 #endif
     expectMatchesScalar(*simd::avx2Kernels());
+    expectScatteredTablesMatchScalar(*simd::avx2Kernels());
+    expectReconstructionKernelsMatchScalar(*simd::avx2Kernels());
 }
 
 TEST(SimdKernels, Avx512MatchesScalar)
@@ -840,6 +1029,8 @@ TEST(SimdKernels, Avx512MatchesScalar)
     }
 #endif
     expectMatchesScalar(*simd::avx512Kernels());
+    expectScatteredTablesMatchScalar(*simd::avx512Kernels());
+    expectReconstructionKernelsMatchScalar(*simd::avx512Kernels());
 }
 
 // ------------------------------------------------------------ primitives
