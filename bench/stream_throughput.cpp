@@ -13,7 +13,7 @@
  *
  * Usage: bench_stream_throughput [--qubits N] [--dups N] [--trials N]
  *            [--window MS] [--submitters K] [--rate JOBS_PER_SEC]
- *            [--overload] [--quick]
+ *            [--workers W] [--overload] [--quick]
  *
  *   --submitters 0 (default) is an open-loop burst: every job is
  *     submitted up front, then the scheduler drains. K >= 1 runs K
@@ -21,6 +21,11 @@
  *     only after its previous one completed.
  *   --rate R paces the open-loop burst at R jobs/second (0 = as fast
  *     as possible).
+ *   --workers W adds a third run: the windowed configuration with
+ *     windows dispatched to a W-worker execution tier over the
+ *     in-process transport (core/worker.h). Reports the lease
+ *     counters and the per-worker completion split, and holds the
+ *     worker-tier outputs to the same bitwise gate as the local runs.
  *   --overload replaces the immediate-vs-windowed comparison with an
  *     overload scenario: probe capacity, then offer ~2x that against
  *     a small admission bound and gate on High-class p95 staying
@@ -161,6 +166,23 @@ runLoad(const StreamOptions &options,
         run.results.push_back(scheduler.wait(handle));
     run.stats = scheduler.stats();
     return run;
+}
+
+void
+printWorkerCounters(const core::StreamStats &stats)
+{
+    std::cout << "    leases: " << stats.leasesGranted << " granted, "
+              << stats.leasesExpired << " expired, "
+              << stats.leasesRevoked << " revoked ("
+              << stats.redispatches << " re-dispatches, "
+              << stats.localFallbacks << " local fallbacks, "
+              << stats.staleResponses << " stale responses)\n";
+    std::cout << "    completed by worker:";
+    for (std::size_t w = 0; w < stats.workerCompleted.size(); ++w)
+        std::cout << (w == 0 ? " " : " / ") << stats.workerCompleted[w];
+    if (stats.workerCompleted.empty())
+        std::cout << " (none)";
+    std::cout << "\n";
 }
 
 void
@@ -352,6 +374,7 @@ main(int argc, char **argv)
     double window_ms = 10.0;
     std::size_t submitters = 0;
     double rate = 0.0;
+    std::size_t workers = 0;
     bool overload = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--qubits") && i + 1 < argc) {
@@ -368,6 +391,9 @@ main(int argc, char **argv)
                 std::strtoull(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc) {
             rate = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+            workers = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--overload")) {
             overload = true;
         } else if (!std::strcmp(argv[i], "--quick")) {
@@ -378,8 +404,8 @@ main(int argc, char **argv)
             std::cerr << "usage: " << argv[0]
                       << " [--qubits N] [--dups N] [--trials N]"
                          " [--window MS] [--submitters K]"
-                         " [--rate JOBS_PER_SEC] [--overload]"
-                         " [--quick]\n";
+                         " [--rate JOBS_PER_SEC] [--workers W]"
+                         " [--overload] [--quick]\n";
             return 2;
         }
     }
@@ -451,5 +477,35 @@ main(int argc, char **argv)
         }
     }
     std::cout << "outputs match: yes (bitwise)\n";
+
+    if (workers > 0) {
+        // Worker tier: the same windowed configuration, but every
+        // merged window travels the transport seam to a worker fleet
+        // that late-binds its own executors. Results are defined to
+        // stay bitwise-identical to local execution.
+        StreamOptions tiered = windowed;
+        tiered.worker.workers = workers;
+        compiler::clearTranspileCache();
+        const LoadRun fleet =
+            runLoad(tiered, programs, submitters, rate);
+        std::cout << "worker tier:  " << fleet.wallMs << " ms ("
+                  << 1000.0 * static_cast<double>(programs.size()) /
+                         fleet.wallMs
+                  << " programs/s, " << workers << " workers)\n";
+        printClassTable(fleet.stats);
+        printWorkerCounters(fleet.stats);
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const double drift = totalVariationDistance(
+                naive.results[i].output, fleet.results[i].output);
+            if (drift != 0.0) {
+                std::cerr << "ERROR: worker-tier output diverged from "
+                             "immediate dispatch on program "
+                          << i << " (total variation " << drift
+                          << ")\n";
+                return 1;
+            }
+        }
+        std::cout << "outputs match: yes (bitwise, worker tier)\n";
+    }
     return 0;
 }

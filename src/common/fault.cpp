@@ -38,7 +38,46 @@ parseCount(const std::string &value, const std::string &rule)
     return parsed;
 }
 
+/** True when @p site names an instrumented fault point. */
+bool
+isKnownSite(const std::string &site)
+{
+    for (const std::string &known : FaultInjector::knownSites()) {
+        if (known == site)
+            return true;
+    }
+    return false;
+}
+
+/** Comma-joined knownSites() for the unknown-site error message. */
+std::string
+knownSiteList()
+{
+    std::string joined;
+    for (const std::string &known : FaultInjector::knownSites()) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += known;
+    }
+    return joined;
+}
+
 } // namespace
+
+const std::vector<std::string> &
+FaultInjector::knownSites()
+{
+    // One name per injectFaultPoint()/fireBehavioral() call site in
+    // the instrumented layers (pipeline stages, executors, the merged
+    // execution path, and the worker tier's transport/worker points).
+    static const std::vector<std::string> sites = {
+        "stage.plan",     "stage.compile",     "stage.reconstruct",
+        "executor.run",   "executor.runBatch", "merge.execute",
+        "transport.send", "transport.recv",    "worker.crash",
+        "worker.stall",
+    };
+    return sites;
+}
 
 std::vector<FaultRule>
 parseFaultSpec(const std::string &spec)
@@ -56,6 +95,9 @@ parseFaultSpec(const std::string &spec)
             rule.detail = head.substr(at + 1);
         fatalIf(rule.site.empty(),
                 "fault spec: rule '" + text + "' names no site");
+        fatalIf(!isKnownSite(rule.site),
+                "fault spec: unknown site '" + rule.site + "' in rule '" +
+                    text + "' (known sites: " + knownSiteList() + ")");
         for (std::size_t i = 1; i < fields.size(); ++i) {
             const std::string &field = fields[i];
             const std::size_t eq = field.find('=');
@@ -156,6 +198,31 @@ FaultInjector::maybeInject(const char *site, const std::string &detail)
     if (transient)
         throw TransientError(message);
     throw std::runtime_error(message);
+}
+
+std::optional<std::string>
+FaultInjector::fireBehavioral(const char *site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (RuleState &state : rules_) {
+        const FaultRule &rule = state.rule;
+        if (rule.site != site)
+            continue;
+        bool fire = false;
+        if (state.fired < rule.failFirst) {
+            ++state.fired;
+            fire = true;
+        } else if (rule.probability > 0.0 &&
+                   state.rng.bernoulli(rule.probability)) {
+            fire = true;
+        }
+        if (!fire)
+            continue;
+        ++injected_;
+        ++injectedBySite_[site];
+        return rule.detail;
+    }
+    return std::nullopt;
 }
 
 std::uint64_t

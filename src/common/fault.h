@@ -23,9 +23,22 @@
  *           transient   throw TransientError (the default; the
  *                       scheduler retries these)
  *
+ * A rule's site must name one of the instrumented points
+ * (FaultInjector::knownSites()); a typo'd site is rejected at parse
+ * time instead of silently never firing.
+ *
  * Example: "executor.run:first=2;merge.execute@2:first=1:terminal"
  * fails the first two executor runs transiently and the first merged
  * execution covering exactly 2 sources terminally.
+ *
+ * Two kinds of sites exist. Throwing sites (stage.*, executor.*,
+ * merge.execute, transport.*) raise from injectFaultPoint when a rule
+ * fires, and their rule detail is a MATCHER against the point's
+ * runtime detail. Behavioral sites (worker.crash, worker.stall) are
+ * polled with fireBehavioral() instead: the worker tier asks "did
+ * this fault fire?" and acts out the failure itself (die silently,
+ * sleep), and the rule's detail is a PARAMETER handed back to the
+ * caller — worker.stall@250 stalls the worker 250 ms.
  *
  * Determinism contract: counted rules fire an exact total number of
  * times; which concurrent caller absorbs each fault may vary, but the
@@ -39,6 +52,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,7 +73,8 @@ struct FaultRule
 };
 
 /** Parse a JIGSAW_FAULT_SPEC string; throws std::invalid_argument on
- *  malformed input. An empty spec yields no rules. */
+ *  malformed input or an unknown site name (the error lists the known
+ *  sites). An empty spec yields no rules. */
 std::vector<FaultRule> parseFaultSpec(const std::string &spec);
 
 class FaultInjector
@@ -77,6 +92,24 @@ class FaultInjector
 
     /** Evaluate the fault point @p site; throws when a rule fires. */
     void maybeInject(const char *site, const std::string &detail);
+
+    /**
+     * Evaluate the behavioral fault point @p site: like maybeInject,
+     * but instead of throwing, a fired rule returns its detail string
+     * — the fault's parameter, for the caller to act on (e.g. the
+     * worker tier sleeps worker.stall@250's 250 ms, or exits its
+     * thread on worker.crash). Rule details never filter matching
+     * here; they are payload, not matcher. std::nullopt when no rule
+     * fired. Counts into injected()/injectedAt() like any fault.
+     */
+    std::optional<std::string> fireBehavioral(const char *site);
+
+    /**
+     * Every fault-point name the instrumented layers call, throwing
+     * and behavioral alike. parseFaultSpec rejects anything else, so
+     * a misspelled site fails fast instead of never firing.
+     */
+    static const std::vector<std::string> &knownSites();
 
     /** Total faults injected since the last configure()/clear(). */
     std::uint64_t injected() const;

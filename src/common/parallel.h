@@ -17,6 +17,13 @@
  *  - TaskGroup: submit independent closures (one per program/session)
  *    and wait for all of them. The waiting thread helps drain the
  *    queue, so submission works even with zero workers.
+ *
+ * The streaming scheduler's worker tier (core/worker.h) deliberately
+ * does NOT run on this pool: its workers are dedicated threads
+ * modeling separate processes, so their deaths and stalls never eat
+ * pool capacity, and the zero-worker help-drain paths (wait/drain/the
+ * dispatcher) still make the pool's stage and reconstruction tasks
+ * progress while the fleet executes windows.
  */
 #ifndef JIGSAW_COMMON_PARALLEL_H
 #define JIGSAW_COMMON_PARALLEL_H

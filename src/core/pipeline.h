@@ -153,6 +153,14 @@ ExecutionResult executeSchedule(sim::Executor &executor,
  * draw stream, seeded exactly like the private executor a sequential
  * run would use, so merged results stay bitwise-identical to
  * sequential runJigsaw.
+ *
+ * Distribution boundary: executor and rng are the only fields bound
+ * to the local process — everything else is (a pointer to) immutable
+ * compiled data. The worker tier (core/transport.h) exploits this by
+ * shipping sources UNBOUND (both null) and having the serving worker
+ * late-bind its own executor plus a fresh Rng(executorSeed); a wire
+ * transport would serialize the artifacts and do the same on the far
+ * side.
  */
 struct MergeSource
 {

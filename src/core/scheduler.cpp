@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/simd.h"
 #include "compiler/transpiler.h"
+#include "core/worker.h"
 #include "sim/simulators.h"
 
 namespace jigsaw {
@@ -98,6 +99,19 @@ isTerminal(JobState state)
 StreamingScheduler::StreamingScheduler(StreamOptions options)
     : options_(options)
 {
+    // Worker tier: a caller-supplied transport wins (the test seam);
+    // otherwise worker.workers > 0 builds the in-process fleet. Null
+    // means every window runs on the local pool, as before.
+    if (options_.transport != nullptr)
+        transport_ = options_.transport;
+    else if (options_.worker.workers > 0)
+        transport_ = std::make_shared<InProcTransport>(options_.worker);
+    if (transport_ != nullptr) {
+        // The response doorbell: bare notify (no state change), so
+        // firing from any worker thread without the lock is fine.
+        transport_->setResponseSignal(
+            [this] { dispatcherCv_.notify_all(); });
+    }
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 
@@ -118,6 +132,15 @@ StreamingScheduler::~StreamingScheduler()
     dispatcherCv_.notify_all();
     dispatcher_.join();
     group_.wait(); // completion callbacks all ran; nothing in flight
+    if (transport_ != nullptr) {
+        // A stale worker (revoked lease, window finished elsewhere)
+        // may still be executing: clear the doorbell so it cannot
+        // fire into a dying scheduler, then drop the transport — the
+        // in-process fleet's destructor joins its worker threads,
+        // whose requests retain the sessions they read until then.
+        transport_->setResponseSignal(nullptr);
+        transport_.reset();
+    }
 }
 
 double
@@ -514,7 +537,7 @@ StreamingScheduler::startPrepare(Job &job)
             job.program.device,
             sim::NoisySimulatorOptions{.seed = job.program.executorSeed});
     }
-    job.session = std::make_unique<JigsawSession>(
+    job.session = std::make_shared<JigsawSession>(
         job.program.circuit, job.program.device, *job.executor,
         job.program.trials, job.program.options);
     ++preparing_;
@@ -683,12 +706,33 @@ StreamingScheduler::dispatchNext(Clock::time_point now)
         const ReadyEntry taken = entry;
         readyQueue_.erase(readyQueue_.begin() +
                           static_cast<std::ptrdiff_t>(cit->second));
+        // Last-chance SLO check: a job aged out while its unit
+        // queued for a slot (or gathered window partners) expires
+        // here instead of executing past its deadline.
         if (taken.isWindow) {
             const auto it = windows_.find(taken.id);
             panicIf(it == windows_.end(), "dispatch: window vanished");
-            dispatchWindow(*it->second, now);
+            const std::vector<std::uint64_t> members =
+                it->second->jobIds;
+            for (const std::uint64_t member : members) {
+                Job &job = *jobs_.at(member);
+                if (isSet(job.deadlineAt) && job.deadlineAt <= now)
+                    withdrawLocked(job, JobState::Expired,
+                                   deadlineError());
+            }
+            // Withdrawing the last member erased the window; the
+            // freed slot still counts as progress.
+            const auto again = windows_.find(taken.id);
+            if (again == windows_.end())
+                return true;
+            dispatchWindow(*again->second, now);
         } else {
-            dispatchSolo(*jobs_.at(taken.id), now);
+            Job &job = *jobs_.at(taken.id);
+            if (isSet(job.deadlineAt) && job.deadlineAt <= now) {
+                withdrawLocked(job, JobState::Expired, deadlineError());
+                return true;
+            }
+            dispatchSolo(job, now);
         }
         return true;
     }
@@ -748,6 +792,16 @@ StreamingScheduler::dispatchWindow(Window &window, Clock::time_point now)
         job.dispatchAt = now;
         --backlog_;
     }
+    if (transport_ != nullptr) {
+        grantLeaseLocked(window, 0, now);
+        return;
+    }
+    runWindowLocallyLocked(window);
+}
+
+void
+StreamingScheduler::runWindowLocallyLocked(Window &window)
+{
     const std::uint64_t window_id = window.id;
     group_.run([this, window_id] { runWindowTask(window_id); },
                [this, window_id](std::exception_ptr error) {
@@ -780,15 +834,9 @@ void
 StreamingScheduler::runWindowTask(std::uint64_t window_id)
 {
     Window *window = nullptr;
-    std::vector<std::pair<std::uint64_t, std::size_t>> live;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         window = windows_.at(window_id).get();
-        for (std::size_t slot = 0; slot < window->slotJob.size();
-             ++slot) {
-            if (window->slotJob[slot] != 0)
-                live.push_back({window->slotJob[slot], slot});
-        }
     }
     // The window is immutable once dispatched (cancel refuses), so
     // sources/merged are safe to read without the lock.
@@ -804,41 +852,59 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        stats_.crossProgramGroups += window->merged.crossProgramGroups();
-        stats_.pooledGlobalBatches += exec_stats.pooledGlobalBatches;
-        stats_.pooledGlobalPrograms += exec_stats.pooledGlobalPrograms;
-        if (error) {
-            // Window poisoning: one bad program must not kill its
-            // partners. With >= 2 members each is quarantined for a
-            // solo retry (free of retry-budget charge); a job failing
-            // alone is handled on its own merits (transient retry
-            // within budget, else terminal failure).
-            const bool quarantine = live.size() >= 2;
-            const auto now = Clock::now();
-            for (const auto &[id, slot] : live) {
-                Job &job = *jobs_.at(id);
-                handleJobFailure(job, error, now, quarantine);
-            }
-            windows_.erase(window_id);
-            --inFlight_;
-        }
+        completeWindowExecutionLocked(window_id, std::move(executions),
+                                      exec_stats, error);
     }
+    dispatcherCv_.notify_all();
+    jobCv_.notify_all();
+}
+
+void
+StreamingScheduler::completeWindowExecutionLocked(
+    std::uint64_t window_id,
+    std::shared_ptr<std::vector<ExecutionResult>> executions,
+    const MergedExecutionStats &exec_stats, std::exception_ptr error)
+{
+    Window &window = *windows_.at(window_id);
+    // slotJob is stable once the window dispatched (cancel refuses),
+    // so the live set is the same whichever backend executed it, and
+    // however many lost leases preceded the completing attempt.
+    std::vector<std::pair<std::uint64_t, std::size_t>> live;
+    for (std::size_t slot = 0; slot < window.slotJob.size(); ++slot) {
+        if (window.slotJob[slot] != 0)
+            live.push_back({window.slotJob[slot], slot});
+    }
+    // Counted once per completed window — lost leases never reach
+    // here, so worker re-dispatch cannot inflate the merge counters.
+    stats_.crossProgramGroups += window.merged.crossProgramGroups();
+    stats_.pooledGlobalBatches += exec_stats.pooledGlobalBatches;
+    stats_.pooledGlobalPrograms += exec_stats.pooledGlobalPrograms;
     if (error) {
-        dispatcherCv_.notify_all();
-        jobCv_.notify_all();
+        // Window poisoning: one bad program must not kill its
+        // partners. With >= 2 members each is quarantined for a
+        // solo retry (free of retry-budget charge); a job failing
+        // alone is handled on its own merits (transient retry
+        // within budget, else terminal failure). A window failing
+        // ON A WORKER routes through here identically, so quarantine
+        // composes with the worker tier.
+        const bool quarantine = live.size() >= 2;
+        const auto now = Clock::now();
+        for (const auto &[id, slot] : live) {
+            Job &job = *jobs_.at(id);
+            handleJobFailure(job, error, now, quarantine);
+        }
+        windows_.erase(window_id);
+        --inFlight_;
         return;
     }
     // Per-job resume: adopt the split-back execution slice and
     // reconstruct, one pool task per job so reconstructions overlap.
+    // (group_.run only enqueues, so submitting under the lock is
+    // safe; the tasks themselves run unlocked.)
     for (const auto &[id, slot] : live) {
-        JigsawSession *session;
-        std::shared_ptr<JigsawResult> *result_slot;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            Job &job = *jobs_.at(id);
-            session = job.session.get();
-            result_slot = &job.result;
-        }
+        Job &job = *jobs_.at(id);
+        JigsawSession *session = job.session.get();
+        std::shared_ptr<JigsawResult> *result_slot = &job.result;
         group_.run(
             [session, result_slot, executions, slot = slot] {
                 session->adoptExecution(
@@ -849,13 +915,13 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
             [this, id = id, window_id](std::exception_ptr job_error) {
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
-                    Job &job = *jobs_.at(id);
+                    Job &done = *jobs_.at(id);
                     if (job_error) {
-                        handleJobFailure(job, job_error, Clock::now(),
+                        handleJobFailure(done, job_error, Clock::now(),
                                          false);
                     } else {
-                        finishJob(job, JobState::Done, nullptr);
-                        releaseJobState(job);
+                        finishJob(done, JobState::Done, nullptr);
+                        releaseJobState(done);
                     }
                     Window &done_window = *windows_.at(window_id);
                     if (--done_window.remaining == 0) {
@@ -867,6 +933,177 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
                 jobCv_.notify_all();
             });
     }
+}
+
+WindowRequest
+StreamingScheduler::buildRequestLocked(Window &window,
+                                       std::uint64_t lease_id) const
+{
+    WindowRequest request;
+    request.leaseId = lease_id;
+    request.heartbeatMs = options_.worker.heartbeatMs;
+    request.sources = window.sources;
+    request.merged = window.merged;
+    request.seeds.resize(window.sources.size(), 0);
+    for (std::size_t slot = 0; slot < window.slotJob.size(); ++slot) {
+        // Unbind: the worker late-binds its own executor and a fresh
+        // Rng(executorSeed) stream, leaving the job's canonical
+        // stream untouched for any later local fallback to replay.
+        request.sources[slot].executor = nullptr;
+        request.sources[slot].rng = nullptr;
+        const std::uint64_t job_id = window.slotJob[slot];
+        if (job_id == 0)
+            continue; // withdrawn slot: stays disabled and unbound
+        const Job &job = *jobs_.at(job_id);
+        request.seeds[slot] = job.program.executorSeed;
+        request.retain.push_back(job.session);
+        if (request.device == nullptr)
+            request.device = std::make_shared<device::DeviceModel>(
+                job.program.device);
+    }
+    return request;
+}
+
+void
+StreamingScheduler::grantLeaseLocked(Window &window,
+                                     std::size_t attempts,
+                                     Clock::time_point now)
+{
+    for (; attempts <= options_.worker.workerRetries; ++attempts) {
+        if (transport_->liveWorkers() == 0)
+            break; // dead fleet: straight to the degradation floor
+        const std::uint64_t lease_id = nextLeaseId_++;
+        try {
+            transport_->send(buildRequestLocked(window, lease_id));
+        } catch (...) {
+            // Send failure (including an injected transport.send
+            // fault): the lease never reached the fleet — count it
+            // lost and try again. The jobs' retry budget is never
+            // charged for fleet trouble.
+            ++stats_.leasesRevoked;
+            continue;
+        }
+        Lease lease;
+        lease.id = lease_id;
+        lease.windowId = window.id;
+        lease.attempts = attempts;
+        lease.deadline =
+            now + msDuration(options_.worker.leaseTimeoutMs);
+        leases_.emplace(lease_id, lease);
+        ++stats_.leasesGranted;
+        if (attempts > 0)
+            ++stats_.redispatches;
+        return;
+    }
+    // Graceful degradation: the fleet is dead or burned through
+    // workerRetries leases — run the window on the local pool, the
+    // path a transportless scheduler always takes.
+    ++stats_.localFallbacks;
+    runWindowLocallyLocked(window);
+}
+
+void
+StreamingScheduler::superviseLeasesLocked(Clock::time_point now)
+{
+    if (leases_.empty())
+        return;
+    struct Lost
+    {
+        Lease lease;
+        bool expired = false; ///< Deadline (vs worker death).
+    };
+    std::vector<Lost> lost;
+    for (const auto &[id, lease] : leases_) {
+        const bool expired = now >= lease.deadline;
+        bool dead = false;
+        if (const auto silence = transport_->msSinceHeartbeat(id)) {
+            // A worker holds it: heartbeat silence past the timeout
+            // means the worker died mid-window.
+            dead = *silence > options_.worker.heartbeatTimeoutMs;
+        } else {
+            // Unassigned: still queued (the deadline covers slow
+            // pickup) — unless no live worker remains to ever take it.
+            dead = transport_->liveWorkers() == 0;
+        }
+        if (expired || dead)
+            lost.push_back({lease, expired});
+    }
+    for (const Lost &entry : lost) {
+        leases_.erase(entry.lease.id);
+        transport_->revoke(entry.lease.id);
+        if (entry.expired)
+            ++stats_.leasesExpired;
+        else
+            ++stats_.leasesRevoked;
+        const auto wit = windows_.find(entry.lease.windowId);
+        panicIf(wit == windows_.end(),
+                "lease supervision: window vanished under a lease");
+        grantLeaseLocked(*wit->second, entry.lease.attempts + 1, now);
+    }
+}
+
+void
+StreamingScheduler::drainTransportLocked()
+{
+    for (;;) {
+        std::optional<WindowResponse> response;
+        try {
+            response = transport_->tryRecv();
+        } catch (...) {
+            // recv failure (including an injected transport.recv
+            // fault): that response is lost in flight; its lease
+            // deadline re-dispatches the window.
+            continue;
+        }
+        if (!response)
+            return;
+        const auto lit = leases_.find(response->leaseId);
+        if (lit == leases_.end()) {
+            // A revoked lease answering late: the window already
+            // completed (or is completing) another way; the envelope
+            // is dropped whole, so the duplicate execution is
+            // invisible outside this counter.
+            ++stats_.staleResponses;
+            continue;
+        }
+        const std::uint64_t window_id = lit->second.windowId;
+        leases_.erase(lit);
+        if (response->ok) {
+            if (stats_.workerCompleted.size() <= response->worker)
+                stats_.workerCompleted.resize(response->worker + 1, 0);
+            ++stats_.workerCompleted[response->worker];
+            completeWindowExecutionLocked(
+                window_id,
+                std::make_shared<std::vector<ExecutionResult>>(
+                    std::move(response->results)),
+                response->execStats, nullptr);
+        } else {
+            // A job-level failure ON the worker (not a lost lease):
+            // the regular quarantine/retry routing applies, exactly
+            // as if the local path had thrown.
+            completeWindowExecutionLocked(window_id, nullptr,
+                                          response->execStats,
+                                          responseError(*response));
+        }
+    }
+}
+
+std::optional<StreamingScheduler::Clock::time_point>
+StreamingScheduler::nextLeaseEventLocked(Clock::time_point now) const
+{
+    if (leases_.empty())
+        return std::nullopt;
+    // Poll cadence for death detection: half the heartbeat timeout
+    // keeps worst-case detection latency ~1.5x the timeout without
+    // busy-waiting; lease deadlines may be sooner.
+    auto next = now + msDuration(std::max(
+                          options_.worker.heartbeatTimeoutMs, 1.0) /
+                      2.0);
+    for (const auto &[id, lease] : leases_) {
+        if (lease.deadline < next)
+            next = lease.deadline;
+    }
+    return next;
 }
 
 void
@@ -1013,6 +1250,16 @@ StreamingScheduler::finishJob(Job &job, JobState state,
         drainEwmaMs_ = drainEwmaMs_ > 0.0
                            ? 0.8 * drainEwmaMs_ + 0.2 * interval
                            : interval;
+    } else {
+        // Cold start: no completion interval exists yet, but this
+        // first job's execute latency is a far better drain estimate
+        // than the windowMs fallback retryHintMsLocked would use —
+        // with a long merge window that fallback overstates the hint
+        // by orders of magnitude.
+        const double execute_ms =
+            msBetweenImpl(job.dispatchAt, job.doneAt);
+        if (execute_ms > 0.0)
+            drainEwmaMs_ = execute_ms;
     }
     lastCompletionAt_ = job.doneAt;
     StreamStats::JobSample sample;
@@ -1049,6 +1296,14 @@ StreamingScheduler::dispatcherLoop()
 
         // Expire SLO-missed jobs before they consume anything else.
         expireDueJobsLocked(now);
+
+        // Worker tier: land completed windows first (a response in
+        // hand beats re-dispatching its lease), then revoke leases
+        // whose worker died or deadline passed.
+        if (transport_ != nullptr) {
+            drainTransportLocked();
+            superviseLeasesLocked(now);
+        }
 
         // Move due retries (all of them when stopping) into admission.
         if (!retryQueue_.empty()) {
@@ -1151,6 +1406,8 @@ StreamingScheduler::dispatcherLoop()
                 job.state != JobState::Dispatched)
                 consider(job.deadlineAt);
         }
+        if (const auto lease_event = nextLeaseEventLocked(now))
+            consider(*lease_event);
         if (!admission_.empty() || !scheduleReady_.empty())
             continue; // new work arrived while dispatching
         if (detail::sharedPool().workerCount() == 0 &&

@@ -35,7 +35,20 @@
  *    cannot kill its window partners; a job past its
  *    ServiceProgram::deadlineMs SLO is expired instead of dispatched;
  *  - per-device persistent shared executors, so circuits recurring
- *    across windows keep hitting warm evolution caches.
+ *    across windows keep hitting warm evolution caches;
+ *  - an optional worker execution tier behind the Transport seam
+ *    (core/transport.h): with StreamOptions::worker.workers > 0 (or a
+ *    caller-supplied StreamOptions::transport), merged windows are
+ *    dispatched to the fleet as LEASES — lease id, deadline
+ *    (worker.leaseTimeoutMs), heartbeat interval — and supervised by
+ *    the dispatcher. A worker that dies (heartbeat stops), stalls
+ *    past the lease deadline, or whose response is lost to a
+ *    transport fault has its lease revoked and the window
+ *    re-dispatched to another worker; after worker.workerRetries
+ *    lost leases (or with no live worker) the window degrades
+ *    gracefully to the local executeMergedSchedules path. Lost-lease
+ *    re-dispatch never charges the jobs' transient-retry budget: the
+ *    jobs did nothing wrong, the fleet did.
  *
  * A lone job whose window expires without partners dispatches
  * immediately as a single-source execution, so streaming latency
@@ -90,6 +103,7 @@
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "core/service.h"
+#include "core/transport.h"
 
 namespace jigsaw {
 namespace core {
@@ -212,7 +226,11 @@ class StreamingScheduler
         Clock::time_point retryAt{};    ///< Backoff target (retry queue).
         std::shared_ptr<sim::Executor> executor;
         std::unique_ptr<Rng> stream; ///< Merged-path draw stream.
-        std::unique_ptr<JigsawSession> session;
+        /** Shared so a worker-tier WindowRequest can retain it: a
+         *  revoked lease's stale worker may still be reading the
+         *  session's const artifacts after the scheduler released the
+         *  job's state (see WindowRequest::retain). */
+        std::shared_ptr<JigsawSession> session;
         std::exception_ptr error;
         std::shared_ptr<JigsawResult> result;
         std::uint64_t windowId = 0;
@@ -238,6 +256,19 @@ class StreamingScheduler
         MergedSchedule merged; ///< Maintained incrementally.
     };
 
+    /** One outstanding worker-tier dispatch of a window. Revoking a
+     *  lease and granting a fresh one IS the re-dispatch path; the
+     *  window itself stays parked (dispatched, in-flight) throughout. */
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        std::uint64_t windowId = 0;
+        /** Lost leases so far for this window (grants = attempts+1);
+         *  past worker.workerRetries the window falls back locally. */
+        std::size_t attempts = 0;
+        Clock::time_point deadline{};
+    };
+
     /** A dispatchable unit waiting for an in-flight slot. */
     struct ReadyEntry
     {
@@ -260,6 +291,35 @@ class StreamingScheduler
     void dispatchSolo(Job &job, Clock::time_point now);   // held
     void dispatchWindow(Window &window, Clock::time_point now); // held
     void runWindowTask(std::uint64_t window_id);
+    /** @name Worker tier (all with mutex held). @{ */
+    /** Dispatch @p window on the local pool (the no-transport path
+     *  and the degradation floor). */
+    void runWindowLocallyLocked(Window &window);
+    /** Build the unbound WindowRequest envelope for @p window. */
+    WindowRequest buildRequestLocked(Window &window,
+                                     std::uint64_t lease_id) const;
+    /** Grant (or re-grant, at @p attempts > 0) a lease for
+     *  @p window; falls back to runWindowLocallyLocked once the fleet
+     *  is dead or worker.workerRetries leases were lost. */
+    void grantLeaseLocked(Window &window, std::size_t attempts,
+                          Clock::time_point now);
+    /** Revoke leases whose worker died (heartbeat silence) or whose
+     *  deadline passed, and re-dispatch their windows. */
+    void superviseLeasesLocked(Clock::time_point now);
+    /** Drain transport responses into window completions. */
+    void drainTransportLocked();
+    /** Shared completion path for worker and local execution: adopt
+     *  results into the member jobs (spawning their reconstruction
+     *  tasks) or route @p error through quarantine/retry. */
+    void completeWindowExecutionLocked(
+        std::uint64_t window_id,
+        std::shared_ptr<std::vector<ExecutionResult>> executions,
+        const MergedExecutionStats &exec_stats, std::exception_ptr error);
+    /** Earliest lease deadline/heartbeat check the dispatcher must
+     *  wake for, or nullopt when no leases are outstanding. */
+    std::optional<Clock::time_point>
+    nextLeaseEventLocked(Clock::time_point now) const;
+    /** @} */
     /** Route a pipeline failure: quarantine a poisoned-window member,
      *  schedule a transient retry within budget/deadline, or finish
      *  the job as Failed/Expired. */
@@ -321,6 +381,10 @@ class StreamingScheduler
     /** Parametric prototypes by ParametricHandle::id. */
     std::unordered_map<std::uint64_t, ServiceProgram> prototypes_;
     std::uint64_t nextParametricId_ = 1;
+    /** Worker tier: null means every window runs locally. */
+    std::shared_ptr<Transport> transport_;
+    std::unordered_map<std::uint64_t, Lease> leases_; ///< By lease id.
+    std::uint64_t nextLeaseId_ = 1;
 
     StreamStats stats_;
 

@@ -195,6 +195,39 @@ struct JobStatus
     double totalMs = 0.0;
 };
 
+class Transport; // core/transport.h
+
+/**
+ * Worker execution tier (core/transport.h, core/worker.h): merged
+ * windows dispatched as leases to a fleet of in-process workers, each
+ * owning its own per-device executors and rebuilding every job's draw
+ * stream from Rng(executorSeed) — results stay bitwise-identical to
+ * local execution. The scheduler supervises each lease and degrades
+ * gracefully: a lost lease (worker death, stall past the deadline,
+ * transport error) is re-dispatched to the fleet up to workerRetries
+ * times, then executed locally via the regular merged path — an
+ * empty or all-dead fleet costs throughput, never correctness, and
+ * lost leases never charge the jobs' transient-retry budgets.
+ */
+struct WorkerOptions
+{
+    /** Fleet size. 0 disables the worker tier entirely (every window
+     *  executes locally, the pre-worker behavior). */
+    std::size_t workers = 0;
+    /** Lease deadline: a window not answered this long after dispatch
+     *  is revoked and re-dispatched (catches stalled workers and
+     *  responses lost in flight). */
+    double leaseTimeoutMs = 60000.0;
+    /** Worker heartbeat interval (carried in each lease's request
+     *  envelope; the in-process fleet beats at this period). */
+    double heartbeatMs = 5.0;
+    /** A lease whose worker has not heartbeat for this long is
+     *  revoked as worker death (the worker is assumed gone). */
+    double heartbeatTimeoutMs = 250.0;
+    /** Fleet re-dispatches per window before local fallback. */
+    std::size_t workerRetries = 2;
+};
+
 /** Streaming-scheduler configuration (JigsawService submit/poll). */
 struct StreamOptions
 {
@@ -274,6 +307,17 @@ struct StreamOptions
      * 0 keeps every sample.
      */
     std::size_t statsReservoir = 4096;
+    /** Worker execution tier (see WorkerOptions). Disabled (workers
+     *  = 0) by default. */
+    WorkerOptions worker;
+    /**
+     * Execution backend override: when set, merged windows dispatch
+     * over THIS transport (worker.workers is then ignored); when
+     * null and worker.workers > 0, the scheduler builds its own
+     * core::InProcTransport fleet. Tests stub this seam to model
+     * arbitrary backend pathologies.
+     */
+    std::shared_ptr<Transport> transport;
 };
 
 /** Counters and samples of one streaming scheduler's lifetime. */
@@ -316,6 +360,30 @@ struct StreamStats
     /** Jobs that produced a latency sample (completed + failed): the
      *  reservoir's population size. */
     std::size_t jobsObserved = 0;
+    /** @} */
+    /** @name Worker-tier lease counters (all zero without a worker
+     * fleet). A window dispatched to the fleet is covered by exactly
+     * one live lease at a time; a lost lease is re-dispatched
+     * (redispatches) until workerRetries is exhausted or no worker is
+     * alive, then executed locally (localFallbacks) — lost leases
+     * never charge the member jobs' retry budgets. @{ */
+    std::size_t leasesGranted = 0; ///< Requests delivered to the fleet.
+    /** Leases revoked at their deadline: a stalled worker or a
+     *  response lost in flight (transport.recv). */
+    std::size_t leasesExpired = 0;
+    /** Leases revoked for worker death (missed heartbeats), a
+     *  transport send failure, or a fleet that died under a queued
+     *  request. */
+    std::size_t leasesRevoked = 0;
+    std::size_t redispatches = 0;  ///< Lost-lease re-sends to the fleet.
+    /** Worker-tier windows executed via the local merged path instead
+     *  (dead fleet or workerRetries exhausted). */
+    std::size_t localFallbacks = 0;
+    /** Late responses of revoked leases, discarded (their window
+     *  already completed another way). */
+    std::size_t staleResponses = 0;
+    /** Successful window executions per worker index. */
+    std::vector<std::size_t> workerCompleted;
     /** @} */
     /** @name Parametric-serving cache counters, snapshotted by
      * stats(). The transpile counters are process-wide (the memo is

@@ -1,0 +1,43 @@
+#include "core/transport.h"
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace core {
+
+std::exception_ptr
+responseError(const WindowResponse &response)
+{
+    // Reconstruct the scheduler-side error taxonomy from the
+    // serialized (message, transient) pair: the retry machinery keys
+    // on TransientError, everything else is terminal. The original
+    // concrete type is gone — the price of a serializable envelope —
+    // but only the transient/terminal split drives scheduling.
+    panicIf(response.ok, "responseError: response carries no error");
+    if (response.transientError)
+        return std::make_exception_ptr(
+            TransientError(response.errorMessage));
+    return std::make_exception_ptr(
+        std::runtime_error(response.errorMessage));
+}
+
+void
+validateRequest(const WindowRequest &request)
+{
+    panicIf(request.device == nullptr,
+            "transport: request without a device model");
+    panicIf(request.seeds.size() != request.sources.size(),
+            "transport: seeds not parallel to sources");
+    for (const MergeSource &source : request.sources) {
+        if (!source.enabled)
+            continue;
+        panicIf(source.executor != nullptr || source.rng != nullptr,
+                "transport: request sources must arrive unbound");
+        panicIf(source.jobs == nullptr || source.schedule == nullptr ||
+                    source.plan == nullptr,
+                "transport: enabled source without artifacts");
+    }
+}
+
+} // namespace core
+} // namespace jigsaw

@@ -6,8 +6,12 @@
  * benchmark registry, and the deterministic fault-injection machinery
  * (spec grammar, counted/probabilistic rules, error taxonomy).
  */
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +20,8 @@
 #include "common/fault.h"
 #include "compiler/sabre.h"
 #include "core/jigsaw.h"
+#include "core/scheduler.h"
+#include "core/service.h"
 #include "device/library.h"
 #include "metrics/metrics.h"
 #include "mitigation/characterize.h"
@@ -136,6 +142,151 @@ TEST(FaultInjection, InjectedFaultFailsRunJigsawUntilCleared)
                  std::runtime_error);
     FaultInjector::instance().clear();
     EXPECT_NO_THROW(core::runJigsaw(ghz->circuit(), dev, executor, 2048));
+}
+
+TEST(FaultInjection, RejectsUnknownSitesNamingTheKnownOnes)
+{
+    // A typo in JIGSAW_FAULT_SPEC must fail spec parsing loudly, not
+    // silently arm a rule that can never fire.
+    EXPECT_THROW(parseFaultSpec("stage.compiel:first=1"),
+                 std::invalid_argument);
+    try {
+        parseFaultSpec("worker.crsh:first=2");
+        FAIL() << "unknown site accepted";
+    } catch (const std::invalid_argument &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("worker.crsh"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("known sites"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("worker.crash"), std::string::npos)
+            << message;
+    }
+}
+
+TEST(FaultInjection, KnownSitesCoverEveryInstrumentedPoint)
+{
+    const std::vector<std::string> &sites =
+        FaultInjector::knownSites();
+    for (const char *site :
+         {"stage.plan", "stage.compile", "stage.reconstruct",
+          "executor.run", "executor.runBatch", "merge.execute",
+          "transport.send", "transport.recv", "worker.crash",
+          "worker.stall"}) {
+        EXPECT_NE(std::find(sites.begin(), sites.end(), site),
+                  sites.end())
+            << site << " missing from knownSites()";
+    }
+    // Every advertised site round-trips through the spec parser.
+    for (const std::string &site : sites)
+        EXPECT_NO_THROW(parseFaultSpec(site + ":first=1"));
+}
+
+TEST(Robustness, DoublePoisonedWindowChargesOnlySoloFailures)
+{
+    // A job quarantined out of a poisoned window pays no retry budget
+    // for the window's failure; when its solo exclusive retry then
+    // fails too, only THOSE failures charge attempts. The "@2" rule
+    // poisons the two-job window once; the "@1" rule fails two solo
+    // executions; total attempts across both jobs must be exactly 2 —
+    // double-charging the window poisoning would make it 4.
+    const DeviceModel dev = device::toronto();
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+    std::vector<core::ServiceProgram> programs;
+    programs.emplace_back(ghz->circuit(), dev, 8192,
+                          core::JigsawOptions{}, 9101);
+    programs.emplace_back(ghz->circuit(), dev, 8192,
+                          core::JigsawOptions{}, 9102);
+    const std::vector<core::JigsawResult> sequential =
+        core::runProgramsSequentially(programs);
+
+    FaultGuard guard;
+    FaultInjector::instance().configure(parseFaultSpec(
+        "merge.execute@2:first=1:terminal;merge.execute@1:first=2"));
+
+    core::StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0; // held open until both jobs joined
+    core::StreamingScheduler scheduler(options);
+    const core::JobHandle first = scheduler.submit(programs[0]).handle;
+    const core::JobHandle second = scheduler.submit(programs[1]).handle;
+    for (const core::JobHandle handle : {first, second}) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(60);
+        for (;;) {
+            const auto status = scheduler.poll(handle);
+            ASSERT_TRUE(status.has_value());
+            if (status->state == core::JobState::Windowed)
+                break;
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+    scheduler.drain();
+
+    const core::JigsawResult first_result = scheduler.wait(first);
+    const core::JigsawResult second_result = scheduler.wait(second);
+    EXPECT_EQ(first_result.output.support(),
+              sequential[0].output.support());
+    EXPECT_EQ(second_result.output.support(),
+              sequential[1].output.support());
+    for (const auto &[outcome, p] : sequential[0].output.probabilities())
+        EXPECT_EQ(p, first_result.output.prob(outcome));
+    for (const auto &[outcome, p] : sequential[1].output.probabilities())
+        EXPECT_EQ(p, second_result.output.prob(outcome));
+
+    const core::StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.quarantinedJobs, 2u);
+    EXPECT_EQ(stats.retries, 2u);
+    const auto first_status = scheduler.poll(first);
+    const auto second_status = scheduler.poll(second);
+    ASSERT_TRUE(first_status.has_value());
+    ASSERT_TRUE(second_status.has_value());
+    EXPECT_EQ(first_status->attempts + second_status->attempts, 2u);
+}
+
+TEST(Robustness, ShedHintSeedsFromFirstObservedLatency)
+{
+    // Cold-start drain estimate: before any completion interval
+    // exists, the first completed job's execute latency seeds the
+    // EWMA behind tryLaterAfterMs. With a pathological 60-second
+    // merge window, the old windowMs fallback would tell a shed
+    // caller to come back in a minute; the seeded estimate stays in
+    // the (millisecond-scale) region of an actual execution.
+    const DeviceModel dev = device::toronto();
+    const auto ghz = workloads::makeWorkload("GHZ-6");
+    const auto program = [&](std::uint64_t seed) {
+        return core::ServiceProgram(ghz->circuit(), dev, 4096,
+                                    core::JigsawOptions{}, seed);
+    };
+
+    core::StreamOptions options;
+    options.mergePolicy = core::MergePolicy::Always;
+    options.windowMs = 60000.0;
+    options.maxQueuedJobs = 4; // Normal sheds at 4, Low at 3
+    core::StreamingScheduler scheduler(options);
+
+    // High priority closes its window immediately, so this job
+    // completes despite the huge windowMs and seeds the estimate.
+    scheduler.wait(
+        scheduler.submit(program(9301), core::Priority::High).handle);
+
+    // Three Normal jobs park in the (still far-off) merge window...
+    std::vector<core::JobHandle> parked;
+    for (std::uint64_t seed = 9302; seed <= 9304; ++seed)
+        parked.push_back(scheduler.submit(program(seed)).handle);
+    // ...which puts the backlog at the Low shed threshold.
+    const core::SubmitResult shed =
+        scheduler.submit(program(9305), core::Priority::Low);
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_GT(shed.tryLaterAfterMs, 0.0);
+    EXPECT_LT(shed.tryLaterAfterMs, 60000.0)
+        << "hint fell back to windowMs despite an observed completion";
+
+    for (const core::JobHandle handle : parked)
+        EXPECT_TRUE(scheduler.cancel(handle));
 }
 
 TEST(Robustness, FullSizeSubsetDegeneratesToGlobalDuplicate)
