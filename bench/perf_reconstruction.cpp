@@ -30,6 +30,7 @@
 #include "core/service.h"
 #include "core/subsets.h"
 #include "device/library.h"
+#include "obs/exposition.h"
 #include "perf_json.h"
 #include "sim/reference_kernels.h"
 #include "sim/simulators.h"
@@ -862,17 +863,12 @@ main(int argc, char **argv)
     // Kernel-backend dispatch totals of the whole bench run: plain
     // counters (no baseline), so overall_speedup is unaffected; the
     // CI gate prints them so a silent fall-off the wide paths shows.
-    {
-        const simd::DispatchCounters d = simd::dispatchCounters();
-        report.addTiming(
-            "simd/dispatch_scalar",
-            static_cast<double>(d.backendTotal(simd::kBackendScalar)));
-        report.addTiming(
-            "simd/dispatch_avx2",
-            static_cast<double>(d.backendTotal(simd::kBackendAvx2)));
-        report.addTiming(
-            "simd/dispatch_avx512",
-            static_cast<double>(d.backendTotal(simd::kBackendAvx512)));
+    // Read through the shared ProcessCounters snapshot — the same
+    // source the suite timings export and the Prometheus exposition
+    // report from.
+    for (const obs::ProcessCounters::Entry &entry :
+         obs::ProcessCounters::snapshot().simdEntries()) {
+        report.addTiming(entry.name, static_cast<double>(entry.value));
     }
 
     if (!report.write(out_path)) {

@@ -13,7 +13,8 @@
  *
  * Usage: bench_stream_throughput [--qubits N] [--dups N] [--trials N]
  *            [--window MS] [--submitters K] [--rate JOBS_PER_SEC]
- *            [--workers W] [--overload] [--quick]
+ *            [--workers W] [--overload] [--quick] [--trace FILE]
+ *            [--metrics-port P] [--serve-scrapes K]
  *
  *   --submitters 0 (default) is an open-loop burst: every job is
  *     submitted up front, then the scheduler drains. K >= 1 runs K
@@ -31,6 +32,14 @@
  *     a small admission bound and gate on High-class p95 staying
  *     within 1.5x its unloaded value while Low sheds with finite
  *     retry hints.
+ *   --trace FILE attaches a TraceRecorder (obs/trace.h) to every
+ *     comparison run and appends each run's per-job pipeline spans to
+ *     FILE as JSON-lines (one object per span).
+ *   --metrics-port P serves the process-wide Prometheus exposition on
+ *     127.0.0.1:P for the lifetime of the bench (0 picks an ephemeral
+ *     port; the bound port is printed). --serve-scrapes K keeps the
+ *     process alive after the runs until K scrapes were answered (or
+ *     a 60 s timeout) — the hook CI's live-scrape check uses.
  */
 #include <algorithm>
 #include <array>
@@ -38,8 +47,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -50,6 +62,9 @@
 #include "core/scheduler.h"
 #include "core/service.h"
 #include "device/library.h"
+#include "obs/exposition.h"
+#include "obs/http.h"
+#include "obs/trace.h"
 #include "workloads/bv.h"
 #include "workloads/ghz.h"
 #include "workloads/qft.h"
@@ -116,6 +131,37 @@ struct LoadRun
     double wallMs = 0.0;
     std::vector<JigsawResult> results;
     core::StreamStats stats;
+};
+
+/** --trace plumbing: one fresh recorder per comparison run (job ids
+ *  restart per scheduler, so sharing a recorder would interleave
+ *  unrelated jobs under one id), all appended to one JSON-lines
+ *  file. */
+struct TraceFile
+{
+    std::ofstream out;
+    std::size_t spans = 0;
+    std::size_t jobs = 0;
+
+    std::shared_ptr<obs::TraceRecorder>
+    attach(StreamOptions &options)
+    {
+        if (!out.is_open())
+            return nullptr;
+        auto recorder = std::make_shared<obs::TraceRecorder>();
+        options.trace = recorder;
+        return recorder;
+    }
+
+    void
+    flush(const std::shared_ptr<obs::TraceRecorder> &recorder)
+    {
+        if (!recorder)
+            return;
+        out << recorder->toJsonLines();
+        spans += recorder->totalSpans();
+        jobs += recorder->jobIds().size();
+    }
 };
 
 /** Push @p programs through one scheduler configuration. */
@@ -376,6 +422,9 @@ main(int argc, char **argv)
     double rate = 0.0;
     std::size_t workers = 0;
     bool overload = false;
+    std::string trace_path;
+    int metrics_port = -1;
+    int serve_scrapes = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--qubits") && i + 1 < argc) {
             n_qubits = std::atoi(argv[++i]);
@@ -400,12 +449,21 @@ main(int argc, char **argv)
             n_qubits = 8;
             n_duplicates = 2;
             trials = 2048;
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--metrics-port") &&
+                   i + 1 < argc) {
+            metrics_port = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--serve-scrapes") &&
+                   i + 1 < argc) {
+            serve_scrapes = std::atoi(argv[++i]);
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--qubits N] [--dups N] [--trials N]"
                          " [--window MS] [--submitters K]"
                          " [--rate JOBS_PER_SEC] [--workers W]"
-                         " [--overload] [--quick]\n";
+                         " [--overload] [--quick] [--trace FILE]"
+                         " [--metrics-port P] [--serve-scrapes K]\n";
             return 2;
         }
     }
@@ -414,12 +472,51 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The endpoint serves the PROCESS-wide registry, so it reports
+    // across every scheduler the bench constructs — exactly what a
+    // scrape of a long-running server would see.
+    std::unique_ptr<obs::MetricsHttpServer> metrics_server;
+    if (metrics_port >= 0) {
+        metrics_server = std::make_unique<obs::MetricsHttpServer>(
+            metrics_port, [] { return obs::renderProcessMetrics(); });
+        std::cout << "metrics:      http://127.0.0.1:"
+                  << metrics_server->port() << "/metrics\n"
+                  << std::flush;
+    }
+    const auto awaitScrapes = [&] {
+        if (!metrics_server || serve_scrapes <= 0)
+            return;
+        std::cout << "metrics:      serving until " << serve_scrapes
+                  << " scrape(s) answered (60 s timeout)\n"
+                  << std::flush;
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(60);
+        while (metrics_server->scrapesServed() <
+                   static_cast<std::uint64_t>(serve_scrapes) &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        std::cout << "metrics:      " << metrics_server->scrapesServed()
+                  << " scrape(s) served\n";
+    };
+    TraceFile trace;
+    if (!trace_path.empty()) {
+        trace.out.open(trace_path);
+        if (!trace.out) {
+            std::cerr << "cannot open trace file " << trace_path << "\n";
+            return 2;
+        }
+    }
+
     const std::vector<ServiceProgram> programs =
         duplicatedSuite(n_qubits, n_duplicates, trials);
     std::cout << "programs:     " << programs.size() << " (" << n_qubits
               << "-qubit suite, " << trials << " trials each)\n";
-    if (overload)
-        return runOverloadScenario(programs, window_ms);
+    if (overload) {
+        const int rc = runOverloadScenario(programs, window_ms);
+        awaitScrapes();
+        return rc;
+    }
     std::cout << "load shape:   "
               << (submitters == 0 ? "open-loop burst" : "closed-loop")
               << (submitters > 0
@@ -434,8 +531,10 @@ main(int argc, char **argv)
     StreamOptions immediate;
     immediate.mergePolicy = core::MergePolicy::Never;
     immediate.windowMs = 0.0;
+    const auto immediate_trace = trace.attach(immediate);
     compiler::clearTranspileCache();
     const LoadRun naive = runLoad(immediate, programs, submitters, rate);
+    trace.flush(immediate_trace);
     std::cout << "immediate:    " << naive.wallMs << " ms ("
               << 1000.0 * static_cast<double>(programs.size()) /
                      naive.wallMs
@@ -447,9 +546,11 @@ main(int argc, char **argv)
     StreamOptions windowed;
     windowed.mergePolicy = core::MergePolicy::Auto;
     windowed.windowMs = window_ms;
+    const auto windowed_trace = trace.attach(windowed);
     compiler::clearTranspileCache();
     const LoadRun merged =
         runLoad(windowed, programs, submitters, rate);
+    trace.flush(windowed_trace);
     std::cout << "windowed:     " << merged.wallMs << " ms ("
               << 1000.0 * static_cast<double>(programs.size()) /
                      merged.wallMs
@@ -485,9 +586,11 @@ main(int argc, char **argv)
         // stay bitwise-identical to local execution.
         StreamOptions tiered = windowed;
         tiered.worker.workers = workers;
+        const auto tiered_trace = trace.attach(tiered);
         compiler::clearTranspileCache();
         const LoadRun fleet =
             runLoad(tiered, programs, submitters, rate);
+        trace.flush(tiered_trace);
         std::cout << "worker tier:  " << fleet.wallMs << " ms ("
                   << 1000.0 * static_cast<double>(programs.size()) /
                          fleet.wallMs
@@ -507,5 +610,10 @@ main(int argc, char **argv)
         }
         std::cout << "outputs match: yes (bitwise, worker tier)\n";
     }
+    if (trace.out.is_open()) {
+        std::cout << "trace:        " << trace.spans << " spans across "
+                  << trace.jobs << " jobs -> " << trace_path << "\n";
+    }
+    awaitScrapes();
     return 0;
 }

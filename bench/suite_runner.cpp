@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "common/error.h"
-#include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/jigsaw.h"
 #include "core/service.h"
@@ -55,12 +54,8 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
     run.devices = device::evaluationDevices();
     run.workloads = qaoa_only ? workloads::qaoaBenchmarks()
                               : workloads::paperBenchmarks();
-    const std::uint64_t transpile_hits0 = compiler::transpileCacheHits();
-    const std::uint64_t transpile_misses0 =
-        compiler::transpileCacheMisses();
-    const std::uint64_t transpile_rebinds0 =
-        compiler::transpileSkeletonRebinds();
-    const simd::DispatchCounters simd0 = simd::dispatchCounters();
+    const obs::ProcessCounters counters0 =
+        obs::ProcessCounters::snapshot();
     const auto sweep_start = std::chrono::steady_clock::now();
 
     for (int d = 0; d < static_cast<int>(run.devices.size()); ++d) {
@@ -121,17 +116,7 @@ runEvaluationSuite(std::uint64_t trials, std::uint64_t seed,
     run.totalMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - sweep_start)
                       .count();
-    run.transpileCacheHits =
-        compiler::transpileCacheHits() - transpile_hits0;
-    run.transpileCacheMisses =
-        compiler::transpileCacheMisses() - transpile_misses0;
-    run.transpileRebinds =
-        compiler::transpileSkeletonRebinds() - transpile_rebinds0;
-    const simd::DispatchCounters simd_delta =
-        simd::dispatchCounters().since(simd0);
-    run.simdScalarCalls = simd_delta.backendTotal(simd::kBackendScalar);
-    run.simdAvx2Calls = simd_delta.backendTotal(simd::kBackendAvx2);
-    run.simdAvx512Calls = simd_delta.backendTotal(simd::kBackendAvx512);
+    run.counters = obs::ProcessCounters::snapshot().since(counters0);
 
     if (const char *path = std::getenv("JIGSAW_SUITE_TIMINGS_JSON")) {
         if (path[0] != '\0' && !writeSuiteTimings(run, path) && !quiet)
@@ -166,24 +151,24 @@ writeSuiteTimings(const SuiteRun &run, const std::string &path)
                      static_cast<double>(run.marginalsServed));
     report.addTiming("suite/batch_evolutions_saved",
                      static_cast<double>(run.evolutionsSaved));
-    report.addTiming("suite/transpile_cache_hits",
-                     static_cast<double>(run.transpileCacheHits));
-    report.addTiming("suite/transpile_cache_misses",
-                     static_cast<double>(run.transpileCacheMisses));
-    report.addTiming("suite/transpile_skeleton_rebinds",
-                     static_cast<double>(run.transpileRebinds));
+    // Process-wide counters (the transpile memo and the SIMD
+    // kernel-dispatch totals) come from the shared ProcessCounters
+    // snapshot, so these entries, the Prometheus exposition, and the
+    // perf bench's dispatch-mix table can never disagree on a name or
+    // a source.
+    for (const obs::ProcessCounters::Entry &entry :
+         run.counters.transpileEntries()) {
+        report.addTiming(std::string("suite/") + entry.name,
+                         static_cast<double>(entry.value));
+    }
     report.addTiming("suite/prefix_state_hits",
                      static_cast<double>(run.prefixStateHits));
     report.addTiming("suite/prefix_state_misses",
                      static_cast<double>(run.prefixStateMisses));
-    // Kernel-backend dispatch: which SIMD table the sweep's hot loops
-    // actually executed on (counters, not milliseconds).
-    report.addTiming("simd/dispatch_scalar",
-                     static_cast<double>(run.simdScalarCalls));
-    report.addTiming("simd/dispatch_avx2",
-                     static_cast<double>(run.simdAvx2Calls));
-    report.addTiming("simd/dispatch_avx512",
-                     static_cast<double>(run.simdAvx512Calls));
+    for (const obs::ProcessCounters::Entry &entry :
+         run.counters.simdEntries()) {
+        report.addTiming(entry.name, static_cast<double>(entry.value));
+    }
     return report.write(path);
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/histogram.h"
 #include "device/device_model.h"
+#include "obs/exposition.h"
 #include "workloads/workload.h"
 
 namespace jigsaw {
@@ -57,22 +58,15 @@ struct SuiteRun
     std::uint64_t batchEvolutions = 0;     ///< Shared-prefix evolutions.
     std::uint64_t marginalsServed = 0;     ///< CPM PMFs off shared states.
     std::uint64_t evolutionsSaved = 0;     ///< Evolutions batching avoided.
-    std::uint64_t transpileCacheHits = 0;  ///< Memoized compilations used.
-    std::uint64_t transpileCacheMisses = 0; ///< Full transpiles run.
-    /** Memo hits served by re-binding angles into a cached
-     *  same-skeleton compilation (parametric traffic). */
-    std::uint64_t transpileRebinds = 0;
     std::uint64_t prefixStateHits = 0;   ///< Split-prefix state reuses.
     std::uint64_t prefixStateMisses = 0; ///< Split prefixes evolved.
     /** @} */
-    /** @name SIMD kernel-backend dispatch counts across the sweep:
-     * deltas of the process-wide simd::dispatchCounters(), exported
-     * as simd/dispatch_* entries so the CI regression gate shows
-     * which backend the hot loops ran on. @{ */
-    std::uint64_t simdScalarCalls = 0;   ///< Scalar-table invocations.
-    std::uint64_t simdAvx2Calls = 0;     ///< AVX2-table invocations.
-    std::uint64_t simdAvx512Calls = 0;   ///< AVX-512-table invocations.
-    /** @} */
+    /** Process-wide counter deltas across the sweep (the transpile
+     *  memo and the SIMD kernel-dispatch totals), taken through the
+     *  shared obs::ProcessCounters snapshot so the timings-JSON
+     *  export, the Prometheus exposition, and the perf bench's
+     *  dispatch-mix table all report from one source. */
+    obs::ProcessCounters counters;
 
     /** The cell for (device d, workload w). */
     const SuiteCell &cell(int d, int w) const;

@@ -5,10 +5,28 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/log.h"
+#include "obs/registry.h"
 
 namespace jigsaw {
 
 namespace {
+
+/** Every firing is observable: one Info record and one count in the
+ *  process-wide registry (site names are a small fixed set, so the
+ *  label cardinality is bounded by construction). */
+void
+noteInjection(const char *site, bool behavioral, bool transient)
+{
+    static log::Logger &lg = log::logger("common.fault");
+    JIGSAW_LOG_INFO(lg, "fault injected", log::kv("site", site),
+                    log::kv("behavioral", behavioral),
+                    log::kv("transient", transient));
+    obs::Registry::instance()
+        .counter("jigsaw_fault_injections_total",
+                 "Injected faults fired, by site.", {{"site", site}})
+        .add();
+}
 
 std::vector<std::string>
 splitOn(const std::string &text, char sep)
@@ -195,6 +213,7 @@ FaultInjector::maybeInject(const char *site, const std::string &detail)
     }
     if (message.empty())
         return;
+    noteInjection(site, false, transient);
     if (transient)
         throw TransientError(message);
     throw std::runtime_error(message);
@@ -220,6 +239,7 @@ FaultInjector::fireBehavioral(const char *site)
             continue;
         ++injected_;
         ++injectedBySite_[site];
+        noteInjection(site, true, rule.transient);
         return rule.detail;
     }
     return std::nullopt;

@@ -1,0 +1,324 @@
+#include "common/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace jigsaw {
+namespace log {
+
+namespace {
+
+/** Sink + logger registry state, function-local so any static-init
+ *  log call finds it constructed. */
+struct GlobalState {
+    std::mutex sinkMutex;
+    std::shared_ptr<Sink> sink;
+    std::mutex registryMutex;
+    std::unordered_map<std::string, std::unique_ptr<Logger>> loggers;
+};
+
+GlobalState &
+state()
+{
+    static GlobalState instance;
+    return instance;
+}
+
+std::int64_t
+wallMsNow()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+threadToken()
+{
+    return static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+/** `2026-08-08T12:00:00.123Z` from epoch milliseconds (UTC). */
+void
+formatTimestamp(std::int64_t wall_ms, char (&buffer)[80])
+{
+    const std::time_t seconds = static_cast<std::time_t>(wall_ms / 1000);
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &seconds);
+#else
+    gmtime_r(&seconds, &utc);
+#endif
+    const int millis = static_cast<int>(wall_ms % 1000);
+    std::snprintf(buffer, sizeof(buffer),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                  utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                  utc.tm_sec, millis < 0 ? 0 : millis);
+}
+
+/** True when a text-sink value needs quoting (spaces or quotes). */
+bool
+needsQuoting(const std::string &value)
+{
+    if (value.empty())
+        return true;
+    for (const char c : value) {
+        if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t')
+            return true;
+    }
+    return false;
+}
+
+void
+appendJsonEscaped(std::string &out, std::string_view text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+}
+
+Level
+levelFromEnvironment()
+{
+    const char *spec = std::getenv("JIGSAW_LOG_LEVEL");
+    if (!spec)
+        return Level::Warn;
+    return parseLevel(spec, Level::Warn);
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Trace:
+        return "trace";
+      case Level::Debug:
+        return "debug";
+      case Level::Info:
+        return "info";
+      case Level::Warn:
+        return "warn";
+      case Level::Error:
+        return "error";
+      case Level::Off:
+        return "off";
+    }
+    return "info";
+}
+
+Level
+parseLevel(std::string_view text, Level fallback)
+{
+    std::string lowered;
+    lowered.reserve(text.size());
+    for (const char c : text)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lowered == "trace" || lowered == "0")
+        return Level::Trace;
+    if (lowered == "debug" || lowered == "1")
+        return Level::Debug;
+    if (lowered == "info" || lowered == "2")
+        return Level::Info;
+    if (lowered == "warn" || lowered == "warning" || lowered == "3")
+        return Level::Warn;
+    if (lowered == "error" || lowered == "4")
+        return Level::Error;
+    if (lowered == "off" || lowered == "none" || lowered == "5")
+        return Level::Off;
+    return fallback;
+}
+
+Field
+kv(std::string key, double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return Field{std::move(key), buffer, Field::Kind::Num};
+}
+
+TextSink::TextSink(std::ostream &out) : out_(out) {}
+
+void
+TextSink::write(const Record &record)
+{
+    char stamp[80];
+    formatTimestamp(record.wallMs, stamp);
+    std::string line;
+    line.reserve(96);
+    line += stamp;
+    line += ' ';
+    char level[8];
+    std::snprintf(level, sizeof(level), "%-5s", levelName(record.level));
+    line += level;
+    line += ' ';
+    line.append(record.module.data(), record.module.size());
+    line += ' ';
+    line.append(record.message.data(), record.message.size());
+    for (std::size_t i = 0; i < record.fieldCount; ++i) {
+        const Field &field = record.fields[i];
+        line += ' ';
+        line += field.key;
+        line += '=';
+        if (field.kind == Field::Kind::Str && needsQuoting(field.value)) {
+            line += '"';
+            for (const char c : field.value) {
+                if (c == '"' || c == '\\')
+                    line += '\\';
+                line += c == '\n' ? ' ' : c;
+            }
+            line += '"';
+        } else {
+            line += field.value;
+        }
+    }
+    line += '\n';
+    out_ << line;
+    out_.flush();
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream &out) : out_(out) {}
+
+void
+JsonLinesSink::write(const Record &record)
+{
+    std::string line;
+    line.reserve(128);
+    line += "{\"ts\":";
+    line += std::to_string(record.wallMs);
+    line += ",\"level\":\"";
+    line += levelName(record.level);
+    line += "\",\"module\":\"";
+    appendJsonEscaped(line, record.module);
+    line += "\",\"msg\":\"";
+    appendJsonEscaped(line, record.message);
+    line += "\",\"thread\":";
+    line += std::to_string(record.thread);
+    for (std::size_t i = 0; i < record.fieldCount; ++i) {
+        const Field &field = record.fields[i];
+        line += ",\"";
+        appendJsonEscaped(line, field.key);
+        line += "\":";
+        if (field.kind == Field::Kind::Str) {
+            line += '"';
+            appendJsonEscaped(line, field.value);
+            line += '"';
+        } else {
+            // Num/Bool values are emitted bare; kv() produced them
+            // from to_string()/%.6g/true|false so they are valid
+            // JSON tokens already.
+            line += field.value;
+        }
+    }
+    line += "}\n";
+    out_ << line;
+    out_.flush();
+}
+
+std::shared_ptr<Sink>
+setSink(std::shared_ptr<Sink> sink)
+{
+    GlobalState &global = state();
+    std::lock_guard<std::mutex> lock(global.sinkMutex);
+    std::shared_ptr<Sink> previous = std::move(global.sink);
+    global.sink = std::move(sink);
+    return previous;
+}
+
+void
+setRuntimeLevel(Level level)
+{
+    Logger::globalLevel().store(static_cast<int>(level),
+                                std::memory_order_relaxed);
+}
+
+Level
+runtimeLevel()
+{
+    return static_cast<Level>(
+        Logger::globalLevel().load(std::memory_order_relaxed));
+}
+
+std::atomic<int> &
+Logger::globalLevel()
+{
+    // Function-local so the env parse happens exactly once, before
+    // first use, regardless of static-init order across TUs.
+    static std::atomic<int> level{
+        static_cast<int>(levelFromEnvironment())};
+    return level;
+}
+
+Logger::Logger(std::string module) : module_(std::move(module)) {}
+
+void
+Logger::log(Level level, std::string_view message,
+            std::initializer_list<Field> fields) const
+{
+    Record record;
+    record.level = level;
+    record.module = module_;
+    record.message = message;
+    record.fields = fields.begin();
+    record.fieldCount = fields.size();
+    record.wallMs = wallMsNow();
+    record.thread = threadToken();
+
+    GlobalState &global = state();
+    std::lock_guard<std::mutex> lock(global.sinkMutex);
+    if (!global.sink)
+        global.sink = std::make_shared<TextSink>(std::cerr);
+    global.sink->write(record);
+}
+
+Logger &
+logger(const std::string &module)
+{
+    GlobalState &global = state();
+    std::lock_guard<std::mutex> lock(global.registryMutex);
+    std::unique_ptr<Logger> &slot = global.loggers[module];
+    if (!slot)
+        slot = std::make_unique<Logger>(module);
+    return *slot;
+}
+
+} // namespace log
+} // namespace jigsaw

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "compiler/cpm_batch.h"
 #include "sim/eps.h"
@@ -390,6 +391,12 @@ executeMergedSchedules(const std::vector<MergeSource> &sources,
             ++enabled_sources;
     }
     injectFaultPoint("merge.execute", std::to_string(enabled_sources));
+    {
+        static log::Logger &lg = log::logger("core.pipeline");
+        JIGSAW_LOG_DEBUG(lg, "executing merged schedule",
+                         log::kv("sources", enabled_sources),
+                         log::kv("groups", merged.groups.size()));
+    }
     std::vector<ExecutionResult> results(sources.size());
     for (const MergedSchedule::Group &group : merged.groups) {
         for (const MergedSchedule::Member &member : group.members) {

@@ -6,15 +6,31 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/worker.h"
+#include "obs/exposition.h"
+#include "obs/http.h"
+#include "obs/trace.h"
 #include "sim/simulators.h"
 
 namespace jigsaw {
 namespace core {
 
 namespace {
+
+/** The scheduler's named logger (interned once; see common/log.h). */
+log::Logger &
+schedulerLog()
+{
+    static log::Logger &instance = log::logger("core.scheduler");
+    return instance;
+}
+
+/** Registry label values per Priority class, by class index. */
+constexpr const char *kClassNames[kPriorityClasses] = {"high", "normal",
+                                                       "low"};
 
 /** Milliseconds from @p a to @p b (0 when either is unset). */
 double
@@ -99,6 +115,14 @@ isTerminal(JobState state)
 StreamingScheduler::StreamingScheduler(StreamOptions options)
     : options_(options)
 {
+    registerMetrics();
+    if (options_.metricsPort >= 0) {
+        // The endpoint renders the process-wide registry, which runs
+        // this scheduler's collector (and any sibling's) per scrape.
+        metricsServer_ = std::make_unique<obs::MetricsHttpServer>(
+            options_.metricsPort,
+            [] { return obs::renderProcessMetrics(); });
+    }
     // Worker tier: a caller-supplied transport wins (the test seam);
     // otherwise worker.workers > 0 builds the in-process fleet. Null
     // means every window runs on the local pool, as before.
@@ -112,6 +136,14 @@ StreamingScheduler::StreamingScheduler(StreamOptions options)
         transport_->setResponseSignal(
             [this] { dispatcherCv_.notify_all(); });
     }
+    collectorId_ = obs::Registry::instance().addCollector([this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        publishMetricsLocked();
+    });
+    JIGSAW_LOG_DEBUG(schedulerLog(), "scheduler started",
+                     log::kv("workers", options_.worker.workers),
+                     log::kv("window_ms", options_.windowMs),
+                     log::kv("metrics_port", metricsPort()));
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 
@@ -141,6 +173,144 @@ StreamingScheduler::~StreamingScheduler()
         transport_->setResponseSignal(nullptr);
         transport_.reset();
     }
+    // Stop serving scrapes, block out any in-flight collector run,
+    // then flush the remaining counter deltas so the process-wide
+    // totals include this scheduler's last jobs.
+    metricsServer_.reset();
+    obs::Registry::instance().removeCollector(collectorId_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        publishMetricsLocked();
+    }
+}
+
+int
+StreamingScheduler::metricsPort() const
+{
+    return metricsServer_ != nullptr ? metricsServer_->port() : -1;
+}
+
+void
+StreamingScheduler::registerMetrics()
+{
+    obs::registerProcessMetrics(); // transpile + SIMD families
+    obs::Registry &reg = obs::Registry::instance();
+    const auto bind = [&](const char *name, const char *help,
+                          std::size_t StreamStats::*member,
+                          obs::Labels labels = {}) {
+        counterBindings_.emplace_back(
+            &reg.counter(name, help, std::move(labels)), member);
+    };
+    bind("jigsaw_stream_submitted_total",
+         "Streaming jobs admitted by submit().",
+         &StreamStats::submitted);
+    const char *outcomes_help =
+        "Terminal streaming jobs by outcome.";
+    bind("jigsaw_stream_jobs_total", outcomes_help,
+         &StreamStats::completed, {{"outcome", "completed"}});
+    bind("jigsaw_stream_jobs_total", outcomes_help,
+         &StreamStats::failed, {{"outcome", "failed"}});
+    bind("jigsaw_stream_jobs_total", outcomes_help,
+         &StreamStats::cancelled, {{"outcome", "cancelled"}});
+    bind("jigsaw_stream_jobs_total", outcomes_help,
+         &StreamStats::expired, {{"outcome", "expired"}});
+    bind("jigsaw_stream_shed_total",
+         "Submits rejected by bounded admission.", &StreamStats::shed);
+    bind("jigsaw_stream_retries_total",
+         "Transient-failure pipeline restarts.", &StreamStats::retries);
+    bind("jigsaw_stream_quarantined_jobs_total",
+         "Jobs re-queued solo after a poisoned merged window.",
+         &StreamStats::quarantinedJobs);
+    const char *windows_help = "Dispatched execution units by kind.";
+    bind("jigsaw_stream_windows_total", windows_help,
+         &StreamStats::mergedWindows, {{"kind", "merged"}});
+    bind("jigsaw_stream_windows_total", windows_help,
+         &StreamStats::loneDispatches, {{"kind", "lone"}});
+    bind("jigsaw_stream_merged_jobs_total",
+         "Jobs that rode a merged window.", &StreamStats::mergedJobs);
+    const char *resize_help =
+        "Merge windows opened at an adapted width, by direction.";
+    bind("jigsaw_window_resizes_total", resize_help,
+         &StreamStats::windowShrinks, {{"direction", "shrink"}});
+    bind("jigsaw_window_resizes_total", resize_help,
+         &StreamStats::windowGrows, {{"direction", "grow"}});
+    const char *lease_help = "Worker-tier lease lifecycle events.";
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::leasesGranted, {{"event", "granted"}});
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::leasesExpired, {{"event", "expired"}});
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::leasesRevoked, {{"event", "revoked"}});
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::redispatches, {{"event", "redispatched"}});
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::localFallbacks, {{"event", "local_fallback"}});
+    bind("jigsaw_stream_lease_events_total", lease_help,
+         &StreamStats::staleResponses, {{"event", "stale_response"}});
+    bind("jigsaw_stream_results_evicted_total",
+         "Delivered results evicted under resultRetention.",
+         &StreamStats::evicted);
+    const char *cache_help =
+        "Shared-executor cache events (PMF and split-prefix state).";
+    const auto bindCache = [&](const char *cache, const char *result,
+                               std::uint64_t StreamStats::*member) {
+        cacheBindings_.emplace_back(
+            &reg.counter("jigsaw_executor_cache_events_total",
+                         cache_help,
+                         {{"cache", cache}, {"result", result}}),
+            member);
+    };
+    bindCache("pmf", "hit", &StreamStats::executorPmfHits);
+    bindCache("pmf", "miss", &StreamStats::executorPmfMisses);
+    bindCache("prefix_state", "hit", &StreamStats::prefixStateHits);
+    bindCache("prefix_state", "miss", &StreamStats::prefixStateMisses);
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+        const obs::Labels labels{{"class", kClassNames[cls]}};
+        latencyHist_[cls] = &reg.histogram(
+            "jigsaw_stream_latency_ms",
+            "Submit-to-terminal latency of completed/failed jobs.",
+            obs::defaultLatencyBoundsMs(), labels);
+        queueWaitHist_[cls] = &reg.histogram(
+            "jigsaw_stream_queue_wait_ms",
+            "Submit-to-dispatch wait of completed/failed jobs.",
+            obs::defaultLatencyBoundsMs(), labels);
+        executeHist_[cls] = &reg.histogram(
+            "jigsaw_stream_execute_ms",
+            "Dispatch-to-terminal time of completed/failed jobs.",
+            obs::defaultLatencyBoundsMs(), labels);
+    }
+    backlogGauge_ =
+        &reg.gauge("jigsaw_stream_backlog_jobs",
+                   "Undispatched live jobs (admission backlog).");
+    inFlightGauge_ =
+        &reg.gauge("jigsaw_stream_inflight",
+                   "Dispatched windows/solo jobs still running.");
+    windowWidthGauge_ =
+        &reg.gauge("jigsaw_window_width_ms",
+                   "Effective merge-window width after overload "
+                   "shrink and burst growth.");
+    burstScoreGauge_ = &reg.gauge(
+        "jigsaw_burst_score",
+        "Drain EWMA over arrival EWMA; > 1 means jobs arrive faster "
+        "than they drain.");
+    windowWidthGauge_->set(std::max(options_.windowMs, 0.0));
+}
+
+void
+StreamingScheduler::publishMetricsLocked()
+{
+    const StreamStats now = statsLocked();
+    for (const auto &[counter, member] : counterBindings_) {
+        if (now.*member > published_.*member)
+            counter->add(now.*member - published_.*member);
+    }
+    for (const auto &[counter, member] : cacheBindings_) {
+        if (now.*member > published_.*member)
+            counter->add(now.*member - published_.*member);
+    }
+    published_ = now;
+    backlogGauge_->set(static_cast<double>(backlog_));
+    inFlightGauge_->set(static_cast<double>(inFlight_));
 }
 
 double
@@ -175,12 +345,27 @@ StreamingScheduler::submit(ServiceProgram program, Priority priority)
             ++stats_.shedByClass[cls];
             SubmitResult rejected;
             rejected.tryLaterAfterMs = retryHintMsLocked(threshold);
+            JIGSAW_LOG_INFO(schedulerLog(), "submit shed",
+                            log::kv("class", kClassNames[cls]),
+                            log::kv("backlog", backlog_),
+                            log::kv("threshold", threshold),
+                            log::kv("retry_after_ms",
+                                    rejected.tryLaterAfterMs));
             return rejected;
         }
     }
     const std::uint64_t id = nextJobId_++;
     auto job = std::make_unique<Job>(id, priority, std::move(program));
     job->submitAt = Clock::now();
+    // Inter-arrival EWMA: the burst detector's numerator-side signal
+    // (effectiveWindowMsLocked compares it against the drain EWMA).
+    if (isSet(lastSubmitAt_)) {
+        const double gap = msBetweenImpl(lastSubmitAt_, job->submitAt);
+        arrivalEwmaMs_ = arrivalEwmaMs_ > 0.0
+                             ? 0.8 * arrivalEwmaMs_ + 0.2 * gap
+                             : gap;
+    }
+    lastSubmitAt_ = job->submitAt;
     job->mergeEligible = options_.mergePolicy != MergePolicy::Never &&
                          job->program.executor == nullptr;
     if (job->mergeEligible) {
@@ -462,6 +647,12 @@ StreamStats
 StreamingScheduler::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return statsLocked();
+}
+
+StreamStats
+StreamingScheduler::statsLocked() const
+{
     StreamStats out = stats_;
     out.transpileHits = compiler::transpileCacheHits();
     out.transpileMisses = compiler::transpileCacheMisses();
@@ -492,25 +683,55 @@ StreamingScheduler::inFlightCap() const
 double
 StreamingScheduler::effectiveWindowMsLocked()
 {
-    // Overload degradation: when the backlog fills the admission
-    // budget, trading latency for merging stops making sense — shrink
-    // the window linearly from full (<= half capacity) to immediate
-    // dispatch (>= capacity). Restores by itself as the queue drains.
-    // Without an admission bound there is no overload signal — a deep
-    // backlog is then just a batch burst, where merging is the whole
-    // point — so the window stays at its configured width.
+    // Two opposing adaptive signals compose here, per window opened:
+    //
+    //  - Overload degradation: when the backlog fills the admission
+    //    budget, trading latency for merging stops making sense —
+    //    shrink the window linearly from full (<= half capacity) to
+    //    immediate dispatch (>= capacity). Restores by itself as the
+    //    queue drains. Without an admission bound there is no
+    //    overload signal — a deep backlog is then just a batch burst,
+    //    where merging is the whole point — so no shrink applies.
+    //  - Burst growth: while jobs arrive faster than they drain
+    //    (burst score = drain EWMA / arrival EWMA > 1), wider windows
+    //    merge best, so the window grows by the score up to
+    //    StreamOptions::burstGrowMax. The default cap of 1 only
+    //    counteracts the shrink — the window never exceeds its
+    //    configured width unless the caller opts in.
     const double window_ms = std::max(options_.windowMs, 0.0);
+    double burst_score = 0.0;
+    if (arrivalEwmaMs_ > 0.0 && drainEwmaMs_ > 0.0)
+        burst_score = drainEwmaMs_ / arrivalEwmaMs_;
+    burstScoreGauge_->set(burst_score);
+    if (window_ms == 0.0) {
+        windowWidthGauge_->set(0.0);
+        return 0.0;
+    }
+    double shrink = 1.0;
     const std::size_t capacity = options_.maxQueuedJobs;
-    if (window_ms == 0.0 || capacity == 0)
-        return window_ms;
-    const double utilization = static_cast<double>(backlog_) /
-                               static_cast<double>(capacity);
-    if (utilization <= 0.5)
-        return window_ms;
-    const double scale =
-        std::clamp(2.0 * (1.0 - utilization), 0.0, 1.0);
-    ++stats_.windowShrinks;
-    return window_ms * scale;
+    if (capacity > 0) {
+        const double utilization = static_cast<double>(backlog_) /
+                                   static_cast<double>(capacity);
+        if (utilization > 0.5)
+            shrink = std::clamp(2.0 * (1.0 - utilization), 0.0, 1.0);
+    }
+    const double grow_cap = std::max(options_.burstGrowMax, 1.0);
+    const double grow = std::clamp(burst_score, 1.0, grow_cap);
+    const double effective =
+        window_ms * std::min(shrink * grow, grow_cap);
+    if (effective < window_ms)
+        ++stats_.windowShrinks;
+    else if (effective > window_ms)
+        ++stats_.windowGrows;
+    windowWidthGauge_->set(effective);
+    if (effective != window_ms) {
+        JIGSAW_LOG_DEBUG(schedulerLog(), "window width adapted",
+                         log::kv("width_ms", effective),
+                         log::kv("configured_ms", window_ms),
+                         log::kv("burst_score", burst_score),
+                         log::kv("shrink", shrink));
+    }
+    return effective;
 }
 
 void
@@ -543,10 +764,26 @@ StreamingScheduler::startPrepare(Job &job)
     ++preparing_;
     JigsawSession *session = job.session.get();
     const std::uint64_t id = job.id;
-    group_.run([session] { session->schedule(); },
-               [this, id](std::exception_ptr error) {
-                   onPrepared(id, error);
-               });
+    obs::TraceRecorder *trace = options_.trace.get();
+    const std::uint32_t epoch = job.traceEpoch;
+    group_.run(
+        [session, trace, id, epoch] {
+            if (trace != nullptr) {
+                // Stepwise: the lazy stage accessors let the plan and
+                // compile+schedule stages be timed separately.
+                const double plan_start = trace->nowMs();
+                session->plan();
+                const double compile_start = trace->nowMs();
+                trace->record(id, epoch, "plan", plan_start,
+                              compile_start - plan_start, 0, 0);
+                session->schedule();
+                trace->record(id, epoch, "compile", compile_start,
+                              trace->nowMs() - compile_start, 0, 0);
+            } else {
+                session->schedule();
+            }
+        },
+        [this, id](std::exception_ptr error) { onPrepared(id, error); });
 }
 
 void
@@ -610,6 +847,10 @@ StreamingScheduler::joinWindow(Job &job, Clock::time_point now)
         fresh->deadline = now + msDuration(effectiveWindowMsLocked());
         window = fresh.get();
         windows_.emplace(fresh->id, std::move(fresh));
+        JIGSAW_LOG_TRACE(schedulerLog(), "window opened",
+                         log::kv("window", window->id),
+                         log::kv("key", window->key),
+                         log::kv("exclusive", window->exclusive));
     }
     const std::size_t slot = window->sources.size();
     window->sources.push_back({slot, &job.session->compiled(),
@@ -624,6 +865,11 @@ StreamingScheduler::joinWindow(Job &job, Clock::time_point now)
     job.state = JobState::Windowed;
     job.windowId = window->id;
     job.windowSlot = slot;
+    job.windowStartAt = now;
+    JIGSAW_LOG_TRACE(schedulerLog(), "job joined window",
+                     log::kv("job", job.id),
+                     log::kv("window", window->id),
+                     log::kv("slot", slot));
     // High-priority jobs never trade latency for merging: their
     // window closes on the spot (with whatever has joined so far).
     // Quarantined retries close theirs too — they have waited enough.
@@ -640,6 +886,11 @@ StreamingScheduler::closeWindow(Window &window, Clock::time_point now)
     if (window.closed)
         return;
     window.closed = true;
+    JIGSAW_LOG_DEBUG(schedulerLog(), "window closed",
+                     log::kv("window", window.id),
+                     log::kv("jobs", window.jobIds.size()),
+                     log::kv("waited_ms",
+                             msBetweenImpl(window.openedAt, now)));
     ReadyEntry entry;
     entry.isWindow = true;
     entry.id = window.id;
@@ -748,13 +999,34 @@ StreamingScheduler::dispatchSolo(Job &job, Clock::time_point now)
     --backlog_;
     ++inFlight_;
     ++stats_.loneDispatches;
+    obs::TraceRecorder *trace = options_.trace.get();
+    if (trace != nullptr)
+        trace->record(job.id, job.traceEpoch, "dispatch",
+                      trace->toMs(now), 0.0, 0, 0);
+    JIGSAW_LOG_TRACE(schedulerLog(), "solo dispatch",
+                     log::kv("job", job.id));
     JigsawSession *session = job.session.get();
     std::shared_ptr<JigsawResult> *result_slot = &job.result;
     const std::uint64_t id = job.id;
+    const std::uint32_t epoch = job.traceEpoch;
     group_.run(
-        [session, result_slot] {
-            *result_slot =
-                std::make_shared<JigsawResult>(session->run());
+        [session, result_slot, trace, id, epoch] {
+            if (trace != nullptr) {
+                // Stepwise for the span split: executed() runs the
+                // execute stage, run() the remaining reconstruction.
+                const double exec_start = trace->nowMs();
+                session->executed();
+                const double recon_start = trace->nowMs();
+                trace->record(id, epoch, "execute", exec_start,
+                              recon_start - exec_start, 0, 0);
+                *result_slot =
+                    std::make_shared<JigsawResult>(session->run());
+                trace->record(id, epoch, "reconstruct", recon_start,
+                              trace->nowMs() - recon_start, 0, 0);
+            } else {
+                *result_slot =
+                    std::make_shared<JigsawResult>(session->run());
+            }
         },
         [this, id](std::exception_ptr error) {
             {
@@ -786,12 +1058,27 @@ StreamingScheduler::dispatchWindow(Window &window, Clock::time_point now)
     } else {
         ++stats_.loneDispatches;
     }
+    obs::TraceRecorder *trace = options_.trace.get();
     for (const std::uint64_t id : window.jobIds) {
         Job &job = *jobs_.at(id);
         job.state = JobState::Dispatched;
         job.dispatchAt = now;
         --backlog_;
+        if (trace != nullptr) {
+            trace->record(job.id, job.traceEpoch, "window",
+                          trace->toMs(job.windowStartAt),
+                          msBetweenImpl(job.windowStartAt, now),
+                          window.id, 0);
+            trace->record(job.id, job.traceEpoch, "dispatch",
+                          trace->toMs(now), 0.0, window.id, 0);
+        }
     }
+    JIGSAW_LOG_DEBUG(schedulerLog(), "window dispatched",
+                     log::kv("window", window.id),
+                     log::kv("jobs", window.jobIds.size()),
+                     log::kv("backend", transport_ != nullptr
+                                            ? "worker"
+                                            : "local"));
     if (transport_ != nullptr) {
         grantLeaseLocked(window, 0, now);
         return;
@@ -843,6 +1130,7 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
     MergedExecutionStats exec_stats;
     std::exception_ptr error;
     std::shared_ptr<std::vector<ExecutionResult>> executions;
+    const auto execute_start = Clock::now();
     try {
         executions = std::make_shared<std::vector<ExecutionResult>>(
             executeMergedSchedules(window->sources, window->merged,
@@ -850,10 +1138,13 @@ StreamingScheduler::runWindowTask(std::uint64_t window_id)
     } catch (...) {
         error = std::current_exception();
     }
+    const double execute_ms =
+        msBetweenImpl(execute_start, Clock::now());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         completeWindowExecutionLocked(window_id, std::move(executions),
-                                      exec_stats, error);
+                                      exec_stats, error, execute_ms,
+                                      0);
     }
     dispatcherCv_.notify_all();
     jobCv_.notify_all();
@@ -863,7 +1154,8 @@ void
 StreamingScheduler::completeWindowExecutionLocked(
     std::uint64_t window_id,
     std::shared_ptr<std::vector<ExecutionResult>> executions,
-    const MergedExecutionStats &exec_stats, std::exception_ptr error)
+    const MergedExecutionStats &exec_stats, std::exception_ptr error,
+    double execute_ms, std::uint64_t lease_id)
 {
     Window &window = *windows_.at(window_id);
     // slotJob is stable once the window dispatched (cancel refuses),
@@ -888,6 +1180,10 @@ StreamingScheduler::completeWindowExecutionLocked(
         // ON A WORKER routes through here identically, so quarantine
         // composes with the worker tier.
         const bool quarantine = live.size() >= 2;
+        JIGSAW_LOG_WARN(schedulerLog(), "window execution failed",
+                        log::kv("window", window_id),
+                        log::kv("jobs", live.size()),
+                        log::kv("quarantine", quarantine));
         const auto now = Clock::now();
         for (const auto &[id, slot] : live) {
             Job &job = *jobs_.at(id);
@@ -901,16 +1197,32 @@ StreamingScheduler::completeWindowExecutionLocked(
     // reconstruct, one pool task per job so reconstructions overlap.
     // (group_.run only enqueues, so submitting under the lock is
     // safe; the tasks themselves run unlocked.)
+    obs::TraceRecorder *trace = options_.trace.get();
+    const double execute_end =
+        trace != nullptr ? trace->nowMs() : 0.0;
     for (const auto &[id, slot] : live) {
         Job &job = *jobs_.at(id);
+        if (trace != nullptr)
+            trace->record(id, job.traceEpoch, "execute",
+                          execute_end - execute_ms, execute_ms,
+                          window_id, lease_id);
         JigsawSession *session = job.session.get();
         std::shared_ptr<JigsawResult> *result_slot = &job.result;
+        const std::uint32_t epoch = job.traceEpoch;
         group_.run(
-            [session, result_slot, executions, slot = slot] {
+            [session, result_slot, executions, slot = slot, trace,
+             id = id, epoch, window_id] {
+                const double recon_start =
+                    trace != nullptr ? trace->nowMs() : 0.0;
                 session->adoptExecution(
                     std::move((*executions)[slot]));
                 *result_slot =
                     std::make_shared<JigsawResult>(session->run());
+                if (trace != nullptr)
+                    trace->record(id, epoch, "reconstruct",
+                                  recon_start,
+                                  trace->nowMs() - recon_start,
+                                  window_id, 0);
             },
             [this, id = id, window_id](std::exception_ptr job_error) {
                 {
@@ -981,6 +1293,9 @@ StreamingScheduler::grantLeaseLocked(Window &window,
             // lost and try again. The jobs' retry budget is never
             // charged for fleet trouble.
             ++stats_.leasesRevoked;
+            JIGSAW_LOG_INFO(schedulerLog(), "lease send failed",
+                            log::kv("window", window.id),
+                            log::kv("attempt", attempts));
             continue;
         }
         Lease lease;
@@ -993,12 +1308,24 @@ StreamingScheduler::grantLeaseLocked(Window &window,
         ++stats_.leasesGranted;
         if (attempts > 0)
             ++stats_.redispatches;
+        JIGSAW_LOG_DEBUG(schedulerLog(),
+                         attempts > 0 ? "window re-dispatched"
+                                      : "lease granted",
+                         log::kv("lease", lease_id),
+                         log::kv("window", window.id),
+                         log::kv("attempt", attempts));
         return;
     }
     // Graceful degradation: the fleet is dead or burned through
     // workerRetries leases — run the window on the local pool, the
     // path a transportless scheduler always takes.
     ++stats_.localFallbacks;
+    JIGSAW_LOG_WARN(schedulerLog(),
+                    "worker tier exhausted; window falling back to "
+                    "local execution",
+                    log::kv("window", window.id),
+                    log::kv("lost_leases", attempts),
+                    log::kv("live_workers", transport_->liveWorkers()));
     runWindowLocallyLocked(window);
 }
 
@@ -1035,6 +1362,14 @@ StreamingScheduler::superviseLeasesLocked(Clock::time_point now)
             ++stats_.leasesExpired;
         else
             ++stats_.leasesRevoked;
+        JIGSAW_LOG_WARN(schedulerLog(),
+                        entry.expired
+                            ? "lease deadline expired; revoking"
+                            : "worker lost (heartbeat silence); "
+                              "revoking lease",
+                        log::kv("lease", entry.lease.id),
+                        log::kv("window", entry.lease.windowId),
+                        log::kv("attempt", entry.lease.attempts));
         const auto wit = windows_.find(entry.lease.windowId);
         panicIf(wit == windows_.end(),
                 "lease supervision: window vanished under a lease");
@@ -1064,9 +1399,14 @@ StreamingScheduler::drainTransportLocked()
             // is dropped whole, so the duplicate execution is
             // invisible outside this counter.
             ++stats_.staleResponses;
+            JIGSAW_LOG_DEBUG(schedulerLog(),
+                             "stale lease response dropped",
+                             log::kv("lease", response->leaseId),
+                             log::kv("worker", response->worker));
             continue;
         }
         const std::uint64_t window_id = lit->second.windowId;
+        const std::uint64_t lease_id = lit->first;
         leases_.erase(lit);
         if (response->ok) {
             if (stats_.workerCompleted.size() <= response->worker)
@@ -1076,14 +1416,17 @@ StreamingScheduler::drainTransportLocked()
                 window_id,
                 std::make_shared<std::vector<ExecutionResult>>(
                     std::move(response->results)),
-                response->execStats, nullptr);
+                response->execStats, nullptr, response->executeMs,
+                lease_id);
         } else {
             // A job-level failure ON the worker (not a lost lease):
             // the regular quarantine/retry routing applies, exactly
             // as if the local path had thrown.
             completeWindowExecutionLocked(window_id, nullptr,
                                           response->execStats,
-                                          responseError(*response));
+                                          responseError(*response),
+                                          response->executeMs,
+                                          lease_id);
         }
     }
 }
@@ -1119,6 +1462,8 @@ StreamingScheduler::requeueLocked(Job &job, Clock::time_point retry_at)
     job.error = nullptr;
     job.windowId = 0;
     job.windowSlot = kNoSlot;
+    job.windowStartAt = {};
+    ++job.traceEpoch; // the retry's spans form a fresh attempt set
     job.state = JobState::Queued;
     job.retryAt = retry_at;
     if (!was_backlogged)
@@ -1138,6 +1483,8 @@ StreamingScheduler::handleJobFailure(Job &job, std::exception_ptr error,
         // normal transient/terminal handling below takes over.
         job.quarantined = true;
         ++stats_.quarantinedJobs;
+        JIGSAW_LOG_WARN(schedulerLog(), "job quarantined for solo retry",
+                        log::kv("job", job.id));
         requeueLocked(job, now);
         return;
     }
@@ -1149,6 +1496,10 @@ StreamingScheduler::handleJobFailure(Job &job, std::exception_ptr error,
             options_.retryBackoffMs *
                 std::ldexp(1.0, static_cast<int>(job.attempts) - 1),
             options_.retryBackoffMaxMs);
+        JIGSAW_LOG_INFO(schedulerLog(), "transient failure; retrying",
+                        log::kv("job", job.id),
+                        log::kv("attempt", job.attempts),
+                        log::kv("backoff_ms", backoff));
         const auto retry_at =
             stopping_ ? now : now + msDuration(backoff);
         if (isSet(job.deadlineAt) && retry_at >= job.deadlineAt) {
@@ -1227,16 +1578,27 @@ StreamingScheduler::finishJob(Job &job, JobState state,
         ++stats_.completed;
         ++stats_.completedByClass[static_cast<std::size_t>(
             job.priority)];
+        JIGSAW_LOG_TRACE(schedulerLog(), "job done",
+                         log::kv("job", job.id),
+                         log::kv("attempts", job.attempts));
         break;
       case JobState::Failed:
         ++stats_.failed;
+        JIGSAW_LOG_INFO(schedulerLog(), "job failed",
+                        log::kv("job", job.id),
+                        log::kv("attempts", job.attempts));
         break;
       case JobState::Cancelled:
         ++stats_.cancelled;
+        JIGSAW_LOG_DEBUG(schedulerLog(), "job cancelled",
+                         log::kv("job", job.id));
         jobCv_.notify_all();
         return; // no latency sample: the job never ran
       case JobState::Expired:
         ++stats_.expired;
+        JIGSAW_LOG_INFO(schedulerLog(), "job expired past its SLO",
+                        log::kv("job", job.id),
+                        log::kv("deadline_ms", job.program.deadlineMs));
         jobCv_.notify_all();
         return; // likewise: it never dispatched
       default:
@@ -1262,28 +1624,25 @@ StreamingScheduler::finishJob(Job &job, JobState state,
             drainEwmaMs_ = execute_ms;
     }
     lastCompletionAt_ = job.doneAt;
-    StreamStats::JobSample sample;
-    sample.priority = job.priority;
-    sample.queueWaitMs = msBetweenImpl(
+    const double queue_wait_ms = msBetweenImpl(
         job.submitAt, job.dispatchAt.time_since_epoch().count()
                           ? job.dispatchAt
                           : job.doneAt);
-    sample.executeMs = msBetweenImpl(job.dispatchAt, job.doneAt);
-    sample.totalMs = msBetweenImpl(job.submitAt, job.doneAt);
-    // Bounded reservoir: exact and ordered until the cap, then each
-    // later sample replaces a uniformly chosen predecessor with
-    // probability cap/jobsObserved — a uniform sample over the whole
-    // stream, from a scheduler-private seeded stream.
+    const double execute_ms = msBetweenImpl(job.dispatchAt, job.doneAt);
+    const double total_ms = msBetweenImpl(job.submitAt, job.doneAt);
+    // Every job lands in the fixed-bucket histograms — the local
+    // per-class copies behind the StreamStats percentile views, and
+    // the process-wide registry instruments a scrape reads. Both are
+    // bounded by construction, so the double-observe replaces the old
+    // sample reservoir without re-introducing per-job memory.
     ++stats_.jobsObserved;
-    const std::size_t cap = options_.statsReservoir;
-    if (cap == 0 || stats_.jobs.size() < cap) {
-        stats_.jobs.push_back(sample);
-    } else {
-        const std::uint64_t index =
-            statsRng_.word() % stats_.jobsObserved;
-        if (index < cap)
-            stats_.jobs[static_cast<std::size_t>(index)] = sample;
-    }
+    const std::size_t cls = static_cast<std::size_t>(job.priority);
+    stats_.latencyByClass[cls].observe(total_ms);
+    stats_.queueWaitByClass[cls].observe(queue_wait_ms);
+    stats_.executeByClass[cls].observe(execute_ms);
+    latencyHist_[cls]->observe(total_ms);
+    queueWaitHist_[cls]->observe(queue_wait_ms);
+    executeHist_[cls]->observe(execute_ms);
     jobCv_.notify_all();
 }
 

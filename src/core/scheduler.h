@@ -80,9 +80,17 @@
  * poll()/wait() until the caller release()s the handle or, with
  * StreamOptions::resultRetention set, until the result ages out of
  * the delivered-results window (oldest first, after wait() delivered
- * it). StreamStats::jobs is likewise bounded by
- * StreamOptions::statsReservoir, so a scheduler can serve an
- * unbounded job stream in bounded memory.
+ * it). Latency distributions live in fixed-bucket histograms
+ * (StreamStats::latencyByClass), bounded by construction, so a
+ * scheduler can serve an unbounded job stream in bounded memory.
+ *
+ * Observability: lifecycle transitions (admission, shed, window
+ * open/close/resize, lease grant/revoke, retry, quarantine, expiry)
+ * are logged through the "core.scheduler" logger (common/log.h);
+ * counters, gauges, and latency histograms are published into the
+ * process-wide obs::Registry via a scrape-time collector, optionally
+ * served over HTTP (StreamOptions::metricsPort); and per-job pipeline
+ * spans are recorded into StreamOptions::trace when set (obs/trace.h).
  */
 #ifndef JIGSAW_CORE_SCHEDULER_H
 #define JIGSAW_CORE_SCHEDULER_H
@@ -106,6 +114,11 @@
 #include "core/transport.h"
 
 namespace jigsaw {
+
+namespace obs {
+class MetricsHttpServer; // obs/http.h
+} // namespace obs
+
 namespace core {
 
 class StreamingScheduler
@@ -192,6 +205,11 @@ class StreamingScheduler
     /** Counter/latency snapshot (thread-safe at any time). */
     StreamStats stats() const;
 
+    /** The metrics endpoint's bound port (resolves an ephemeral
+     *  StreamOptions::metricsPort = 0 request), or -1 when no
+     *  endpoint is serving. */
+    int metricsPort() const;
+
     /** Options in effect. */
     const StreamOptions &options() const { return options_; }
 
@@ -235,6 +253,11 @@ class StreamingScheduler
         std::shared_ptr<JigsawResult> result;
         std::uint64_t windowId = 0;
         std::size_t windowSlot = kNoSlot;
+        /** Trace attempt index (obs::TraceRecorder spans): 0 for the
+         *  first pass, bumped on every requeue — retry or quarantine
+         *  — so a retried job's span sets stay distinguishable. */
+        std::uint32_t traceEpoch = 0;
+        Clock::time_point windowStartAt{}; ///< Joined its merge window.
     };
 
     /** One open (or closed, pending dispatch) merge window. */
@@ -314,7 +337,8 @@ class StreamingScheduler
     void completeWindowExecutionLocked(
         std::uint64_t window_id,
         std::shared_ptr<std::vector<ExecutionResult>> executions,
-        const MergedExecutionStats &exec_stats, std::exception_ptr error);
+        const MergedExecutionStats &exec_stats, std::exception_ptr error,
+        double execute_ms, std::uint64_t lease_id);
     /** Earliest lease deadline/heartbeat check the dispatcher must
      *  wake for, or nullopt when no leases are outstanding. */
     std::optional<Clock::time_point>
@@ -342,9 +366,21 @@ class StreamingScheduler
     void markDeliveredLocked(Job &job);
     /** Finite backoff hint for a shed submit (drain-rate EWMA). */
     double retryHintMsLocked(std::size_t threshold) const;
-    /** windowMs after backlog-pressure shrinking. */
+    /** windowMs after backlog-pressure shrinking and burst growth
+     *  (StreamOptions::burstGrowMax); updates the width/burst gauges
+     *  and the shrink/grow counters. */
     double effectiveWindowMsLocked();
     std::size_t inFlightCap() const;
+    /** stats() body, for callers already holding mutex_. */
+    StreamStats statsLocked() const;
+    /** Create/cache this scheduler's registry instruments and its
+     *  scrape-time collector (constructor only). */
+    void registerMetrics();
+    /** Flush stats_ deltas into the registry counters (collector
+     *  callback and final flush in the destructor). Deltas, not
+     *  set(), keep the process-wide counters monotone across
+     *  scheduler lifetimes. */
+    void publishMetricsLocked();
 
     const StreamOptions options_;
 
@@ -374,7 +410,11 @@ class StreamingScheduler
     /** @} */
     double drainEwmaMs_ = 0.0; ///< EWMA ms between completions.
     Clock::time_point lastCompletionAt_{};
-    Rng statsRng_{0x52455352564f4952ULL}; ///< Reservoir sampling.
+    /** @name Burst detector: EWMA inter-arrival vs the drain EWMA
+     *  decides the grow direction of adaptive windows. @{ */
+    double arrivalEwmaMs_ = 0.0; ///< EWMA ms between submits.
+    Clock::time_point lastSubmitAt_{};
+    /** @} */
     /** Per-device persistent shared executors (merged path). */
     std::unordered_map<std::uint64_t, std::shared_ptr<sim::Executor>>
         sharedExecutors_;
@@ -387,6 +427,27 @@ class StreamingScheduler
     std::uint64_t nextLeaseId_ = 1;
 
     StreamStats stats_;
+
+    /** @name Registry wiring: cached instrument pointers (lock-free
+     *  to write; the registry mutex is paid once, in the
+     *  constructor), the last-published snapshot behind the
+     *  delta-flush, and the scrape-time collector id. @{ */
+    std::vector<std::pair<obs::Counter *, std::size_t StreamStats::*>>
+        counterBindings_;
+    std::vector<std::pair<obs::Counter *, std::uint64_t StreamStats::*>>
+        cacheBindings_;
+    std::array<obs::Histogram *, kPriorityClasses> latencyHist_{};
+    std::array<obs::Histogram *, kPriorityClasses> queueWaitHist_{};
+    std::array<obs::Histogram *, kPriorityClasses> executeHist_{};
+    obs::Gauge *backlogGauge_ = nullptr;
+    obs::Gauge *inFlightGauge_ = nullptr;
+    obs::Gauge *windowWidthGauge_ = nullptr;
+    obs::Gauge *burstScoreGauge_ = nullptr;
+    StreamStats published_; ///< Counter values already flushed.
+    std::uint64_t collectorId_ = 0;
+    /** Optional loopback HTTP/1.0 endpoint (metricsPort >= 0). */
+    std::unique_ptr<obs::MetricsHttpServer> metricsServer_;
+    /** @} */
 
     TaskGroup group_;        ///< All pool work this scheduler owns.
     std::thread dispatcher_; ///< Started last, joined in ~.

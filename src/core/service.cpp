@@ -13,6 +13,7 @@
 #include "common/simd.h"
 #include "compiler/transpiler.h"
 #include "core/scheduler.h"
+#include "obs/exposition.h"
 #include "sim/simulators.h"
 
 namespace jigsaw {
@@ -35,19 +36,16 @@ programExecutor(const ServiceProgram &program)
         sim::NoisySimulatorOptions{.seed = program.executorSeed});
 }
 
-/** Guarded percentile over the samples a selector extracts. */
-template <typename Select>
+/** Merge every class histogram of @p byClass and take its quantile. */
 double
-samplePercentile(const std::vector<StreamStats::JobSample> &jobs,
-                 double q, Select &&select)
+mergedQuantile(
+    const std::array<obs::HistogramData, kPriorityClasses> &byClass,
+    double q)
 {
-    std::vector<double> samples;
-    samples.reserve(jobs.size());
-    for (const StreamStats::JobSample &job : jobs) {
-        if (const std::optional<double> value = select(job))
-            samples.push_back(*value);
-    }
-    return percentileNearestRank(std::move(samples), q);
+    obs::HistogramData merged;
+    for (const obs::HistogramData &hist : byClass)
+        merged.merge(hist);
+    return merged.quantile(q);
 }
 
 } // namespace
@@ -86,47 +84,25 @@ ServiceStats::latencyPercentileMs(double q) const
 double
 StreamStats::latencyPercentileMs(double q) const
 {
-    return samplePercentile(
-        jobs, q,
-        [](const JobSample &job) -> std::optional<double> {
-            return job.totalMs;
-        });
+    return mergedQuantile(latencyByClass, q);
 }
 
 double
 StreamStats::latencyPercentileMs(Priority cls, double q) const
 {
-    return samplePercentile(
-        jobs, q,
-        [cls](const JobSample &job) -> std::optional<double> {
-            if (job.priority != cls)
-                return std::nullopt;
-            return job.totalMs;
-        });
+    return latencyByClass[static_cast<std::size_t>(cls)].quantile(q);
 }
 
 double
 StreamStats::queueWaitPercentileMs(Priority cls, double q) const
 {
-    return samplePercentile(
-        jobs, q,
-        [cls](const JobSample &job) -> std::optional<double> {
-            if (job.priority != cls)
-                return std::nullopt;
-            return job.queueWaitMs;
-        });
+    return queueWaitByClass[static_cast<std::size_t>(cls)].quantile(q);
 }
 
 double
 StreamStats::executePercentileMs(Priority cls, double q) const
 {
-    return samplePercentile(
-        jobs, q,
-        [cls](const JobSample &job) -> std::optional<double> {
-            if (job.priority != cls)
-                return std::nullopt;
-            return job.executeMs;
-        });
+    return executeByClass[static_cast<std::size_t>(cls)].quantile(q);
 }
 
 std::vector<JigsawResult>
@@ -239,6 +215,17 @@ JigsawService::streamStats() const
     if (!scheduler_)
         return StreamStats{};
     return scheduler_->stats();
+}
+
+std::string
+JigsawService::metricsText() const
+{
+    // The registry is process-wide: a live scheduler's collector (and
+    // every other scheduler's) runs inside the render, so this is the
+    // same body the HTTP endpoint serves. Deliberately does NOT
+    // lazy-create the scheduler — metrics of an idle service are just
+    // the process-wide families.
+    return obs::renderProcessMetrics();
 }
 
 std::vector<JigsawResult>

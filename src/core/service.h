@@ -43,8 +43,14 @@
 #include <vector>
 
 #include "core/session.h"
+#include "obs/registry.h"
 
 namespace jigsaw {
+
+namespace obs {
+class TraceRecorder; // obs/trace.h
+} // namespace obs
+
 namespace core {
 
 /** One program submitted to the service. */
@@ -300,13 +306,34 @@ struct StreamOptions
      */
     std::size_t resultRetention = 0;
     /**
-     * Cap on StreamStats::jobs: per-job latency samples beyond this
-     * many are reservoir-sampled (uniformly, seeded) so percentile
-     * queries stay meaningful while memory stays bounded on a
-     * long-lived scheduler. Exact per-class counters are always kept.
-     * 0 keeps every sample.
+     * Burst detector ceiling for the grow direction of adaptive
+     * windows, as a multiple of windowMs. Shrink-under-overload
+     * scales the effective merge window down when the backlog nears
+     * maxQueuedJobs; the burst detector scales it back up while jobs
+     * arrive faster than they drain (EWMA inter-arrival vs drain
+     * rate), because a sustained burst is exactly when wider windows
+     * merge best. 1.0 (default) only counteracts the shrink — the
+     * window never exceeds its configured width; >1 lets bursts grow
+     * it past windowMs up to this factor. Values < 1 are treated
+     * as 1.
      */
-    std::size_t statsReservoir = 4096;
+    double burstGrowMax = 1.0;
+    /**
+     * Prometheus metrics endpoint: when >= 0, the scheduler serves
+     * the process-wide registry over HTTP/1.0 on 127.0.0.1:<port>
+     * for its lifetime (0 picks an ephemeral port; see
+     * StreamingScheduler::metricsPort()). -1 (default) binds nothing
+     * — metrics stay reachable via JigsawService::metricsText().
+     */
+    int metricsPort = -1;
+    /**
+     * Per-job pipeline tracing: when set, every job records one span
+     * per (attempt, stage) through plan -> compile -> window ->
+     * dispatch -> execute -> reconstruct into this recorder (see
+     * obs/trace.h). Null (default) records nothing and costs one
+     * pointer test per stage.
+     */
+    std::shared_ptr<obs::TraceRecorder> trace;
     /** Worker execution tier (see WorkerOptions). Disabled (workers
      *  = 0) by default. */
     WorkerOptions worker;
@@ -323,15 +350,6 @@ struct StreamOptions
 /** Counters and samples of one streaming scheduler's lifetime. */
 struct StreamStats
 {
-    /** Latency record of one terminal job. */
-    struct JobSample
-    {
-        Priority priority = Priority::Normal;
-        double queueWaitMs = 0.0; ///< Submit -> dispatch.
-        double executeMs = 0.0;   ///< Dispatch -> terminal.
-        double totalMs = 0.0;     ///< Submit -> terminal.
-    };
-
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t failed = 0;
@@ -351,6 +369,9 @@ struct StreamStats
     std::size_t quarantinedJobs = 0;
     /** Merge windows opened with a backlog-shrunk windowMs. */
     std::size_t windowShrinks = 0;
+    /** Merge windows opened with a burst-grown windowMs (the burst
+     *  detector outweighed any overload shrink). */
+    std::size_t windowGrows = 0;
     std::size_t released = 0; ///< Terminal jobs dropped via release().
     std::size_t evicted = 0;  ///< Delivered results evicted (retention).
     /** Shed submits by priority class (exact, not sampled). */
@@ -358,7 +379,7 @@ struct StreamStats
     /** Completed jobs by priority class (exact, not sampled). */
     std::array<std::size_t, kPriorityClasses> completedByClass{};
     /** Jobs that produced a latency sample (completed + failed): the
-     *  reservoir's population size. */
+     *  histograms' population size. */
     std::size_t jobsObserved = 0;
     /** @} */
     /** @name Worker-tier lease counters (all zero without a worker
@@ -414,16 +435,24 @@ struct StreamStats
     std::uint64_t simdAvx512Calls = 0;
     /** @} */
     /**
-     * Latency samples of completed/failed jobs (cancelled and expired
-     * jobs never ran, so they contribute no sample). Exact and in
-     * completion order up to StreamOptions::statsReservoir, then a
-     * uniform seeded reservoir over all jobsObserved — percentiles
-     * stay representative while memory stays bounded.
+     * @name Per-class latency histograms of completed/failed jobs
+     * (cancelled and expired jobs never ran, so they contribute
+     * nothing). Fixed geometric buckets (obs::defaultLatencyBoundsMs)
+     * shared with the process-wide registry histograms, so the same
+     * percentile is derivable from a scrape delta; memory is bounded
+     * by construction (one bucket array per class), which is what
+     * replaced the old per-job sample reservoir.
+     * @{
      */
-    std::vector<JobSample> jobs;
+    std::array<obs::HistogramData, kPriorityClasses> latencyByClass;
+    std::array<obs::HistogramData, kPriorityClasses> queueWaitByClass;
+    std::array<obs::HistogramData, kPriorityClasses> executeByClass;
+    /** @} */
 
-    /** @name Guarded nearest-rank percentiles over the job samples
-     *  (0 with no samples; the sample itself with one). @{ */
+    /** @name Guarded nearest-rank percentiles, thin views over the
+     *  histograms above (0 with no observations; the exact value with
+     *  one; otherwise the selected bucket's observed mean, clamped to
+     *  the bucket). @{ */
     double latencyPercentileMs(double q) const;
     double latencyPercentileMs(Priority cls, double q) const;
     double queueWaitPercentileMs(Priority cls, double q) const;
@@ -589,6 +618,15 @@ class JigsawService
      *  first submit()). */
     StreamStats streamStats() const;
     /** @} */
+
+    /**
+     * The process-wide metrics registry rendered as Prometheus text
+     * exposition — the same body the optional HTTP endpoint
+     * (StreamOptions::metricsPort) serves. Covers the stream
+     * counters (shed/expired/retries/quarantine/eviction/lease),
+     * merge counters, cache hit rates, and SIMD dispatch totals.
+     */
+    std::string metricsText() const;
 
     /** Options in effect. */
     const ServiceOptions &options() const { return options_; }

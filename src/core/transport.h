@@ -111,6 +111,10 @@ struct WindowResponse
      *  disabled slots default-constructed). Valid only when ok. */
     std::vector<ExecutionResult> results;
     MergedExecutionStats execStats;
+    /** Wall milliseconds the worker spent executing the window —
+     *  measured at the worker so the scheduler's "execute" trace
+     *  spans (obs/trace.h) reflect remote work, not queueing. */
+    double executeMs = 0.0;
 };
 
 /**

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "sim/simulators.h"
 
@@ -15,6 +16,13 @@ namespace jigsaw {
 namespace core {
 
 namespace {
+
+log::Logger &
+workerLog()
+{
+    static log::Logger &instance = log::logger("core.worker");
+    return instance;
+}
 
 std::int64_t
 nowNs()
@@ -167,10 +175,20 @@ WorkerPool::workerLoop(std::size_t index)
         }
         FaultInjector &injector = FaultInjector::instance();
         if (injector.armed()) {
-            if (const auto stall = injector.fireBehavioral("worker.stall"))
+            if (const auto stall =
+                    injector.fireBehavioral("worker.stall")) {
+                JIGSAW_LOG_WARN(workerLog(), "injected stall",
+                                log::kv("worker", index),
+                                log::kv("lease", request.leaseId),
+                                log::kv("stall_ms", stallMs(*stall)));
                 std::this_thread::sleep_for(std::chrono::microseconds(
                     static_cast<std::int64_t>(stallMs(*stall) * 1000.0)));
+            }
             if (injector.fireBehavioral("worker.crash")) {
+                JIGSAW_LOG_WARN(workerLog(),
+                                "injected crash; worker dying",
+                                log::kv("worker", index),
+                                log::kv("lease", request.leaseId));
                 // Simulated process death: no response, and marking
                 // the worker dead stops its heartbeats, so the
                 // scheduler's lease supervision revokes the lease.
@@ -221,6 +239,7 @@ WorkerPool::execute(WindowRequest &request, std::size_t index)
     WindowResponse response;
     response.leaseId = request.leaseId;
     response.worker = index;
+    const auto execute_start = std::chrono::steady_clock::now();
     try {
         validateRequest(request);
         WorkerState &state = *workers_[index];
@@ -262,6 +281,16 @@ WorkerPool::execute(WindowRequest &request, std::size_t index)
         response.transientError = false;
         response.errorMessage = "worker: unknown execution failure";
     }
+    response.executeMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - execute_start)
+            .count();
+    if (!response.ok)
+        JIGSAW_LOG_WARN(workerLog(), "window execution failed",
+                        log::kv("worker", index),
+                        log::kv("lease", request.leaseId),
+                        log::kv("transient", response.transientError),
+                        log::kv("error", response.errorMessage));
     return response;
 }
 

@@ -1,0 +1,370 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "common/simd.h"
+#include "compiler/transpiler.h"
+
+namespace jigsaw {
+namespace obs {
+
+namespace {
+
+void
+appendEscapedLabelValue(std::string &out, const std::string &value)
+{
+    for (const char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+            break;
+        }
+    }
+}
+
+void
+appendEscapedHelp(std::string &out, const std::string &help)
+{
+    for (const char c : help) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+}
+
+std::string
+formatValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    char buffer[40];
+    // %.17g round-trips doubles; trim to %g style for the common
+    // integral counter case.
+    if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+        std::fabs(value) < 9.0e15) {
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    }
+    return buffer;
+}
+
+void
+appendLabels(std::string &out, const Labels &labels,
+             const char *extraKey = nullptr,
+             const std::string &extraValue = std::string())
+{
+    if (labels.empty() && !extraKey)
+        return;
+    out += '{';
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        appendEscapedLabelValue(out, value);
+        out += '"';
+    }
+    if (extraKey) {
+        if (!first)
+            out += ',';
+        out += extraKey;
+        out += "=\"";
+        appendEscapedLabelValue(out, extraValue);
+        out += '"';
+    }
+    out += '}';
+}
+
+const char *
+typeName(MetricType type)
+{
+    switch (type) {
+      case MetricType::CounterType:
+        return "counter";
+      case MetricType::GaugeType:
+        return "gauge";
+      case MetricType::HistogramType:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+std::string
+renderPrometheus(Registry &registry)
+{
+    const std::vector<FamilySnapshot> families = registry.collect();
+    std::string out;
+    out.reserve(4096);
+    for (const FamilySnapshot &family : families) {
+        out += "# HELP ";
+        out += family.name;
+        out += ' ';
+        appendEscapedHelp(out, family.help);
+        out += '\n';
+        out += "# TYPE ";
+        out += family.name;
+        out += ' ';
+        out += typeName(family.type);
+        out += '\n';
+        for (const ChildSnapshot &child : family.children) {
+            if (family.type != MetricType::HistogramType) {
+                out += family.name;
+                appendLabels(out, child.labels);
+                out += ' ';
+                out += formatValue(child.value);
+                out += '\n';
+                continue;
+            }
+            const HistogramData &hist = child.hist;
+            std::uint64_t cumulative = 0;
+            if (hist.bounds) {
+                for (std::size_t b = 0; b < hist.bounds->size(); ++b) {
+                    cumulative +=
+                        b < hist.counts.size() ? hist.counts[b] : 0;
+                    out += family.name;
+                    out += "_bucket";
+                    appendLabels(out, child.labels, "le",
+                                 formatValue((*hist.bounds)[b]));
+                    out += ' ';
+                    out += std::to_string(cumulative);
+                    out += '\n';
+                }
+            }
+            out += family.name;
+            out += "_bucket";
+            appendLabels(out, child.labels, "le", "+Inf");
+            out += ' ';
+            out += std::to_string(hist.count);
+            out += '\n';
+            out += family.name;
+            out += "_sum";
+            appendLabels(out, child.labels);
+            out += ' ';
+            out += formatValue(hist.sum);
+            out += '\n';
+            out += family.name;
+            out += "_count";
+            appendLabels(out, child.labels);
+            out += ' ';
+            out += std::to_string(hist.count);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+renderProcessMetrics()
+{
+    registerProcessMetrics();
+    return renderPrometheus(Registry::instance());
+}
+
+ProcessCounters
+ProcessCounters::snapshot()
+{
+    ProcessCounters counters;
+    counters.transpileCacheHits = compiler::transpileCacheHits();
+    counters.transpileCacheMisses = compiler::transpileCacheMisses();
+    counters.transpileSkeletonRebinds =
+        compiler::transpileSkeletonRebinds();
+    const simd::DispatchCounters dispatch = simd::dispatchCounters();
+    counters.simdDispatchScalar =
+        dispatch.backendTotal(simd::kBackendScalar);
+    counters.simdDispatchAvx2 = dispatch.backendTotal(simd::kBackendAvx2);
+    counters.simdDispatchAvx512 =
+        dispatch.backendTotal(simd::kBackendAvx512);
+    return counters;
+}
+
+ProcessCounters
+ProcessCounters::since(const ProcessCounters &earlier) const
+{
+    auto delta = [](std::uint64_t now, std::uint64_t then) {
+        return now >= then ? now - then : 0;
+    };
+    ProcessCounters out;
+    out.transpileCacheHits =
+        delta(transpileCacheHits, earlier.transpileCacheHits);
+    out.transpileCacheMisses =
+        delta(transpileCacheMisses, earlier.transpileCacheMisses);
+    out.transpileSkeletonRebinds =
+        delta(transpileSkeletonRebinds, earlier.transpileSkeletonRebinds);
+    out.simdDispatchScalar =
+        delta(simdDispatchScalar, earlier.simdDispatchScalar);
+    out.simdDispatchAvx2 = delta(simdDispatchAvx2, earlier.simdDispatchAvx2);
+    out.simdDispatchAvx512 =
+        delta(simdDispatchAvx512, earlier.simdDispatchAvx512);
+    return out;
+}
+
+std::array<ProcessCounters::Entry, 3>
+ProcessCounters::transpileEntries() const
+{
+    return {{{"transpile_cache_hits", transpileCacheHits},
+             {"transpile_cache_misses", transpileCacheMisses},
+             {"transpile_skeleton_rebinds", transpileSkeletonRebinds}}};
+}
+
+std::array<ProcessCounters::Entry, 3>
+ProcessCounters::simdEntries() const
+{
+    return {{{"simd/dispatch_scalar", simdDispatchScalar},
+             {"simd/dispatch_avx2", simdDispatchAvx2},
+             {"simd/dispatch_avx512", simdDispatchAvx512}}};
+}
+
+void
+registerProcessMetrics()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        Registry &registry = Registry::instance();
+        Counter &transpileHits = registry.counter(
+            "jigsaw_transpile_cache_total",
+            "Lifetime transpile-memo lookups by result",
+            {{"result", "hit"}});
+        Counter &transpileMisses = registry.counter(
+            "jigsaw_transpile_cache_total",
+            "Lifetime transpile-memo lookups by result",
+            {{"result", "miss"}});
+        Counter &rebinds = registry.counter(
+            "jigsaw_transpile_skeleton_rebinds_total",
+            "Transpile-memo hits served by re-binding a cached "
+            "same-skeleton compilation");
+        Counter &scalar = registry.counter(
+            "jigsaw_simd_dispatch_total",
+            "Kernel-table dispatches by backend",
+            {{"backend", "scalar"}});
+        Counter &avx2 = registry.counter(
+            "jigsaw_simd_dispatch_total",
+            "Kernel-table dispatches by backend",
+            {{"backend", "avx2"}});
+        Counter &avx512 = registry.counter(
+            "jigsaw_simd_dispatch_total",
+            "Kernel-table dispatches by backend",
+            {{"backend", "avx512"}});
+        registry.addCollector([&transpileHits, &transpileMisses, &rebinds,
+                               &scalar, &avx2, &avx512] {
+            const ProcessCounters now = ProcessCounters::snapshot();
+            transpileHits.set(now.transpileCacheHits);
+            transpileMisses.set(now.transpileCacheMisses);
+            rebinds.set(now.transpileSkeletonRebinds);
+            scalar.set(now.simdDispatchScalar);
+            avx2.set(now.simdDispatchAvx2);
+            avx512.set(now.simdDispatchAvx512);
+        });
+    });
+}
+
+bool
+expositionLooksValid(const std::string &body, std::string *error)
+{
+    auto fail = [error](const std::string &message) {
+        if (error)
+            *error = message;
+        return false;
+    };
+    std::set<std::string> helped;
+    std::set<std::string> typed;
+    std::istringstream in(body);
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# HELP ", 0) == 0) {
+            const std::size_t space = line.find(' ', 7);
+            helped.insert(line.substr(7, space - 7));
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const std::size_t space = line.find(' ', 7);
+            typed.insert(line.substr(7, space - 7));
+            continue;
+        }
+        if (line[0] == '#')
+            continue;
+        // Sample line: name[{labels}] value
+        std::size_t nameEnd = line.find_first_of("{ ");
+        if (nameEnd == std::string::npos)
+            return fail("sample line without a value: " + line);
+        std::string name = line.substr(0, nameEnd);
+        if (line[nameEnd] == '{') {
+            // Scan for the closing brace outside quotes.
+            bool quoted = false;
+            std::size_t i = nameEnd;
+            for (; i < line.size(); ++i) {
+                if (quoted) {
+                    if (line[i] == '\\')
+                        ++i;
+                    else if (line[i] == '"')
+                        quoted = false;
+                } else if (line[i] == '"') {
+                    quoted = true;
+                } else if (line[i] == '}') {
+                    break;
+                }
+            }
+            if (i >= line.size())
+                return fail("unterminated label set: " + line);
+            if (i + 1 >= line.size() || line[i + 1] != ' ')
+                return fail("no value after labels: " + line);
+            nameEnd = i + 1;
+        }
+        const std::string value = line.substr(nameEnd + 1);
+        if (value.empty() ||
+            value.find_first_not_of("0123456789+-.eEInfNa") !=
+                std::string::npos)
+            return fail("unparseable sample value: " + line);
+        // A histogram/summary sample's family is the name minus the
+        // _bucket/_sum/_count suffix.
+        std::string family = name;
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string s(suffix);
+            if (family.size() > s.size() &&
+                family.compare(family.size() - s.size(), s.size(), s) ==
+                    0 &&
+                typed.count(family.substr(0, family.size() - s.size()))) {
+                family = family.substr(0, family.size() - s.size());
+                break;
+            }
+        }
+        if (!helped.count(family))
+            return fail("sample without # HELP: " + name);
+        if (!typed.count(family))
+            return fail("sample without # TYPE: " + name);
+        ++samples;
+    }
+    if (samples == 0)
+        return fail("no samples in exposition body");
+    return true;
+}
+
+} // namespace obs
+} // namespace jigsaw

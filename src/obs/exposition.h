@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) rendering for the
+ * metrics registry, plus the shared process-wide counter snapshot
+ * helper the benches use.
+ */
+#ifndef JIGSAW_OBS_EXPOSITION_H
+#define JIGSAW_OBS_EXPOSITION_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace jigsaw {
+namespace obs {
+
+/** Run collectors and render every family:
+ *  `# HELP`/`# TYPE` lines, escaped labels, histogram `le` buckets
+ *  (cumulative, `+Inf`), `_sum`/`_count`. */
+std::string renderPrometheus(Registry &registry);
+
+/** Render the process-wide registry (Registry::instance()), after
+ *  making sure the process-wide collectors below are registered. */
+std::string renderProcessMetrics();
+
+/**
+ * One snapshot of every process-wide (not per-scheduler) counter the
+ * benches report: the transpile memo and the SIMD kernel-dispatch
+ * totals. `suite_runner` and `bench_perf_reconstruction` both used to
+ * re-derive these by hand; routing both through this struct means a
+ * new process-wide counter added here appears in the suite timings
+ * JSON, the dispatch-mix table, and the Prometheus exposition at once.
+ */
+struct ProcessCounters {
+    std::uint64_t transpileCacheHits = 0;
+    std::uint64_t transpileCacheMisses = 0;
+    std::uint64_t transpileSkeletonRebinds = 0;
+    std::uint64_t simdDispatchScalar = 0;
+    std::uint64_t simdDispatchAvx2 = 0;
+    std::uint64_t simdDispatchAvx512 = 0;
+
+    /** Read all sources now. */
+    static ProcessCounters snapshot();
+
+    /** Delta against an @p earlier snapshot (per-field subtraction,
+     *  clamped at zero in case a source was reset in between). */
+    ProcessCounters since(const ProcessCounters &earlier) const;
+
+    struct Entry {
+        const char *name;
+        std::uint64_t value;
+    };
+
+    /** Transpile-memo entries under their bench-report base names
+     *  ("transpile_cache_hits", ...); suite_runner prefixes "suite/". */
+    std::array<Entry, 3> transpileEntries() const;
+
+    /** Kernel-dispatch entries under their full bench-report names
+     *  ("simd/dispatch_scalar", ...), shared by the suite timings
+     *  export and the perf bench's dispatch-mix table. */
+    std::array<Entry, 3> simdEntries() const;
+};
+
+/** Idempotently register the collector that mirrors ProcessCounters
+ *  into Registry::instance() (jigsaw_transpile_cache_total,
+ *  jigsaw_simd_dispatch_total, ...). */
+void registerProcessMetrics();
+
+/**
+ * Minimal structural validity check for a scrape body (used by tests;
+ * CI re-implements the same rules in python to validate a live
+ * scrape): every non-comment line is `name{labels} value`, every
+ * sample's family has HELP and TYPE comments above it, histogram
+ * families end with _sum/_count. Returns true when the body parses.
+ */
+bool expositionLooksValid(const std::string &body, std::string *error);
+
+} // namespace obs
+} // namespace jigsaw
+
+#endif // JIGSAW_OBS_EXPOSITION_H

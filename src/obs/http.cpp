@@ -1,0 +1,129 @@
+#include "obs/http.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace jigsaw {
+namespace obs {
+
+namespace {
+
+jigsaw::log::Logger &
+lg()
+{
+    static jigsaw::log::Logger &logger = jigsaw::log::logger("obs.http");
+    return logger;
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(int port,
+                                     std::function<std::string()> render)
+    : render_(std::move(render))
+{
+    fatalIf(port < 0 || port > 65535,
+            "MetricsHttpServer: port out of range");
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(listenFd_ < 0, "MetricsHttpServer: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 8) != 0) {
+        const int error = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatalIf(true, std::string("MetricsHttpServer: cannot listen on "
+                                  "127.0.0.1: ") +
+                          std::strerror(error));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+    thread_ = std::thread([this] { acceptLoop(); });
+    JIGSAW_LOG_INFO(lg(), "metrics endpoint listening",
+                    jigsaw::log::kv("port", port_));
+}
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+MetricsHttpServer::acceptLoop()
+{
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        // 100 ms poll so shutdown is prompt without a wakeup pipe.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        // Read the request line + headers; we answer any GET (the
+        // path is ignored — /metrics and / serve the same body).
+        char buffer[1024];
+        const ssize_t got = ::recv(client, buffer, sizeof(buffer), 0);
+        if (got <= 0) {
+            ::close(client);
+            continue;
+        }
+        std::string body;
+        std::string status = "200 OK";
+        try {
+            body = render_();
+        } catch (const std::exception &error) {
+            status = "500 Internal Server Error";
+            body = std::string("render failed: ") + error.what() + "\n";
+        }
+        std::string response;
+        response.reserve(body.size() + 128);
+        response += "HTTP/1.0 ";
+        response += status;
+        response += "\r\nContent-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\nContent-Length: ";
+        response += std::to_string(body.size());
+        response += "\r\nConnection: close\r\n\r\n";
+        response += body;
+        std::size_t sent = 0;
+        while (sent < response.size()) {
+            const ssize_t n = ::send(client, response.data() + sent,
+                                     response.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0)
+                break;
+            sent += static_cast<std::size_t>(n);
+        }
+        ::close(client);
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+        JIGSAW_LOG_DEBUG(lg(), "scrape served",
+                         jigsaw::log::kv("bytes", body.size()));
+    }
+}
+
+} // namespace obs
+} // namespace jigsaw

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A tiny optional metrics endpoint: a blocking HTTP/1.0 listener on
+ * loopback that answers every GET with the rendered Prometheus
+ * exposition. Deliberately minimal — one accept thread, one request
+ * per connection, no keep-alive, no TLS — because its only job is to
+ * let `curl 127.0.0.1:<port>/metrics` work against a running
+ * scheduler. Off by default (`StreamOptions::metricsPort = -1`), so
+ * CI legs that never ask for it need no networking.
+ */
+#ifndef JIGSAW_OBS_HTTP_H
+#define JIGSAW_OBS_HTTP_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace jigsaw {
+namespace obs {
+
+class MetricsHttpServer
+{
+  public:
+    /**
+     * Bind 127.0.0.1:@p port (0 picks an ephemeral port — see
+     * port()) and start the accept thread. @p render is called per
+     * request, outside any server lock. Throws std::invalid_argument
+     * (via fatalIf) when the bind fails.
+     */
+    MetricsHttpServer(int port, std::function<std::string()> render);
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** The bound port (resolves port 0 requests). */
+    int port() const { return port_; }
+
+    /** Requests answered so far. */
+    std::uint64_t
+    scrapesServed() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+
+    std::function<std::string()> render_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace jigsaw
+
+#endif // JIGSAW_OBS_HTTP_H

@@ -1,0 +1,392 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace jigsaw {
+namespace obs {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(name[0]))
+        return false;
+    for (const char c : name) {
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    }
+    return true;
+}
+
+Labels
+sortedLabels(Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+std::size_t
+bucketIndex(const std::vector<double> &bounds, double value)
+{
+    // First bound >= value; the +Inf bucket is index bounds.size().
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), value);
+    return static_cast<std::size_t>(it - bounds.begin());
+}
+
+void
+atomicAddDouble(std::atomic<std::uint64_t> &bits, double delta)
+{
+    std::uint64_t expected = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        const double updated = std::bit_cast<double>(expected) + delta;
+        if (bits.compare_exchange_weak(expected,
+                                       std::bit_cast<std::uint64_t>(updated),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+} // namespace
+
+const Bounds &
+defaultLatencyBoundsMs()
+{
+    static const Bounds bounds = [] {
+        auto edges = std::make_shared<std::vector<double>>();
+        for (double edge = 0.01; edge <= 60000.0 * 1.25; edge *= 1.25)
+            edges->push_back(edge);
+        return Bounds(std::move(edges));
+    }();
+    return bounds;
+}
+
+void
+Gauge::set(double value)
+{
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+}
+
+void
+Gauge::add(double delta)
+{
+    atomicAddDouble(bits_, delta);
+}
+
+double
+Gauge::value() const
+{
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void
+HistogramData::observe(double value)
+{
+    if (!bounds)
+        bounds = defaultLatencyBoundsMs();
+    if (counts.empty()) {
+        counts.assign(bounds->size() + 1, 0);
+        bucketSums.assign(bounds->size() + 1, 0.0);
+    }
+    const std::size_t bucket = bucketIndex(*bounds, value);
+    ++counts[bucket];
+    bucketSums[bucket] += value;
+    ++count;
+    sum += value;
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    if (!bounds)
+        bounds = other.bounds;
+    panicIf(bounds != other.bounds &&
+                (!bounds || !other.bounds || *bounds != *other.bounds),
+            "HistogramData::merge: mismatched bucket bounds");
+    if (counts.empty()) {
+        counts.assign(bounds->size() + 1, 0);
+        bucketSums.assign(bounds->size() + 1, 0.0);
+    }
+    for (std::size_t i = 0; i < other.counts.size(); ++i) {
+        counts[i] += other.counts[i];
+        bucketSums[i] += other.bucketSums[i];
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0 || !std::isfinite(q))
+        return 0.0;
+    if (count == 1)
+        return sum; // one observation: exact
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (std::size_t bucket = 0; bucket < counts.size(); ++bucket) {
+        seen += counts[bucket];
+        if (seen < rank)
+            continue;
+        const std::uint64_t n = counts[bucket];
+        const double bucketMean =
+            n == 0 ? 0.0
+                   : bucketSums[bucket] / static_cast<double>(n);
+        // Clamp the mean into the bucket so a weird float never
+        // reports outside the bucket it landed in.
+        const double lo = bucket == 0 ? 0.0 : (*bounds)[bucket - 1];
+        if (bucket < bounds->size())
+            return std::clamp(bucketMean, lo, (*bounds)[bucket]);
+        return std::max(bucketMean, lo); // +Inf bucket: no upper clamp
+    }
+    return sum / static_cast<double>(count);
+}
+
+Histogram::Histogram(Bounds bounds)
+    : bounds_(bounds ? std::move(bounds) : defaultLatencyBoundsMs())
+{
+    const std::size_t buckets = bounds_->size() + 1;
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    sumBits_ = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+        counts_[i].store(0, std::memory_order_relaxed);
+        sumBits_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(double value)
+{
+    const std::size_t bucket = bucketIndex(*bounds_, value);
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(sumBits_[bucket], value);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(totalSumBits_, value);
+}
+
+HistogramData
+Histogram::snapshot() const
+{
+    HistogramData data;
+    data.bounds = bounds_;
+    const std::size_t buckets = bounds_->size() + 1;
+    data.counts.resize(buckets);
+    data.bucketSums.resize(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+        data.counts[i] = counts_[i].load(std::memory_order_relaxed);
+        data.bucketSums[i] =
+            std::bit_cast<double>(sumBits_[i].load(
+                std::memory_order_relaxed));
+    }
+    data.count = count_.load(std::memory_order_relaxed);
+    data.sum = std::bit_cast<double>(
+        totalSumBits_.load(std::memory_order_relaxed));
+    return data;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+    struct Family {
+        std::string help;
+        MetricType type = MetricType::CounterType;
+        Bounds bounds; // histograms only
+        // Children keyed by sorted labels. unique_ptr keeps instrument
+        // addresses stable across rehashing.
+        std::map<Labels, std::unique_ptr<Counter>> counters;
+        std::map<Labels, std::unique_ptr<Gauge>> gauges;
+        std::map<Labels, std::unique_ptr<Histogram>> histograms;
+
+        std::size_t
+        childCount() const
+        {
+            return counters.size() + gauges.size() + histograms.size();
+        }
+    };
+
+    std::mutex mutex;
+    std::map<std::string, Family> families;
+    std::mutex collectorMutex;
+    std::uint64_t nextCollectorId = 1;
+    std::map<std::uint64_t, std::function<void()>> collectors;
+
+    Family &
+    family(const std::string &name, const std::string &help,
+           MetricType type)
+    {
+        fatalIf(!validMetricName(name),
+                "metrics: invalid metric name '" + name + "'");
+        Family &family = families[name];
+        if (family.childCount() == 0 && family.help.empty()) {
+            family.help = help;
+            family.type = type;
+        }
+        fatalIf(family.type != type,
+                "metrics: '" + name +
+                    "' re-registered with a different type");
+        return family;
+    }
+
+    static Labels
+    effectiveLabels(const Family &family, Labels labels)
+    {
+        // Bounded cardinality: once a family is full, every new label
+        // combination collapses into one overflow child.
+        if (family.childCount() >= Registry::kMaxChildren)
+            return Labels{{"overflow", "true"}};
+        return labels;
+    }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+
+Registry::~Registry() = default;
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const Labels &labels)
+{
+    Impl &impl = *impl_;
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    Impl::Family &family =
+        impl.family(name, help, MetricType::CounterType);
+    Labels key = sortedLabels(labels);
+    if (!family.counters.count(key))
+        key = Impl::effectiveLabels(family, std::move(key));
+    std::unique_ptr<Counter> &slot = family.counters[key];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const Labels &labels)
+{
+    Impl &impl = *impl_;
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    Impl::Family &family = impl.family(name, help, MetricType::GaugeType);
+    Labels key = sortedLabels(labels);
+    if (!family.gauges.count(key))
+        key = Impl::effectiveLabels(family, std::move(key));
+    std::unique_ptr<Gauge> &slot = family.gauges[key];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    Bounds bounds, const Labels &labels)
+{
+    Impl &impl = *impl_;
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    Impl::Family &family =
+        impl.family(name, help, MetricType::HistogramType);
+    if (!family.bounds)
+        family.bounds = bounds ? bounds : defaultLatencyBoundsMs();
+    Labels key = sortedLabels(labels);
+    if (!family.histograms.count(key))
+        key = Impl::effectiveLabels(family, std::move(key));
+    std::unique_ptr<Histogram> &slot = family.histograms[key];
+    if (!slot)
+        slot = std::make_unique<Histogram>(family.bounds);
+    return *slot;
+}
+
+std::uint64_t
+Registry::addCollector(std::function<void()> fn)
+{
+    Impl &impl = *impl_;
+    std::lock_guard<std::mutex> lock(impl.collectorMutex);
+    const std::uint64_t id = impl.nextCollectorId++;
+    impl.collectors[id] = std::move(fn);
+    return id;
+}
+
+void
+Registry::removeCollector(std::uint64_t id)
+{
+    Impl &impl = *impl_;
+    // collect() holds collectorMutex while invoking callbacks, so
+    // acquiring it here waits out any in-flight run of this callback.
+    std::lock_guard<std::mutex> lock(impl.collectorMutex);
+    impl.collectors.erase(id);
+}
+
+std::vector<FamilySnapshot>
+Registry::collect()
+{
+    Impl &impl = *impl_;
+    {
+        std::lock_guard<std::mutex> lock(impl.collectorMutex);
+        for (auto &[id, fn] : impl.collectors)
+            fn();
+    }
+    std::vector<FamilySnapshot> snapshot;
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    snapshot.reserve(impl.families.size());
+    for (const auto &[name, family] : impl.families) {
+        FamilySnapshot fam;
+        fam.name = name;
+        fam.help = family.help;
+        fam.type = family.type;
+        for (const auto &[labels, counter] : family.counters) {
+            ChildSnapshot child;
+            child.labels = labels;
+            child.value = static_cast<double>(counter->value());
+            fam.children.push_back(std::move(child));
+        }
+        for (const auto &[labels, gauge] : family.gauges) {
+            ChildSnapshot child;
+            child.labels = labels;
+            child.value = gauge->value();
+            fam.children.push_back(std::move(child));
+        }
+        for (const auto &[labels, histogram] : family.histograms) {
+            ChildSnapshot child;
+            child.labels = labels;
+            child.hist = histogram->snapshot();
+            fam.children.push_back(std::move(child));
+        }
+        snapshot.push_back(std::move(fam));
+    }
+    return snapshot;
+}
+
+} // namespace obs
+} // namespace jigsaw

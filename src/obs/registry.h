@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Process-wide metrics registry: relaxed-atomic counters and gauges
+ * plus fixed-bucket latency histograms, with small bounded label
+ * cardinality, rendered on demand by obs/exposition.h.
+ *
+ * Writers touch lock-free atomics only (one relaxed fetch_add per
+ * Counter::add, one relaxed store per Gauge::set); the registry mutex
+ * is taken only when a metric is first looked up — call sites cache
+ * the returned reference — and when a scrape renders. Collectors
+ * (callbacks that publish snapshot-style sources like StreamStats
+ * into the registry) run at render time under the collector mutex.
+ *
+ * Instruments returned by the registry live for the process lifetime;
+ * references never dangle.
+ */
+#ifndef JIGSAW_OBS_REGISTRY_H
+#define JIGSAW_OBS_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jigsaw {
+namespace obs {
+
+/** Sorted (key, value) label pairs; keep cardinality tiny. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotone counter. set() exists for snapshot-publishing collectors
+ *  that mirror an external monotone source (e.g. the process-wide
+ *  transpile-cache hit count); Prometheus treats any decrease as a
+ *  counter reset, so mirroring a resettable source is still sound. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(std::uint64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Point-in-time value; stored as double bits in one atomic word. */
+class Gauge
+{
+  public:
+    void set(double value);
+    void add(double delta);
+    double value() const;
+
+  private:
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/** Shared immutable bucket upper bounds (ascending, +Inf implicit). */
+using Bounds = std::shared_ptr<const std::vector<double>>;
+
+/** Default latency bounds: geometric ×1.25 from 0.01 ms past 60 s
+ *  (~71 buckets). One shared instance; every latency histogram in the
+ *  process uses it so scrape deltas are mergeable. */
+const Bounds &defaultLatencyBoundsMs();
+
+/**
+ * A plain, copyable histogram snapshot — also usable directly as a
+ * single-threaded histogram (StreamStats carries these). Tracks
+ * per-bucket counts *and* per-bucket sums so quantile() can return
+ * the bucket's observed mean instead of an interpolated bound,
+ * keeping percentile fidelity close to the reservoir it replaces.
+ */
+struct HistogramData {
+    Bounds bounds; // null until first observe (defaultLatencyBoundsMs)
+    std::vector<std::uint64_t> counts; // bounds->size() + 1, last=+Inf
+    std::vector<double> bucketSums;    // same shape as counts
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    void observe(double value);
+    void merge(const HistogramData &other);
+
+    /** Nearest-rank quantile, q in [0,1]. Guards: empty -> 0, a
+     *  single observation -> that exact value, non-finite q -> 0.
+     *  Otherwise the mean of the selected bucket clamped to the
+     *  bucket's bounds. */
+    double quantile(double q) const;
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+/** Thread-safe histogram: relaxed per-bucket atomic counts plus
+ *  CAS-loop double accumulation for the sums. snapshot() is a relaxed
+ *  read — not a consistent cut across buckets, which is fine for
+ *  monitoring (totals are exact once writers quiesce). */
+class Histogram
+{
+  public:
+    explicit Histogram(Bounds bounds);
+
+    void observe(double value);
+    HistogramData snapshot() const;
+    std::uint64_t count() const;
+
+  private:
+    Bounds bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> sumBits_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> totalSumBits_{0};
+};
+
+enum class MetricType { CounterType, GaugeType, HistogramType };
+
+/** One rendered child: a (labels, value-or-histogram) pair. */
+struct ChildSnapshot {
+    Labels labels;
+    double value = 0.0;     // counters/gauges
+    HistogramData hist;     // histograms
+};
+
+/** One rendered family: name, help, type, children. */
+struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::CounterType;
+    std::vector<ChildSnapshot> children;
+};
+
+/**
+ * The registry. One process-wide instance (instance()); separate
+ * instances are constructible for tests.
+ *
+ * Family names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Per-family child
+ * cardinality is bounded (kMaxChildren); lookups past the bound all
+ * return one shared overflow child labelled {overflow="true"} so a
+ * label-cardinality bug degrades a metric instead of eating memory.
+ */
+class Registry
+{
+  public:
+    static constexpr std::size_t kMaxChildren = 64;
+
+    Registry();
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+    ~Registry();
+
+    static Registry &instance();
+
+    Counter &counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+    Histogram &histogram(const std::string &name, const std::string &help,
+                         Bounds bounds = nullptr, const Labels &labels = {});
+
+    /** Register a callback run at the start of every collect();
+     *  returns an id for removeCollector(). Collectors publish
+     *  snapshot-style sources (StreamStats, simd::dispatchCounters)
+     *  into registry instruments. */
+    std::uint64_t addCollector(std::function<void()> fn);
+
+    /** Blocks until any in-flight collect() finishes, so the callback
+     *  can safely reference state about to be destroyed. */
+    void removeCollector(std::uint64_t id);
+
+    /** Run collectors, then snapshot every family (sorted by name). */
+    std::vector<FamilySnapshot> collect();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace obs
+} // namespace jigsaw
+
+#endif // JIGSAW_OBS_REGISTRY_H

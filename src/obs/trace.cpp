@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace jigsaw {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+threadToken()
+{
+    return static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+    out += buffer;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(std::size_t max_jobs)
+    : epoch_(Clock::now()), maxJobs_(std::max<std::size_t>(1, max_jobs))
+{
+}
+
+double
+TraceRecorder::toMs(Clock::time_point tp) const
+{
+    return std::chrono::duration<double, std::milli>(tp - epoch_).count();
+}
+
+double
+TraceRecorder::nowMs() const
+{
+    return toMs(Clock::now());
+}
+
+void
+TraceRecorder::record(std::uint64_t job_id, std::uint32_t attempt,
+                      const char *stage, double start_ms,
+                      double duration_ms, std::uint64_t window_id,
+                      std::uint64_t lease_id)
+{
+    TraceSpan span;
+    span.jobId = job_id;
+    span.attempt = attempt;
+    span.stage = stage;
+    span.startMs = start_ms;
+    span.durationMs = duration_ms;
+    span.thread = threadToken();
+    span.windowId = window_id;
+    span.leaseId = lease_id;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = spans_.try_emplace(job_id);
+    if (inserted) {
+        order_.push_back(job_id);
+        while (order_.size() > maxJobs_) {
+            spans_.erase(order_.front());
+            order_.pop_front();
+        }
+        // The new job may itself have been evicted when maxJobs_ is
+        // tiny; re-find it.
+        it = spans_.find(job_id);
+        if (it == spans_.end())
+            return;
+    }
+    it->second.push_back(span);
+}
+
+std::vector<TraceSpan>
+TraceRecorder::spansFor(std::uint64_t job_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = spans_.find(job_id);
+    if (it == spans_.end())
+        return {};
+    std::vector<TraceSpan> out = it->second;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceSpan &a, const TraceSpan &b) {
+                         return a.startMs < b.startMs;
+                     });
+    return out;
+}
+
+std::vector<std::uint64_t>
+TraceRecorder::jobIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {order_.begin(), order_.end()};
+}
+
+std::size_t
+TraceRecorder::totalSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto &[id, spans] : spans_)
+        total += spans.size();
+    return total;
+}
+
+std::string
+TraceRecorder::toJsonLines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(spans_.size() * 96);
+    for (const std::uint64_t id : order_) {
+        const auto it = spans_.find(id);
+        if (it == spans_.end())
+            continue;
+        for (const TraceSpan &span : it->second) {
+            out += "{\"job\":";
+            out += std::to_string(span.jobId);
+            out += ",\"attempt\":";
+            out += std::to_string(span.attempt);
+            out += ",\"stage\":\"";
+            out += span.stage;
+            out += "\",\"start_ms\":";
+            appendNumber(out, span.startMs);
+            out += ",\"dur_ms\":";
+            appendNumber(out, span.durationMs);
+            out += ",\"thread\":";
+            out += std::to_string(span.thread);
+            out += ",\"window\":";
+            out += std::to_string(span.windowId);
+            out += ",\"lease\":";
+            out += std::to_string(span.leaseId);
+            out += "}\n";
+        }
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace jigsaw

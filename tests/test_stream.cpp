@@ -21,6 +21,7 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "core/scheduler.h"
+#include "obs/registry.h"
 #include "core/service.h"
 #include "device/library.h"
 #include "sim/simulators.h"
@@ -128,7 +129,7 @@ TEST(StreamingScheduler, WindowedJobsMatchSequentialBitwise)
     const core::StreamStats stats = scheduler.stats();
     EXPECT_EQ(stats.submitted, programs.size());
     EXPECT_EQ(stats.completed, programs.size());
-    EXPECT_EQ(stats.jobs.size(), programs.size());
+    EXPECT_EQ(stats.jobsObserved, programs.size());
     EXPECT_GE(stats.latencyPercentileMs(0.95),
               stats.latencyPercentileMs(0.5));
 }
@@ -749,7 +750,7 @@ TEST(StreamingScheduler, ReleaseAndRetentionBoundDeliveredResults)
     EXPECT_TRUE(held_scheduler.release(live)); // terminal now
 }
 
-TEST(StreamingScheduler, StatsReservoirStaysBoundedWithExactCounters)
+TEST(StreamingScheduler, LatencyHistogramsStayBoundedWithExactCounters)
 {
     const device::DeviceModel dev = device::toronto();
     std::vector<ServiceProgram> programs;
@@ -761,7 +762,6 @@ TEST(StreamingScheduler, StatsReservoirStaysBoundedWithExactCounters)
     StreamOptions options;
     options.mergePolicy = core::MergePolicy::Never;
     options.windowMs = 0.0;
-    options.statsReservoir = 4;
     StreamingScheduler scheduler(options);
     for (std::size_t i = 0; i < programs.size(); ++i) {
         scheduler.submit(programs[i],
@@ -772,10 +772,19 @@ TEST(StreamingScheduler, StatsReservoirStaysBoundedWithExactCounters)
 
     const core::StreamStats stats = scheduler.stats();
     EXPECT_EQ(stats.completed, 10u);
+    // Every completion lands in the per-class fixed-bucket histograms:
+    // no sample is dropped, yet memory is bounded by the bucket count,
+    // not the job count — the reservoir this replaced traded one for
+    // the other. The class counters stay exact.
     EXPECT_EQ(stats.jobsObserved, 10u);
-    // The sample store is reservoir-bounded; the class counters stay
-    // exact regardless.
-    EXPECT_EQ(stats.jobs.size(), 4u);
+    std::uint64_t histogrammed = 0;
+    for (const obs::HistogramData &h : stats.latencyByClass) {
+        histogrammed += h.count;
+        if (h.bounds) {
+            EXPECT_EQ(h.counts.size(), h.bounds->size() + 1);
+        }
+    }
+    EXPECT_EQ(histogrammed, 10u);
     EXPECT_EQ(
         stats.completedByClass[static_cast<std::size_t>(Priority::High)],
         4u);
@@ -851,12 +860,19 @@ TEST(PercentileGuards, EmptySingleAndDegenerateQ)
     EXPECT_EQ(service_stats.latencyPercentileMs(0.0), 7.5);
     EXPECT_EQ(service_stats.latencyPercentileMs(0.95), 7.5);
 
-    // StreamStats: empty overall and per-class views.
+    // StreamStats: empty overall and per-class histogram views.
     core::StreamStats stream_stats;
     EXPECT_EQ(stream_stats.latencyPercentileMs(0.5), 0.0);
     EXPECT_EQ(stream_stats.latencyPercentileMs(Priority::High, 0.95),
               0.0);
-    stream_stats.jobs.push_back({Priority::Normal, 1.0, 2.0, 3.0});
+    const std::size_t normal =
+        static_cast<std::size_t>(Priority::Normal);
+    stream_stats.latencyByClass[normal].observe(3.0);
+    stream_stats.queueWaitByClass[normal].observe(1.0);
+    stream_stats.executeByClass[normal].observe(2.0);
+    // A single observation comes back exact through the histogram view
+    // (HistogramData::quantile's single-sample guard), both overall
+    // (classes merged) and per class.
     EXPECT_EQ(stream_stats.latencyPercentileMs(0.95), 3.0);
     EXPECT_EQ(
         stream_stats.latencyPercentileMs(Priority::Normal, 0.95), 3.0);
